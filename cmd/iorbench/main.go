@@ -1,0 +1,87 @@
+// Command iorbench runs the IOR-style parallel I/O benchmark against one
+// or all storage backends, printing IOR-flavoured bandwidth summaries in
+// virtual (simulated-cluster) time. It is the free-form companion to the
+// fixed experiments of cmd/benchsuite — use it to explore where the flat
+// namespace wins or loses under arbitrary access shapes.
+//
+// Usage:
+//
+//	iorbench [-backend posix|relaxed|blob|all] [-clients N] [-transfer N]
+//	         [-block N] [-segments N] [-shared] [-noread]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/ior"
+	"repro/internal/storage"
+)
+
+func main() {
+	backend := flag.String("backend", "all", "posix, relaxed, blob, or all")
+	clients := flag.Int("clients", 8, "concurrent client processes")
+	transfer := flag.Int("transfer", 64<<10, "bytes per I/O call")
+	block := flag.Int("block", 1<<20, "contiguous bytes per client per segment")
+	segments := flag.Int("segments", 4, "segment count")
+	shared := flag.Bool("shared", false, "one shared file instead of file-per-process")
+	noread := flag.Bool("noread", false, "skip the verified read-back phase")
+	flag.Parse()
+
+	params := ior.Params{
+		Clients:      *clients,
+		TransferSize: *transfer,
+		BlockSize:    *block,
+		Segments:     *segments,
+		SharedFile:   *shared,
+		ReadBack:     !*noread,
+	}
+
+	backends := []string{*backend}
+	if *backend == "all" {
+		backends = []string{"posix", "relaxed", "blob"}
+	}
+	for _, name := range backends {
+		fs, err := newBackend(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iorbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := fs.Mkdir(storage.NewContext(), "/ior"); err != nil {
+			fmt.Fprintf(os.Stderr, "iorbench: mkdir /ior on %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		res, err := ior.Run(fs, params)
+		if err != nil {
+			// Semantic envelope misses (e.g. shared-file on relaxedfs) are
+			// findings, not failures, when sweeping all backends.
+			if *backend == "all" {
+				fmt.Printf("%-8s %s\n", name+":", "unsupported: "+err.Error())
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "iorbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %s\n", name+":", res)
+	}
+}
+
+func newBackend(kind string) (storage.FileSystem, error) {
+	c := cluster.New(cluster.Config{Nodes: 9, Seed: 1})
+	switch kind {
+	case "posix":
+		return posixfs.NewStrict(c), nil
+	case "relaxed":
+		return relaxedfs.New(c, relaxedfs.Config{BlockSize: 4 << 20}), nil
+	case "blob":
+		return blobfs.New(blob.New(c, blob.Config{ChunkSize: 4 << 20, Replication: 1})), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q", kind)
+	}
+}

@@ -1,0 +1,148 @@
+// Command tracer runs one of the paper's nine applications under the
+// storage-call interceptor against a chosen backend and prints its census —
+// the per-application view behind Figures 1–2 and Table I.
+//
+// Usage:
+//
+//	tracer -app BLAST [-backend posix|relaxed|blob] [-factor N]
+//	tracer -list
+//
+// HPC applications (BLAST, MOM, EH, "EH / MPI", RT) default to the posix
+// backend; Spark applications (Sort, CC, Grep, DT, Tokenizer) default to
+// relaxed. Any application can be pointed at the blob backend to see the
+// Section III mapping in action.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/sparksim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "", "application name (see -list)")
+	backend := flag.String("backend", "", "posix, relaxed, or blob (default: the app's native side)")
+	factor := flag.Int64("factor", 1024, "divide the paper's byte volumes by this factor")
+	chunk := flag.Int("chunk", 4096, "per-call I/O unit in bytes")
+	list := flag.Bool("list", false, "list application names and exit")
+	asJSON := flag.Bool("json", false, "emit the census as JSON")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("HPC / MPI:    BLAST, MOM, EH, \"EH / MPI\", RT")
+		fmt.Println("Cloud / Spark: Sort, CC, Grep, DT, Tokenizer")
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "tracer: -app is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := workloads.Config{Factor: *factor, Chunk: *chunk}.WithDefaults()
+	census, err := runApp(*app, *backend, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		raw, err := census.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracer: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+
+	fmt.Printf("application: %s\n\n", *app)
+	fmt.Printf("%-24s %12d\n", "total calls", census.TotalCalls())
+	for k := 0; k < storage.NumCallKinds; k++ {
+		kind := storage.CallKind(k)
+		fmt.Printf("%-24s %12d (%6.2f%%)\n", kind, census.KindCount(kind), census.Percent(kind))
+	}
+	fmt.Printf("\n%-24s %12d\n", "bytes read", census.BytesRead())
+	fmt.Printf("%-24s %12d\n", "bytes written", census.BytesWritten())
+	fmt.Printf("%-24s %12.2f\n", "R/W ratio", census.RWRatio())
+	fmt.Printf("%-24s %12s\n", "profile", census.Profile())
+
+	m := core.Mapping(census)
+	fmt.Printf("\nblob-primitive mapping: %d direct, %d emulated (%.2f%% direct)\n",
+		m.DirectCalls, m.EmulatedCalls, m.DirectPercent)
+	fmt.Println("\nper-operation counts:")
+	for _, op := range census.Ops() {
+		fmt.Printf("  %-12s %10d\n", op, census.OpCount(op))
+	}
+}
+
+func newBackend(kind string) (storage.FileSystem, error) {
+	c := cluster.New(cluster.Config{Nodes: 9, Seed: 1})
+	switch kind {
+	case "posix":
+		return posixfs.NewStrict(c), nil
+	case "relaxed":
+		return relaxedfs.New(c, relaxedfs.Config{BlockSize: 4 << 20}), nil
+	case "blob":
+		return blobfs.New(blob.New(c, blob.Config{ChunkSize: 4 << 20, Replication: 3})), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q", kind)
+	}
+}
+
+func runApp(name, backend string, cfg workloads.Config) (*trace.Census, error) {
+	if hpc, err := workloads.HPCAppByName(name); err == nil {
+		if backend == "" {
+			backend = "posix"
+		}
+		fs, err := newBackend(backend)
+		if err != nil {
+			return nil, err
+		}
+		if err := hpc.Setup(fs, cfg); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+		census := trace.NewCensus()
+		if err := hpc.Run(trace.Wrap(fs, census), cfg); err != nil {
+			return nil, fmt.Errorf("run: %w", err)
+		}
+		return census, nil
+	}
+
+	spark, err := workloads.SparkAppByName(cfg, name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown application %q", name)
+	}
+	if backend == "" {
+		backend = "relaxed"
+	}
+	fs, err := newBackend(backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := workloads.SetupSparkEnv(fs); err != nil {
+		return nil, err
+	}
+	if err := workloads.SetupSparkApp(fs, spark); err != nil {
+		return nil, err
+	}
+	census := trace.NewCensus()
+	census.MarkInputDir(spark.App.InputDir)
+	engine := sparksim.NewEngine(trace.Wrap(fs, census), cfg.Executors)
+	engine.SetChunkSize(cfg.Chunk)
+	if _, err := workloads.RunSpark(engine, storage.NewContext(), spark); err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	return census, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/workloads"
+)
+
+func fastCfg() workloads.Config {
+	return workloads.Config{Factor: 1 << 16, Chunk: 512, Ranks: 4, Executors: 2}.WithDefaults()
+}
+
+func TestRunAppHPCDefaultsToPosix(t *testing.T) {
+	census, err := runApp("BLAST", "", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.TotalCalls() == 0 {
+		t.Fatal("no calls recorded")
+	}
+	if census.Profile() != "Read-intensive" {
+		t.Fatalf("BLAST profile = %q", census.Profile())
+	}
+}
+
+func TestRunAppSparkDefaultsToRelaxed(t *testing.T) {
+	census, err := runApp("Grep", "", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if census.OpendirInput() != 1 {
+		t.Fatalf("input listings = %d", census.OpendirInput())
+	}
+	if census.Profile() != "Read-intensive" {
+		t.Fatalf("Grep profile = %q", census.Profile())
+	}
+}
+
+func TestRunAppOnBlobBackend(t *testing.T) {
+	for _, app := range []string{"EH / MPI", "Sort"} {
+		census, err := runApp(app, "blob", fastCfg())
+		if err != nil {
+			t.Fatalf("%s on blob: %v", app, err)
+		}
+		if census.TotalCalls() == 0 {
+			t.Fatalf("%s on blob recorded nothing", app)
+		}
+	}
+}
+
+func TestRunAppUnknown(t *testing.T) {
+	if _, err := runApp("NotAnApp", "", fastCfg()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := runApp("Sort", "bogus-backend", fastCfg()); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestNewBackendKinds(t *testing.T) {
+	for _, kind := range []string{"posix", "relaxed", "blob"} {
+		fs, err := newBackend(kind)
+		if err != nil || fs == nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		// Minimal smoke: the backend accepts a root mkdir or reports a
+		// sensible error class.
+		ctx := storage.NewContext()
+		if err := fs.Mkdir(ctx, "/smoke"); err != nil {
+			t.Fatalf("%s mkdir: %v", kind, err)
+		}
+	}
+	if _, err := newBackend("nope"); err == nil {
+		t.Fatal("invalid backend accepted")
+	}
+}

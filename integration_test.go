@@ -1,0 +1,334 @@
+// Cross-module integration tests: full pipelines that exercise several
+// subsystems together, the way cmd/benchsuite and the examples do.
+package repro
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/h5"
+	"repro/internal/kvstore"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/sim"
+	"repro/internal/sparksim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/tsdb"
+	"repro/internal/workloads"
+)
+
+// TestHPCPipelineOnBothStacks runs a real MPI-IO workload (BLAST) against
+// the POSIX baseline and against the blob-backed converged stack, asserting
+// identical call censuses — the application cannot tell the difference.
+func TestHPCPipelineOnBothStacks(t *testing.T) {
+	cfg := workloads.Config{Factor: 1 << 16, Chunk: 512, Ranks: 4}
+	app, err := workloads.HPCAppByName("BLAST")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(fs storage.FileSystem) *trace.Census {
+		if err := app.Setup(fs, cfg); err != nil {
+			t.Fatal(err)
+		}
+		census := trace.NewCensus()
+		if err := app.Run(trace.Wrap(fs, census), cfg); err != nil {
+			t.Fatal(err)
+		}
+		return census
+	}
+
+	posixCensus := run(newPosixStack())
+	blobCensus := run(core.New(core.Options{Nodes: 9}).POSIX())
+
+	if posixCensus.TotalCalls() != blobCensus.TotalCalls() {
+		t.Fatalf("call counts differ: posix %d vs blob %d",
+			posixCensus.TotalCalls(), blobCensus.TotalCalls())
+	}
+	if posixCensus.BytesRead() != blobCensus.BytesRead() ||
+		posixCensus.BytesWritten() != blobCensus.BytesWritten() {
+		t.Fatalf("volumes differ: posix %d/%d vs blob %d/%d",
+			posixCensus.BytesRead(), posixCensus.BytesWritten(),
+			blobCensus.BytesRead(), blobCensus.BytesWritten())
+	}
+}
+
+func newPosixStack() storage.FileSystem {
+	return posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: 1}))
+}
+
+// TestSparkJobOnConvergedStack runs a Spark application end to end on
+// blobfs and checks the committed output files in the underlying blob
+// namespace.
+func TestSparkJobOnConvergedStack(t *testing.T) {
+	cfg := workloads.Config{Factor: 1 << 16, Chunk: 512, Executors: 2}
+	platform := core.New(core.Options{Nodes: 9})
+	fs := platform.POSIX()
+
+	app, err := workloads.SparkAppByName(cfg, "Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.SetupSparkEnv(fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.SetupSparkApp(fs, app); err != nil {
+		t.Fatal(err)
+	}
+	engine := sparksim.NewEngine(fs, cfg.Executors)
+	engine.SetChunkSize(cfg.Chunk)
+	res, err := workloads.RunSpark(engine, storage.NewContext(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesWritten == 0 {
+		t.Fatal("no output written")
+	}
+	// The part files are plain blobs in the flat namespace.
+	ctx := platform.NewContext()
+	infos, err := platform.Blob().Scan(ctx, "output/Sort/part-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != app.App.OutputTasks {
+		t.Fatalf("found %d part blobs, want %d", len(infos), app.App.OutputTasks)
+	}
+}
+
+// TestMixedWorkloadSharedPlatform runs an MPI checkpoint writer, a KV
+// service and a TSDB feed concurrently against ONE blob store — the
+// converged multi-tenant scenario the paper's title asks about.
+func TestMixedWorkloadSharedPlatform(t *testing.T) {
+	platform := core.New(core.Options{Nodes: 8, Seed: 9})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+
+	// Tenant 1: MPI application checkpointing through mpiio on blobfs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fs := platform.POSIX()
+		errs := mpi.Run(4, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+			f, err := mpiio.Open(r, fs, "/tenant1.ckpt", true, mpiio.Options{})
+			if err != nil {
+				return err
+			}
+			payload := bytes.Repeat([]byte{byte(r.ID + 1)}, 4096)
+			if _, err := f.WriteAt(int64(r.ID)*4096, payload); err != nil {
+				return err
+			}
+			return f.Close()
+		})
+		if err := mpi.FirstError(errs); err != nil {
+			errCh <- fmt.Errorf("tenant1: %w", err)
+		}
+	}()
+
+	// Tenant 2: KV store traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := storage.NewContext()
+		kv, err := platform.KV(ctx, "tenant2", 4)
+		if err != nil {
+			errCh <- fmt.Errorf("tenant2: %w", err)
+			return
+		}
+		for i := 0; i < 100; i++ {
+			if err := kv.Put(ctx, fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+				errCh <- fmt.Errorf("tenant2 put: %w", err)
+				return
+			}
+		}
+		for i := 0; i < 100; i += 7 {
+			v, err := kv.Get(ctx, fmt.Sprintf("key-%d", i))
+			if err != nil || string(v) != fmt.Sprintf("value-%d", i) {
+				errCh <- fmt.Errorf("tenant2 get %d: (%q, %v)", i, v, err)
+				return
+			}
+		}
+	}()
+
+	// Tenant 3: metrics feed into the TSDB.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := storage.NewContext()
+		db, err := platform.TSDB("tenant3", time.Hour)
+		if err != nil {
+			errCh <- fmt.Errorf("tenant3: %w", err)
+			return
+		}
+		t0 := time.Date(2017, 9, 5, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 200; i++ {
+			if err := db.Append(ctx, "iops", tsdb.Point{T: t0.Add(time.Duration(i) * time.Second), V: float64(i)}); err != nil {
+				errCh <- fmt.Errorf("tenant3 append: %w", err)
+				return
+			}
+		}
+		pts, err := db.Query(ctx, "iops", t0, t0.Add(time.Hour))
+		if err != nil || len(pts) != 200 {
+			errCh <- fmt.Errorf("tenant3 query: (%d, %v)", len(pts), err)
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if msg := platform.BlobStore().CheckInvariants(); msg != "" {
+		t.Fatalf("shared platform invariants: %s", msg)
+	}
+}
+
+// TestCheckpointSurvivesNodeCrash combines mpiio checkpointing, failure
+// injection and WAL recovery: after a node crash and recovery, the
+// checkpoint restores bit-for-bit.
+func TestCheckpointSurvivesNodeCrash(t *testing.T) {
+	platform := core.New(core.Options{Nodes: 6, Blob: blob.Config{ChunkSize: 4096, Replication: 3}})
+	store := platform.BlobStore()
+	ctx := platform.NewContext()
+
+	if err := store.CreateBlob(ctx, "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	state := bytes.Repeat([]byte("checkpoint-payload."), 1000)
+	if _, err := store.WriteBlob(ctx, "ckpt", 0, state); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash two nodes, recover them from their WALs.
+	for _, node := range []cluster.NodeID{1, 4} {
+		store.Crash(node)
+	}
+	for _, node := range []cluster.NodeID{1, 4} {
+		if err := store.Recover(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(state))
+	n, err := store.ReadBlob(ctx, "ckpt", 0, got)
+	if err != nil || n != len(state) || !bytes.Equal(got, state) {
+		t.Fatalf("restore after crash: (%d, %v)", n, err)
+	}
+}
+
+// TestH5OverTracedBlobStack pushes the full HPC I/O stack through the
+// converged storage: h5 -> mpiio -> tracer -> blobfs -> blob store.
+func TestH5OverTracedBlobStack(t *testing.T) {
+	platform := core.New(core.Options{Nodes: 8})
+	fs, census := platform.TracedPOSIX()
+	errs := mpi.Run(4, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := h5.Create(r, fs, "/climate.h5")
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("salinity", h5.Float64, []int64{4, 128})
+		if err != nil {
+			return err
+		}
+		row := make([]float64, 128)
+		for i := range row {
+			row[i] = float64(r.ID*1000 + i)
+		}
+		if err := ds.WriteFloat64([]int64{int64(r.ID), 0}, []int64{1, 128}, row); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	// Full-stack Figure 1 property.
+	if got := census.KindCount(storage.CallDirOp); got != 0 {
+		t.Fatalf("full stack issued %d directory ops", got)
+	}
+	// Read back through a fresh rank group.
+	errs = mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := h5.Open(r, fs, "/climate.h5")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err := f.Dataset("salinity")
+		if err != nil {
+			return err
+		}
+		got := make([]float64, 128)
+		if err := ds.ReadFloat64([]int64{2, 0}, []int64{1, 128}, got); err != nil {
+			return err
+		}
+		if got[5] != 2005 {
+			return fmt.Errorf("rank 2 row element 5 = %v", got[5])
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKVStoreOnRebalancedCluster verifies a KV tenant keeps working across
+// server join/drain churn.
+func TestKVStoreOnRebalancedCluster(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 6, Seed: 11})
+	store := blob.NewOnNodes(c, blob.Config{ChunkSize: 256, Replication: 2},
+		[]cluster.NodeID{0, 1, 2, 3})
+	ctx := storage.NewContext()
+	kv, err := kvstore.Open(ctx, store, "churn-kv", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := kv.Put(ctx, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.AddServer(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RemoveServer(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		v, err := kv.Get(ctx, fmt.Sprintf("k%d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d after churn: (%q, %v)", i, v, err)
+		}
+	}
+	// And writes keep working.
+	if err := kv.Put(ctx, "post-churn", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelaxedFSRejectsHPCWorkload documents why HDFS-like storage cannot
+// host the HPC side unchanged (random writes), motivating blobs as the
+// converged layer rather than HDFS.
+func TestRelaxedFSRejectsHPCWorkload(t *testing.T) {
+	fs := relaxedfs.New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), relaxedfs.Config{})
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/model.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	if _, err := h.WriteAt(ctx, 0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// A strided checkpoint write (rank 2's slab) is a random write.
+	if _, err := h.WriteAt(ctx, 1000, make([]byte, 100)); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("relaxedfs accepted a random write: %v", err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package adios implements an ADIOS-style step-based parallel output
+// library — the second intermediate library the paper's Section II-A
+// names ("HDF5 or ADIOS") — over the MPI and file layers.
+//
+// The design follows the BP subfiling model:
+//
+//   - output is organized in steps; within a step every rank Puts local
+//     blocks of globally decomposed variables;
+//   - ranks are grouped under aggregators; at EndStep each rank ships its
+//     blocks to its aggregator over MPI point-to-point messages, and only
+//     aggregators touch storage, each appending to its own subfile — N
+//     writers become A file streams, the I/O-aggregation idea that makes
+//     ADIOS scale;
+//   - a metadata index (variable name, step, writer, global offsets,
+//     subfile, file offset) is gathered to rank 0 and written at Close.
+//
+// Real BP output is a directory; to stay flat-namespace friendly this
+// implementation uses a name prefix instead (<path>.data.N, <path>.md),
+// which also means the library issues no directory operations — the
+// Figure 1 property holds through this layer too.
+package adios
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/storage"
+)
+
+// BlockMeta locates one written block.
+type BlockMeta struct {
+	Var     string
+	Step    int
+	Writer  int
+	Dims    []int64 // local block dimensions
+	Offsets []int64 // position of the block in the global array
+	Subfile int
+	FileOff int64
+	Bytes   int64
+}
+
+// index is the gob-encoded table of contents.
+type index struct {
+	Aggregators int
+	Steps       int
+	Blocks      []BlockMeta
+}
+
+// Writer is the per-rank writing handle.
+type Writer struct {
+	rank        *mpi.Rank
+	fs          storage.FileSystem
+	path        string
+	aggregators int
+	groupSize   int
+
+	step    int
+	inStep  bool
+	pending []pendingBlock // this rank's blocks for the current step
+
+	// Aggregator-only state.
+	sub    *mpiio.File
+	subOff int64
+	// blocks collected on rank 0 across all steps.
+	collected []BlockMeta
+	closed    bool
+}
+
+type pendingBlock struct {
+	meta BlockMeta
+	data []byte
+}
+
+// OpenWriter creates an ADIOS output collectively. aggregators must divide
+// into the communicator reasonably; it is clamped to [1, size].
+func OpenWriter(r *mpi.Rank, fs storage.FileSystem, path string, aggregators int) (*Writer, error) {
+	if aggregators < 1 {
+		aggregators = 1
+	}
+	if aggregators > r.Size() {
+		aggregators = r.Size()
+	}
+	w := &Writer{
+		rank:        r,
+		fs:          fs,
+		path:        path,
+		aggregators: aggregators,
+		groupSize:   (r.Size() + aggregators - 1) / aggregators,
+	}
+	if w.isAggregator() {
+		sub, err := mpiio.Open(r, fs, w.subfilePath(w.aggregatorID()), false, mpiio.Options{})
+		// The subfile does not exist yet: create it. mpiio's create mode
+		// is collective on rank 0, so aggregators create their own files
+		// directly through the fs.
+		if err != nil {
+			h, cerr := fs.Create(r.Ctx, w.subfilePath(w.aggregatorID()))
+			if cerr != nil {
+				return nil, fmt.Errorf("adios: subfile: %w", cerr)
+			}
+			if cerr := h.Close(r.Ctx); cerr != nil {
+				return nil, cerr
+			}
+			sub, err = mpiio.Open(r, fs, w.subfilePath(w.aggregatorID()), false, mpiio.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("adios: reopen subfile: %w", err)
+			}
+		}
+		w.sub = sub
+	}
+	// Non-aggregators open nothing: subfiles are per-aggregator. Everyone
+	// synchronizes before the first step.
+	r.Barrier()
+	return w, nil
+}
+
+func (w *Writer) isAggregator() bool { return w.rank.ID%w.groupSize == 0 }
+func (w *Writer) aggregatorID() int  { return w.rank.ID / w.groupSize }
+func (w *Writer) myAggregator() int  { return (w.rank.ID / w.groupSize) * w.groupSize }
+
+func (w *Writer) subfilePath(agg int) string {
+	return fmt.Sprintf("%s.data.%d", w.path, agg)
+}
+func (w *Writer) indexPath() string { return w.path + ".md" }
+
+// BeginStep opens a new output step. Collective.
+func (w *Writer) BeginStep() error {
+	if w.closed {
+		return storage.ErrClosed
+	}
+	if w.inStep {
+		return fmt.Errorf("adios: step %d still open: %w", w.step, storage.ErrInvalidArg)
+	}
+	w.inStep = true
+	return nil
+}
+
+// PutFloat64 stages a local block of a global float64 array.
+func (w *Writer) PutFloat64(name string, dims, offsets []int64, data []float64) error {
+	if w.closed {
+		return storage.ErrClosed
+	}
+	if !w.inStep {
+		return fmt.Errorf("adios: Put outside a step: %w", storage.ErrInvalidArg)
+	}
+	if name == "" || len(dims) == 0 || len(dims) != len(offsets) {
+		return fmt.Errorf("adios: variable %q dims/offsets: %w", name, storage.ErrInvalidArg)
+	}
+	elems := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("adios: variable %q dim %d: %w", name, d, storage.ErrInvalidArg)
+		}
+		elems *= d
+	}
+	if int64(len(data)) != elems {
+		return fmt.Errorf("adios: variable %q: %d elements for dims %v: %w",
+			name, len(data), dims, storage.ErrInvalidArg)
+	}
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	w.pending = append(w.pending, pendingBlock{
+		meta: BlockMeta{
+			Var:     name,
+			Step:    w.step,
+			Writer:  w.rank.ID,
+			Dims:    append([]int64(nil), dims...),
+			Offsets: append([]int64(nil), offsets...),
+			Bytes:   int64(len(raw)),
+		},
+		data: raw,
+	})
+	return nil
+}
+
+// stepTag namespaces point-to-point messages per step.
+func stepTag(step int) int { return 1000 + step }
+
+// EndStep ships the step's blocks to the aggregators, which append them to
+// their subfiles; block locations are AllGathered so rank 0 accumulates
+// the index. Collective.
+func (w *Writer) EndStep() error {
+	if w.closed {
+		return storage.ErrClosed
+	}
+	if !w.inStep {
+		return fmt.Errorf("adios: EndStep outside a step: %w", storage.ErrInvalidArg)
+	}
+
+	var located []BlockMeta
+	if w.isAggregator() {
+		// Gather group members' blocks (including my own), append in rank
+		// order for determinism.
+		groupBlocks := map[int][]pendingBlock{w.rank.ID: w.pending}
+		for member := w.rank.ID + 1; member < w.rank.ID+w.groupSize && member < w.rank.Size(); member++ {
+			raw := w.rank.Recv(member, stepTag(w.step))
+			blocks, err := decodeBlocks(raw)
+			if err != nil {
+				return fmt.Errorf("adios: from rank %d: %w", member, err)
+			}
+			groupBlocks[member] = blocks
+		}
+		members := make([]int, 0, len(groupBlocks))
+		for m := range groupBlocks {
+			members = append(members, m)
+		}
+		sort.Ints(members)
+		for _, m := range members {
+			for _, b := range groupBlocks[m] {
+				b.meta.Subfile = w.aggregatorID()
+				b.meta.FileOff = w.subOff
+				if _, err := w.sub.WriteAt(w.subOff, b.data); err != nil {
+					return fmt.Errorf("adios: subfile append: %w", err)
+				}
+				w.subOff += int64(len(b.data))
+				located = append(located, b.meta)
+			}
+		}
+		if err := w.sub.Sync(); err != nil {
+			return err
+		}
+	} else {
+		w.rank.Send(w.myAggregator(), stepTag(w.step), encodeBlocks(w.pending))
+	}
+	w.pending = nil
+
+	// Index exchange: aggregators contribute their located metadata.
+	payload := encodeMeta(located)
+	all := w.rank.AllGather(payload)
+	if w.rank.ID == 0 {
+		for _, p := range all {
+			metas, err := decodeMeta(p)
+			if err != nil {
+				return err
+			}
+			w.collected = append(w.collected, metas...)
+		}
+	}
+	w.step++
+	w.inStep = false
+	return nil
+}
+
+// Close finishes the output: aggregators close their subfiles, rank 0
+// writes the metadata index. Collective.
+func (w *Writer) Close() error {
+	if w.closed {
+		return storage.ErrClosed
+	}
+	if w.inStep {
+		return fmt.Errorf("adios: close inside step %d: %w", w.step, storage.ErrInvalidArg)
+	}
+	w.closed = true
+	// mpiio.Close is collective (it barriers); non-aggregators must match
+	// that rendezvous explicitly so every rank performs the same number of
+	// collectives.
+	if w.sub != nil {
+		if err := w.sub.Close(); err != nil {
+			return err
+		}
+	} else {
+		w.rank.Barrier()
+	}
+	w.rank.Barrier()
+	if w.rank.ID == 0 {
+		var buf bytes.Buffer
+		idx := index{Aggregators: w.aggregators, Steps: w.step, Blocks: w.collected}
+		if err := gob.NewEncoder(&buf).Encode(&idx); err != nil {
+			return fmt.Errorf("adios: encode index: %w", err)
+		}
+		h, err := w.fs.Create(w.rank.Ctx, w.indexPath())
+		if err != nil {
+			return fmt.Errorf("adios: index: %w", err)
+		}
+		if _, err := h.WriteAt(w.rank.Ctx, 0, buf.Bytes()); err != nil {
+			h.Close(w.rank.Ctx)
+			return err
+		}
+		if err := h.Sync(w.rank.Ctx); err != nil {
+			h.Close(w.rank.Ctx)
+			return err
+		}
+		if err := h.Close(w.rank.Ctx); err != nil {
+			return err
+		}
+	}
+	w.rank.Barrier()
+	return nil
+}
+
+// block wire encoding (rank -> aggregator): gob of []wireBlock.
+type wireBlock struct {
+	Meta BlockMeta
+	Data []byte
+}
+
+func encodeBlocks(blocks []pendingBlock) []byte {
+	wire := make([]wireBlock, len(blocks))
+	for i, b := range blocks {
+		wire[i] = wireBlock{Meta: b.meta, Data: b.data}
+	}
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(wire)
+	return buf.Bytes()
+}
+
+func decodeBlocks(raw []byte) ([]pendingBlock, error) {
+	var wire []wireBlock
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&wire); err != nil {
+		return nil, err
+	}
+	out := make([]pendingBlock, len(wire))
+	for i, b := range wire {
+		out[i] = pendingBlock{meta: b.Meta, data: b.Data}
+	}
+	return out, nil
+}
+
+func encodeMeta(metas []BlockMeta) []byte {
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(metas)
+	return buf.Bytes()
+}
+
+func decodeMeta(raw []byte) ([]BlockMeta, error) {
+	var metas []BlockMeta
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&metas); err != nil {
+		return nil, err
+	}
+	return metas, nil
+}

@@ -1,0 +1,253 @@
+package adios
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+func posixTarget() storage.FileSystem {
+	return posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: 1}))
+}
+
+func blobTarget() storage.FileSystem {
+	c := cluster.New(cluster.Config{Nodes: 9, Seed: 1})
+	return blobfs.New(blob.New(c, blob.Config{ChunkSize: 1 << 20, Replication: 2}))
+}
+
+// writeRun produces `steps` steps of a 1D variable decomposed across the
+// communicator, with aggregation factor agg.
+func writeRun(t *testing.T, fs storage.FileSystem, ranks, agg, steps int) {
+	t.Helper()
+	errs := mpi.Run(ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		w, err := OpenWriter(r, fs, "/run.bp", agg)
+		if err != nil {
+			return err
+		}
+		const perRank = 64
+		for step := 0; step < steps; step++ {
+			if err := w.BeginStep(); err != nil {
+				return err
+			}
+			local := make([]float64, perRank)
+			for i := range local {
+				local[i] = float64(step*1_000_000 + r.ID*1000 + i)
+			}
+			if err := w.PutFloat64("field", []int64{perRank}, []int64{int64(r.ID * perRank)}, local); err != nil {
+				return err
+			}
+			if err := w.EndStep(); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := posixTarget()
+	writeRun(t, fs, 4, 2, 3)
+
+	ctx := storage.NewContext()
+	r, err := OpenReader(ctx, fs, "/run.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 3 {
+		t.Fatalf("Steps = %d", r.Steps())
+	}
+	if vars := r.Variables(); len(vars) != 1 || vars[0] != "field" {
+		t.Fatalf("Variables = %v", vars)
+	}
+	for step := 0; step < 3; step++ {
+		global, err := r.ReadGlobal1D(ctx, "field", step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(global) != 4*64 {
+			t.Fatalf("step %d: global length %d", step, len(global))
+		}
+		for rank := 0; rank < 4; rank++ {
+			for i := 0; i < 64; i++ {
+				want := float64(step*1_000_000 + rank*1000 + i)
+				if got := global[rank*64+i]; got != want {
+					t.Fatalf("step %d rank %d elem %d = %v, want %v", step, rank, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksMetadata(t *testing.T) {
+	fs := posixTarget()
+	writeRun(t, fs, 4, 2, 1)
+	ctx := storage.NewContext()
+	r, err := OpenReader(ctx, fs, "/run.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := r.Blocks("field", 0)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	subfiles := map[int]bool{}
+	for i, b := range blocks {
+		if b.Writer != i {
+			t.Fatalf("blocks not writer-sorted: %v", blocks)
+		}
+		if b.Offsets[0] != int64(i*64) {
+			t.Fatalf("block %d global offset = %d", i, b.Offsets[0])
+		}
+		subfiles[b.Subfile] = true
+	}
+	// 4 ranks over 2 aggregators -> exactly 2 subfiles used.
+	if len(subfiles) != 2 {
+		t.Fatalf("subfiles used = %v, want 2 aggregators", subfiles)
+	}
+	// Individual block read.
+	data, err := r.ReadBlock(ctx, blocks[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[5] != float64(2*1000+5) {
+		t.Fatalf("block payload = %v", data[5])
+	}
+}
+
+func TestAggregationReducesFileStreams(t *testing.T) {
+	// With 8 ranks and 2 aggregators, only 2 data subfiles (plus the
+	// index) may exist — the whole point of staged aggregation.
+	fs := posixTarget()
+	writeRun(t, fs, 8, 2, 1)
+	ctx := storage.NewContext()
+	entries, err := fs.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dataFiles, mdFiles int
+	for _, e := range entries {
+		switch {
+		case len(e.Name) > 8 && e.Name[:8] == "run.bp.d":
+			dataFiles++
+		case e.Name == "run.bp.md":
+			mdFiles++
+		}
+	}
+	if dataFiles != 2 {
+		t.Fatalf("data subfiles = %d, want 2", dataFiles)
+	}
+	if mdFiles != 1 {
+		t.Fatalf("index files = %d", mdFiles)
+	}
+}
+
+func TestSingleAggregatorAndFullFanout(t *testing.T) {
+	for _, agg := range []int{1, 4} {
+		fs := posixTarget()
+		writeRun(t, fs, 4, agg, 2)
+		ctx := storage.NewContext()
+		r, err := OpenReader(ctx, fs, "/run.bp")
+		if err != nil {
+			t.Fatalf("agg=%d: %v", agg, err)
+		}
+		global, err := r.ReadGlobal1D(ctx, "field", 1)
+		if err != nil || len(global) != 256 {
+			t.Fatalf("agg=%d: (%d, %v)", agg, len(global), err)
+		}
+	}
+}
+
+func TestStepProtocolErrors(t *testing.T) {
+	fs := posixTarget()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		w, err := OpenWriter(r, fs, "/p.bp", 1)
+		if err != nil {
+			return err
+		}
+		if err := w.PutFloat64("v", []int64{1}, []int64{0}, []float64{1}); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("Put outside step: %v", err)
+		}
+		if err := w.EndStep(); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("EndStep outside step: %v", err)
+		}
+		if err := w.BeginStep(); err != nil {
+			return err
+		}
+		if err := w.BeginStep(); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("nested BeginStep: %v", err)
+		}
+		if err := w.Close(); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("Close inside step: %v", err)
+		}
+		if err := w.PutFloat64("", []int64{1}, []int64{0}, []float64{1}); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("empty name: %v", err)
+		}
+		if err := w.PutFloat64("v", []int64{2}, []int64{0}, []float64{1}); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("length mismatch: %v", err)
+		}
+		if err := w.EndStep(); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	fs := posixTarget()
+	ctx := storage.NewContext()
+	if _, err := OpenReader(ctx, fs, "/absent.bp"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing output: %v", err)
+	}
+	writeRun(t, fs, 2, 1, 1)
+	r, err := OpenReader(ctx, fs, "/run.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadGlobal1D(ctx, "nope", 0); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("unknown variable: %v", err)
+	}
+	if _, err := r.ReadGlobal1D(ctx, "field", 9); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("unknown step: %v", err)
+	}
+}
+
+func TestNoDirectoryOpsThroughAdios(t *testing.T) {
+	census := trace.NewCensus()
+	fs := trace.Wrap(posixTarget(), census)
+	writeRun(t, fs, 4, 2, 2)
+	if got := census.KindCount(storage.CallDirOp); got != 0 {
+		t.Fatalf("adios issued %d directory operations", got)
+	}
+}
+
+func TestAdiosOnBlobStorage(t *testing.T) {
+	fs := blobTarget()
+	writeRun(t, fs, 4, 2, 2)
+	ctx := storage.NewContext()
+	r, err := OpenReader(ctx, fs, "/run.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := r.ReadGlobal1D(ctx, "field", 1)
+	if err != nil || len(global) != 256 {
+		t.Fatalf("(%d, %v)", len(global), err)
+	}
+	if global[100] != float64(1_000_000+1000+36) {
+		t.Fatalf("element 100 = %v", global[100])
+	}
+}

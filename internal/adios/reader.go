@@ -1,0 +1,122 @@
+package adios
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Reader opens a finished ADIOS output for analysis. Readers are plain
+// clients (no communicator needed): they read the index once, then fetch
+// block data from the subfiles on demand.
+type Reader struct {
+	fs   storage.FileSystem
+	path string
+	idx  index
+}
+
+// OpenReader loads the output's metadata index.
+func OpenReader(ctx *storage.Context, fs storage.FileSystem, path string) (*Reader, error) {
+	r := &Reader{fs: fs, path: path}
+	h, err := fs.Open(ctx, path+".md")
+	if err != nil {
+		return nil, fmt.Errorf("adios: open index: %w", err)
+	}
+	defer h.Close(ctx)
+	info, err := fs.Stat(ctx, path+".md")
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, info.Size)
+	if _, err := h.ReadAt(ctx, 0, raw); err != nil {
+		return nil, fmt.Errorf("adios: read index: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&r.idx); err != nil {
+		return nil, fmt.Errorf("adios: decode index: %w", err)
+	}
+	return r, nil
+}
+
+// Steps returns the number of completed steps.
+func (r *Reader) Steps() int { return r.idx.Steps }
+
+// Variables lists variable names, sorted.
+func (r *Reader) Variables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range r.idx.Blocks {
+		if !seen[b.Var] {
+			seen[b.Var] = true
+			out = append(out, b.Var)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Blocks lists the blocks of a variable at a step, sorted by writer rank.
+func (r *Reader) Blocks(name string, step int) []BlockMeta {
+	var out []BlockMeta
+	for _, b := range r.idx.Blocks {
+		if b.Var == name && b.Step == step {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Writer < out[j].Writer })
+	return out
+}
+
+// ReadBlock fetches one block's float64 payload.
+func (r *Reader) ReadBlock(ctx *storage.Context, b BlockMeta) ([]float64, error) {
+	h, err := r.fs.Open(ctx, fmt.Sprintf("%s.data.%d", r.path, b.Subfile))
+	if err != nil {
+		return nil, fmt.Errorf("adios: subfile %d: %w", b.Subfile, err)
+	}
+	defer h.Close(ctx)
+	raw := make([]byte, b.Bytes)
+	n, err := h.ReadAt(ctx, b.FileOff, raw)
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) != b.Bytes {
+		return nil, fmt.Errorf("adios: short block read %d/%d: %w", n, b.Bytes, storage.ErrStaleHandle)
+	}
+	out := make([]float64, b.Bytes/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out, nil
+}
+
+// ReadGlobal1D assembles a 1-dimensional global variable at a step from
+// all of its blocks, using each block's global offset. The global length
+// is inferred from the furthest block end.
+func (r *Reader) ReadGlobal1D(ctx *storage.Context, name string, step int) ([]float64, error) {
+	blocks := r.Blocks(name, step)
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("adios: variable %q step %d: %w", name, step, storage.ErrNotFound)
+	}
+	var total int64
+	for _, b := range blocks {
+		if len(b.Dims) != 1 {
+			return nil, fmt.Errorf("adios: %q is %d-dimensional: %w", name, len(b.Dims), storage.ErrInvalidArg)
+		}
+		if end := b.Offsets[0] + b.Dims[0]; end > total {
+			total = end
+		}
+	}
+	out := make([]float64, total)
+	for _, b := range blocks {
+		data, err := r.ReadBlock(ctx, b)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[b.Offsets[0]:], data)
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/sparksim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// newHPCBaseline builds the HPC-side baseline stack: a strict posixfs on a
+// fresh 8+1-node cluster (24 compute / 8 storage in the paper; the compute
+// side is the MPI ranks).
+func newHPCBaseline(seed uint64) *posixfs.FS {
+	return posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: seed}))
+}
+
+// newSparkBaseline builds the Big-Data-side baseline stack: relaxedfs with
+// a namenode plus datanodes.
+func newSparkBaseline(seed uint64) *relaxedfs.FS {
+	return relaxedfs.New(cluster.New(cluster.Config{Nodes: 9, Seed: seed}),
+		relaxedfs.Config{BlockSize: 4 << 20})
+}
+
+// runHPCApp sets up and runs one HPC application on fs under a fresh
+// tracer.
+func runHPCApp(app workloads.HPCApp, fs storage.FileSystem, cfg workloads.Config) (*trace.Census, error) {
+	if err := app.Setup(fs, cfg); err != nil {
+		return nil, fmt.Errorf("%s setup: %w", app.Name, err)
+	}
+	census := trace.NewCensus()
+	if err := app.Run(trace.Wrap(fs, census), cfg); err != nil {
+		return nil, fmt.Errorf("%s run: %w", app.Name, err)
+	}
+	return census, nil
+}
+
+// runSparkApp sets up and runs one Spark application on fs under a fresh
+// tracer (unless census is supplied for cross-application aggregation).
+func runSparkApp(app workloads.SparkApp, fs storage.FileSystem, cfg workloads.Config, census *trace.Census) (*trace.Census, error) {
+	if err := workloads.SetupSparkEnv(fs); err != nil {
+		return nil, fmt.Errorf("%s env: %w", app.Name, err)
+	}
+	if err := workloads.SetupSparkApp(fs, app); err != nil {
+		return nil, fmt.Errorf("%s setup: %w", app.Name, err)
+	}
+	if census == nil {
+		census = trace.NewCensus()
+	}
+	census.MarkInputDir(app.App.InputDir)
+	engine := sparksim.NewEngine(trace.Wrap(fs, census), cfg.Executors)
+	engine.SetChunkSize(cfg.Chunk)
+	if _, err := workloads.RunSpark(engine, storage.NewContext(), app); err != nil {
+		return nil, fmt.Errorf("%s run: %w", app.Name, err)
+	}
+	return census, nil
+}
+
+// RunTableI reproduces Table I: all nine applications, measured volumes,
+// ratios and profile labels.
+func RunTableI(cfg workloads.Config) (*TableIResult, error) {
+	cfg = defaultConfig(cfg)
+	res := &TableIResult{Factor: cfg.Factor}
+
+	for _, app := range workloads.HPCApps() {
+		if app.Name == "EH / MPI" {
+			continue // Table I lists ECOHAM once
+		}
+		census, err := runHPCApp(app, newHPCBaseline(1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := workloads.TableIByApp(app.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIRow{
+			Platform:     ref.Platform,
+			App:          app.Name,
+			Usage:        app.Usage,
+			ReadBytes:    census.BytesRead(),
+			WriteBytes:   census.BytesWritten(),
+			Ratio:        census.RWRatio(),
+			Profile:      census.Profile(),
+			PaperProfile: ref.Profile,
+		})
+	}
+
+	for _, app := range workloads.SparkApps(cfg) {
+		census, err := runSparkApp(app, newSparkBaseline(1), cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := workloads.TableIByApp(app.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIRow{
+			Platform:     ref.Platform,
+			App:          app.Name,
+			Usage:        app.Usage,
+			ReadBytes:    census.BytesRead(),
+			WriteBytes:   census.BytesWritten(),
+			Ratio:        census.RWRatio(),
+			Profile:      census.Profile(),
+			PaperProfile: ref.Profile,
+		})
+	}
+	return res, nil
+}
+
+// RunFigure1 reproduces Figure 1: the storage-call mix of the five HPC
+// bars (BLAST, MOM, EH, EH/MPI, RT) against the POSIX parallel file
+// system.
+func RunFigure1(cfg workloads.Config) (*FigureResult, error) {
+	cfg = defaultConfig(cfg)
+	res := &FigureResult{Title: "FIGURE 1. Storage call mix, HPC applications (posixfs baseline)"}
+	for _, app := range workloads.HPCApps() {
+		census, err := runHPCApp(app, newHPCBaseline(1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Bars = append(res.Bars, barFromCensus(app.Name, census))
+	}
+	return res, nil
+}
+
+// RunFigure2 reproduces Figure 2: the storage-call mix of the five Spark
+// applications against the HDFS-like file system.
+func RunFigure2(cfg workloads.Config) (*FigureResult, error) {
+	cfg = defaultConfig(cfg)
+	res := &FigureResult{Title: "FIGURE 2. Storage call mix, Big Data applications (relaxedfs baseline)"}
+	for _, app := range workloads.SparkApps(cfg) {
+		census, err := runSparkApp(app, newSparkBaseline(1), cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Bars = append(res.Bars, barFromCensus(app.Name, census))
+	}
+	return res, nil
+}
+
+// RunTableII reproduces Table II: the directory-operation breakdown summed
+// over all five Spark applications on one shared file system.
+func RunTableII(cfg workloads.Config) (*TableIIResult, error) {
+	cfg = defaultConfig(cfg)
+	fs := newSparkBaseline(1)
+	census := trace.NewCensus()
+	for _, app := range workloads.SparkApps(cfg) {
+		if _, err := runSparkApp(app, fs, cfg, census); err != nil {
+			return nil, err
+		}
+	}
+	return &TableIIResult{
+		Mkdir:        census.OpCount(storage.OpMkdir),
+		Rmdir:        census.OpCount(storage.OpRmdir),
+		OpendirInput: census.OpendirInput(),
+		OpendirOther: census.OpendirOther(),
+	}, nil
+}
+
+// newBlobStack builds a blobfs over a blob store, the converged target.
+func newBlobStack(seed uint64) *blobfs.FS {
+	c := cluster.New(cluster.Config{Nodes: 9, Seed: seed})
+	return blobfs.New(blob.New(c, blob.Config{ChunkSize: 4 << 20, Replication: 3}))
+}
+
+// RunMapping reproduces the Section III/IV mapping argument: every
+// application runs unmodified against the blob-backed POSIX adapter, and
+// the share of calls that map directly onto blob primitives is measured.
+func RunMapping(cfg workloads.Config) (*MappingResult, error) {
+	cfg = defaultConfig(cfg)
+	res := &MappingResult{}
+
+	for _, app := range workloads.HPCApps() {
+		census, err := runHPCApp(app, newBlobStack(1), cfg)
+		row := MappingRow{App: app.Name, RunsOnBlobs: err == nil}
+		if err == nil {
+			row.TotalCalls = census.TotalCalls()
+			row.EmulatedCalls = census.UnmappableCalls()
+			row.DirectCalls = row.TotalCalls - row.EmulatedCalls
+			if row.TotalCalls > 0 {
+				row.DirectPercent = 100 * float64(row.DirectCalls) / float64(row.TotalCalls)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, app := range workloads.SparkApps(cfg) {
+		census, err := runSparkApp(app, newBlobStack(1), cfg, nil)
+		row := MappingRow{App: app.Name, RunsOnBlobs: err == nil}
+		if err == nil {
+			row.TotalCalls = census.TotalCalls()
+			row.EmulatedCalls = census.UnmappableCalls()
+			row.DirectCalls = row.TotalCalls - row.EmulatedCalls
+			if row.TotalCalls > 0 {
+				row.DirectPercent = 100 * float64(row.DirectCalls) / float64(row.TotalCalls)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

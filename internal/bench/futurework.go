@@ -1,0 +1,379 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// The Section V experiment the paper promises as future work: "demonstrate
+// factually that the gains obtained by transitioning [from] a hierarchical
+// namespace to a flat one leads to significant I/O performance
+// improvements."
+//
+// Three comparisons, posixfs (hierarchical, strict) vs blobfs-over-blob
+// (flat):
+//
+//  1. metadata sweep — create+stat+delete cycles at increasing directory
+//     depth; the hierarchy pays per-component resolution, the flat
+//     namespace a constant number of lookups;
+//  2. shared-file parallel writes — N clients write disjoint strided
+//     blocks; strict POSIX pays a lock-manager round trip per operation on
+//     one metadata server, the blob store writes straight to chunk servers
+//     (replication 1 on both sides for a like-for-like data path);
+//  3. directory listing — the one place the paper concedes the flat
+//     namespace loses: scan-based emulation examines the whole keyspace.
+
+// FutureWorkOptions sizes the experiment.
+type FutureWorkOptions struct {
+	// Files per metadata sweep (default 200).
+	Files int
+	// Depths to sweep (default 1, 2, 4, 8).
+	Depths []int
+	// Writers for the shared-file experiment (default 1, 2, 4, 8).
+	Writers []int
+	// BlocksPerWriter and BlockSize shape the shared-file writes
+	// (defaults 64 x 64 KiB).
+	BlocksPerWriter int
+	BlockSize       int
+	// ListFiles is the directory size for the listing comparison (default
+	// 256); DecoyFactor adds unrelated blobs that the flat scan must
+	// examine (default 4x).
+	ListFiles   int
+	DecoyFactor int
+}
+
+func (o FutureWorkOptions) withDefaults() FutureWorkOptions {
+	if o.Files <= 0 {
+		o.Files = 200
+	}
+	if len(o.Depths) == 0 {
+		o.Depths = []int{1, 2, 4, 8}
+	}
+	if len(o.Writers) == 0 {
+		o.Writers = []int{1, 2, 4, 8}
+	}
+	// Small blocks keep the experiment metadata-bound — the regime where
+	// the namespace design matters; large transfers are disk-bound on both
+	// sides and show nothing.
+	if o.BlocksPerWriter <= 0 {
+		o.BlocksPerWriter = 256
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4 << 10
+	}
+	if o.ListFiles <= 0 {
+		o.ListFiles = 256
+	}
+	// A listed directory is a small fraction of a real deployment's
+	// namespace; the decoys model the rest of it, which only the flat scan
+	// has to wade through.
+	if o.DecoyFactor <= 0 {
+		o.DecoyFactor = 16
+	}
+	return o
+}
+
+// MetaRow compares metadata throughput at one directory depth.
+type MetaRow struct {
+	Depth       int
+	PosixOpsSec float64
+	BlobOpsSec  float64
+	Speedup     float64
+}
+
+// WriteRow compares shared-file write throughput at one writer count.
+type WriteRow struct {
+	Writers   int
+	PosixMBps float64
+	BlobMBps  float64
+	Speedup   float64
+}
+
+// ListRow compares directory-listing cost.
+type ListRow struct {
+	Files    int
+	PosixMs  float64
+	BlobMs   float64
+	Slowdown float64 // blob / posix: > 1 means the flat namespace loses
+}
+
+// FutureWorkResult is the full Section V experiment.
+type FutureWorkResult struct {
+	Metadata    []MetaRow
+	SharedWrite []WriteRow
+	Listing     []ListRow
+}
+
+// Render prints the three comparisons.
+func (r *FutureWorkResult) Render() string {
+	var b strings.Builder
+	b.WriteString("SECTION V FUTURE-WORK EXPERIMENT: flat (blob) vs hierarchical (POSIX PFS)\n\n")
+	b.WriteString("(a) Metadata sweep: create+stat+delete cycles, ops/s by directory depth\n")
+	fmt.Fprintf(&b, "%8s %14s %14s %10s\n", "depth", "posixfs ops/s", "blob ops/s", "speedup")
+	for _, m := range r.Metadata {
+		fmt.Fprintf(&b, "%8d %14.0f %14.0f %9.2fx\n", m.Depth, m.PosixOpsSec, m.BlobOpsSec, m.Speedup)
+	}
+	b.WriteString("\n(b) Shared-file strided writes, MB/s by writer count\n")
+	fmt.Fprintf(&b, "%8s %14s %14s %10s\n", "writers", "posixfs MB/s", "blob MB/s", "speedup")
+	for _, w := range r.SharedWrite {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f %9.2fx\n", w.Writers, w.PosixMBps, w.BlobMBps, w.Speedup)
+	}
+	b.WriteString("\n(c) Directory listing (the emulation cost the paper concedes), ms per listing\n")
+	fmt.Fprintf(&b, "%8s %14s %14s %10s\n", "files", "posixfs ms", "blobfs ms", "slowdown")
+	for _, l := range r.Listing {
+		fmt.Fprintf(&b, "%8d %14.3f %14.3f %9.2fx\n", l.Files, l.PosixMs, l.BlobMs, l.Slowdown)
+	}
+	return b.String()
+}
+
+// GainsHold reports the paper's expected shape: the blob store wins every
+// metadata and shared-write configuration, with the metadata gap growing
+// with depth, while listing is allowed to lose.
+func (r *FutureWorkResult) GainsHold() bool {
+	prev := 0.0
+	for _, m := range r.Metadata {
+		if m.Speedup <= 1 || m.Speedup < prev {
+			return false
+		}
+		prev = m.Speedup
+	}
+	for _, w := range r.SharedWrite {
+		if w.Speedup <= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func newFlatStack(seed uint64) (*blob.Store, storage.FileSystem) {
+	c := cluster.New(cluster.Config{Nodes: 9, Seed: seed})
+	store := blob.New(c, blob.Config{ChunkSize: 4 << 20, Replication: 1})
+	return store, blobfs.New(store)
+}
+
+// RunFutureWork executes the Section V experiment.
+func RunFutureWork(opts FutureWorkOptions) (*FutureWorkResult, error) {
+	opts = opts.withDefaults()
+	res := &FutureWorkResult{}
+
+	// (a) Metadata sweep.
+	for _, depth := range opts.Depths {
+		posixTime, err := metaSweep(posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: 1})), depth, opts.Files)
+		if err != nil {
+			return nil, fmt.Errorf("futurework: posix meta depth %d: %w", depth, err)
+		}
+		_, flatFS := newFlatStack(1)
+		blobTime, err := metaSweep(flatFS, depth, opts.Files)
+		if err != nil {
+			return nil, fmt.Errorf("futurework: blob meta depth %d: %w", depth, err)
+		}
+		ops := float64(3 * opts.Files)
+		row := MetaRow{
+			Depth:       depth,
+			PosixOpsSec: ops / posixTime.Seconds(),
+			BlobOpsSec:  ops / blobTime.Seconds(),
+		}
+		row.Speedup = row.BlobOpsSec / row.PosixOpsSec
+		res.Metadata = append(res.Metadata, row)
+	}
+
+	// (b) Shared-file strided writes.
+	for _, writers := range opts.Writers {
+		posixTime, err := sharedWritePosix(writers, opts)
+		if err != nil {
+			return nil, fmt.Errorf("futurework: posix write x%d: %w", writers, err)
+		}
+		blobTime, err := sharedWriteBlob(writers, opts)
+		if err != nil {
+			return nil, fmt.Errorf("futurework: blob write x%d: %w", writers, err)
+		}
+		bytes := int64(writers * opts.BlocksPerWriter * opts.BlockSize)
+		row := WriteRow{
+			Writers:   writers,
+			PosixMBps: metrics.Throughput(bytes, posixTime),
+			BlobMBps:  metrics.Throughput(bytes, blobTime),
+		}
+		row.Speedup = row.BlobMBps / row.PosixMBps
+		res.SharedWrite = append(res.SharedWrite, row)
+	}
+
+	// (c) Directory listing.
+	posixList, err := listSweep(posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: 1})), opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("futurework: posix list: %w", err)
+	}
+	_, flatFS := newFlatStack(1)
+	blobList, err := listSweep(flatFS, opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("futurework: blob list: %w", err)
+	}
+	res.Listing = append(res.Listing, ListRow{
+		Files:    opts.ListFiles,
+		PosixMs:  float64(posixList.Microseconds()) / 1000,
+		BlobMs:   float64(blobList.Microseconds()) / 1000,
+		Slowdown: float64(blobList) / float64(posixList),
+	})
+	return res, nil
+}
+
+// metaSweep runs create+stat+delete cycles for files at the given
+// directory depth and returns the virtual time consumed.
+func metaSweep(fs storage.FileSystem, depth, files int) (time.Duration, error) {
+	ctx := storage.NewContext()
+	dir := ""
+	for i := 0; i < depth; i++ {
+		dir += fmt.Sprintf("/level%d", i)
+		if err := fs.Mkdir(ctx, dir); err != nil {
+			return 0, err
+		}
+	}
+	start := ctx.Clock.Now()
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("%s/file-%05d", dir, i)
+		h, err := fs.Create(ctx, path)
+		if err != nil {
+			return 0, err
+		}
+		if err := h.Close(ctx); err != nil {
+			return 0, err
+		}
+		if _, err := fs.Stat(ctx, path); err != nil {
+			return 0, err
+		}
+		if err := fs.Unlink(ctx, path); err != nil {
+			return 0, err
+		}
+	}
+	return ctx.Clock.Now() - start, nil
+}
+
+// sharedWritePosix measures strided parallel writes to one posixfs file.
+func sharedWritePosix(writers int, opts FutureWorkOptions) (time.Duration, error) {
+	fs := posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: 1}))
+	setup := storage.NewContext()
+	h, err := fs.Create(setup, "/shared.dat")
+	if err != nil {
+		return 0, err
+	}
+	if err := h.Close(setup); err != nil {
+		return 0, err
+	}
+	return parallelWriters(writers, opts, func(w int, ctx *storage.Context) error {
+		hh, err := fs.Open(ctx, "/shared.dat")
+		if err != nil {
+			return err
+		}
+		defer hh.Close(ctx)
+		block := make([]byte, opts.BlockSize)
+		for i := 0; i < opts.BlocksPerWriter; i++ {
+			off := int64(i*writers+w) * int64(opts.BlockSize)
+			if _, err := hh.WriteAt(ctx, off, block); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// sharedWriteBlob measures the same pattern against a pre-sized blob.
+func sharedWriteBlob(writers int, opts FutureWorkOptions) (time.Duration, error) {
+	store, _ := newFlatStack(1)
+	setup := storage.NewContext()
+	if err := store.CreateBlob(setup, "shared.dat"); err != nil {
+		return 0, err
+	}
+	total := int64(writers * opts.BlocksPerWriter * opts.BlockSize)
+	if err := store.TruncateBlob(setup, "shared.dat", total); err != nil {
+		return 0, err
+	}
+	return parallelWriters(writers, opts, func(w int, ctx *storage.Context) error {
+		block := make([]byte, opts.BlockSize)
+		for i := 0; i < opts.BlocksPerWriter; i++ {
+			off := int64(i*writers+w) * int64(opts.BlockSize)
+			if _, err := store.WriteBlob(ctx, "shared.dat", off, block); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// parallelWriters runs fn on `writers` goroutines with forked clocks and
+// returns the slowest writer's virtual time (the job's makespan).
+func parallelWriters(writers int, _ FutureWorkOptions, fn func(w int, ctx *storage.Context) error) (time.Duration, error) {
+	var wg sync.WaitGroup
+	contexts := make([]*storage.Context, writers)
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		contexts[w] = storage.NewContext()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(w, contexts[w])
+		}(w)
+	}
+	wg.Wait()
+	var max time.Duration
+	for w := 0; w < writers; w++ {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		if t := contexts[w].Clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max, nil
+}
+
+// listSweep creates a populated directory (plus namespace decoys on the
+// flat side) and measures one listing.
+func listSweep(fs storage.FileSystem, opts FutureWorkOptions, decoys bool) (time.Duration, error) {
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/dir"); err != nil {
+		return 0, err
+	}
+	for i := 0; i < opts.ListFiles; i++ {
+		h, err := fs.Create(ctx, fmt.Sprintf("/dir/f-%05d", i))
+		if err != nil {
+			return 0, err
+		}
+		if err := h.Close(ctx); err != nil {
+			return 0, err
+		}
+	}
+	if decoys {
+		// Unrelated namespace population: the flat scan has no directory
+		// index, so these inflate its examination cost. The hierarchical
+		// baseline is untouched by files elsewhere.
+		if err := fs.Mkdir(ctx, "/elsewhere"); err != nil {
+			return 0, err
+		}
+		for i := 0; i < opts.ListFiles*opts.DecoyFactor; i++ {
+			h, err := fs.Create(ctx, fmt.Sprintf("/elsewhere/d-%06d", i))
+			if err != nil {
+				return 0, err
+			}
+			if err := h.Close(ctx); err != nil {
+				return 0, err
+			}
+		}
+	}
+	start := ctx.Clock.Now()
+	entries, err := fs.ReadDir(ctx, "/dir")
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) != opts.ListFiles {
+		return 0, fmt.Errorf("listing returned %d entries, want %d", len(entries), opts.ListFiles)
+	}
+	return ctx.Clock.Now() - start, nil
+}

@@ -1,0 +1,60 @@
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WAL payload codecs. Every record carries enough to rebuild the server's
+// state on replay:
+//
+//	meta   record: u16 keyLen | key | i64 size        (descriptor state)
+//	chunk  record: u16 ckLen  | ck  | i64 within | data (chunk mutation)
+//
+// Chunk keys contain a NUL separator (chunkKey), descriptor keys cannot
+// (CreateBlob rejects NUL), so replay can distinguish the two shapes of
+// delete/truncate records by inspecting the key.
+
+func encMeta(key string, size int64) []byte {
+	out := make([]byte, 2+len(key)+8)
+	binary.LittleEndian.PutUint16(out[0:2], uint16(len(key)))
+	copy(out[2:], key)
+	binary.LittleEndian.PutUint64(out[2+len(key):], uint64(size))
+	return out
+}
+
+func decMeta(p []byte) (key string, size int64, err error) {
+	if len(p) < 2 {
+		return "", 0, fmt.Errorf("blob: meta record too short (%d bytes)", len(p))
+	}
+	kl := int(binary.LittleEndian.Uint16(p[0:2]))
+	if len(p) < 2+kl+8 {
+		return "", 0, fmt.Errorf("blob: meta record truncated (%d bytes, key %d)", len(p), kl)
+	}
+	key = string(p[2 : 2+kl])
+	size = int64(binary.LittleEndian.Uint64(p[2+kl:]))
+	return key, size, nil
+}
+
+func encChunk(ck string, within int64, data []byte) []byte {
+	out := make([]byte, 2+len(ck)+8+len(data))
+	binary.LittleEndian.PutUint16(out[0:2], uint16(len(ck)))
+	copy(out[2:], ck)
+	binary.LittleEndian.PutUint64(out[2+len(ck):], uint64(within))
+	copy(out[2+len(ck)+8:], data)
+	return out
+}
+
+func decChunk(p []byte) (ck string, within int64, data []byte, err error) {
+	if len(p) < 2 {
+		return "", 0, nil, fmt.Errorf("blob: chunk record too short (%d bytes)", len(p))
+	}
+	kl := int(binary.LittleEndian.Uint16(p[0:2]))
+	if len(p) < 2+kl+8 {
+		return "", 0, nil, fmt.Errorf("blob: chunk record truncated (%d bytes, key %d)", len(p), kl)
+	}
+	ck = string(p[2 : 2+kl])
+	within = int64(binary.LittleEndian.Uint64(p[2+kl : 2+kl+8]))
+	data = p[2+kl+8:]
+	return ck, within, data, nil
+}

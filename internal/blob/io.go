@@ -1,0 +1,344 @@
+package blob
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// ReadBlob reads up to len(p) bytes at off. Short reads happen at EOF;
+// reading at or beyond EOF returns 0, nil. If a chunk's primary is down the
+// read falls back to the next replica.
+func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("read %q at %d: %w", key, off, storage.ErrInvalidArg)
+	}
+	primary, d, err := s.primaryDesc(key)
+	if err != nil {
+		return 0, err
+	}
+	// Size lookup: one flat-namespace metadata op on the descriptor primary.
+	s.cluster.MetaOp(ctx.Clock, primary.node, 1)
+
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	size := d.size
+	if off >= size {
+		return 0, nil
+	}
+	want := int64(len(p))
+	if off+want > size {
+		want = size - off
+	}
+
+	// Fan out per-chunk reads with forked clocks; join on the slowest —
+	// parallel striped reads are the throughput story of object storage.
+	cs := int64(s.cfg.ChunkSize)
+	var children []*storage.Context
+	var n int64
+	for n < want {
+		idx := (off + n) / cs
+		within := (off + n) % cs
+		take := cs - within
+		if take > want-n {
+			take = want - n
+		}
+		dst := p[n : n+take]
+		child := ctx.Fork()
+		if err := s.readChunk(child, key, idx, within, dst); err != nil {
+			return int(n), err
+		}
+		children = append(children, child)
+		n += take
+	}
+	for _, c := range children {
+		ctx.Clock.Join(c.Clock)
+	}
+	return int(n), nil
+}
+
+// readChunk reads from the first live replica of chunk idx. Missing chunk
+// data within the blob's size reads as zeros (sparse blob semantics).
+func (s *Store) readChunk(ctx *storage.Context, key string, idx, within int64, dst []byte) error {
+	owners := s.chunkOwners(key, idx)
+	ck := chunkKey(key, idx)
+	for _, o := range owners {
+		sv := s.servers[o]
+		if sv.isDown() {
+			continue
+		}
+		sv.mu.RLock()
+		data, ok := sv.chunks[ck]
+		var copied int
+		if ok && within < int64(len(data)) {
+			copied = copy(dst, data[within:])
+		}
+		sv.mu.RUnlock()
+		for i := copied; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		// Cost: RPC carrying the chunk payload back, plus the disk read.
+		s.cluster.DiskRead(ctx.Clock, sv.node, len(dst))
+		s.cluster.RPC(ctx.Clock, sv.node, 64, len(dst), 0)
+		return nil
+	}
+	return fmt.Errorf("chunk %d of %q: all replicas down: %w", idx, key, storage.ErrStaleHandle)
+}
+
+// WriteBlob writes p at off, extending the blob as needed. A write that
+// spans a single chunk commits directly on that chunk's replica set; a
+// multi-chunk write runs the Týr-style lightweight transaction: prepare on
+// every participant chunk, then commit, with the descriptor version bumped
+// once — the paper's "blob manipulation" primitive with built-in atomicity.
+func (s *Store) WriteBlob(ctx *storage.Context, key string, off int64, p []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("write %q at %d: %w", key, off, storage.ErrInvalidArg)
+	}
+	primary, d, err := s.primaryDesc(key)
+	if err != nil {
+		return 0, err
+	}
+	if primary.isDown() {
+		return 0, fmt.Errorf("blob %q: primary down: %w", key, storage.ErrStaleHandle)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	// No descriptor round trip here: placement is client-side (the hash
+	// ring), so a write contacts only the chunk servers it touches. The
+	// descriptor primary is involved only for multi-chunk transactions and
+	// size extensions below — the flat-namespace advantage the paper's
+	// future-work experiment measures.
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return s.writeLocked(ctx, key, primary, d, off, p)
+}
+
+// writeLocked performs the write with the descriptor latch already held.
+// Multi-blob transactions (txn.go) call it while holding several latches.
+func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d *descriptor, off int64, p []byte) (int, error) {
+	cs := int64(s.cfg.ChunkSize)
+	firstChunk := off / cs
+	lastChunk := (off + int64(len(p)) - 1) / cs
+	multi := lastChunk > firstChunk
+
+	if multi {
+		// Prepare phase: one metadata round trip per participant chunk
+		// primary, charged in parallel.
+		var children []*storage.Context
+		for idx := firstChunk; idx <= lastChunk; idx++ {
+			owners := s.chunkOwners(key, idx)
+			if s.servers[owners[0]].isDown() {
+				return 0, fmt.Errorf("chunk %d of %q: primary down: %w", idx, key, storage.ErrStaleHandle)
+			}
+			child := ctx.Fork()
+			s.cluster.MetaOp(child.Clock, s.servers[owners[0]].node, 1)
+			children = append(children, child)
+		}
+		for _, c := range children {
+			ctx.Clock.Join(c.Clock)
+		}
+	}
+
+	// Data phase: write each chunk to its full replica set, in parallel
+	// across chunks.
+	var children []*storage.Context
+	var n int64
+	for n < int64(len(p)) {
+		idx := (off + n) / cs
+		within := (off + n) % cs
+		take := cs - within
+		if take > int64(len(p))-n {
+			take = int64(len(p)) - n
+		}
+		child := ctx.Fork()
+		if err := s.writeChunk(child, key, idx, within, p[n:n+take]); err != nil {
+			return int(n), err
+		}
+		children = append(children, child)
+		n += take
+	}
+	for _, c := range children {
+		ctx.Clock.Join(c.Clock)
+	}
+
+	if multi {
+		// Commit phase: one round trip per participant, in parallel.
+		var commits []*storage.Context
+		for idx := firstChunk; idx <= lastChunk; idx++ {
+			owners := s.chunkOwners(key, idx)
+			child := ctx.Fork()
+			s.cluster.MetaOp(child.Clock, s.servers[owners[0]].node, 1)
+			s.walAppend(child, s.servers[owners[0]], wal.RecCommit, []byte(chunkKey(key, idx)))
+			commits = append(commits, child)
+		}
+		for _, c := range commits {
+			ctx.Clock.Join(c.Clock)
+		}
+	}
+
+	// Descriptor update: bump version, extend size if needed, replicate.
+	d.version++
+	if off+int64(len(p)) > d.size {
+		d.size = off + int64(len(p))
+		s.cluster.MetaOp(ctx.Clock, primary.node, 1)
+		s.walAppend(ctx, primary, wal.RecMeta, encMeta(key, d.size))
+		s.replicateDescSize(ctx, key, d.size)
+	}
+	return len(p), nil
+}
+
+// writeChunk applies data to chunk idx at the given intra-chunk offset on
+// every replica, primary first then replicas in parallel (primary-copy
+// replication).
+func (s *Store) writeChunk(ctx *storage.Context, key string, idx, within int64, data []byte) error {
+	owners := s.chunkOwners(key, idx)
+	ck := chunkKey(key, idx)
+	// Client -> primary carries the payload.
+	primary := s.servers[owners[0]]
+	if primary.isDown() {
+		return fmt.Errorf("chunk %d of %q: primary down: %w", idx, key, storage.ErrStaleHandle)
+	}
+	s.cluster.RPC(ctx.Clock, primary.node, len(data), 64, 0)
+	applyChunk(primary, ck, within, data)
+	s.walAppend(ctx, primary, wal.RecWrite, encChunk(ck, within, data))
+	s.cluster.DiskWrite(ctx.Clock, primary.node, len(data))
+
+	// Primary -> replicas in parallel. With synchronous replication the
+	// client waits for every copy; with AsyncReplication the copies are
+	// applied (and their resource time reserved) but the client clock does
+	// not wait on them.
+	var children []*storage.Context
+	for _, o := range owners[1:] {
+		sv := s.servers[o]
+		if sv.isDown() {
+			return fmt.Errorf("chunk %d of %q: replica down: %w", idx, key, storage.ErrStaleHandle)
+		}
+		child := ctx.Fork()
+		s.cluster.RPC(child.Clock, sv.node, len(data), 64, 0)
+		applyChunk(sv, ck, within, data)
+		s.walAppend(child, sv, wal.RecWrite, encChunk(ck, within, data))
+		s.cluster.DiskWrite(child.Clock, sv.node, len(data))
+		children = append(children, child)
+	}
+	if !s.cfg.AsyncReplication {
+		for _, c := range children {
+			ctx.Clock.Join(c.Clock)
+		}
+	}
+	return nil
+}
+
+// applyChunk writes data into sv's copy of the chunk, growing it as
+// needed. Growth doubles capacity so sequential small appends stay
+// amortized O(1) instead of quadratic.
+func applyChunk(sv *server, ck string, within int64, data []byte) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	chunk := sv.chunks[ck]
+	need := within + int64(len(data))
+	switch {
+	case int64(len(chunk)) >= need:
+		// In-place overwrite, no growth.
+	case int64(cap(chunk)) >= need:
+		// Reused capacity may hold stale bytes from an earlier truncate;
+		// the gap before the write must read as zeros (sparse semantics).
+		old := int64(len(chunk))
+		chunk = chunk[:need]
+		for i := old; i < within; i++ {
+			chunk[i] = 0
+		}
+	default:
+		newCap := int64(cap(chunk))
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		for newCap < need {
+			newCap *= 2
+		}
+		grown := make([]byte, need, newCap)
+		copy(grown, chunk)
+		chunk = grown
+	}
+	copy(chunk[within:], data)
+	sv.chunks[ck] = chunk
+}
+
+// TruncateBlob sets the blob's size. Shrinking drops whole chunks past the
+// new end and trims the boundary chunk; growing is sparse (reads return
+// zeros).
+func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("truncate %q to %d: %w", key, size, storage.ErrInvalidArg)
+	}
+	primary, d, err := s.primaryDesc(key)
+	if err != nil {
+		return err
+	}
+	if primary.isDown() {
+		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrStaleHandle)
+	}
+	s.cluster.MetaOp(ctx.Clock, primary.node, 1)
+
+	d.latch.Lock()
+	defer d.latch.Unlock()
+
+	cs := int64(s.cfg.ChunkSize)
+	if size < d.size {
+		oldChunks := (d.size + cs - 1) / cs
+		keepChunks := (size + cs - 1) / cs
+		for idx := keepChunks; idx < oldChunks; idx++ {
+			ck := chunkKey(key, idx)
+			for _, o := range s.chunkOwners(key, idx) {
+				sv := s.servers[o]
+				sv.mu.Lock()
+				delete(sv.chunks, ck)
+				sv.mu.Unlock()
+				s.walAppend(ctx, sv, wal.RecDelete, encChunk(ck, 0, nil))
+			}
+		}
+		// Trim the boundary chunk.
+		if keepChunks > 0 {
+			idx := keepChunks - 1
+			keep := size - idx*cs
+			ck := chunkKey(key, idx)
+			for _, o := range s.chunkOwners(key, idx) {
+				sv := s.servers[o]
+				sv.mu.Lock()
+				if c, ok := sv.chunks[ck]; ok && int64(len(c)) > keep {
+					sv.chunks[ck] = c[:keep]
+				}
+				sv.mu.Unlock()
+				s.walAppend(ctx, sv, wal.RecTruncate, encChunk(ck, keep, nil))
+			}
+		}
+	}
+	d.version++
+	d.size = size
+	s.walAppend(ctx, primary, wal.RecTruncate, encMeta(key, size))
+	s.replicateDescSize(ctx, key, size)
+	return nil
+}
+
+// replicateDescSize pushes the new size to descriptor replicas in parallel.
+// Caller holds the primary descriptor latch.
+func (s *Store) replicateDescSize(ctx *storage.Context, key string, size int64) {
+	owners := s.descOwners(key)
+	var children []*storage.Context
+	for _, o := range owners[1:] {
+		sv := s.servers[o]
+		child := ctx.Fork()
+		s.cluster.MetaOp(child.Clock, sv.node, 1)
+		sv.mu.Lock()
+		if rd, ok := sv.blobs[key]; ok {
+			rd.size = size
+		}
+		sv.mu.Unlock()
+		s.walAppend(child, sv, wal.RecMeta, encMeta(key, size))
+		children = append(children, child)
+	}
+	for _, c := range children {
+		ctx.Clock.Join(c.Clock)
+	}
+}

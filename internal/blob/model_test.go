@@ -1,0 +1,163 @@
+package blob
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// refBlob is the reference model: a plain byte slice with the same write /
+// truncate / read semantics the store promises.
+type refBlob struct{ data []byte }
+
+func (r *refBlob) write(off int64, p []byte) {
+	if len(p) == 0 {
+		return // pwrite(…, 0) never extends
+	}
+	need := off + int64(len(p))
+	if int64(len(r.data)) < need {
+		grown := make([]byte, need)
+		copy(grown, r.data)
+		r.data = grown
+	}
+	copy(r.data[off:], p)
+}
+
+func (r *refBlob) truncate(size int64) {
+	if size <= int64(len(r.data)) {
+		r.data = r.data[:size]
+		return
+	}
+	grown := make([]byte, size)
+	copy(grown, r.data)
+	r.data = grown
+}
+
+func (r *refBlob) read(off int64, n int) []byte {
+	if off >= int64(len(r.data)) {
+		return nil
+	}
+	end := off + int64(n)
+	if end > int64(len(r.data)) {
+		end = int64(len(r.data))
+	}
+	return r.data[off:end]
+}
+
+// op is one random operation against a single blob.
+type op struct {
+	Kind byte   // 0=write 1=truncate 2=read
+	Off  uint16 // bounded offsets keep blobs small
+	Size uint16
+}
+
+// TestStoreMatchesReferenceModel drives random operation sequences against
+// both the blob store (with a tiny chunk size to force chunk-boundary
+// handling) and the reference model, requiring byte-identical reads and
+// sizes at every step, plus cross-replica invariants at the end.
+func TestStoreMatchesReferenceModel(t *testing.T) {
+	rng := sim.NewRNG(20240612)
+	f := func(ops []op) bool {
+		s := New(cluster.New(cluster.Config{Nodes: 5, Seed: 7}),
+			Config{ChunkSize: 32, Replication: 2})
+		ctx := storage.NewContext()
+		if err := s.CreateBlob(ctx, "model"); err != nil {
+			return false
+		}
+		ref := &refBlob{}
+		for _, o := range ops {
+			off := int64(o.Off % 1024)
+			n := int(o.Size % 512)
+			switch o.Kind % 3 {
+			case 0:
+				p := make([]byte, n)
+				rng.Fill(p)
+				if _, err := s.WriteBlob(ctx, "model", off, p); err != nil {
+					return false
+				}
+				ref.write(off, p)
+			case 1:
+				if err := s.TruncateBlob(ctx, "model", off); err != nil {
+					return false
+				}
+				ref.truncate(off)
+			case 2:
+				buf := make([]byte, n)
+				got, err := s.ReadBlob(ctx, "model", off, buf)
+				if err != nil {
+					return false
+				}
+				want := ref.read(off, n)
+				if got != len(want) || !bytes.Equal(buf[:got], want) {
+					return false
+				}
+			}
+			size, err := s.BlobSize(ctx, "model")
+			if err != nil || size != int64(len(ref.data)) {
+				return false
+			}
+		}
+		// Full-content comparison and replica consistency at the end.
+		final := make([]byte, len(ref.data)+64)
+		got, err := s.ReadBlob(ctx, "model", 0, final)
+		if err != nil || got != len(ref.data) || !bytes.Equal(final[:got], ref.data) {
+			return false
+		}
+		return s.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanMatchesCreatedSet: after arbitrary create/delete interleavings,
+// Scan("") returns exactly the live key set.
+func TestScanMatchesCreatedSet(t *testing.T) {
+	f := func(actions []uint8) bool {
+		s := New(cluster.New(cluster.Config{Nodes: 4, Seed: 3}), Config{Replication: 2})
+		ctx := storage.NewContext()
+		live := map[string]bool{}
+		keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for _, a := range actions {
+			k := keys[int(a)%len(keys)]
+			if a%2 == 0 {
+				err := s.CreateBlob(ctx, k)
+				if live[k] {
+					if err == nil {
+						return false // duplicate create must fail
+					}
+				} else if err != nil {
+					return false
+				}
+				live[k] = true
+			} else {
+				err := s.DeleteBlob(ctx, k)
+				if live[k] {
+					if err != nil {
+						return false
+					}
+					delete(live, k)
+				} else if err == nil {
+					return false // deleting absent blob must fail
+				}
+			}
+		}
+		infos, err := s.Scan(ctx, "")
+		if err != nil || len(infos) != len(live) {
+			return false
+		}
+		for _, info := range infos {
+			if !live[info.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package blob
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Membership management: servers can join and leave the store at runtime.
+// The consistent-hash ring keeps movement minimal (only keys whose replica
+// set actually changed migrate), which is the operational argument for
+// hash-placed object stores over directory-partitioned file systems.
+
+// ErrLastServer is returned when removal would empty the store.
+var ErrLastServer = fmt.Errorf("blob: cannot remove the last server: %w", storage.ErrInvalidArg)
+
+// AddServer joins a previously unused cluster node to the store and
+// rebalances: every descriptor and chunk whose new replica set includes
+// the node is copied there; replicas dropped from a set are deleted.
+func (s *Store) AddServer(ctx *storage.Context, node cluster.NodeID) error {
+	if int(node) < 0 || int(node) >= len(s.servers) {
+		return fmt.Errorf("blob: no node %d: %w", node, storage.ErrInvalidArg)
+	}
+	members := s.ring.Members()
+	for _, m := range members {
+		if m == int(node) {
+			return fmt.Errorf("blob: node %d already serving: %w", node, storage.ErrExists)
+		}
+	}
+	before := s.ownershipSnapshot()
+	s.ring.Add(int(node))
+	return s.migrate(ctx, before)
+}
+
+// RemoveServer drains a server: its ring membership is dropped, all data
+// it held primary-or-replica responsibility for is re-replicated onto the
+// surviving owners, and its local state is cleared.
+func (s *Store) RemoveServer(ctx *storage.Context, node cluster.NodeID) error {
+	if int(node) < 0 || int(node) >= len(s.servers) {
+		return fmt.Errorf("blob: no node %d: %w", node, storage.ErrInvalidArg)
+	}
+	found := false
+	for _, m := range s.ring.Members() {
+		if m == int(node) {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("blob: node %d not serving: %w", node, storage.ErrNotFound)
+	}
+	if s.ring.Size() <= 1 {
+		return ErrLastServer
+	}
+	before := s.ownershipSnapshot()
+	s.ring.Remove(int(node))
+	if err := s.migrate(ctx, before); err != nil {
+		return err
+	}
+	// Clear the drained server.
+	sv := s.servers[int(node)]
+	sv.mu.Lock()
+	sv.blobs = make(map[string]*descriptor)
+	sv.chunks = make(map[string][]byte)
+	sv.mu.Unlock()
+	return nil
+}
+
+// ServingNodes returns the nodes currently in the ring, ascending.
+func (s *Store) ServingNodes() []cluster.NodeID {
+	members := s.ring.Members()
+	out := make([]cluster.NodeID, len(members))
+	for i, m := range members {
+		out[i] = cluster.NodeID(m)
+	}
+	return out
+}
+
+// ownership captures, for one key (descriptor) or chunk, who held it before
+// a membership change.
+type ownership struct {
+	descOwners  map[string][]int
+	chunkOwners map[string][]int
+	// sizes and chunk data snapshot from the primaries, used as the
+	// migration source of truth.
+	descSizes map[string]int64
+}
+
+// ownershipSnapshot records current placements before the ring mutates.
+func (s *Store) ownershipSnapshot() *ownership {
+	o := &ownership{
+		descOwners:  make(map[string][]int),
+		chunkOwners: make(map[string][]int),
+		descSizes:   make(map[string]int64),
+	}
+	for i, sv := range s.servers {
+		sv.mu.RLock()
+		for key, d := range sv.blobs {
+			if _, seen := o.descOwners[key]; !seen {
+				o.descOwners[key] = s.descOwners(key)
+			}
+			if owners := o.descOwners[key]; len(owners) > 0 && owners[0] == i {
+				o.descSizes[key] = d.size
+			}
+		}
+		for ck := range sv.chunks {
+			if _, seen := o.chunkOwners[ck]; !seen {
+				key, idx, ok := splitChunkKey(ck)
+				if ok {
+					o.chunkOwners[ck] = s.chunkOwners(key, idx)
+				}
+			}
+		}
+		sv.mu.RUnlock()
+	}
+	return o
+}
+
+// migrate reconciles placements after a ring change: for every descriptor
+// and chunk, copy to gained owners and delete from lost ones. Costs are
+// charged per moved byte (read source disk + wire + destination disk).
+func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
+	for key, oldOwners := range before.descOwners {
+		newOwners := s.descOwners(key)
+		size := before.descSizes[key]
+		for _, gained := range diff(newOwners, oldOwners) {
+			sv := s.servers[gained]
+			sv.mu.Lock()
+			if _, ok := sv.blobs[key]; !ok {
+				sv.blobs[key] = &descriptor{size: size}
+			}
+			sv.mu.Unlock()
+			s.cluster.MetaOp(ctx.Clock, sv.node, 1)
+			s.walAppend(ctx, sv, wal.RecCreate, encMeta(key, size))
+		}
+		for _, lost := range diff(oldOwners, newOwners) {
+			sv := s.servers[lost]
+			sv.mu.Lock()
+			delete(sv.blobs, key)
+			sv.mu.Unlock()
+			s.walAppend(ctx, sv, wal.RecDelete, encMeta(key, 0))
+		}
+	}
+
+	for ck, oldOwners := range before.chunkOwners {
+		newOwners := oldOwners
+		if key, idx, ok := splitChunkKey(ck); ok {
+			newOwners = s.chunkOwners(key, idx)
+		}
+		gained := diff(newOwners, oldOwners)
+		lost := diff(oldOwners, newOwners)
+		if len(gained) == 0 && len(lost) == 0 {
+			continue
+		}
+		// Source: the first old owner still holding the bytes.
+		var data []byte
+		var src *server
+		for _, o := range oldOwners {
+			sv := s.servers[o]
+			sv.mu.RLock()
+			if c, ok := sv.chunks[ck]; ok {
+				data = append([]byte(nil), c...)
+				src = sv
+			}
+			sv.mu.RUnlock()
+			if src != nil {
+				break
+			}
+		}
+		for _, g := range gained {
+			sv := s.servers[g]
+			if src != nil {
+				s.cluster.DiskRead(ctx.Clock, src.node, len(data))
+				s.cluster.RPC(ctx.Clock, sv.node, len(data), 64, 0)
+				s.cluster.DiskWrite(ctx.Clock, sv.node, len(data))
+			}
+			sv.mu.Lock()
+			sv.chunks[ck] = append([]byte(nil), data...)
+			sv.mu.Unlock()
+			s.walAppend(ctx, sv, wal.RecWrite, encChunk(ck, 0, data))
+		}
+		for _, l := range lost {
+			sv := s.servers[l]
+			sv.mu.Lock()
+			delete(sv.chunks, ck)
+			sv.mu.Unlock()
+			s.walAppend(ctx, sv, wal.RecDelete, encChunk(ck, 0, nil))
+		}
+	}
+	return nil
+}
+
+// diff returns the members of a not present in b.
+func diff(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package blob
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/wal"
+)
+
+// LogRecords replays a server's write-ahead log and returns its records.
+// Tests use this to assert that every namespace mutation was made durable
+// before being acknowledged.
+func (s *Store) LogRecords(node cluster.NodeID) ([]wal.Record, error) {
+	sv := s.servers[int(node)]
+	recs, err := wal.ReplayAll(sv.logBuf.Reader())
+	if err != nil {
+		return nil, fmt.Errorf("blob: replay node %d: %w", node, err)
+	}
+	return recs, nil
+}
+
+// Crash simulates a server losing its volatile state: the in-memory
+// descriptor and chunk tables are wiped (the WAL, being durable, survives)
+// and the server is marked down.
+func (s *Store) Crash(node cluster.NodeID) {
+	sv := s.servers[int(node)]
+	sv.mu.Lock()
+	sv.blobs = make(map[string]*descriptor)
+	sv.chunks = make(map[string][]byte)
+	sv.down = true
+	sv.mu.Unlock()
+}
+
+// Recover rebuilds a server's volatile state by replaying its write-ahead
+// log, then marks the server up again. Every mutation path appends a
+// self-describing record (codec.go), so replay reconstructs descriptors
+// (with sizes) and chunk bytes exactly.
+func (s *Store) Recover(node cluster.NodeID) error {
+	sv := s.servers[int(node)]
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	blobs := make(map[string]*descriptor)
+	chunks := make(map[string][]byte)
+	err := wal.Replay(sv.logBuf.Reader(), func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecCreate, wal.RecMeta:
+			key, size, err := decMeta(rec.Payload)
+			if err != nil {
+				return err
+			}
+			d, ok := blobs[key]
+			if !ok {
+				d = &descriptor{}
+				blobs[key] = d
+			}
+			d.size = size
+			return nil
+		case wal.RecWrite:
+			ck, within, data, err := decChunk(rec.Payload)
+			if err != nil {
+				return err
+			}
+			chunk := chunks[ck]
+			need := within + int64(len(data))
+			if int64(len(chunk)) < need {
+				grown := make([]byte, need)
+				copy(grown, chunk)
+				chunk = grown
+			}
+			copy(chunk[within:], data)
+			chunks[ck] = chunk
+			return nil
+		case wal.RecDelete:
+			key, _, err := decMeta(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if strings.ContainsRune(key, '\x00') {
+				delete(chunks, key)
+			} else {
+				delete(blobs, key)
+			}
+			return nil
+		case wal.RecTruncate:
+			key, keep, err := decMeta(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if strings.ContainsRune(key, '\x00') {
+				if c, ok := chunks[key]; ok && int64(len(c)) > keep {
+					chunks[key] = c[:keep]
+				}
+			} else if d, ok := blobs[key]; ok {
+				d.size = keep
+			}
+			return nil
+		case wal.RecCommit, wal.RecAbort:
+			return nil // transaction bookkeeping; state already in data records
+		default:
+			return fmt.Errorf("blob: recover node %d: unknown record type %v", node, rec.Type)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("blob: recover node %d: %w", node, err)
+	}
+	sv.blobs = blobs
+	sv.chunks = chunks
+	sv.down = false
+	return nil
+}
+
+// DescriptorCount reports how many blob descriptors (primary or replica
+// copies) the server currently holds.
+func (s *Store) DescriptorCount(node cluster.NodeID) int {
+	sv := s.servers[int(node)]
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return len(sv.blobs)
+}
+
+// ChunkCount reports how many chunk replicas the server currently holds.
+func (s *Store) ChunkCount(node cluster.NodeID) int {
+	sv := s.servers[int(node)]
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return len(sv.chunks)
+}
+
+// CheckInvariants validates cross-server consistency:
+//
+//  1. every descriptor on a primary is present on all of its replicas with
+//     the same size;
+//  2. every chunk replica belongs to a live blob and lies within its size;
+//  3. replicas of one chunk hold identical bytes.
+//
+// It returns a description of the first violation found, or "".
+func (s *Store) CheckInvariants() string {
+	for i, sv := range s.servers {
+		sv.mu.RLock()
+		keys := make([]string, 0, len(sv.blobs))
+		sizes := make(map[string]int64, len(sv.blobs))
+		for k, d := range sv.blobs {
+			keys = append(keys, k)
+			sizes[k] = d.size
+		}
+		sv.mu.RUnlock()
+		for _, key := range keys {
+			owners := s.descOwners(key)
+			if owners[0] != i {
+				continue // only validate from the primary's view
+			}
+			for _, o := range owners[1:] {
+				rs := s.servers[o]
+				rs.mu.RLock()
+				rd, ok := rs.blobs[key]
+				var rsize int64
+				if ok {
+					rsize = rd.size
+				}
+				rs.mu.RUnlock()
+				if !ok {
+					return fmt.Sprintf("descriptor %q missing on replica node %d", key, o)
+				}
+				if rsize != sizes[key] {
+					return fmt.Sprintf("descriptor %q size mismatch: primary %d, replica node %d has %d",
+						key, sizes[key], o, rsize)
+				}
+			}
+		}
+	}
+
+	// Chunk-level checks from each chunk primary's view.
+	for i, sv := range s.servers {
+		sv.mu.RLock()
+		cks := make([]string, 0, len(sv.chunks))
+		for ck := range sv.chunks {
+			cks = append(cks, ck)
+		}
+		sv.mu.RUnlock()
+		for _, ck := range cks {
+			key, idx, ok := splitChunkKey(ck)
+			if !ok {
+				return fmt.Sprintf("malformed chunk key %q on node %d", ck, i)
+			}
+			owners := s.chunkOwners(key, idx)
+			if owners[0] != i {
+				continue
+			}
+			_, d, err := s.primaryDesc(key)
+			if err != nil {
+				return fmt.Sprintf("chunk %q has no live blob", ck)
+			}
+			d.latch.RLock()
+			size := d.size
+			d.latch.RUnlock()
+			if idx*int64(s.cfg.ChunkSize) >= size {
+				return fmt.Sprintf("chunk %q lies beyond blob size %d", ck, size)
+			}
+			sv.mu.RLock()
+			primaryData := string(sv.chunks[ck])
+			sv.mu.RUnlock()
+			for _, o := range owners[1:] {
+				rs := s.servers[o]
+				rs.mu.RLock()
+				replicaData := string(rs.chunks[ck])
+				rs.mu.RUnlock()
+				if replicaData != primaryData {
+					return fmt.Sprintf("chunk %q diverges between node %d and node %d", ck, i, o)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func splitChunkKey(ck string) (key string, idx int64, ok bool) {
+	i := strings.IndexByte(ck, '\x00')
+	if i < 0 {
+		return "", 0, false
+	}
+	key = ck[:i]
+	var n int64
+	if _, err := fmt.Sscanf(ck[i+1:], "%d", &n); err != nil {
+		return "", 0, false
+	}
+	return key, n, true
+}

@@ -1,0 +1,187 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// populate drives a varied mutation history across several blobs.
+func populate(t *testing.T, s *Store, ctx *storage.Context, rng *sim.RNG) map[string][]byte {
+	t.Helper()
+	expect := make(map[string][]byte)
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("obj-%d", i)
+		if err := s.CreateBlob(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 200+i*97)
+		rng.Fill(data)
+		if _, err := s.WriteBlob(ctx, key, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		expect[key] = data
+	}
+	// Overwrite part of one, truncate another, delete a third.
+	patch := []byte("patched-region")
+	if _, err := s.WriteBlob(ctx, "obj-1", 50, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(expect["obj-1"][50:], patch)
+	if err := s.TruncateBlob(ctx, "obj-2", 100); err != nil {
+		t.Fatal(err)
+	}
+	expect["obj-2"] = expect["obj-2"][:100]
+	if err := s.DeleteBlob(ctx, "obj-3"); err != nil {
+		t.Fatal(err)
+	}
+	delete(expect, "obj-3")
+	return expect
+}
+
+func verifyAll(t *testing.T, s *Store, ctx *storage.Context, expect map[string][]byte) {
+	t.Helper()
+	for key, want := range expect {
+		size, err := s.BlobSize(ctx, key)
+		if err != nil {
+			t.Fatalf("%s: size: %v", key, err)
+		}
+		if size != int64(len(want)) {
+			t.Fatalf("%s: size = %d, want %d", key, size, len(want))
+		}
+		got := make([]byte, len(want))
+		n, err := s.ReadBlob(ctx, key, 0, got)
+		if err != nil || n != len(want) || !bytes.Equal(got, want) {
+			t.Fatalf("%s: read = (%d, %v), content match=%v", key, n, err, bytes.Equal(got, want))
+		}
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+func TestCrashRecoverySingleNode(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), Config{ChunkSize: 64, Replication: 2})
+	ctx := storage.NewContext()
+	expect := populate(t, s, ctx, sim.NewRNG(11))
+
+	// Crash and recover every node in turn; data must survive bit-for-bit.
+	for node := 0; node < 5; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("recover node %d: %v", node, err)
+		}
+		verifyAll(t, s, ctx, expect)
+	}
+}
+
+func TestCrashRecoveryAllNodes(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 4, Seed: 2}), Config{ChunkSize: 32, Replication: 2})
+	ctx := storage.NewContext()
+	expect := populate(t, s, ctx, sim.NewRNG(12))
+
+	// Power loss: every server loses volatile state at once.
+	for node := 0; node < 4; node++ {
+		s.Crash(cluster.NodeID(node))
+	}
+	// Nothing is readable while down.
+	if _, err := s.BlobSize(ctx, "obj-0"); err == nil {
+		t.Fatal("crashed cluster still served metadata")
+	}
+	for node := 0; node < 4; node++ {
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("recover node %d: %v", node, err)
+		}
+	}
+	verifyAll(t, s, ctx, expect)
+}
+
+func TestRecoveredStateIdenticalToLive(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 4, Seed: 3}), Config{ChunkSize: 48, Replication: 3})
+	ctx := storage.NewContext()
+	populate(t, s, ctx, sim.NewRNG(13))
+
+	// Snapshot live state of node 2, crash+recover, compare.
+	sv := s.servers[2]
+	sv.mu.RLock()
+	liveDesc := make(map[string]int64, len(sv.blobs))
+	for k, d := range sv.blobs {
+		liveDesc[k] = d.size
+	}
+	liveChunks := make(map[string]string, len(sv.chunks))
+	for k, c := range sv.chunks {
+		liveChunks[k] = string(c)
+	}
+	sv.mu.RUnlock()
+
+	s.Crash(2)
+	if err := s.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	if len(sv.blobs) != len(liveDesc) {
+		t.Fatalf("descriptor count after recovery = %d, want %d", len(sv.blobs), len(liveDesc))
+	}
+	for k, size := range liveDesc {
+		d, ok := sv.blobs[k]
+		if !ok || d.size != size {
+			t.Fatalf("descriptor %q diverges after recovery", k)
+		}
+	}
+	if len(sv.chunks) != len(liveChunks) {
+		t.Fatalf("chunk count after recovery = %d, want %d", len(sv.chunks), len(liveChunks))
+	}
+	for k, c := range liveChunks {
+		if string(sv.chunks[k]) != c {
+			t.Fatalf("chunk %q diverges after recovery", k)
+		}
+	}
+}
+
+func TestRecoveryAfterTornTail(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 3, Seed: 4}), Config{ChunkSize: 64, Replication: 1})
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "durable"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteBlob(ctx, "durable", 0, []byte("first-write")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of every log (a crash mid-append); recovery must stop
+	// cleanly at the torn record rather than fail.
+	for node := 0; node < 3; node++ {
+		sv := s.servers[node]
+		if n := sv.logBuf.Len(); n > 3 {
+			sv.logBuf.Truncate(n - 3)
+		}
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("recover with torn tail, node %d: %v", node, err)
+		}
+	}
+}
+
+func TestWritesFailWhileCrashed(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 3, Seed: 5}), Config{ChunkSize: 64, Replication: 1})
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	owners := s.descOwners("k")
+	s.Crash(cluster.NodeID(owners[0]))
+	if _, err := s.WriteBlob(ctx, "k", 0, []byte("x")); err == nil {
+		t.Fatal("write succeeded against a crashed descriptor primary")
+	}
+	if err := s.Recover(cluster.NodeID(owners[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteBlob(ctx, "k", 0, []byte("x")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package blob
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func txnStore(t *testing.T) (*Store, *storage.Context) {
+	t.Helper()
+	s := New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), Config{ChunkSize: 64, Replication: 2})
+	return s, storage.NewContext()
+}
+
+func TestTxnCommitAppliesAllWrites(t *testing.T) {
+	s, ctx := txnStore(t)
+	s.CreateBlob(ctx, "a")
+	s.CreateBlob(ctx, "b")
+
+	txn := s.Begin(ctx)
+	if err := txn.Write("a", 0, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write("b", 0, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	n, _ := s.ReadBlob(ctx, "a", 0, buf)
+	if string(buf[:n]) != "alpha" {
+		t.Fatalf("a = %q", buf[:n])
+	}
+	n, _ = s.ReadBlob(ctx, "b", 0, buf)
+	if string(buf[:n]) != "beta" {
+		t.Fatalf("b = %q", buf[:n])
+	}
+}
+
+func TestTxnAbortDiscards(t *testing.T) {
+	s, ctx := txnStore(t)
+	s.CreateBlob(ctx, "a")
+	txn := s.Begin(ctx)
+	txn.Write("a", 0, []byte("never"))
+	txn.Abort()
+	if size, _ := s.BlobSize(ctx, "a"); size != 0 {
+		t.Fatalf("aborted write applied: size %d", size)
+	}
+	if err := txn.Commit(); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+}
+
+func TestTxnDoubleCommitRejected(t *testing.T) {
+	s, ctx := txnStore(t)
+	s.CreateBlob(ctx, "a")
+	txn := s.Begin(ctx)
+	txn.Write("a", 0, []byte("x"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := txn.Write("a", 0, []byte("y")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("write after commit: %v", err)
+	}
+}
+
+func TestTxnMissingBlobFailsCommit(t *testing.T) {
+	s, ctx := txnStore(t)
+	txn := s.Begin(ctx)
+	txn.Write("ghost", 0, []byte("x"))
+	if err := txn.Commit(); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("commit on missing blob: %v", err)
+	}
+}
+
+func TestTxnEmptyCommit(t *testing.T) {
+	s, ctx := txnStore(t)
+	txn := s.Begin(ctx)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnInvalidWrite(t *testing.T) {
+	s, ctx := txnStore(t)
+	txn := s.Begin(ctx)
+	if err := txn.Write("a", -1, []byte("x")); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("negative offset: %v", err)
+	}
+}
+
+func TestTxnOptimisticConflict(t *testing.T) {
+	s, ctx := txnStore(t)
+	s.CreateBlob(ctx, "counter")
+	s.WriteBlob(ctx, "counter", 0, []byte{1})
+
+	// Txn reads, then a concurrent writer bumps the version, then commit
+	// must fail with ErrTxnConflict.
+	txn := s.Begin(ctx)
+	buf := make([]byte, 1)
+	if _, err := txn.Read("counter", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteBlob(ctx, "counter", 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	txn.Write("counter", 0, []byte{buf[0] + 1})
+	if err := txn.Commit(); !errors.Is(err, storage.ErrTxnConflict) {
+		t.Fatalf("commit after interleaved write: %v", err)
+	}
+	// The conflicting txn's write must not have been applied.
+	s.ReadBlob(ctx, "counter", 0, buf)
+	if buf[0] != 9 {
+		t.Fatalf("counter = %d, want the interleaved writer's 9", buf[0])
+	}
+}
+
+func TestTxnReadOnlyValidation(t *testing.T) {
+	s, ctx := txnStore(t)
+	s.CreateBlob(ctx, "x")
+	s.WriteBlob(ctx, "x", 0, []byte("v1"))
+
+	txn := s.Begin(ctx)
+	buf := make([]byte, 2)
+	txn.Read("x", 0, buf)
+	// No interleaving: read-only commit succeeds.
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Transactional transfers between two "accounts" must conserve the total
+// under concurrency — the classic serializability check, validated by
+// read-version commit validation.
+func TestTxnTransfersConserveTotal(t *testing.T) {
+	s, _ := txnStore(t)
+	setup := storage.NewContext()
+	s.CreateBlob(setup, "acct/a")
+	s.CreateBlob(setup, "acct/b")
+	writeU64 := func(key string, v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		if _, err := s.WriteBlob(setup, key, 0, b[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeU64("acct/a", 1000)
+	writeU64("acct/b", 1000)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := storage.NewContext()
+			moved := 0
+			for moved < 25 {
+				txn := s.Begin(ctx)
+				var ab, bb [8]byte
+				if _, err := txn.Read("acct/a", 0, ab[:]); err != nil {
+					txn.Abort()
+					continue
+				}
+				if _, err := txn.Read("acct/b", 0, bb[:]); err != nil {
+					txn.Abort()
+					continue
+				}
+				a := binary.LittleEndian.Uint64(ab[:])
+				b := binary.LittleEndian.Uint64(bb[:])
+				if a == 0 {
+					txn.Abort()
+					break
+				}
+				binary.LittleEndian.PutUint64(ab[:], a-1)
+				binary.LittleEndian.PutUint64(bb[:], b+1)
+				txn.Write("acct/a", 0, ab[:])
+				txn.Write("acct/b", 0, bb[:])
+				if err := txn.Commit(); err != nil {
+					if errors.Is(err, storage.ErrTxnConflict) {
+						continue // retry
+					}
+					t.Error(err)
+					return
+				}
+				moved++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ctx := storage.NewContext()
+	var ab, bb [8]byte
+	s.ReadBlob(ctx, "acct/a", 0, ab[:])
+	s.ReadBlob(ctx, "acct/b", 0, bb[:])
+	a := binary.LittleEndian.Uint64(ab[:])
+	b := binary.LittleEndian.Uint64(bb[:])
+	if a+b != 2000 {
+		t.Fatalf("total not conserved: %d + %d = %d, want 2000", a, b, a+b)
+	}
+	if b != 1000+100 {
+		t.Fatalf("b = %d, want 1100 after 4x25 transfers", b)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+func TestTxnSurvivesCrashRecovery(t *testing.T) {
+	s, ctx := txnStore(t)
+	s.CreateBlob(ctx, "t1")
+	s.CreateBlob(ctx, "t2")
+	txn := s.Begin(ctx)
+	txn.Write("t1", 0, []byte("one"))
+	txn.Write("t2", 0, []byte("two"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 5; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 3)
+	n, _ := s.ReadBlob(ctx, "t1", 0, buf)
+	if string(buf[:n]) != "one" {
+		t.Fatalf("t1 after recovery = %q", buf[:n])
+	}
+	n, _ = s.ReadBlob(ctx, "t2", 0, buf)
+	if string(buf[:n]) != "two" {
+		t.Fatalf("t2 after recovery = %q", buf[:n])
+	}
+}

@@ -1,0 +1,279 @@
+package blobcr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+const (
+	testRanks = 4
+	testSlab  = 8 * PageSize
+)
+
+func newStore() *blob.Store {
+	return blob.New(cluster.New(cluster.Config{Nodes: 6, Seed: 1}),
+		blob.Config{ChunkSize: 64 << 10, Replication: 2})
+}
+
+func newManager(t *testing.T, store *blob.Store, incremental bool) *Manager {
+	t.Helper()
+	m, err := NewManager(store, Options{
+		Ranks: testRanks, SlabSize: testSlab, Incremental: incremental,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// evolve mutates a state deterministically; touchPages controls how many
+// pages change per epoch.
+func evolve(state []byte, epoch, rank, touchPages int) {
+	for p := 0; p < touchPages; p++ {
+		page := (epoch*7 + p) % (len(state) / PageSize)
+		for i := 0; i < PageSize; i += 64 {
+			state[page*PageSize+i] = byte(epoch*31 + rank*7 + p)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	store := newStore()
+	if _, err := NewManager(store, Options{Ranks: 0, SlabSize: PageSize}); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("zero ranks: %v", err)
+	}
+	if _, err := NewManager(store, Options{Ranks: 2, SlabSize: 100}); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("unaligned slab: %v", err)
+	}
+	if _, err := NewManager(store, Options{Ranks: 2, SlabSize: 0}); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("zero slab: %v", err)
+	}
+}
+
+func TestFullCheckpointRestore(t *testing.T) {
+	store := newStore()
+	m := newManager(t, store, false)
+
+	final := make([][]byte, testRanks)
+	errs := mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		state := make([]byte, testSlab)
+		for epoch := 0; epoch < 3; epoch++ {
+			evolve(state, epoch, r.ID, 3)
+			written, err := rs.Checkpoint(epoch, state)
+			if err != nil {
+				return err
+			}
+			if written != testSlab {
+				return fmt.Errorf("full checkpoint wrote %d, want %d", written, testSlab)
+			}
+		}
+		final[r.ID] = append([]byte(nil), state...)
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := storage.NewContext()
+	epoch, key, err := m.LatestComplete(ctx)
+	if err != nil || epoch != 2 {
+		t.Fatalf("LatestComplete = (%d, %s, %v)", epoch, key, err)
+	}
+
+	errs = mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		got, err := rs.Restore(epoch)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, final[r.ID]) {
+			return fmt.Errorf("rank %d restore diverges", r.ID)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalWritesLess(t *testing.T) {
+	store := newStore()
+	m := newManager(t, store, true)
+
+	var epoch1Written int64
+	finalState := make([][]byte, testRanks)
+	errs := mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		state := make([]byte, testSlab)
+		evolve(state, 0, r.ID, 8) // epoch 0: everything dirty
+		w0, err := rs.Checkpoint(0, state)
+		if err != nil {
+			return err
+		}
+		if w0 != testSlab {
+			return fmt.Errorf("first checkpoint wrote %d, want full %d", w0, testSlab)
+		}
+		evolve(state, 1, r.ID, 1) // epoch 1: one page dirty
+		w1, err := rs.Checkpoint(1, state)
+		if err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			epoch1Written = w1
+		}
+		finalState[r.ID] = append([]byte(nil), state...)
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if epoch1Written != PageSize {
+		t.Fatalf("incremental epoch wrote %d dirty bytes, want exactly one page (%d)",
+			epoch1Written, PageSize)
+	}
+
+	// The incremental epoch must still restore the FULL correct image.
+	errs = mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		got, err := rs.Restore(1)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, finalState[r.ID]) {
+			return fmt.Errorf("rank %d incremental restore diverges", r.ID)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestCompleteIgnoresTornEpoch(t *testing.T) {
+	store := newStore()
+	m := newManager(t, store, false)
+	// Epoch 0 complete, epoch 1 torn (only rank 0 wrote).
+	errs := mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		state := make([]byte, testSlab)
+		if _, err := rs.Checkpoint(0, state); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	ctx := storage.NewContext()
+	if err := store.CreateBlob(ctx, "ckpt/epoch-00000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.WriteBlob(ctx, "ckpt/epoch-00000001", 0, make([]byte, testSlab)); err != nil {
+		t.Fatal(err) // only one rank's worth: torn
+	}
+	epoch, _, err := m.LatestComplete(ctx)
+	if err != nil || epoch != 0 {
+		t.Fatalf("LatestComplete = (%d, %v), want epoch 0", epoch, err)
+	}
+}
+
+func TestLatestCompleteEmpty(t *testing.T) {
+	m := newManager(t, newStore(), false)
+	if _, _, err := m.LatestComplete(storage.NewContext()); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("empty namespace: %v", err)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	store := newStore()
+	m := newManager(t, store, false)
+	errs := mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		state := make([]byte, testSlab)
+		for epoch := 0; epoch < 5; epoch++ {
+			evolve(state, epoch, r.ID, 2)
+			if _, err := rs.Checkpoint(epoch, state); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	ctx := storage.NewContext()
+	dropped, err := m.Retain(ctx, 2)
+	if err != nil || dropped != 3 {
+		t.Fatalf("Retain = (%d, %v), want 3 dropped", dropped, err)
+	}
+	epoch, _, err := m.LatestComplete(ctx)
+	if err != nil || epoch != 4 {
+		t.Fatalf("after retention: (%d, %v)", epoch, err)
+	}
+	infos, _ := store.Scan(ctx, "ckpt/")
+	if len(infos) != 2 {
+		t.Fatalf("%d checkpoints survive, want 2", len(infos))
+	}
+	if _, err := m.Retain(ctx, 0); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("keep 0: %v", err)
+	}
+}
+
+func TestWrongCommunicatorSize(t *testing.T) {
+	m := newManager(t, newStore(), false)
+	errs := mpi.Run(2, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		_, err := m.NewRankState(r)
+		if !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("size mismatch accepted: %v", err)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongSlabSizeRejected(t *testing.T) {
+	m := newManager(t, newStore(), false)
+	errs := mpi.Run(testRanks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		rs, err := m.NewRankState(r)
+		if err != nil {
+			return err
+		}
+		if _, err := rs.Checkpoint(0, make([]byte, 100)); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("short state accepted: %v", err)
+		}
+		// All ranks failed before any barrier: no deadlock.
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+package blobfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 1})
+	return New(blob.New(c, blob.Config{ChunkSize: 64, Replication: 2}))
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/data")
+	h, err := fs.Create(ctx, "/data/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("legacy app payload over blobs")
+	if n, err := h.WriteAt(ctx, 0, payload); err != nil || n != len(payload) {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	got := make([]byte, len(payload))
+	if n, err := h.ReadAt(ctx, 0, got); err != nil || n != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = (%d, %v, %q)", n, err, got)
+	}
+	if err := h.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestRandomWritesSupported(t *testing.T) {
+	// Unlike HDFS, the blob layer supports random writes — a key Section
+	// III argument for HPC suitability.
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 100, []byte("tail"))
+	h.WriteAt(ctx, 0, []byte("head"))
+	info, _ := fs.Stat(ctx, "/f")
+	if info.Size != 104 {
+		t.Fatalf("size = %d, want 104", info.Size)
+	}
+	buf := make([]byte, 4)
+	h.ReadAt(ctx, 100, buf)
+	if string(buf) != "tail" {
+		t.Fatalf("random write lost: %q", buf)
+	}
+}
+
+func TestCreateRequiresParentDir(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	if _, err := fs.Create(ctx, "/missing/f"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("create without parent: %v", err)
+	}
+	// Root-level files need no marker.
+	if _, err := fs.Create(ctx, "/top"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 0, []byte("old"))
+	h.Close(ctx)
+	h2, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close(ctx)
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 0 {
+		t.Fatalf("re-create kept %d bytes", info.Size)
+	}
+}
+
+func TestDirectoryEmulation(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/a"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/x/y"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("mkdir without parent: %v", err)
+	}
+	h, _ := fs.Create(ctx, "/a/f1")
+	h.Close(ctx)
+	h, _ = fs.Create(ctx, "/a/f2")
+	h.Close(ctx)
+
+	entries, err := fs.ReadDir(ctx, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name  string
+		isDir bool
+	}{{"b", true}, {"f1", false}, {"f2", false}}
+	if len(entries) != len(want) {
+		t.Fatalf("ReadDir = %v", entries)
+	}
+	for i, w := range want {
+		if entries[i].Name != w.name || entries[i].IsDir != w.isDir {
+			t.Fatalf("ReadDir = %v, want %v", entries, want)
+		}
+	}
+	// Listing only immediate children: /a/b's contents stay hidden.
+	h, _ = fs.Create(ctx, "/a/b/deep")
+	h.Close(ctx)
+	entries, _ = fs.ReadDir(ctx, "/a")
+	if len(entries) != 3 {
+		t.Fatalf("deep file leaked into parent listing: %v", entries)
+	}
+}
+
+func TestReadDirRoot(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	entries, err := fs.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "d" || !entries[0].IsDir || entries[1].Name != "f" {
+		t.Fatalf("root listing = %v", entries)
+	}
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	h, _ := fs.Create(ctx, "/d/f")
+	h.Close(ctx)
+	if err := fs.Rmdir(ctx, "/d"); !errors.Is(err, storage.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	fs.Unlink(ctx, "/d/f")
+	if err := fs.Rmdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir(ctx, "/d"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rmdir absent: %v", err)
+	}
+	if err := fs.Rmdir(ctx, "/"); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("rmdir root: %v", err)
+	}
+}
+
+func TestStatFileAndDir(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	h, _ := fs.Create(ctx, "/d/f")
+	h.WriteAt(ctx, 0, make([]byte, 42))
+	h.Close(ctx)
+	info, err := fs.Stat(ctx, "/d/f")
+	if err != nil || info.Size != 42 || info.IsDir || info.Name != "f" {
+		t.Fatalf("Stat file = (%+v, %v)", info, err)
+	}
+	info, err = fs.Stat(ctx, "/d")
+	if err != nil || !info.IsDir {
+		t.Fatalf("Stat dir = (%+v, %v)", info, err)
+	}
+	if _, err := fs.Stat(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Stat missing: %v", err)
+	}
+	if info, err := fs.Stat(ctx, "/"); err != nil || !info.IsDir {
+		t.Fatalf("Stat root = (%+v, %v)", info, err)
+	}
+}
+
+func TestUnlinkAndTruncate(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 0, []byte("0123456789"))
+	h.Close(ctx)
+	if err := fs.Truncate(ctx, "/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 4 {
+		t.Fatalf("size = %d", info.Size)
+	}
+	if err := fs.Unlink(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(ctx, "/f"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("unlink absent: %v", err)
+	}
+	fs.Mkdir(ctx, "/d")
+	if err := fs.Unlink(ctx, "/d"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+}
+
+func TestRenameFile(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/out")
+	h, _ := fs.Create(ctx, "/out/tmp")
+	h.WriteAt(ctx, 0, []byte("committed"))
+	h.Close(ctx)
+	if err := fs.Rename(ctx, "/out/tmp", "/out/final"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/out/tmp"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("source survived rename")
+	}
+	h2, err := fs.Open(ctx, "/out/final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if n, _ := h2.ReadAt(ctx, 0, buf); string(buf[:n]) != "committed" {
+		t.Fatalf("renamed content = %q", buf[:n])
+	}
+	if err := fs.Rename(ctx, "/missing", "/x"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func TestRenameDirectorySubtree(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/src")
+	fs.Mkdir(ctx, "/src/sub")
+	h, _ := fs.Create(ctx, "/src/a")
+	h.WriteAt(ctx, 0, []byte("A"))
+	h.Close(ctx)
+	h, _ = fs.Create(ctx, "/src/sub/b")
+	h.WriteAt(ctx, 0, []byte("B"))
+	h.Close(ctx)
+	if err := fs.Rename(ctx, "/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{"/dst/a": "A", "/dst/sub/b": "B"} {
+		h, err := fs.Open(ctx, path)
+		if err != nil {
+			t.Fatalf("open %s after dir rename: %v", path, err)
+		}
+		buf := make([]byte, 1)
+		h.ReadAt(ctx, 0, buf)
+		if string(buf) != want {
+			t.Fatalf("%s = %q", path, buf)
+		}
+	}
+	if _, err := fs.Stat(ctx, "/src"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("source dir survived rename")
+	}
+}
+
+func TestClientSideMetadata(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	if err := fs.Chmod(ctx, "/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat(ctx, "/f"); info.Mode != 0o600 {
+		t.Fatalf("mode = %o", info.Mode)
+	}
+	if err := fs.SetXattr(ctx, "/f", "user.k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fs.GetXattr(ctx, "/f", "user.k"); err != nil || v != "v" {
+		t.Fatalf("GetXattr = (%q, %v)", v, err)
+	}
+	if _, err := fs.GetXattr(ctx, "/f", "user.none"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("absent xattr: %v", err)
+	}
+	if err := fs.Chmod(ctx, "/missing", 0o600); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("chmod missing: %v", err)
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	for _, p := range []string{"", "/", "/a//b", "/a/../b"} {
+		if _, err := fs.Create(ctx, p); !errors.Is(err, storage.ErrInvalidArg) {
+			t.Fatalf("create %q: %v", p, err)
+		}
+	}
+}
+
+func TestManyFilesScanScales(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/dir")
+	for i := 0; i < 50; i++ {
+		h, err := fs.Create(ctx, fmt.Sprintf("/dir/file-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close(ctx)
+	}
+	entries, err := fs.ReadDir(ctx, "/dir")
+	if err != nil || len(entries) != 50 {
+		t.Fatalf("ReadDir = (%d entries, %v)", len(entries), err)
+	}
+	// Sorted order check.
+	if entries[0].Name != "file-000" || entries[49].Name != "file-049" {
+		t.Fatalf("ordering broken: first=%s last=%s", entries[0].Name, entries[49].Name)
+	}
+}

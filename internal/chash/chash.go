@@ -1,0 +1,159 @@
+// Package chash implements a consistent-hash ring with virtual nodes. The
+// blob store uses it for data placement, standing in for RADOS' CRUSH map:
+// given a blob (or chunk) key it deterministically selects an ordered set of
+// distinct nodes — primary first, then replicas — with good balance and
+// minimal movement when the membership changes.
+package chash
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring maps keys to member IDs via consistent hashing.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []point // sorted by hash
+	members map[int]bool
+}
+
+type point struct {
+	hash   uint64
+	member int
+}
+
+// New returns a ring with the given number of virtual nodes per member.
+// vnodes must be >= 1; typical values are 64–256.
+func New(vnodes int) *Ring {
+	if vnodes < 1 {
+		panic(fmt.Sprintf("chash: invalid vnodes %d", vnodes))
+	}
+	return &Ring{vnodes: vnodes, members: make(map[int]bool)}
+}
+
+// mix64 is the SplitMix64 finalizer. FNV alone clusters badly on short,
+// structured inputs (small integers, common key prefixes); the finalizer
+// restores avalanche behaviour, which the ring's balance depends on.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+func hashVnode(member, i int) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(member))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(i))
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// Add inserts a member into the ring. Adding an existing member is a no-op.
+func (r *Ring) Add(member int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hashVnode(member, i), member})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a member from the ring. Removing an absent member is a
+// no-op.
+func (r *Ring) Remove(member int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current member IDs in ascending order.
+func (r *Ring) Members() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Locate returns the first member clockwise from the key's hash, i.e. the
+// primary owner. It returns false when the ring is empty.
+func (r *Ring) Locate(key string) (int, bool) {
+	owners := r.LocateN(key, 1)
+	if len(owners) == 0 {
+		return 0, false
+	}
+	return owners[0], true
+}
+
+// LocateN returns up to n distinct members responsible for key, primary
+// first, walking the ring clockwise. Fewer than n are returned when the
+// ring has fewer members.
+func (r *Ring) LocateN(key string, n int) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Distribution counts how many of the given keys land on each member as
+// primary, for balance diagnostics and tests.
+func (r *Ring) Distribution(keys []string) map[int]int {
+	dist := make(map[int]int)
+	for _, k := range keys {
+		if m, ok := r.Locate(k); ok {
+			dist[m]++
+		}
+	}
+	return dist
+}

@@ -1,0 +1,176 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadVnodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(8)
+	if _, ok := r.Locate("k"); ok {
+		t.Fatal("Locate on empty ring returned a member")
+	}
+	if got := r.LocateN("k", 3); got != nil {
+		t.Fatalf("LocateN on empty ring = %v", got)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	r := New(8)
+	r.Add(1)
+	r.Add(1)
+	if r.Size() != 1 {
+		t.Fatalf("double Add: Size = %d", r.Size())
+	}
+	r.Remove(2) // absent, no-op
+	r.Remove(1)
+	r.Remove(1)
+	if r.Size() != 0 {
+		t.Fatalf("after removes: Size = %d", r.Size())
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	r := New(4)
+	for _, m := range []int{5, 1, 3} {
+		r.Add(m)
+	}
+	got := r.Members()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLocateDeterministic(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 8; i++ {
+		r.Add(i)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("blob-%d", i)
+		a, _ := r.Locate(k)
+		b, _ := r.Locate(k)
+		if a != b {
+			t.Fatalf("Locate(%q) unstable: %d vs %d", k, a, b)
+		}
+	}
+}
+
+func TestLocateNDistinctAndPrimaryFirst(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 5; i++ {
+		r.Add(i)
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		owners := r.LocateN(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("LocateN(%q, 3) = %v", k, owners)
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner in %v", owners)
+			}
+			seen[o] = true
+		}
+		p, _ := r.Locate(k)
+		if owners[0] != p {
+			t.Fatalf("primary mismatch: LocateN[0]=%d Locate=%d", owners[0], p)
+		}
+	}
+}
+
+func TestLocateNClampedToMembership(t *testing.T) {
+	r := New(16)
+	r.Add(0)
+	r.Add(1)
+	if got := r.LocateN("k", 10); len(got) != 2 {
+		t.Fatalf("LocateN beyond membership = %v, want 2 owners", got)
+	}
+	if got := r.LocateN("k", 0); got != nil {
+		t.Fatalf("LocateN(0) = %v, want nil", got)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(128)
+	const nodes = 8
+	for i := 0; i < nodes; i++ {
+		r.Add(i)
+	}
+	keys := make([]string, 8000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("object/%d", i)
+	}
+	dist := r.Distribution(keys)
+	want := len(keys) / nodes
+	for m, c := range dist {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("member %d owns %d keys, want within [%d, %d]: %v", m, c, want/2, want*2, dist)
+		}
+	}
+}
+
+// Property: removing one member only moves keys that were owned by that
+// member (consistent-hashing minimal-disruption guarantee).
+func TestMinimalMovementOnRemoval(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 6; i++ {
+		r.Add(i)
+	}
+	before := map[string]int{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i)
+		m, _ := r.Locate(k)
+		before[k] = m
+	}
+	r.Remove(3)
+	for k, old := range before {
+		now, _ := r.Locate(k)
+		if old != 3 && now != old {
+			t.Fatalf("key %q moved from %d to %d although member 3 was removed", k, old, now)
+		}
+		if now == 3 {
+			t.Fatalf("key %q still maps to removed member", k)
+		}
+	}
+}
+
+// Property: for any key and any live membership, Locate returns a current
+// member.
+func TestLocateReturnsMemberProperty(t *testing.T) {
+	f := func(key string, add []uint8) bool {
+		r := New(16)
+		live := map[int]bool{}
+		for _, a := range add {
+			m := int(a % 17)
+			r.Add(m)
+			live[m] = true
+		}
+		m, ok := r.Locate(key)
+		if len(live) == 0 {
+			return !ok
+		}
+		return ok && live[m]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package cluster simulates the hardware substrate the paper's experiments
+// ran on: a set of nodes, each with a disk and a NIC, joined by a network
+// with a uniform cost model. It is the stand-in for the Grid'5000 parapluie
+// cluster (DESIGN.md §2).
+//
+// Storage systems built on top of this package express their work as
+// resource reservations — an RPC pays two NIC traversals plus the remote
+// service time; a persisted write pays a disk transfer — and the per-client
+// virtual clocks of package sim turn those reservations into latency and
+// contention.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node within a cluster.
+type NodeID int
+
+// Node is one simulated machine: a disk resource, a NIC resource, and a CPU
+// resource used for metadata-service work.
+type Node struct {
+	ID   NodeID
+	disk *sim.Resource
+	nic  *sim.Resource
+	cpu  *sim.Resource
+}
+
+// Disk returns the node's disk resource.
+func (n *Node) Disk() *sim.Resource { return n.disk }
+
+// NIC returns the node's network-interface resource.
+func (n *Node) NIC() *sim.Resource { return n.nic }
+
+// CPU returns the node's metadata-CPU resource.
+func (n *Node) CPU() *sim.Resource { return n.cpu }
+
+// Config sizes a simulated cluster.
+type Config struct {
+	// Nodes is the number of machines. Must be >= 1.
+	Nodes int
+	// Cost is the hardware cost model. The zero value is replaced by
+	// sim.DefaultCostModel.
+	Cost sim.CostModel
+	// Seed seeds the cluster-wide RNG.
+	Seed uint64
+}
+
+// Cluster is a set of simulated nodes sharing one cost model.
+type Cluster struct {
+	nodes []*Node
+	cost  sim.CostModel
+	rng   *sim.RNG
+}
+
+// New builds a cluster from cfg. It panics if cfg.Nodes < 1; cluster sizing
+// is a programming decision, not a runtime input.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("cluster: invalid node count %d", cfg.Nodes))
+	}
+	if cfg.Cost == (sim.CostModel{}) {
+		cfg.Cost = sim.DefaultCostModel()
+	}
+	c := &Cluster{
+		cost: cfg.Cost,
+		rng:  sim.NewRNG(cfg.Seed),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, &Node{
+			ID:   NodeID(i),
+			disk: sim.NewResource(fmt.Sprintf("node%d/disk", i)),
+			nic:  sim.NewResource(fmt.Sprintf("node%d/nic", i)),
+			cpu:  sim.NewResource(fmt.Sprintf("node%d/cpu", i)),
+		})
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the node with the given ID. It panics on an out-of-range ID.
+func (c *Cluster) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: no node %d in %d-node cluster", id, len(c.nodes)))
+	}
+	return c.nodes[id]
+}
+
+// Nodes returns all nodes in ID order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Cost returns the cluster's hardware cost model.
+func (c *Cluster) Cost() sim.CostModel { return c.cost }
+
+// RNG returns the cluster-wide deterministic random source.
+func (c *Cluster) RNG() *sim.RNG { return c.rng }
+
+// RPC charges clk for a round trip from a client to node dst carrying
+// reqBytes of request payload and respBytes of response payload, plus the
+// given remote service time spent on the destination node's CPU. It models
+// the dominant costs of every remote operation in the repository.
+func (c *Cluster) RPC(clk *sim.Clock, dst NodeID, reqBytes, respBytes int, service time.Duration) {
+	n := c.Node(dst)
+	// Request traversal: client NIC is abstracted into the uniform wire
+	// cost; the destination NIC is the contended resource.
+	t := n.nic.Use(clk.Now()+c.cost.WireTime(reqBytes), 0)
+	// Remote service on the destination CPU.
+	t = n.cpu.Use(t, service)
+	// Response traversal.
+	t = n.nic.Use(t, 0)
+	clk.AdvanceTo(t + c.cost.WireTime(respBytes))
+}
+
+// DiskWrite charges clk for persisting n bytes on node dst's disk.
+func (c *Cluster) DiskWrite(clk *sim.Clock, dst NodeID, n int) {
+	node := c.Node(dst)
+	clk.AdvanceTo(node.disk.Use(clk.Now(), c.cost.DiskTime(n)))
+}
+
+// DiskRead charges clk for reading n bytes from node dst's disk.
+func (c *Cluster) DiskRead(clk *sim.Clock, dst NodeID, n int) {
+	c.DiskWrite(clk, dst, n) // identical first-order cost
+}
+
+// DiskAppend charges clk for a sequential journal append of n bytes on
+// node dst — bandwidth only, no seek (WALs live on a sequential log
+// device).
+func (c *Cluster) DiskAppend(clk *sim.Clock, dst NodeID, n int) {
+	node := c.Node(dst)
+	clk.AdvanceTo(node.disk.Use(clk.Now(), c.cost.DiskAppendTime(n)))
+}
+
+// MetaOp charges clk for k metadata operations executed on node dst,
+// including the RPC round trip to reach it. This is the building block for
+// path resolution, permission checks and lock traffic.
+func (c *Cluster) MetaOp(clk *sim.Clock, dst NodeID, k int) {
+	c.RPC(clk, dst, 64, 64, c.cost.MetaTime(k))
+}
+
+// LocalCompute charges clk for purely local CPU work of duration d without
+// touching any shared resource.
+func (c *Cluster) LocalCompute(clk *sim.Clock, d time.Duration) {
+	clk.Advance(d)
+}
+
+// ResetStats clears all resource statistics and queues, so consecutive
+// experiments on one cluster start from an idle state.
+func (c *Cluster) ResetStats() {
+	for _, n := range c.nodes {
+		n.disk.Reset()
+		n.nic.Reset()
+		n.cpu.Reset()
+	}
+}
+
+// Utilization reports the total busy time summed over every resource of
+// every node, grouped by resource kind. Useful for explaining benchmark
+// outcomes.
+func (c *Cluster) Utilization() (disk, nic, cpu time.Duration) {
+	for _, n := range c.nodes {
+		d, _ := n.disk.Stats()
+		w, _ := n.nic.Stats()
+		p, _ := n.cpu.Stats()
+		disk += d
+		nic += w
+		cpu += p
+	}
+	return disk, nic, cpu
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with 0 nodes did not panic")
+		}
+	}()
+	New(Config{Nodes: 0})
+}
+
+func TestNewDefaultsCostModel(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	if c.Cost() != sim.DefaultCostModel() {
+		t.Fatalf("zero cost model not defaulted: %+v", c.Cost())
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size() = %d, want 2", c.Size())
+	}
+}
+
+func TestNodeAccessorsAndPanic(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	n := c.Node(2)
+	if n.ID != 2 || n.Disk() == nil || n.NIC() == nil || n.CPU() == nil {
+		t.Fatalf("node accessors broken: %+v", n)
+	}
+	if got := len(c.Nodes()); got != 3 {
+		t.Fatalf("Nodes() length = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Node(99) did not panic")
+		}
+	}()
+	c.Node(99)
+}
+
+func TestRPCAdvancesClock(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	clk := sim.NewClock()
+	c.RPC(clk, 0, 100, 100, 50*time.Microsecond)
+	cost := c.Cost()
+	want := 2*cost.WireTime(100) + 50*time.Microsecond
+	if got := clk.Now(); got != want {
+		t.Fatalf("RPC advanced clock to %v, want %v", got, want)
+	}
+}
+
+func TestRPCContentionSerializes(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	// Two clients hit the same node CPU with long service times at t=0; the
+	// second must observe queueing delay.
+	a, b := sim.NewClock(), sim.NewClock()
+	c.RPC(a, 0, 0, 0, time.Millisecond)
+	c.RPC(b, 0, 0, 0, time.Millisecond)
+	if b.Now() <= a.Now() {
+		t.Fatalf("no contention observed: a=%v b=%v", a.Now(), b.Now())
+	}
+	if b.Now() < 2*time.Millisecond {
+		t.Fatalf("second RPC finished at %v, want >= 2ms of serialized service", b.Now())
+	}
+}
+
+func TestDiskReadWriteSymmetry(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	w, r := sim.NewClock(), sim.NewClock()
+	c.DiskWrite(w, 0, 1<<20)
+	c2 := New(Config{Nodes: 1})
+	c2.DiskRead(r, 0, 1<<20)
+	if w.Now() != r.Now() {
+		t.Fatalf("read/write cost asymmetric: %v vs %v", w.Now(), r.Now())
+	}
+}
+
+func TestMetaOpScalesWithCount(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	one, five := sim.NewClock(), sim.NewClock()
+	c.MetaOp(one, 0, 1)
+	c.ResetStats()
+	c.MetaOp(five, 0, 5)
+	if five.Now() <= one.Now() {
+		t.Fatalf("MetaOp(5)=%v not more expensive than MetaOp(1)=%v", five.Now(), one.Now())
+	}
+	diff := five.Now() - one.Now()
+	if want := 4 * c.Cost().MetaOp; diff != want {
+		t.Fatalf("MetaOp marginal cost = %v, want %v", diff, want)
+	}
+}
+
+func TestLocalCompute(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	clk := sim.NewClock()
+	c.LocalCompute(clk, 3*time.Millisecond)
+	if clk.Now() != 3*time.Millisecond {
+		t.Fatalf("LocalCompute: clock = %v", clk.Now())
+	}
+	disk, nic, cpu := c.Utilization()
+	if disk != 0 || nic != 0 || cpu != 0 {
+		t.Fatal("LocalCompute touched shared resources")
+	}
+}
+
+func TestUtilizationAndReset(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	clk := sim.NewClock()
+	c.DiskWrite(clk, 0, 1<<20)
+	c.RPC(clk, 1, 10, 10, time.Millisecond)
+	disk, _, cpu := c.Utilization()
+	if disk == 0 || cpu == 0 {
+		t.Fatalf("Utilization missing activity: disk=%v cpu=%v", disk, cpu)
+	}
+	c.ResetStats()
+	disk, nic, cpu := c.Utilization()
+	if disk != 0 || nic != 0 || cpu != 0 {
+		t.Fatal("ResetStats did not clear utilization")
+	}
+}
+
+func TestRNGDeterministicPerSeed(t *testing.T) {
+	a := New(Config{Nodes: 1, Seed: 5})
+	b := New(Config{Nodes: 1, Seed: 5})
+	for i := 0; i < 32; i++ {
+		if a.RNG().Uint64() != b.RNG().Uint64() {
+			t.Fatal("same-seed clusters diverge")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package core is the public face of the repository: the converged storage
+// platform the paper argues for. One Platform bundles a simulated cluster
+// with a flat-namespace blob store and exposes every access layer the paper
+// discusses:
+//
+//   - the native blob API (storage.BlobStore) for new HPC and Big Data
+//     software stacks — Section III's proposal;
+//   - a POSIX-IO file-system view over the same blobs (blobfs) for legacy
+//     applications — the CephFS-over-RADOS argument;
+//   - higher-level abstractions built on blobs: a key-value store and a
+//     time-series database — Section I's motivation;
+//   - tracing: any file-system view can be wrapped with the storage-call
+//     interceptor to measure an application's call mix, the paper's
+//     Section IV methodology.
+//
+// Examples under examples/ exercise exactly this API.
+package core
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/kvstore"
+	"repro/internal/s3gw"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/tsdb"
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Nodes is the simulated cluster size. Default 8 (the paper's storage
+	// node count).
+	Nodes int
+	// Seed drives all simulated randomness; runs with equal seeds are
+	// reproducible. Default 1.
+	Seed uint64
+	// Blob tunes the blob store (chunk size, replication, virtual nodes).
+	Blob blob.Config
+}
+
+// Platform is a converged storage deployment: one blob store, many views.
+type Platform struct {
+	cluster *cluster.Cluster
+	store   *blob.Store
+}
+
+// New builds a platform.
+func New(opts Options) *Platform {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c := cluster.New(cluster.Config{Nodes: opts.Nodes, Seed: opts.Seed})
+	return &Platform{cluster: c, store: blob.New(c, opts.Blob)}
+}
+
+// Cluster returns the simulated hardware substrate.
+func (p *Platform) Cluster() *cluster.Cluster { return p.cluster }
+
+// Blob returns the native blob API — Section III's primitive set.
+func (p *Platform) Blob() storage.BlobStore { return p.store }
+
+// BlobStore returns the concrete store, for failure injection and
+// invariant checking in tests and experiments.
+func (p *Platform) BlobStore() *blob.Store { return p.store }
+
+// POSIX returns a POSIX-IO file-system view over the platform's blobs, for
+// unmodified legacy applications.
+func (p *Platform) POSIX() storage.FileSystem { return blobfs.New(p.store) }
+
+// TracedPOSIX returns a POSIX view wrapped in the storage-call interceptor
+// together with its census.
+func (p *Platform) TracedPOSIX() (storage.FileSystem, *trace.Census) {
+	census := trace.NewCensus()
+	return trace.Wrap(blobfs.New(p.store), census), census
+}
+
+// KV opens a key-value store named prefix over the platform's blobs.
+func (p *Platform) KV(ctx *storage.Context, prefix string, shards int) (*kvstore.Store, error) {
+	return kvstore.Open(ctx, p.store, prefix, shards)
+}
+
+// TSDB opens a time-series database named prefix over the platform's
+// blobs.
+func (p *Platform) TSDB(prefix string, window time.Duration) (*tsdb.DB, error) {
+	return tsdb.Open(p.store, prefix, window)
+}
+
+// NewContext returns a fresh client context (virtual clock + identity).
+func (p *Platform) NewContext() *storage.Context { return storage.NewContext() }
+
+// S3 returns an S3-flavoured HTTP object interface over the platform's
+// blobs — the cloud-side access path (pwalrus-style) alongside the POSIX
+// and native views.
+func (p *Platform) S3() http.Handler { return s3gw.New(p.store) }
+
+// MappingReport summarizes how a traced application's calls map onto the
+// blob primitive set — the quantitative form of the paper's Section III/IV
+// argument.
+type MappingReport struct {
+	// TotalCalls is every storage call observed.
+	TotalCalls int64
+	// DirectCalls map one-to-one onto blob primitives (file operations).
+	DirectCalls int64
+	// EmulatedCalls need scan-based emulation (directory operations) or
+	// client-side state (xattr, chmod).
+	EmulatedCalls int64
+	// DirectPercent is DirectCalls / TotalCalls * 100.
+	DirectPercent float64
+}
+
+// Mapping computes the report from a census.
+func Mapping(c *trace.Census) MappingReport {
+	total := c.TotalCalls()
+	emulated := c.UnmappableCalls()
+	r := MappingReport{
+		TotalCalls:    total,
+		DirectCalls:   total - emulated,
+		EmulatedCalls: emulated,
+	}
+	if total > 0 {
+		r.DirectPercent = 100 * float64(r.DirectCalls) / float64(total)
+	}
+	return r
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/storage"
+	"repro/internal/tsdb"
+)
+
+func TestNewDefaults(t *testing.T) {
+	p := New(Options{})
+	if p.Cluster().Size() != 8 {
+		t.Fatalf("default cluster size = %d, want 8", p.Cluster().Size())
+	}
+	if p.Blob() == nil || p.BlobStore() == nil {
+		t.Fatal("blob accessors nil")
+	}
+}
+
+func TestBlobAndPOSIXShareData(t *testing.T) {
+	// The convergence property: a blob written through the native API is a
+	// file through the POSIX view, and vice versa.
+	p := New(Options{Nodes: 4})
+	ctx := p.NewContext()
+
+	if err := p.Blob().CreateBlob(ctx, "shared.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Blob().WriteBlob(ctx, "shared.dat", 0, []byte("via blob api")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := p.POSIX()
+	h, err := fs.Open(ctx, "/shared.dat")
+	if err != nil {
+		t.Fatalf("POSIX view cannot open blob: %v", err)
+	}
+	buf := make([]byte, 12)
+	n, err := h.ReadAt(ctx, 0, buf)
+	if err != nil || n != 12 || string(buf) != "via blob api" {
+		t.Fatalf("POSIX read = (%d, %v, %q)", n, err, buf)
+	}
+	h.Close(ctx)
+
+	// And the other way round.
+	h2, err := fs.Create(ctx, "/from-posix.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.WriteAt(ctx, 0, []byte("via posix"))
+	h2.Close(ctx)
+	size, err := p.Blob().BlobSize(ctx, "from-posix.txt")
+	if err != nil || size != 9 {
+		t.Fatalf("blob view of POSIX file = (%d, %v)", size, err)
+	}
+}
+
+func TestTracedPOSIX(t *testing.T) {
+	p := New(Options{Nodes: 4})
+	fs, census := p.TracedPOSIX()
+	ctx := p.NewContext()
+	h, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.WriteAt(ctx, 0, []byte("abc"))
+	h.Close(ctx)
+	if census.TotalCalls() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	if census.BytesWritten() != 3 {
+		t.Fatalf("bytes written = %d", census.BytesWritten())
+	}
+}
+
+func TestKVAndTSDBOnSamePlatform(t *testing.T) {
+	p := New(Options{Nodes: 4})
+	ctx := p.NewContext()
+
+	kv, err := p.KV(ctx, "app-kv", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(ctx, "config", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get(ctx, "config")
+	if err != nil || string(got) != "value" {
+		t.Fatalf("KV = (%q, %v)", got, err)
+	}
+
+	db, err := p.TSDB("app-metrics", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2017, 9, 5, 0, 0, 0, 0, time.UTC)
+	if err := db.Append(ctx, "lat", tsdb.Point{T: t0, V: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := db.Query(ctx, "lat", t0, t0.Add(time.Minute))
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("TSDB = (%d, %v)", len(pts), err)
+	}
+
+	// Both abstractions live in one flat namespace, visible via Scan.
+	infos, err := p.Blob().Scan(ctx, "app-")
+	if err != nil || len(infos) < 5 {
+		t.Fatalf("Scan over abstractions = (%d, %v)", len(infos), err)
+	}
+}
+
+func TestMappingReport(t *testing.T) {
+	p := New(Options{Nodes: 4})
+	fs, census := p.TracedPOSIX()
+	ctx := p.NewContext()
+	fs.Mkdir(ctx, "/d") // emulated
+	h, _ := fs.Create(ctx, "/d/f")
+	h.WriteAt(ctx, 0, []byte("x")) // direct
+	h.Close(ctx)
+	fs.ReadDir(ctx, "/d") // emulated
+
+	r := Mapping(census)
+	if r.TotalCalls != 5 {
+		t.Fatalf("TotalCalls = %d (mkdir, create, write, close, opendir)", r.TotalCalls)
+	}
+	if r.EmulatedCalls != 2 {
+		t.Fatalf("EmulatedCalls = %d, want 2", r.EmulatedCalls)
+	}
+	if r.DirectCalls != 3 {
+		t.Fatalf("DirectCalls = %d, want 3", r.DirectCalls)
+	}
+	if r.DirectPercent < 59 || r.DirectPercent > 61 {
+		t.Fatalf("DirectPercent = %.2f", r.DirectPercent)
+	}
+}
+
+func TestMappingEmptyCensus(t *testing.T) {
+	p := New(Options{Nodes: 2})
+	_, census := p.TracedPOSIX()
+	r := Mapping(census)
+	if r.TotalCalls != 0 || r.DirectPercent != 0 {
+		t.Fatalf("empty mapping = %+v", r)
+	}
+}
+
+func TestReproducibleSeeds(t *testing.T) {
+	run := func() int64 {
+		p := New(Options{Nodes: 4, Seed: 99})
+		ctx := p.NewContext()
+		p.Blob().CreateBlob(ctx, "k")
+		p.Blob().WriteBlob(ctx, "k", 0, make([]byte, 1<<16))
+		return int64(ctx.Clock.Now())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different virtual times: %d vs %d", a, b)
+	}
+}
+
+func TestFailureInjectionThroughFacade(t *testing.T) {
+	p := New(Options{Nodes: 4, Blob: blob.Config{Replication: 3}})
+	ctx := p.NewContext()
+	p.Blob().CreateBlob(ctx, "resilient")
+	p.Blob().WriteBlob(ctx, "resilient", 0, []byte("data"))
+	p.BlobStore().SetDown(0, true)
+	defer p.BlobStore().SetDown(0, false)
+	// Reads still work unless node 0 held every replica.
+	buf := make([]byte, 4)
+	if _, err := p.Blob().ReadBlob(ctx, "resilient", 0, buf); err != nil &&
+		!errors.Is(err, storage.ErrStaleHandle) && !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+	if msg := p.BlobStore().CheckInvariants(); msg != "" {
+		t.Fatalf("invariants violated: %s", msg)
+	}
+}
+
+func TestS3HandlerOverPlatform(t *testing.T) {
+	p := New(Options{Nodes: 4})
+	srv := httptest.NewServer(p.S3())
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/via-s3", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	ctx := p.NewContext()
+	size, err := p.Blob().BlobSize(ctx, "via-s3")
+	if err != nil || size != 7 {
+		t.Fatalf("blob view of S3 object = (%d, %v)", size, err)
+	}
+}

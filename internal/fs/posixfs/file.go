@@ -1,0 +1,238 @@
+package posixfs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// handle is an open posixfs file. Under strict POSIX semantics every read
+// and write acquires a range lock from the MDS lock manager before touching
+// data, making each write immediately visible to all other handles.
+type handle struct {
+	fs   *FS
+	node *inode
+	path string
+	mu   sync.Mutex
+	open bool
+}
+
+// Create makes (or truncates) a file and opens it.
+func (fs *FS) Create(ctx *storage.Context, path string) (storage.Handle, error) {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	existing, ok := dir.children[name]
+	if ok {
+		fs.mu.Unlock()
+		if existing.isDir {
+			return nil, fmt.Errorf("create %q: %w", path, storage.ErrIsDirectory)
+		}
+		existing.mu.Lock()
+		if !canAccess(ctx, existing, permW) {
+			existing.mu.Unlock()
+			return nil, fmt.Errorf("create %q: %w", path, storage.ErrPermission)
+		}
+		existing.data = nil // O_TRUNC
+		existing.mu.Unlock()
+		fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+		return &handle{fs: fs, node: existing, path: path, open: true}, nil
+	}
+	if !canAccess(ctx, dir, permW) {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("create %q: %w", path, storage.ErrPermission)
+	}
+	n := &inode{
+		ino:      fs.nextIno,
+		mode:     0o644,
+		uid:      ctx.UID,
+		gid:      ctx.GID,
+		stripeAt: int(fs.nextIno) % len(fs.osts),
+	}
+	fs.nextIno++
+	dir.children[name] = n
+	fs.mu.Unlock()
+	// Create costs: namespace insert + stripe-layout allocation across the
+	// file's OSTs.
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1+fs.cfg.StripeCount)
+	return &handle{fs: fs, node: n, path: path, open: true}, nil
+}
+
+// Open opens an existing file for reading and writing.
+func (fs *FS) Open(ctx *storage.Context, path string) (storage.Handle, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("open %q: %w", path, storage.ErrIsDirectory)
+	}
+	if !canAccess(ctx, n, permR) {
+		return nil, fmt.Errorf("open %q: %w", path, storage.ErrPermission)
+	}
+	return &handle{fs: fs, node: n, path: path, open: true}, nil
+}
+
+// Truncate resizes a file by path.
+func (fs *FS) Truncate(ctx *storage.Context, path string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("truncate %q to %d: %w", path, size, storage.ErrInvalidArg)
+	}
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	if n.isDir {
+		return fmt.Errorf("truncate %q: %w", path, storage.ErrIsDirectory)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !canAccess(ctx, n, permW) {
+		return fmt.Errorf("truncate %q: %w", path, storage.ErrPermission)
+	}
+	resize(n, size)
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+	return nil
+}
+
+func resize(n *inode, size int64) {
+	switch {
+	case size <= int64(len(n.data)):
+		n.data = n.data[:size]
+	case size <= int64(cap(n.data)):
+		// Reuse spare capacity; the region beyond the old length must be
+		// zeroed (it may hold stale bytes from an earlier shrink).
+		old := len(n.data)
+		n.data = n.data[:size]
+		clearBytes(n.data[old:])
+	default:
+		newCap := int64(cap(n.data))
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		for newCap < size {
+			newCap *= 2
+		}
+		grown := make([]byte, size, newCap)
+		copy(grown, n.data)
+		n.data = grown
+	}
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// chargeStripedIO charges the data-path cost of an n-byte transfer at the
+// given offset: the bytes are spread over the file's stripe set, each
+// stripe paying its OST's disk and NIC.
+func (fs *FS) chargeStripedIO(ctx *storage.Context, node *inode, off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	ss := int64(fs.cfg.StripeSize)
+	var children []*storage.Context
+	for done := int64(0); done < int64(n); {
+		stripeIdx := (off + done) / ss
+		within := (off + done) % ss
+		take := ss - within
+		if take > int64(n)-done {
+			take = int64(n) - done
+		}
+		ost := fs.osts[(node.stripeAt+int(stripeIdx))%len(fs.osts)]
+		child := ctx.Fork()
+		fs.cluster.DiskWrite(child.Clock, ost, int(take))
+		fs.cluster.RPC(child.Clock, ost, 64, int(take), 0)
+		children = append(children, child)
+		done += take
+	}
+	for _, c := range children {
+		ctx.Clock.Join(c.Clock)
+	}
+}
+
+// chargeLock charges the strict-consistency range-lock acquisition round
+// trip, when the configuration demands it.
+func (fs *FS) chargeLock(ctx *storage.Context) {
+	if fs.cfg.LockAcquisition {
+		fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+	}
+}
+
+// ReadAt implements storage.Handle.
+func (h *handle) ReadAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	if err := h.check(off); err != nil {
+		return 0, err
+	}
+	h.fs.chargeLock(ctx)
+	h.node.mu.RLock()
+	defer h.node.mu.RUnlock()
+	if off >= int64(len(h.node.data)) {
+		return 0, nil
+	}
+	n := copy(p, h.node.data[off:])
+	h.fs.chargeStripedIO(ctx, h.node, off, n)
+	return n, nil
+}
+
+// WriteAt implements storage.Handle. The write is immediately visible to
+// every other handle on the file (strict POSIX semantics).
+func (h *handle) WriteAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	if err := h.check(off); err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	h.fs.chargeLock(ctx)
+	h.node.mu.Lock()
+	defer h.node.mu.Unlock()
+	if need := off + int64(len(p)); need > int64(len(h.node.data)) {
+		resize(h.node, need)
+	}
+	copy(h.node.data[off:], p)
+	h.fs.chargeStripedIO(ctx, h.node, off, len(p))
+	return len(p), nil
+}
+
+// Sync flushes client caches; under strict semantics data is already
+// visible, so only a durability round trip is charged.
+func (h *handle) Sync(ctx *storage.Context) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.open {
+		return storage.ErrClosed
+	}
+	h.fs.cluster.MetaOp(ctx.Clock, h.fs.cfg.MDS, 1)
+	return nil
+}
+
+// Close releases the handle.
+func (h *handle) Close(ctx *storage.Context) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.open {
+		return storage.ErrClosed
+	}
+	h.open = false
+	h.fs.cluster.MetaOp(ctx.Clock, h.fs.cfg.MDS, 1)
+	return nil
+}
+
+func (h *handle) check(off int64) error {
+	h.mu.Lock()
+	open := h.open
+	h.mu.Unlock()
+	if !open {
+		return storage.ErrClosed
+	}
+	if off < 0 {
+		return fmt.Errorf("offset %d: %w", off, storage.ErrInvalidArg)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package posixfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// The reference model: a map of path -> content plus a directory set,
+// with POSIX semantics for the operation subset the random walk uses.
+type fsModel struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+func newFSModel() *fsModel {
+	return &fsModel{
+		files: map[string][]byte{},
+		dirs:  map[string]bool{"/": true},
+	}
+}
+
+func parent(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+func (m *fsModel) mkdir(path string) error {
+	if m.dirs[path] || m.files[path] != nil {
+		return storage.ErrExists
+	}
+	if !m.dirs[parent(path)] {
+		return storage.ErrNotFound
+	}
+	m.dirs[path] = true
+	return nil
+}
+
+func (m *fsModel) create(path string) error {
+	if m.dirs[path] {
+		return storage.ErrIsDirectory
+	}
+	if !m.dirs[parent(path)] {
+		return storage.ErrNotFound
+	}
+	m.files[path] = nil
+	return nil
+}
+
+func (m *fsModel) write(path string, off int64, p []byte) error {
+	data, ok := m.files[path]
+	if !ok {
+		return storage.ErrNotFound
+	}
+	if len(p) == 0 {
+		return nil // pwrite(…, 0) never extends
+	}
+	if need := off + int64(len(p)); need > int64(len(data)) {
+		grown := make([]byte, need)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[off:], p)
+	m.files[path] = data
+	return nil
+}
+
+func (m *fsModel) unlink(path string) error {
+	if m.dirs[path] {
+		return storage.ErrIsDirectory
+	}
+	if _, ok := m.files[path]; !ok {
+		return storage.ErrNotFound
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *fsModel) rmdir(path string) error {
+	if !m.dirs[path] {
+		if _, ok := m.files[path]; ok {
+			return storage.ErrNotDirectory
+		}
+		return storage.ErrNotFound
+	}
+	for f := range m.files {
+		if parent(f) == path {
+			return storage.ErrNotEmpty
+		}
+	}
+	for d := range m.dirs {
+		if d != path && parent(d) == path {
+			return storage.ErrNotEmpty
+		}
+	}
+	delete(m.dirs, path)
+	return nil
+}
+
+// fsOp is one random operation; quick generates the fields.
+type fsOp struct {
+	Kind uint8
+	Dir  uint8
+	Name uint8
+	Off  uint16
+	Data []byte
+}
+
+// TestPosixFSMatchesModel drives random mkdir/create/write/read/unlink/
+// rmdir sequences against posixfs and the model, comparing every outcome
+// class and all final contents.
+func TestPosixFSMatchesModel(t *testing.T) {
+	dirs := []string{"/", "/a", "/b", "/a/sub"}
+	names := []string{"f0", "f1", "f2"}
+
+	f := func(ops []fsOp) bool {
+		fs := NewStrict(cluster.New(cluster.Config{Nodes: 4, Seed: 1}))
+		ctx := storage.NewContext()
+		model := newFSModel()
+		for _, o := range ops {
+			dir := dirs[int(o.Dir)%len(dirs)]
+			path := dir
+			if path == "/" {
+				path = ""
+			}
+			switch o.Kind % 6 {
+			case 0: // mkdir one of the fixed dirs
+				d := dirs[1+int(o.Name)%(len(dirs)-1)]
+				gotErr := fs.Mkdir(ctx, d)
+				wantErr := model.mkdir(d)
+				if !sameErrClass(gotErr, wantErr) {
+					return false
+				}
+			case 1: // create
+				p := path + "/" + names[int(o.Name)%len(names)]
+				h, gotErr := fs.Create(ctx, p)
+				wantErr := model.create(p)
+				if !sameErrClass(gotErr, wantErr) {
+					return false
+				}
+				if gotErr == nil {
+					h.Close(ctx)
+				}
+			case 2: // write
+				p := path + "/" + names[int(o.Name)%len(names)]
+				data := o.Data
+				if len(data) > 128 {
+					data = data[:128]
+				}
+				off := int64(o.Off % 512)
+				h, gotErr := fs.Open(ctx, p)
+				_, wantExists := model.files[p]
+				if (gotErr == nil) != wantExists {
+					return false
+				}
+				if gotErr == nil {
+					if _, err := h.WriteAt(ctx, off, data); err != nil {
+						return false
+					}
+					h.Close(ctx)
+					if err := model.write(p, off, data); err != nil {
+						return false
+					}
+				}
+			case 3: // unlink
+				p := path + "/" + names[int(o.Name)%len(names)]
+				if !sameErrClass(fs.Unlink(ctx, p), model.unlink(p)) {
+					return false
+				}
+			case 4: // rmdir
+				d := dirs[1+int(o.Name)%(len(dirs)-1)]
+				if !sameErrClass(fs.Rmdir(ctx, d), model.rmdir(d)) {
+					return false
+				}
+			case 5: // stat + read-verify one model file
+				for p, want := range model.files {
+					info, err := fs.Stat(ctx, p)
+					if err != nil || info.Size != int64(len(want)) {
+						return false
+					}
+					break
+				}
+			}
+		}
+		// Final content sweep.
+		for p, want := range model.files {
+			h, err := fs.Open(ctx, p)
+			if err != nil {
+				return false
+			}
+			got := make([]byte, len(want)+8)
+			n, err := h.ReadAt(ctx, 0, got)
+			h.Close(ctx)
+			if err != nil || n != len(want) || !bytes.Equal(got[:n], want) {
+				return false
+			}
+		}
+		// Every model dir must stat as a dir.
+		for d := range model.dirs {
+			if d == "/" {
+				continue
+			}
+			info, err := fs.Stat(ctx, d)
+			if err != nil || !info.IsDir {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameErrClass compares storage sentinel classes, ignoring wrapping.
+func sameErrClass(got, want error) bool {
+	if (got == nil) != (want == nil) {
+		return false
+	}
+	if got == nil {
+		return true
+	}
+	for _, sentinel := range []error{
+		storage.ErrNotFound, storage.ErrExists, storage.ErrNotEmpty,
+		storage.ErrIsDirectory, storage.ErrNotDirectory, storage.ErrPermission,
+	} {
+		if errors.Is(want, sentinel) {
+			return errors.Is(got, sentinel)
+		}
+	}
+	return true
+}
+
+// Directory listings must agree with the model after a deterministic
+// mixed sequence (regression companion to the random walk).
+func TestReadDirAgreesWithModel(t *testing.T) {
+	fs := NewStrict(cluster.New(cluster.Config{Nodes: 4, Seed: 1}))
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/proj")
+	for i := 0; i < 5; i++ {
+		h, err := fs.Create(ctx, fmt.Sprintf("/proj/file-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close(ctx)
+	}
+	fs.Mkdir(ctx, "/proj/nested")
+	fs.Unlink(ctx, "/proj/file-2")
+	entries, err := fs.ReadDir(ctx, "/proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"file-0", "file-1", "file-3", "file-4", "nested"}
+	if len(entries) != len(want) {
+		t.Fatalf("ReadDir = %v", entries)
+	}
+	for i, w := range want {
+		if entries[i].Name != w {
+			t.Fatalf("ReadDir = %v, want %v", entries, want)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package posixfs implements the strict POSIX-IO parallel file system that
+// serves as the paper's HPC baseline (Lustre / OrangeFS):
+//
+//   - a hierarchical namespace held by a dedicated metadata server (MDS);
+//     every path operation resolves component by component, each component
+//     costing a metadata RPC — the hierarchy tax of Section I;
+//   - per-component permission checks (the POSIX feature the paper calls
+//     "largely unused");
+//   - strict consistency: every read and write acquires a range lock from
+//     the MDS-resident lock manager before touching data, so a write is
+//     immediately visible to all clients — the semantics MPI-IO does not
+//     need but a POSIX file system must pay for;
+//   - file data striped across object storage targets (OSTs), with data
+//     transfer costs charged per stripe.
+//
+// Functional state (namespace tree, file bytes, modes, xattrs) is real and
+// fully tested; service times are charged to the virtual clock.
+package posixfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// Config sizes the file system.
+type Config struct {
+	// MDS is the node hosting the metadata server. Defaults to node 0.
+	MDS cluster.NodeID
+	// StripeSize is the striping unit across OSTs. Defaults to 1 MiB.
+	StripeSize int
+	// StripeCount is how many OSTs a file is striped over. Defaults to 4,
+	// clamped to the number of OSTs.
+	StripeCount int
+	// LockAcquisition, when true (the default via NewStrict), charges a
+	// lock-manager round trip on every read and write. Disabling it is the
+	// "relaxed semantics behind the POSIX API" configuration (OrangeFS
+	// style) used by the consistency ablation.
+	LockAcquisition bool
+}
+
+// FS is a simulated POSIX-compliant parallel file system. It implements
+// storage.FileSystem.
+type FS struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	osts    []cluster.NodeID
+
+	mu   sync.RWMutex
+	root *inode
+	// lockMgr serializes strict-consistency range-lock traffic; functional
+	// mutual exclusion is per-inode, this resource models the MDS-side cost.
+	nextIno uint64
+}
+
+type inode struct {
+	ino   uint64
+	mu    sync.RWMutex
+	isDir bool
+	mode  uint32
+	uid   int
+	gid   int
+
+	// Directory state.
+	children map[string]*inode
+
+	// File state. Data is held whole; stripe layout only shapes costs.
+	data     []byte
+	stripeAt int // first OST index for round-robin striping
+	xattrs   map[string]string
+}
+
+// New builds a posixfs over the cluster. All nodes except the MDS act as
+// OSTs; with a single-node cluster the MDS doubles as the OST.
+func New(c *cluster.Cluster, cfg Config) *FS {
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = 1 << 20
+	}
+	if cfg.StripeCount <= 0 {
+		cfg.StripeCount = 4
+	}
+	fs := &FS{cfg: cfg, cluster: c}
+	for _, n := range c.Nodes() {
+		if n.ID != cfg.MDS {
+			fs.osts = append(fs.osts, n.ID)
+		}
+	}
+	if len(fs.osts) == 0 {
+		fs.osts = []cluster.NodeID{cfg.MDS}
+	}
+	if fs.cfg.StripeCount > len(fs.osts) {
+		fs.cfg.StripeCount = len(fs.osts)
+	}
+	fs.root = &inode{
+		ino:      1,
+		isDir:    true,
+		mode:     0o755,
+		children: make(map[string]*inode),
+	}
+	fs.nextIno = 2
+	return fs
+}
+
+// NewStrict builds a posixfs with full POSIX semantics (per-operation lock
+// acquisition), the configuration every baseline experiment uses.
+func NewStrict(c *cluster.Cluster) *FS {
+	return New(c, Config{LockAcquisition: true})
+}
+
+// Config returns the effective configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// splitPath normalizes and splits an absolute or relative slash path into
+// components, rejecting empty paths.
+func splitPath(path string) ([]string, error) {
+	if path == "" {
+		return nil, fmt.Errorf("empty path: %w", storage.ErrInvalidArg)
+	}
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, fmt.Errorf("path %q: parent references not supported: %w", path, storage.ErrInvalidArg)
+		default:
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// canAccess checks POSIX rwx permission bits for the context's identity.
+func canAccess(ctx *storage.Context, n *inode, want uint32) bool {
+	if ctx.UID == 0 {
+		return true
+	}
+	var bits uint32
+	switch {
+	case ctx.UID == n.uid:
+		bits = (n.mode >> 6) & 7
+	case ctx.GID == n.gid:
+		bits = (n.mode >> 3) & 7
+	default:
+		bits = n.mode & 7
+	}
+	return bits&want == want
+}
+
+const (
+	permR uint32 = 4
+	permW uint32 = 2
+	permX uint32 = 1
+)
+
+// resolve walks the path from the root, charging one MDS metadata op per
+// component (lookup + permission check) and verifying execute permission on
+// every traversed directory. It returns the final inode.
+func (fs *FS) resolve(ctx *storage.Context, path string) (*inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.walk(ctx, parts)
+}
+
+func (fs *FS) walk(ctx *storage.Context, parts []string) (*inode, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	cur := fs.root
+	// Root lookup costs one metadata op even for "/" itself.
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+	for _, comp := range parts {
+		if !cur.isDir {
+			return nil, fmt.Errorf("component %q: %w", comp, storage.ErrNotDirectory)
+		}
+		if !canAccess(ctx, cur, permX) {
+			return nil, fmt.Errorf("component %q: %w", comp, storage.ErrPermission)
+		}
+		child, ok := cur.children[comp]
+		if !ok {
+			return nil, fmt.Errorf("component %q: %w", comp, storage.ErrNotFound)
+		}
+		fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+		cur = child
+	}
+	return cur, nil
+}
+
+// resolveParent resolves everything but the last component, returning the
+// parent directory and the final name.
+func (fs *FS) resolveParent(ctx *storage.Context, path string) (*inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("path %q has no final component: %w", path, storage.ErrInvalidArg)
+	}
+	dir, err := fs.walk(ctx, parts[:len(parts)-1])
+	if err != nil {
+		return nil, "", err
+	}
+	if !dir.isDir {
+		return nil, "", fmt.Errorf("parent of %q: %w", path, storage.ErrNotDirectory)
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a directory. The parent must exist and be writable.
+func (fs *FS) Mkdir(ctx *storage.Context, path string) error {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !canAccess(ctx, dir, permW) {
+		return fmt.Errorf("mkdir %q: %w", path, storage.ErrPermission)
+	}
+	if _, exists := dir.children[name]; exists {
+		return fmt.Errorf("mkdir %q: %w", path, storage.ErrExists)
+	}
+	dir.children[name] = &inode{
+		ino:      fs.nextIno,
+		isDir:    true,
+		mode:     0o755,
+		uid:      ctx.UID,
+		gid:      ctx.GID,
+		children: make(map[string]*inode),
+	}
+	fs.nextIno++
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 2) // insert + journal
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(ctx *storage.Context, path string) error {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrNotFound)
+	}
+	if !child.isDir {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrNotDirectory)
+	}
+	if len(child.children) > 0 {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrNotEmpty)
+	}
+	if !canAccess(ctx, dir, permW) {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrPermission)
+	}
+	delete(dir.children, name)
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 2)
+	return nil
+}
+
+// ReadDir lists a directory in name order.
+func (fs *FS) ReadDir(ctx *storage.Context, path string) ([]storage.DirEntry, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if !n.isDir {
+		return nil, fmt.Errorf("readdir %q: %w", path, storage.ErrNotDirectory)
+	}
+	if !canAccess(ctx, n, permR) {
+		return nil, fmt.Errorf("readdir %q: %w", path, storage.ErrPermission)
+	}
+	out := make([]storage.DirEntry, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, storage.DirEntry{Name: name, IsDir: c.isDir})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	// Listing pays per-entry metadata cost on the MDS.
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1+len(out)/8)
+	return out, nil
+}
+
+// Stat returns metadata for a path.
+func (fs *FS) Stat(ctx *storage.Context, path string) (storage.FileInfo, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	parts, _ := splitPath(path)
+	name := ""
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return storage.FileInfo{
+		Name:  name,
+		Size:  int64(len(n.data)),
+		Mode:  n.mode,
+		IsDir: n.isDir,
+	}, nil
+}
+
+// Chmod updates the permission bits; only the owner or root may do so.
+func (fs *FS) Chmod(ctx *storage.Context, path string, mode uint32) error {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ctx.UID != 0 && ctx.UID != n.uid {
+		return fmt.Errorf("chmod %q: %w", path, storage.ErrPermission)
+	}
+	n.mode = mode & 0o7777
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+	return nil
+}
+
+// GetXattr reads an extended attribute (the paper's "other" call category,
+// observed in ECOHAM's prep scripts).
+func (fs *FS) GetXattr(ctx *storage.Context, path, name string) (string, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return "", err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	v, ok := n.xattrs[name]
+	if !ok {
+		return "", fmt.Errorf("xattr %q on %q: %w", name, path, storage.ErrNotFound)
+	}
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+	return v, nil
+}
+
+// SetXattr writes an extended attribute.
+func (fs *FS) SetXattr(ctx *storage.Context, path, name, value string) error {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !canAccess(ctx, n, permW) {
+		return fmt.Errorf("setxattr %q on %q: %w", name, path, storage.ErrPermission)
+	}
+	if n.xattrs == nil {
+		n.xattrs = make(map[string]string)
+	}
+	n.xattrs[name] = value
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+	return nil
+}
+
+// Unlink removes a file.
+func (fs *FS) Unlink(ctx *storage.Context, path string) error {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("unlink %q: %w", path, storage.ErrNotFound)
+	}
+	if child.isDir {
+		return fmt.Errorf("unlink %q: %w", path, storage.ErrIsDirectory)
+	}
+	if !canAccess(ctx, dir, permW) {
+		return fmt.Errorf("unlink %q: %w", path, storage.ErrPermission)
+	}
+	delete(dir.children, name)
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 2)
+	return nil
+}
+
+// Rename moves a file or directory. Both parents are resolved; the target
+// must not exist (sufficient for the traced applications' usage).
+func (fs *FS) Rename(ctx *storage.Context, oldPath, newPath string) error {
+	oldDir, oldName, err := fs.resolveParent(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	newDir, newName, err := fs.resolveParent(ctx, newPath)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := oldDir.children[oldName]
+	if !ok {
+		return fmt.Errorf("rename %q: %w", oldPath, storage.ErrNotFound)
+	}
+	if _, exists := newDir.children[newName]; exists {
+		return fmt.Errorf("rename to %q: %w", newPath, storage.ErrExists)
+	}
+	if !canAccess(ctx, oldDir, permW) || !canAccess(ctx, newDir, permW) {
+		return fmt.Errorf("rename %q -> %q: %w", oldPath, newPath, storage.ErrPermission)
+	}
+	delete(oldDir.children, oldName)
+	newDir.children[newName] = child
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 2)
+	return nil
+}

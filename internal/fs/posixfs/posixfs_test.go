@@ -1,0 +1,419 @@
+package posixfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	return NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1}))
+}
+
+func TestMkdirAndReadDir(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	for _, p := range []string{"/a", "/a/b", "/a/c"} {
+		if err := fs.Mkdir(ctx, p); err != nil {
+			t.Fatalf("mkdir %s: %v", p, err)
+		}
+	}
+	entries, err := fs.ReadDir(ctx, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "b" || entries[1].Name != "c" {
+		t.Fatalf("ReadDir = %v", entries)
+	}
+	if !entries[0].IsDir {
+		t.Fatal("subdirectory not flagged as dir")
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/x/y"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("mkdir missing parent: %v", err)
+	}
+	fs.Mkdir(ctx, "/x")
+	if err := fs.Mkdir(ctx, "/x"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("mkdir duplicate: %v", err)
+	}
+	if err := fs.Mkdir(ctx, ""); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("mkdir empty: %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/x/../y"); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("mkdir dotdot: %v", err)
+	}
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	fs.Mkdir(ctx, "/d/sub")
+	if err := fs.Rmdir(ctx, "/d"); !errors.Is(err, storage.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := fs.Rmdir(ctx, "/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir(ctx, "/d"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rmdir absent: %v", err)
+	}
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	if err := fs.Rmdir(ctx, "/f"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/data")
+	h, err := fs.Create(ctx, "/data/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("strict posix payload")
+	if n, err := h.WriteAt(ctx, 0, payload); err != nil || n != len(payload) {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	got := make([]byte, len(payload))
+	if n, err := h.ReadAt(ctx, 0, got); err != nil || n != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = (%d, %v, %q)", n, err, got)
+	}
+	if err := h.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := h.ReadAt(ctx, 0, got); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 0, []byte("old content"))
+	h.Close(ctx)
+	h2, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close(ctx)
+	info, _ := fs.Stat(ctx, "/f")
+	if info.Size != 0 {
+		t.Fatalf("Create did not truncate: size %d", info.Size)
+	}
+}
+
+// Strict POSIX semantics: a write through one handle is immediately visible
+// through another handle on the same file — the exact property the paper
+// says HPC applications pay for without needing.
+func TestStrictVisibilityAcrossHandles(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	w, _ := fs.Create(ctx, "/shared")
+	r, err := fs.Open(ctx, "/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteAt(ctx, 0, []byte("visible"))
+	got := make([]byte, 7)
+	n, err := r.ReadAt(ctx, 0, got)
+	if err != nil || n != 7 || string(got) != "visible" {
+		t.Fatalf("immediate visibility violated: (%d, %v, %q)", n, err, got)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	if _, err := fs.Open(ctx, "/missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("open missing: %v", err)
+	}
+	fs.Mkdir(ctx, "/dir")
+	if _, err := fs.Open(ctx, "/dir"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("open dir: %v", err)
+	}
+	if _, err := fs.Create(ctx, "/dir"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("create over dir: %v", err)
+	}
+}
+
+func TestStatAndTruncate(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 0, make([]byte, 100))
+	h.Close(ctx)
+	info, err := fs.Stat(ctx, "/f")
+	if err != nil || info.Size != 100 || info.IsDir || info.Name != "f" {
+		t.Fatalf("Stat = (%+v, %v)", info, err)
+	}
+	if err := fs.Truncate(ctx, "/f", 40); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = fs.Stat(ctx, "/f")
+	if info.Size != 40 {
+		t.Fatalf("size after truncate = %d", info.Size)
+	}
+	if err := fs.Truncate(ctx, "/f", 80); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := fs.Open(ctx, "/f")
+	buf := make([]byte, 80)
+	n, _ := h2.ReadAt(ctx, 0, buf)
+	if n != 80 {
+		t.Fatalf("read after extend = %d", n)
+	}
+	for i := 40; i < 80; i++ {
+		if buf[i] != 0 {
+			t.Fatal("extended region not zero-filled")
+		}
+	}
+	if err := fs.Truncate(ctx, "/f", -1); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("negative truncate: %v", err)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	if err := fs.Unlink(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/f"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("stat after unlink: %v", err)
+	}
+	fs.Mkdir(ctx, "/d")
+	if err := fs.Unlink(ctx, "/d"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	if err := fs.Unlink(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("unlink absent: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/src")
+	fs.Mkdir(ctx, "/dst")
+	h, _ := fs.Create(ctx, "/src/f")
+	h.WriteAt(ctx, 0, []byte("content"))
+	h.Close(ctx)
+	if err := fs.Rename(ctx, "/src/f", "/dst/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/src/f"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("source survived rename")
+	}
+	h2, err := fs.Open(ctx, "/dst/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if n, _ := h2.ReadAt(ctx, 0, buf); n != 7 || string(buf) != "content" {
+		t.Fatalf("renamed content = %q", buf[:n])
+	}
+	if err := fs.Rename(ctx, "/missing", "/dst/x"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+	fs.Create(ctx, "/dst/h")
+	if err := fs.Rename(ctx, "/dst/g", "/dst/h"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("rename over existing: %v", err)
+	}
+}
+
+func TestXattrs(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	if _, err := fs.GetXattr(ctx, "/f", "user.tag"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("getxattr absent: %v", err)
+	}
+	if err := fs.SetXattr(ctx, "/f", "user.tag", "value"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fs.GetXattr(ctx, "/f", "user.tag")
+	if err != nil || v != "value" {
+		t.Fatalf("GetXattr = (%q, %v)", v, err)
+	}
+}
+
+func TestPermissions(t *testing.T) {
+	fs := newFS(t)
+	root := storage.NewContext() // uid 0
+	fs.Mkdir(root, "/private")
+	fs.Chmod(root, "/private", 0o700)
+	h, _ := fs.Create(root, "/private/secret")
+	h.Close(root)
+
+	user := storage.NewContext()
+	user.UID, user.GID = 1000, 1000
+	if _, err := fs.Open(user, "/private/secret"); !errors.Is(err, storage.ErrPermission) {
+		t.Fatalf("traversal through 0700 dir: %v", err)
+	}
+	if err := fs.Mkdir(user, "/private/sub"); !errors.Is(err, storage.ErrPermission) {
+		t.Fatalf("mkdir in 0700 dir: %v", err)
+	}
+	// World-readable file in accessible dir.
+	h2, _ := fs.Create(root, "/public")
+	h2.Close(root)
+	fs.Chmod(root, "/public", 0o600)
+	if _, err := fs.Open(user, "/public"); !errors.Is(err, storage.ErrPermission) {
+		t.Fatalf("open 0600 file as other: %v", err)
+	}
+	fs.Chmod(root, "/public", 0o644)
+	if _, err := fs.Open(user, "/public"); err != nil {
+		t.Fatalf("open 0644 file as other: %v", err)
+	}
+	// Non-owner cannot chmod.
+	if err := fs.Chmod(user, "/public", 0o777); !errors.Is(err, storage.ErrPermission) {
+		t.Fatalf("chmod by non-owner: %v", err)
+	}
+}
+
+func TestPathResolutionCostGrowsWithDepth(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	path := ""
+	for i := 0; i < 8; i++ {
+		path = path + fmt.Sprintf("/d%d", i)
+		if err := fs.Mkdir(ctx, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, _ := fs.Create(ctx, path+"/leaf")
+	h.Close(ctx)
+
+	shallow := storage.NewContext()
+	if _, err := fs.Stat(shallow, "/d0"); err != nil {
+		t.Fatal(err)
+	}
+	deep := storage.NewContext()
+	if _, err := fs.Stat(deep, path+"/leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if deep.Clock.Now() <= shallow.Clock.Now() {
+		t.Fatalf("deep stat (%v) not costlier than shallow stat (%v) — hierarchy tax missing",
+			deep.Clock.Now(), shallow.Clock.Now())
+	}
+}
+
+func TestLockAcquisitionCost(t *testing.T) {
+	c1 := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
+	strict := New(c1, Config{LockAcquisition: true})
+	c2 := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
+	relaxed := New(c2, Config{LockAcquisition: false})
+
+	run := func(fs *FS) int64 {
+		ctx := storage.NewContext()
+		h, err := fs.Create(ctx, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := ctx.Clock.Now()
+		for i := 0; i < 100; i++ {
+			h.WriteAt(ctx, int64(i), []byte{1})
+		}
+		return int64(ctx.Clock.Now() - start)
+	}
+	if s, r := run(strict), run(relaxed); s <= r {
+		t.Fatalf("strict locking (%d) not costlier than relaxed (%d)", s, r)
+	}
+}
+
+func TestConcurrentWritersSharedFile(t *testing.T) {
+	fs := newFS(t)
+	setup := storage.NewContext()
+	h, _ := fs.Create(setup, "/shared")
+	h.Close(setup)
+	const ranks = 8
+	const per = 128
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ctx := storage.NewContext()
+			hh, err := fs.Open(ctx, "/shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer hh.Close(ctx)
+			payload := bytes.Repeat([]byte{byte(rank + 1)}, per)
+			if _, err := hh.WriteAt(ctx, int64(rank*per), payload); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	ctx := storage.NewContext()
+	rh, _ := fs.Open(ctx, "/shared")
+	buf := make([]byte, ranks*per)
+	n, err := rh.ReadAt(ctx, 0, buf)
+	if err != nil || n != ranks*per {
+		t.Fatalf("ReadAt = (%d, %v)", n, err)
+	}
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < per; i++ {
+			if buf[r*per+i] != byte(r+1) {
+				t.Fatalf("rank %d region corrupted at %d: %d", r, i, buf[r*per+i])
+			}
+		}
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 0, []byte("abc"))
+	n, err := h.ReadAt(ctx, 3, make([]byte, 4))
+	if err != nil || n != 0 {
+		t.Fatalf("read at EOF = (%d, %v)", n, err)
+	}
+	n, err = h.ReadAt(ctx, 1, make([]byte, 10))
+	if err != nil || n != 2 {
+		t.Fatalf("short read = (%d, %v)", n, err)
+	}
+	if _, err := h.ReadAt(ctx, -1, make([]byte, 1)); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("negative offset: %v", err)
+	}
+}
+
+func TestSingleNodeClusterWorks(t *testing.T) {
+	fs := NewStrict(cluster.New(cluster.Config{Nodes: 1}))
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

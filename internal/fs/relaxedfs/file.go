@@ -1,0 +1,211 @@
+package relaxedfs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// handle is an open relaxedfs file. A writer handle owns the file's lease;
+// its appends accumulate in a private buffer that becomes visible on Sync
+// (hflush) or Close. Reader handles see only visible data.
+type handle struct {
+	fs       *FS
+	node     *inode
+	path     string
+	mu       sync.Mutex
+	open     bool
+	writable bool
+	// pending holds appended-but-not-flushed bytes (writer handles only).
+	pending []byte
+}
+
+// Create makes a new file and opens it for writing, acquiring the
+// single-writer lease. Creating over an existing file replaces it (HDFS
+// create with overwrite), unless another writer holds its lease.
+func (fs *FS) Create(ctx *storage.Context, path string) (storage.Handle, error) {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if existing, ok := dir.children[name]; ok {
+		if existing.isDir {
+			return nil, fmt.Errorf("create %q: %w", path, storage.ErrIsDirectory)
+		}
+		existing.mu.Lock()
+		if existing.leased {
+			existing.mu.Unlock()
+			return nil, fmt.Errorf("create %q: lease held by another writer: %w", path, storage.ErrExists)
+		}
+		existing.leased = true
+		existing.data = nil
+		existing.mu.Unlock()
+		fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+		return &handle{fs: fs, node: existing, path: path, open: true, writable: true}, nil
+	}
+	n := &inode{
+		ino: fs.nextIno, mode: 0o644,
+		uid: ctx.UID, gid: ctx.GID,
+		leased:  true,
+		blockAt: int(fs.nextIno) % len(fs.datanodes),
+	}
+	fs.nextIno++
+	dir.children[name] = n
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return &handle{fs: fs, node: n, path: path, open: true, writable: true}, nil
+}
+
+// Open opens an existing file read-only (the HDFS access mode).
+func (fs *FS) Open(ctx *storage.Context, path string) (storage.Handle, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("open %q: %w", path, storage.ErrIsDirectory)
+	}
+	return &handle{fs: fs, node: n, path: path, open: true}, nil
+}
+
+// ReadAt reads visible (flushed) data. Unflushed writer-side bytes are
+// invisible — the relaxed-visibility contract.
+func (h *handle) ReadAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	if err := h.check(off); err != nil {
+		return 0, err
+	}
+	h.node.mu.RLock()
+	defer h.node.mu.RUnlock()
+	if off >= int64(len(h.node.data)) {
+		return 0, nil
+	}
+	n := copy(p, h.node.data[off:])
+	h.fs.chargeBlockIO(ctx, h.node, off, n, false)
+	return n, nil
+}
+
+// WriteAt appends. HDFS supports no random writes: off must equal the
+// file's current end (visible plus pending), otherwise ErrUnsupported.
+func (h *handle) WriteAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	if err := h.check(off); err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.writable {
+		return 0, fmt.Errorf("write to read-only handle %q: %w", h.path, storage.ErrReadOnly)
+	}
+	h.node.mu.RLock()
+	end := int64(len(h.node.data)) + int64(len(h.pending))
+	h.node.mu.RUnlock()
+	if off != end {
+		return 0, fmt.Errorf("write at %d on %q (end %d): random writes: %w",
+			off, h.path, end, storage.ErrUnsupported)
+	}
+	h.pending = append(h.pending, p...)
+	// The client streams the bytes to the block pipeline as it writes; the
+	// data-path cost is charged here, visibility is deferred to Sync/Close.
+	h.fs.chargeBlockIO(ctx, h.node, off, len(p), true)
+	return len(p), nil
+}
+
+// Sync (hflush) publishes pending bytes to readers.
+func (h *handle) Sync(ctx *storage.Context) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.open {
+		return storage.ErrClosed
+	}
+	h.flushLocked(ctx)
+	return nil
+}
+
+func (h *handle) flushLocked(ctx *storage.Context) {
+	if len(h.pending) == 0 {
+		return
+	}
+	h.node.mu.Lock()
+	h.node.data = append(h.node.data, h.pending...)
+	h.node.mu.Unlock()
+	h.pending = nil
+	h.fs.cluster.MetaOp(ctx.Clock, h.fs.cfg.Namenode, 1) // block report
+}
+
+// Close publishes pending bytes and releases the lease.
+func (h *handle) Close(ctx *storage.Context) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.open {
+		return storage.ErrClosed
+	}
+	h.open = false
+	if h.writable {
+		h.flushLocked(ctx)
+		h.node.mu.Lock()
+		h.node.leased = false
+		h.node.mu.Unlock()
+	}
+	h.fs.cluster.MetaOp(ctx.Clock, h.fs.cfg.Namenode, 1)
+	return nil
+}
+
+func (h *handle) check(off int64) error {
+	h.mu.Lock()
+	open := h.open
+	h.mu.Unlock()
+	if !open {
+		return storage.ErrClosed
+	}
+	if off < 0 {
+		return fmt.Errorf("offset %d: %w", off, storage.ErrInvalidArg)
+	}
+	return nil
+}
+
+// chargeBlockIO charges the data-path cost of an n-byte transfer: blocks
+// are placed round-robin over datanodes; writes additionally pay the
+// replication pipeline (each replica's disk and NIC, pipelined so the cost
+// is the max of the chain stages plus per-hop latency).
+func (fs *FS) chargeBlockIO(ctx *storage.Context, node *inode, off int64, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	bs := int64(fs.cfg.BlockSize)
+	var children []*storage.Context
+	for done := int64(0); done < int64(n); {
+		blockIdx := (off + done) / bs
+		within := (off + done) % bs
+		take := bs - within
+		if take > int64(n)-done {
+			take = int64(n) - done
+		}
+		first := (node.blockAt + int(blockIdx)) % len(fs.datanodes)
+		child := ctx.Fork()
+		if write {
+			// Replication pipeline: hop to each replica in turn, then the
+			// disks absorb the stream in parallel.
+			var repl []*storage.Context
+			for r := 0; r < fs.cfg.Replication; r++ {
+				dn := fs.datanodes[(first+r)%len(fs.datanodes)]
+				fs.cluster.RPC(child.Clock, dn, int(take), 64, 0)
+				rc := child.Fork()
+				fs.cluster.DiskWrite(rc.Clock, dn, int(take))
+				repl = append(repl, rc)
+			}
+			for _, rc := range repl {
+				child.Clock.Join(rc.Clock)
+			}
+		} else {
+			dn := fs.datanodes[first]
+			fs.cluster.DiskRead(child.Clock, dn, int(take))
+			fs.cluster.RPC(child.Clock, dn, 64, int(take), 0)
+		}
+		children = append(children, child)
+		done += take
+	}
+	for _, c := range children {
+		ctx.Clock.Join(c.Clock)
+	}
+}

@@ -1,0 +1,162 @@
+package relaxedfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// The write-once reference model: files are append-only byte slices with
+// a visible prefix (flushed) and a pending tail per open writer.
+type waModel struct {
+	visible map[string][]byte
+	pending map[string][]byte
+}
+
+// waOp is one random append/sync/close/read action on a bounded file set.
+type waOp struct {
+	Kind uint8
+	File uint8
+	Data []byte
+}
+
+// TestRelaxedFSMatchesAppendModel drives random append/flush sequences and
+// checks visibility semantics against the model: readers see exactly the
+// flushed prefix.
+func TestRelaxedFSMatchesAppendModel(t *testing.T) {
+	files := []string{"/a", "/b", "/c"}
+	f := func(ops []waOp) bool {
+		fs := New(cluster.New(cluster.Config{Nodes: 4, Seed: 1}), Config{})
+		ctx := storage.NewContext()
+		model := &waModel{visible: map[string][]byte{}, pending: map[string][]byte{}}
+		writers := map[string]storage.Handle{}
+
+		for _, o := range ops {
+			path := files[int(o.File)%len(files)]
+			data := o.Data
+			if len(data) > 64 {
+				data = data[:64]
+			}
+			switch o.Kind % 4 {
+			case 0: // open writer (create) if not already writing
+				if _, open := writers[path]; open {
+					continue
+				}
+				h, err := fs.Create(ctx, path)
+				if err != nil {
+					return false
+				}
+				writers[path] = h
+				model.visible[path] = nil // create truncates
+				model.pending[path] = nil
+			case 1: // append
+				h, open := writers[path]
+				if !open {
+					continue
+				}
+				end := int64(len(model.visible[path]) + len(model.pending[path]))
+				if _, err := h.WriteAt(ctx, end, data); err != nil {
+					return false
+				}
+				model.pending[path] = append(model.pending[path], data...)
+			case 2: // sync (publish)
+				h, open := writers[path]
+				if !open {
+					continue
+				}
+				if err := h.Sync(ctx); err != nil {
+					return false
+				}
+				model.visible[path] = append(model.visible[path], model.pending[path]...)
+				model.pending[path] = nil
+			case 3: // close (publish + release)
+				h, open := writers[path]
+				if !open {
+					continue
+				}
+				if err := h.Close(ctx); err != nil {
+					return false
+				}
+				delete(writers, path)
+				model.visible[path] = append(model.visible[path], model.pending[path]...)
+				model.pending[path] = nil
+			}
+
+			// Invariant after every op: a fresh reader sees exactly the
+			// visible prefix of every created file.
+			for p, want := range model.visible {
+				r, err := fs.Open(ctx, p)
+				if err != nil {
+					return false
+				}
+				got := make([]byte, len(want)+32)
+				n, err := r.ReadAt(ctx, 0, got)
+				r.Close(ctx)
+				if err != nil || n != len(want) || !bytes.Equal(got[:n], want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sizes reported by Stat must equal the visible length, never including
+// pending bytes.
+func TestStatReportsVisibleLength(t *testing.T) {
+	fs := New(cluster.New(cluster.Config{Nodes: 4, Seed: 1}), Config{})
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.WriteAt(ctx, 0, make([]byte, 100))
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 0 {
+		t.Fatalf("pending bytes visible in Stat: %d", info.Size)
+	}
+	h.Sync(ctx)
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 100 {
+		t.Fatalf("size after sync = %d", info.Size)
+	}
+	h.WriteAt(ctx, 100, make([]byte, 50))
+	h.Close(ctx)
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 150 {
+		t.Fatalf("size after close = %d", info.Size)
+	}
+}
+
+// A reopened (overwritten) file under churn keeps lease exclusion intact.
+func TestLeaseChurn(t *testing.T) {
+	fs := New(cluster.New(cluster.Config{Nodes: 4, Seed: 1}), Config{})
+	ctx := storage.NewContext()
+	for round := 0; round < 10; round++ {
+		h, err := fs.Create(ctx, "/churn")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, err := fs.Create(ctx, "/churn"); err == nil {
+			t.Fatalf("round %d: double lease", round)
+		}
+		payload := []byte(fmt.Sprintf("round-%d", round))
+		if _, err := h.WriteAt(ctx, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := fs.Open(ctx, "/churn")
+		buf := make([]byte, 16)
+		n, _ := r.ReadAt(ctx, 0, buf)
+		r.Close(ctx)
+		if string(buf[:n]) != fmt.Sprintf("round-%d", round) {
+			t.Fatalf("round %d content = %q", round, buf[:n])
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package relaxedfs implements the HDFS-like distributed file system Spark
+// runs on in the paper's Section IV traces: a hierarchical namespace on a
+// namenode, block-replicated data on datanodes, and the GFS/HDFS semantic
+// trade-offs the paper's related-work section describes —
+//
+//   - write-once / read-many: writes are appends; random updates return
+//     ErrUnsupported (the storage model big-data applications are built
+//     around);
+//   - single-writer leases: one writer per file at a time;
+//   - relaxed visibility: appended data becomes readable only after
+//     Sync (hflush) or Close, never immediately;
+//   - directory operations and permissions exist (HDFS keeps them), which
+//     is exactly why Table II can observe Spark's mkdir/rmdir/opendir
+//     traffic.
+//
+// Rename moves whole subtrees atomically, which the Spark output committer
+// (internal/sparksim) depends on.
+package relaxedfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// Config sizes the file system.
+type Config struct {
+	// Namenode is the node hosting the namespace. Defaults to node 0.
+	Namenode cluster.NodeID
+	// BlockSize is the block granularity. Defaults to 8 MiB (scaled-down
+	// HDFS 128 MiB, matching the repository's 1:1024 scale-down of Table I
+	// volumes... at ratio 1:16 for blocks so files still span blocks).
+	BlockSize int
+	// Replication is the number of copies of each block. Defaults to 3,
+	// clamped to the number of datanodes.
+	Replication int
+}
+
+// FS is a simulated HDFS-like file system. It implements storage.FileSystem.
+type FS struct {
+	cfg       Config
+	cluster   *cluster.Cluster
+	datanodes []cluster.NodeID
+
+	mu      sync.RWMutex
+	root    *inode
+	nextIno uint64
+}
+
+type inode struct {
+	ino   uint64
+	mu    sync.RWMutex
+	isDir bool
+	mode  uint32
+	uid   int
+	gid   int
+
+	children map[string]*inode
+
+	// data is the *visible* file content: bytes made durable by Sync/Close.
+	data []byte
+	// leased marks an active single writer.
+	leased  bool
+	blockAt int // first datanode for round-robin block placement
+	xattrs  map[string]string
+}
+
+// New builds a relaxedfs over the cluster. All nodes except the namenode
+// act as datanodes; a single-node cluster doubles up.
+func New(c *cluster.Cluster, cfg Config) *FS {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 8 << 20
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	fs := &FS{cfg: cfg, cluster: c}
+	for _, n := range c.Nodes() {
+		if n.ID != cfg.Namenode {
+			fs.datanodes = append(fs.datanodes, n.ID)
+		}
+	}
+	if len(fs.datanodes) == 0 {
+		fs.datanodes = []cluster.NodeID{cfg.Namenode}
+	}
+	if fs.cfg.Replication > len(fs.datanodes) {
+		fs.cfg.Replication = len(fs.datanodes)
+	}
+	fs.root = &inode{ino: 1, isDir: true, mode: 0o755, children: make(map[string]*inode)}
+	fs.nextIno = 2
+	return fs
+}
+
+// Config returns the effective configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+func splitPath(path string) ([]string, error) {
+	if path == "" {
+		return nil, fmt.Errorf("empty path: %w", storage.ErrInvalidArg)
+	}
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, fmt.Errorf("path %q: parent references not supported: %w", path, storage.ErrInvalidArg)
+		default:
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// resolve walks the namespace. HDFS resolves the whole path in one namenode
+// operation (the namespace is in namenode memory), so unlike posixfs the
+// charge is a single metadata RPC regardless of depth — hierarchy is
+// cheaper here, but still a central-server round trip.
+func (fs *FS) resolve(ctx *storage.Context, path string) (*inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.walk(ctx, parts)
+}
+
+func (fs *FS) walk(ctx *storage.Context, parts []string) (*inode, error) {
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	cur := fs.root
+	for _, comp := range parts {
+		if !cur.isDir {
+			return nil, fmt.Errorf("component %q: %w", comp, storage.ErrNotDirectory)
+		}
+		child, ok := cur.children[comp]
+		if !ok {
+			return nil, fmt.Errorf("component %q: %w", comp, storage.ErrNotFound)
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+func (fs *FS) resolveParent(ctx *storage.Context, path string) (*inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("path %q has no final component: %w", path, storage.ErrInvalidArg)
+	}
+	dir, err := fs.walk(ctx, parts[:len(parts)-1])
+	if err != nil {
+		return nil, "", err
+	}
+	if !dir.isDir {
+		return nil, "", fmt.Errorf("parent of %q: %w", path, storage.ErrNotDirectory)
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a directory (parents must exist, as with HDFS mkdir; Spark
+// calls mkdirs level by level, which sparksim reproduces).
+func (fs *FS) Mkdir(ctx *storage.Context, path string) error {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, exists := dir.children[name]; exists {
+		return fmt.Errorf("mkdir %q: %w", path, storage.ErrExists)
+	}
+	dir.children[name] = &inode{
+		ino: fs.nextIno, isDir: true, mode: 0o755,
+		uid: ctx.UID, gid: ctx.GID,
+		children: make(map[string]*inode),
+	}
+	fs.nextIno++
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(ctx *storage.Context, path string) error {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrNotFound)
+	}
+	if !child.isDir {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrNotDirectory)
+	}
+	if len(child.children) > 0 {
+		return fmt.Errorf("rmdir %q: %w", path, storage.ErrNotEmpty)
+	}
+	delete(dir.children, name)
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}
+
+// ReadDir lists a directory in name order.
+func (fs *FS) ReadDir(ctx *storage.Context, path string) ([]storage.DirEntry, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if !n.isDir {
+		return nil, fmt.Errorf("readdir %q: %w", path, storage.ErrNotDirectory)
+	}
+	out := make([]storage.DirEntry, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, storage.DirEntry{Name: name, IsDir: c.isDir})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return out, nil
+}
+
+// Stat returns metadata for a path.
+func (fs *FS) Stat(ctx *storage.Context, path string) (storage.FileInfo, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	parts, _ := splitPath(path)
+	name := ""
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return storage.FileInfo{Name: name, Size: int64(len(n.data)), Mode: n.mode, IsDir: n.isDir}, nil
+}
+
+// Truncate is limited in HDFS; the traced applications never shrink files,
+// only the degenerate truncate-to-zero via re-create. Arbitrary truncation
+// is unsupported, which the blob-mapping analysis records.
+func (fs *FS) Truncate(ctx *storage.Context, path string, size int64) error {
+	if size != 0 {
+		return fmt.Errorf("truncate %q to %d: %w", path, size, storage.ErrUnsupported)
+	}
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.data = nil
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}
+
+// Chmod updates permissions (kept by HDFS for convenience).
+func (fs *FS) Chmod(ctx *storage.Context, path string, mode uint32) error {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.mode = mode & 0o7777
+	n.mu.Unlock()
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}
+
+// GetXattr reads an extended attribute.
+func (fs *FS) GetXattr(ctx *storage.Context, path, name string) (string, error) {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return "", err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	v, ok := n.xattrs[name]
+	if !ok {
+		return "", fmt.Errorf("xattr %q on %q: %w", name, path, storage.ErrNotFound)
+	}
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return v, nil
+}
+
+// SetXattr writes an extended attribute.
+func (fs *FS) SetXattr(ctx *storage.Context, path, name, value string) error {
+	n, err := fs.resolve(ctx, path)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.xattrs == nil {
+		n.xattrs = make(map[string]string)
+	}
+	n.xattrs[name] = value
+	n.mu.Unlock()
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}
+
+// Unlink removes a file.
+func (fs *FS) Unlink(ctx *storage.Context, path string) error {
+	dir, name, err := fs.resolveParent(ctx, path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("unlink %q: %w", path, storage.ErrNotFound)
+	}
+	if child.isDir {
+		return fmt.Errorf("unlink %q: %w", path, storage.ErrIsDirectory)
+	}
+	delete(dir.children, name)
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}
+
+// Rename moves a file or directory subtree atomically (the HDFS primitive
+// Spark's output committer is built on).
+func (fs *FS) Rename(ctx *storage.Context, oldPath, newPath string) error {
+	oldDir, oldName, err := fs.resolveParent(ctx, oldPath)
+	if err != nil {
+		return err
+	}
+	newDir, newName, err := fs.resolveParent(ctx, newPath)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := oldDir.children[oldName]
+	if !ok {
+		return fmt.Errorf("rename %q: %w", oldPath, storage.ErrNotFound)
+	}
+	if _, exists := newDir.children[newName]; exists {
+		return fmt.Errorf("rename to %q: %w", newPath, storage.ErrExists)
+	}
+	delete(oldDir.children, oldName)
+	newDir.children[newName] = child
+	fs.cluster.MetaOp(ctx.Clock, fs.cfg.Namenode, 1)
+	return nil
+}

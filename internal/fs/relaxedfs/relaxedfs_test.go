@@ -1,0 +1,270 @@
+package relaxedfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	return New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), Config{})
+}
+
+func write(t *testing.T, fs *FS, ctx *storage.Context, path string, data []byte) {
+	t.Helper()
+	h, err := fs.Create(ctx, path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := h.WriteAt(ctx, 0, data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func TestWriteOnceRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/data")
+	payload := []byte("hdfs-style write once read many")
+	write(t, fs, ctx, "/data/part-00000", payload)
+
+	h, err := fs.Open(ctx, "/data/part-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	n, err := h.ReadAt(ctx, 0, got)
+	if err != nil || n != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = (%d, %v, %q)", n, err, got)
+	}
+}
+
+func TestRandomWritesRejected(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.WriteAt(ctx, 0, []byte("0123456789"))
+	if _, err := h.WriteAt(ctx, 2, []byte("xx")); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("random write: %v", err)
+	}
+	// Append at the exact end is allowed.
+	if _, err := h.WriteAt(ctx, 10, []byte("more")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}
+
+func TestReadOnlyOpenHandles(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	write(t, fs, ctx, "/f", []byte("abc"))
+	h, _ := fs.Open(ctx, "/f")
+	if _, err := h.WriteAt(ctx, 3, []byte("x")); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("write on read handle: %v", err)
+	}
+}
+
+// Relaxed visibility: un-flushed appends are invisible to readers until
+// Sync or Close — the MPI-IO-like semantics the paper contrasts with POSIX.
+func TestDeferredVisibility(t *testing.T) {
+	fs := newFS(t)
+	wctx := storage.NewContext()
+	w, _ := fs.Create(wctx, "/log")
+	w.WriteAt(wctx, 0, []byte("pending"))
+
+	rctx := storage.NewContext()
+	r, _ := fs.Open(rctx, "/log")
+	buf := make([]byte, 16)
+	if n, _ := r.ReadAt(rctx, 0, buf); n != 0 {
+		t.Fatalf("unflushed data visible: read %d bytes", n)
+	}
+	if err := w.Sync(wctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.ReadAt(rctx, 0, buf); n != 7 || string(buf[:n]) != "pending" {
+		t.Fatalf("after hflush: read (%d, %q)", n, buf[:n])
+	}
+	w.WriteAt(wctx, 7, []byte("+tail"))
+	w.Close(wctx)
+	if n, _ := r.ReadAt(rctx, 7, buf); n != 5 || string(buf[:n]) != "+tail" {
+		t.Fatalf("after close: read (%d, %q)", n, buf[:n])
+	}
+}
+
+func TestSingleWriterLease(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	w, _ := fs.Create(ctx, "/f")
+	if _, err := fs.Create(ctx, "/f"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("second writer while leased: %v", err)
+	}
+	w.Close(ctx)
+	// Lease released: re-create (overwrite) succeeds and empties the file.
+	w2, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close(ctx)
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 0 {
+		t.Fatalf("overwrite create kept %d bytes", info.Size)
+	}
+}
+
+func TestMkdirRmdirReaddir(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/user"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/user/spark"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, fs, ctx, "/user/spark/app.jar", []byte("jarbytes"))
+	entries, err := fs.ReadDir(ctx, "/user/spark")
+	if err != nil || len(entries) != 1 || entries[0].Name != "app.jar" || entries[0].IsDir {
+		t.Fatalf("ReadDir = (%v, %v)", entries, err)
+	}
+	if err := fs.Rmdir(ctx, "/user/spark"); !errors.Is(err, storage.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	fs.Unlink(ctx, "/user/spark/app.jar")
+	if err := fs.Rmdir(ctx, "/user/spark"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameMovesSubtree(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/out")
+	fs.Mkdir(ctx, "/out/_temporary")
+	write(t, fs, ctx, "/out/_temporary/part-0", []byte("result"))
+	if err := fs.Rename(ctx, "/out/_temporary/part-0", "/out/part-0"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open(ctx, "/out/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if n, _ := h.ReadAt(ctx, 0, buf); string(buf[:n]) != "result" {
+		t.Fatalf("renamed content = %q", buf[:n])
+	}
+	// Directory rename carries children.
+	fs.Mkdir(ctx, "/dir")
+	write(t, fs, ctx, "/dir/x", []byte("1"))
+	if err := fs.Rename(ctx, "/dir", "/dir2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/dir2/x"); err != nil {
+		t.Fatalf("child lost in dir rename: %v", err)
+	}
+}
+
+func TestTruncateOnlyToZero(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	write(t, fs, ctx, "/f", []byte("data"))
+	if err := fs.Truncate(ctx, "/f", 2); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("partial truncate: %v", err)
+	}
+	if err := fs.Truncate(ctx, "/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat(ctx, "/f"); info.Size != 0 {
+		t.Fatalf("size after truncate = %d", info.Size)
+	}
+}
+
+func TestXattrAndChmod(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	write(t, fs, ctx, "/f", nil)
+	if err := fs.SetXattr(ctx, "/f", "user.k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fs.GetXattr(ctx, "/f", "user.k"); err != nil || v != "v" {
+		t.Fatalf("GetXattr = (%q, %v)", v, err)
+	}
+	if err := fs.Chmod(ctx, "/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat(ctx, "/f"); info.Mode != 0o600 {
+		t.Fatalf("mode = %o", info.Mode)
+	}
+}
+
+func TestErrorsOnMissingPaths(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	if _, err := fs.Open(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := fs.ReadDir(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("readdir: %v", err)
+	}
+	if err := fs.Unlink(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("unlink: %v", err)
+	}
+	if err := fs.Rename(ctx, "/nope", "/x"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("stat: %v", err)
+	}
+}
+
+func TestResolutionFlatCostVsDepth(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
+	fs := New(c, Config{})
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/a")
+	fs.Mkdir(ctx, "/a/b")
+	fs.Mkdir(ctx, "/a/b/c")
+	write(t, fs, ctx, "/a/b/c/leaf", nil)
+
+	c.ResetStats() // drain queues so each stat sees an idle namenode
+	shallow := storage.NewContext()
+	fs.Stat(shallow, "/a")
+	c.ResetStats()
+	deep := storage.NewContext()
+	fs.Stat(deep, "/a/b/c/leaf")
+	// HDFS resolves in-memory in one namenode op: depth must NOT change the
+	// charged cost (contrast with posixfs).
+	if shallow.Clock.Now() != deep.Clock.Now() {
+		t.Fatalf("namenode resolution should be depth-independent: %v vs %v",
+			shallow.Clock.Now(), deep.Clock.Now())
+	}
+}
+
+func TestWriteCostIncludesReplication(t *testing.T) {
+	run := func(rep int) int64 {
+		fs := New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), Config{Replication: rep})
+		ctx := storage.NewContext()
+		h, _ := fs.Create(ctx, "/f")
+		start := ctx.Clock.Now()
+		h.WriteAt(ctx, 0, make([]byte, 1<<20))
+		h.Close(ctx)
+		return int64(ctx.Clock.Now() - start)
+	}
+	if r1, r3 := run(1), run(3); r3 <= r1 {
+		t.Fatalf("replication 3 (%d) not costlier than 1 (%d)", r3, r1)
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	fs := New(cluster.New(cluster.Config{Nodes: 1}), Config{})
+	ctx := storage.NewContext()
+	write(t, fs, ctx, "/f", []byte("solo"))
+	h, _ := fs.Open(ctx, "/f")
+	buf := make([]byte, 4)
+	if n, _ := h.ReadAt(ctx, 0, buf); string(buf[:n]) != "solo" {
+		t.Fatalf("read = %q", buf[:n])
+	}
+}

@@ -1,0 +1,63 @@
+package fstest
+
+import (
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/storage"
+)
+
+// The conformance matrix: one suite, three backends, each with the
+// capability envelope the paper attributes to it.
+
+func TestPosixFSConformance(t *testing.T) {
+	Run(t, func() storage.FileSystem {
+		return posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1}))
+	}, Capabilities{
+		RandomWrites:        true,
+		ImmediateVisibility: true,
+		PartialTruncate:     true,
+		Permissions:         true,
+	})
+}
+
+func TestRelaxedFSConformance(t *testing.T) {
+	Run(t, func() storage.FileSystem {
+		return relaxedfs.New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), relaxedfs.Config{})
+	}, Capabilities{
+		RandomWrites:        false,
+		ImmediateVisibility: false,
+		PartialTruncate:     false,
+		Permissions:         false,
+	})
+}
+
+func TestBlobFSConformance(t *testing.T) {
+	Run(t, func() storage.FileSystem {
+		c := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
+		return blobfs.New(blob.New(c, blob.Config{ChunkSize: 64, Replication: 2}))
+	}, Capabilities{
+		RandomWrites:        true,
+		ImmediateVisibility: true,
+		PartialTruncate:     true,
+		Permissions:         false, // client-side modes don't gate access
+	})
+}
+
+// The same matrix with a large chunk size (chunk boundaries never hit),
+// guarding blobfs behaviour against chunk-size coupling.
+func TestBlobFSConformanceLargeChunks(t *testing.T) {
+	Run(t, func() storage.FileSystem {
+		c := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
+		return blobfs.New(blob.New(c, blob.Config{ChunkSize: 8 << 20, Replication: 3}))
+	}, Capabilities{
+		RandomWrites:        true,
+		ImmediateVisibility: true,
+		PartialTruncate:     true,
+		Permissions:         false,
+	})
+}

@@ -1,0 +1,496 @@
+// Package fstest is a reusable conformance suite for storage.FileSystem
+// implementations. The three backends (posixfs, relaxedfs, blobfs) differ
+// deliberately — that is the paper's subject — so the suite is
+// capability-driven: each backend declares which optional semantics it
+// provides and the suite asserts exactly those, plus the common core every
+// backend must share.
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// Capabilities describes a backend's semantic envelope.
+type Capabilities struct {
+	// RandomWrites: writes at arbitrary offsets (posixfs, blobfs yes;
+	// relaxedfs no — append only).
+	RandomWrites bool
+	// ImmediateVisibility: a write is readable through other handles
+	// before any sync/close (posixfs yes; relaxedfs no; blobfs yes).
+	ImmediateVisibility bool
+	// PartialTruncate: truncation to arbitrary sizes (relaxedfs only
+	// supports 0).
+	PartialTruncate bool
+	// Permissions: chmod actually gates access (posixfs only).
+	Permissions bool
+	// ImplicitParents: files may be created without a pre-existing parent
+	// directory entry for root-level paths only; all backends require the
+	// parent for nested paths.
+	_ struct{}
+}
+
+// New constructs a fresh, empty file system for one subtest.
+type New func() storage.FileSystem
+
+// Run executes the conformance suite.
+func Run(t *testing.T, mk New, caps Capabilities) {
+	t.Helper()
+	t.Run("CreateReadBack", func(t *testing.T) { testCreateReadBack(t, mk) })
+	t.Run("SequentialWriteAccumulates", func(t *testing.T) { testSequentialWrite(t, mk) })
+	t.Run("OpenMissing", func(t *testing.T) { testOpenMissing(t, mk) })
+	t.Run("CreateRequiresParent", func(t *testing.T) { testCreateRequiresParent(t, mk) })
+	t.Run("StatFileAndDir", func(t *testing.T) { testStat(t, mk) })
+	t.Run("MkdirDuplicate", func(t *testing.T) { testMkdirDuplicate(t, mk) })
+	t.Run("RmdirNonEmpty", func(t *testing.T) { testRmdirNonEmpty(t, mk) })
+	t.Run("ReadDirSortedImmediate", func(t *testing.T) { testReadDir(t, mk) })
+	t.Run("UnlinkSemantics", func(t *testing.T) { testUnlink(t, mk) })
+	t.Run("RenameFile", func(t *testing.T) { testRenameFile(t, mk) })
+	t.Run("CloseIdempotenceErrors", func(t *testing.T) { testClose(t, mk) })
+	t.Run("XattrRoundTrip", func(t *testing.T) { testXattr(t, mk) })
+	t.Run("ReadAtEOF", func(t *testing.T) { testReadAtEOF(t, mk) })
+	t.Run("EmptyPathRejected", func(t *testing.T) { testEmptyPath(t, mk) })
+
+	if caps.RandomWrites {
+		t.Run("RandomWrites", func(t *testing.T) { testRandomWrites(t, mk) })
+	} else {
+		t.Run("RandomWritesRejected", func(t *testing.T) { testRandomWritesRejected(t, mk) })
+	}
+	if caps.ImmediateVisibility {
+		t.Run("ImmediateVisibility", func(t *testing.T) { testImmediateVisibility(t, mk) })
+	} else {
+		t.Run("DeferredVisibility", func(t *testing.T) { testDeferredVisibility(t, mk) })
+	}
+	if caps.PartialTruncate {
+		t.Run("PartialTruncate", func(t *testing.T) { testPartialTruncate(t, mk) })
+	} else {
+		t.Run("TruncateToZeroOnly", func(t *testing.T) { testTruncateZeroOnly(t, mk) })
+	}
+	if caps.Permissions {
+		t.Run("PermissionsEnforced", func(t *testing.T) { testPermissions(t, mk) })
+	}
+}
+
+func mustCreate(t *testing.T, fs storage.FileSystem, ctx *storage.Context, path string, data []byte) {
+	t.Helper()
+	h, err := fs.Create(ctx, path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if len(data) > 0 {
+		if _, err := h.WriteAt(ctx, 0, data); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func testCreateReadBack(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	payload := []byte("conformance payload")
+	mustCreate(t, fs, ctx, "/f", payload)
+	h, err := fs.Open(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	got := make([]byte, len(payload))
+	n, err := h.ReadAt(ctx, 0, got)
+	if err != nil || n != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAt = (%d, %v, %q)", n, err, got)
+	}
+}
+
+func testSequentialWrite(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for i := 0; i < 10; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 10)
+		n, err := h.WriteAt(ctx, off, chunk)
+		if err != nil || n != 10 {
+			t.Fatalf("chunk %d: (%d, %v)", i, n, err)
+		}
+		off += int64(n)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat(ctx, "/seq")
+	if err != nil || info.Size != 100 {
+		t.Fatalf("Stat = (%+v, %v)", info, err)
+	}
+}
+
+func testOpenMissing(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	if _, err := fs.Open(ctx, "/ghost"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("open missing: %v", err)
+	}
+}
+
+func testCreateRequiresParent(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	if _, err := fs.Create(ctx, "/no/such/dir/f"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("create without parent: %v", err)
+	}
+}
+
+func testStat(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, fs, ctx, "/d/f", []byte("xyz"))
+	info, err := fs.Stat(ctx, "/d/f")
+	if err != nil || info.IsDir || info.Size != 3 || info.Name != "f" {
+		t.Fatalf("file stat = (%+v, %v)", info, err)
+	}
+	info, err = fs.Stat(ctx, "/d")
+	if err != nil || !info.IsDir {
+		t.Fatalf("dir stat = (%+v, %v)", info, err)
+	}
+	if _, err := fs.Stat(ctx, "/missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing stat: %v", err)
+	}
+}
+
+func testMkdirDuplicate(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+}
+
+func testRmdirNonEmpty(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	mustCreate(t, fs, ctx, "/d/f", []byte("1"))
+	if err := fs.Rmdir(ctx, "/d"); !errors.Is(err, storage.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := fs.Unlink(ctx, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rmdir(ctx, "/d"); err != nil {
+		t.Fatalf("rmdir empty: %v", err)
+	}
+	if err := fs.Rmdir(ctx, "/d"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rmdir gone: %v", err)
+	}
+}
+
+func testReadDir(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	fs.Mkdir(ctx, "/d/sub")
+	mustCreate(t, fs, ctx, "/d/bb", nil)
+	mustCreate(t, fs, ctx, "/d/aa", nil)
+	entries, err := fs.ReadDir(ctx, "/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name  string
+		isDir bool
+	}{{"aa", false}, {"bb", false}, {"sub", true}}
+	if len(entries) != len(want) {
+		t.Fatalf("ReadDir = %v", entries)
+	}
+	for i, w := range want {
+		if entries[i].Name != w.name || entries[i].IsDir != w.isDir {
+			t.Fatalf("ReadDir = %v, want %v", entries, want)
+		}
+	}
+	// Only immediate children.
+	mustCreate(t, fs, ctx, "/d/sub/deep", nil)
+	entries, _ = fs.ReadDir(ctx, "/d")
+	if len(entries) != 3 {
+		t.Fatalf("deep entry leaked: %v", entries)
+	}
+}
+
+func testUnlink(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/f", []byte("x"))
+	if err := fs.Unlink(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(ctx, "/f"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("double unlink: %v", err)
+	}
+	fs.Mkdir(ctx, "/d")
+	if err := fs.Unlink(ctx, "/d"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+}
+
+func testRenameFile(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/old", []byte("content"))
+	if err := fs.Rename(ctx, "/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/old"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("source survived rename")
+	}
+	h, err := fs.Open(ctx, "/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	buf := make([]byte, 7)
+	if n, _ := h.ReadAt(ctx, 0, buf); string(buf[:n]) != "content" {
+		t.Fatalf("renamed content = %q", buf[:n])
+	}
+	if err := fs.Rename(ctx, "/missing", "/x"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func testClose(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := h.ReadAt(ctx, 0, make([]byte, 1)); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := h.WriteAt(ctx, 0, []byte("x")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func testXattr(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/f", nil)
+	if _, err := fs.GetXattr(ctx, "/f", "user.k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("absent xattr: %v", err)
+	}
+	if err := fs.SetXattr(ctx, "/f", "user.k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fs.GetXattr(ctx, "/f", "user.k"); err != nil || v != "v" {
+		t.Fatalf("xattr = (%q, %v)", v, err)
+	}
+}
+
+func testReadAtEOF(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/f", []byte("abc"))
+	h, _ := fs.Open(ctx, "/f")
+	defer h.Close(ctx)
+	n, err := h.ReadAt(ctx, 3, make([]byte, 4))
+	if err != nil || n != 0 {
+		t.Fatalf("read at EOF = (%d, %v)", n, err)
+	}
+	buf := make([]byte, 8)
+	n, err = h.ReadAt(ctx, 1, buf)
+	if err != nil || n != 2 || string(buf[:n]) != "bc" {
+		t.Fatalf("short read = (%d, %v, %q)", n, err, buf[:n])
+	}
+}
+
+func testEmptyPath(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	if _, err := fs.Create(ctx, ""); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("empty create: %v", err)
+	}
+	if err := fs.Mkdir(ctx, ""); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("empty mkdir: %v", err)
+	}
+}
+
+func testRandomWrites(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	if _, err := h.WriteAt(ctx, 100, []byte("tail")); err != nil {
+		t.Fatalf("gap write: %v", err)
+	}
+	if _, err := h.WriteAt(ctx, 0, []byte("head")); err != nil {
+		t.Fatalf("backfill write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if n, _ := h.ReadAt(ctx, 100, buf); string(buf[:n]) != "tail" {
+		t.Fatalf("tail = %q", buf[:n])
+	}
+	if n, _ := h.ReadAt(ctx, 0, buf); string(buf[:n]) != "head" {
+		t.Fatalf("head = %q", buf[:n])
+	}
+	// The gap reads as zeros.
+	gap := make([]byte, 4)
+	h.ReadAt(ctx, 50, gap)
+	for _, b := range gap {
+		if b != 0 {
+			t.Fatalf("gap byte = %d", b)
+		}
+	}
+}
+
+func testRandomWritesRejected(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	if _, err := h.WriteAt(ctx, 0, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, 100, []byte("gap")); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("gap write accepted: %v", err)
+	}
+	if _, err := h.WriteAt(ctx, 1, []byte("overwrite")); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("overwrite accepted: %v", err)
+	}
+}
+
+func testImmediateVisibility(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	w, err := fs.Create(ctx, "/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close(ctx)
+	r, err := fs.Open(ctx, "/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(ctx)
+	w.WriteAt(ctx, 0, []byte("now"))
+	buf := make([]byte, 3)
+	if n, _ := r.ReadAt(ctx, 0, buf); n != 3 || string(buf) != "now" {
+		t.Fatalf("write not immediately visible: (%d, %q)", n, buf[:n])
+	}
+}
+
+func testDeferredVisibility(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	w, err := fs.Create(ctx, "/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close(ctx)
+	r, err := fs.Open(ctx, "/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(ctx)
+	w.WriteAt(ctx, 0, []byte("pending"))
+	if n, _ := r.ReadAt(ctx, 0, make([]byte, 7)); n != 0 {
+		t.Fatalf("unflushed write visible: %d bytes", n)
+	}
+	if err := w.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if n, _ := r.ReadAt(ctx, 0, buf); n != 7 || string(buf) != "pending" {
+		t.Fatalf("after sync: (%d, %q)", n, buf[:n])
+	}
+}
+
+func testPartialTruncate(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/t", []byte("0123456789"))
+	if err := fs.Truncate(ctx, "/t", 4); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat(ctx, "/t"); info.Size != 4 {
+		t.Fatalf("size after shrink = %d", info.Size)
+	}
+	if err := fs.Truncate(ctx, "/t", 8); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := fs.Open(ctx, "/t")
+	defer h.Close(ctx)
+	buf := make([]byte, 8)
+	n, _ := h.ReadAt(ctx, 0, buf)
+	if n != 8 || string(buf[:4]) != "0123" {
+		t.Fatalf("after grow: (%d, %q)", n, buf[:n])
+	}
+	for i := 4; i < 8; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("grown byte %d = %d", i, buf[i])
+		}
+	}
+}
+
+func testTruncateZeroOnly(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/t", []byte("0123456789"))
+	if err := fs.Truncate(ctx, "/t", 4); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("partial truncate: %v", err)
+	}
+	if err := fs.Truncate(ctx, "/t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat(ctx, "/t"); info.Size != 0 {
+		t.Fatalf("size after truncate-to-zero = %d", info.Size)
+	}
+}
+
+func testPermissions(t *testing.T, mk New) {
+	fs := mk()
+	root := storage.NewContext()
+	fs.Mkdir(root, "/locked")
+	if err := fs.Chmod(root, "/locked", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, fs, root, "/locked/secret", []byte("s"))
+	user := storage.NewContext()
+	user.UID, user.GID = 1000, 1000
+	if _, err := fs.Open(user, "/locked/secret"); !errors.Is(err, storage.ErrPermission) {
+		t.Fatalf("traversal allowed: %v", err)
+	}
+	if err := fs.Chmod(user, "/locked", 0o777); !errors.Is(err, storage.ErrPermission) {
+		t.Fatalf("non-owner chmod: %v", err)
+	}
+}
+
+// Name gives subtests a stable label per backend.
+func Name(backend string, sub string) string {
+	return fmt.Sprintf("%s/%s", backend, sub)
+}

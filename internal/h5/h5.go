@@ -1,0 +1,459 @@
+// Package h5 implements a miniature HDF5-like scientific data format on
+// top of the MPI-IO layer — the intermediate-library tier of the paper's
+// HPC I/O stack ("applications use intermediate libraries like MPI-IO,
+// either directly or via intermediate libraries such as HDF5 or ADIOS",
+// Section II-A).
+//
+// One h5 file is a single container file holding:
+//
+//   - a superblock (magic, version, catalog location), rewritten on close;
+//   - densely allocated n-dimensional datasets (row-major, float64 or
+//     byte elements);
+//   - string attributes per dataset and per file;
+//   - a gob-encoded catalog written at the end of the file on close.
+//
+// The API is collective in the MPI sense: Create, CreateDataset and Close
+// are called by every rank of the communicator; hyperslab reads and writes
+// are independent. Because the library sits on mpiio, everything below it
+// is ordinary file reads and writes — the package issues no directory
+// operations, preserving the Figure 1 property through this higher layer
+// too.
+package h5
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/storage"
+)
+
+// Magic identifies an h5 container.
+const Magic = "RH5F"
+
+const superblockSize = 4 + 4 + 8 + 8 // magic | version | catalogOff | catalogLen
+
+// Version of the container format.
+const Version = 1
+
+// DType is a dataset element type.
+type DType uint32
+
+// Supported element types.
+const (
+	Float64 DType = iota + 1
+	Bytes
+)
+
+// Size returns the element size in bytes.
+func (t DType) Size() int64 {
+	switch t {
+	case Float64:
+		return 8
+	case Bytes:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String names the type.
+func (t DType) String() string {
+	switch t {
+	case Float64:
+		return "float64"
+	case Bytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("DType(%d)", uint32(t))
+	}
+}
+
+// datasetMeta is the catalog entry for one dataset.
+type datasetMeta struct {
+	Name   string
+	Type   DType
+	Shape  []int64
+	Offset int64 // file offset of the dense data region
+	Attrs  map[string]string
+}
+
+// catalog is the file's table of contents, gob-encoded at close.
+type catalog struct {
+	Datasets  map[string]*datasetMeta
+	FileAttrs map[string]string
+	// End is the first free byte (data allocation bump pointer).
+	End int64
+}
+
+// File is an open h5 container bound to one MPI rank.
+type File struct {
+	f        *mpiio.File
+	rank     *mpi.Rank
+	cat      *catalog
+	writable bool
+	closed   bool
+}
+
+// Create makes a new container collectively: every rank of r's
+// communicator calls Create with the same path.
+func Create(r *mpi.Rank, fs storage.FileSystem, path string) (*File, error) {
+	mf, err := mpiio.Open(r, fs, path, true, mpiio.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("h5: create %q: %w", path, err)
+	}
+	f := &File{
+		f:    mf,
+		rank: r,
+		cat: &catalog{
+			Datasets:  make(map[string]*datasetMeta),
+			FileAttrs: make(map[string]string),
+			End:       superblockSize,
+		},
+		writable: true,
+	}
+	// Rank 0 stamps a provisional superblock so the file is recognizable
+	// even before close.
+	if r.ID == 0 {
+		if err := f.writeSuperblock(0, 0); err != nil {
+			mf.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Open opens an existing container read-only, collectively.
+func Open(r *mpi.Rank, fs storage.FileSystem, path string) (*File, error) {
+	mf, err := mpiio.Open(r, fs, path, false, mpiio.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("h5: open %q: %w", path, err)
+	}
+	var sb [superblockSize]byte
+	if _, err := mf.ReadAt(0, sb[:]); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("h5: open %q: superblock: %w", path, err)
+	}
+	if string(sb[0:4]) != Magic {
+		mf.Close()
+		return nil, fmt.Errorf("h5: %q is not an h5 container: %w", path, storage.ErrInvalidArg)
+	}
+	if v := binary.LittleEndian.Uint32(sb[4:8]); v != Version {
+		mf.Close()
+		return nil, fmt.Errorf("h5: %q: unsupported version %d: %w", path, v, storage.ErrUnsupported)
+	}
+	catOff := int64(binary.LittleEndian.Uint64(sb[8:16]))
+	catLen := int64(binary.LittleEndian.Uint64(sb[16:24]))
+	if catOff == 0 || catLen == 0 {
+		mf.Close()
+		return nil, fmt.Errorf("h5: %q was never closed (no catalog): %w", path, storage.ErrInvalidArg)
+	}
+	raw := make([]byte, catLen)
+	if _, err := mf.ReadAt(catOff, raw); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("h5: open %q: catalog: %w", path, err)
+	}
+	var cat catalog
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cat); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("h5: open %q: decode catalog: %w", path, err)
+	}
+	return &File{f: mf, rank: r, cat: &cat}, nil
+}
+
+func (f *File) writeSuperblock(catOff, catLen int64) error {
+	var sb [superblockSize]byte
+	copy(sb[0:4], Magic)
+	binary.LittleEndian.PutUint32(sb[4:8], Version)
+	binary.LittleEndian.PutUint64(sb[8:16], uint64(catOff))
+	binary.LittleEndian.PutUint64(sb[16:24], uint64(catLen))
+	if _, err := f.f.WriteAt(0, sb[:]); err != nil {
+		return fmt.Errorf("h5: superblock: %w", err)
+	}
+	return nil
+}
+
+// CreateDataset allocates a dense n-dimensional dataset. Collective: every
+// rank calls it with identical arguments and in the same order, so each
+// rank computes the same allocation without communication.
+func (f *File) CreateDataset(name string, t DType, shape []int64) (*Dataset, error) {
+	if f.closed {
+		return nil, storage.ErrClosed
+	}
+	if !f.writable {
+		return nil, fmt.Errorf("h5: dataset %q: %w", name, storage.ErrReadOnly)
+	}
+	if name == "" || t.Size() == 0 || len(shape) == 0 {
+		return nil, fmt.Errorf("h5: dataset %q: %w", name, storage.ErrInvalidArg)
+	}
+	if _, exists := f.cat.Datasets[name]; exists {
+		return nil, fmt.Errorf("h5: dataset %q: %w", name, storage.ErrExists)
+	}
+	elems := int64(1)
+	for _, dim := range shape {
+		if dim <= 0 {
+			return nil, fmt.Errorf("h5: dataset %q: dimension %d: %w", name, dim, storage.ErrInvalidArg)
+		}
+		elems *= dim
+	}
+	meta := &datasetMeta{
+		Name:   name,
+		Type:   t,
+		Shape:  append([]int64(nil), shape...),
+		Offset: f.cat.End,
+		Attrs:  make(map[string]string),
+	}
+	f.cat.End += elems * t.Size()
+	f.cat.Datasets[name] = meta
+	return &Dataset{file: f, meta: meta}, nil
+}
+
+// Dataset returns an existing dataset by name.
+func (f *File) Dataset(name string) (*Dataset, error) {
+	if f.closed {
+		return nil, storage.ErrClosed
+	}
+	meta, ok := f.cat.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("h5: dataset %q: %w", name, storage.ErrNotFound)
+	}
+	return &Dataset{file: f, meta: meta}, nil
+}
+
+// Datasets lists dataset names in sorted order.
+func (f *File) Datasets() []string {
+	out := make([]string, 0, len(f.cat.Datasets))
+	for name := range f.cat.Datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetAttr sets a file-level string attribute (writable files only).
+func (f *File) SetAttr(name, value string) error {
+	if f.closed {
+		return storage.ErrClosed
+	}
+	if !f.writable {
+		return storage.ErrReadOnly
+	}
+	f.cat.FileAttrs[name] = value
+	return nil
+}
+
+// Attr reads a file-level attribute.
+func (f *File) Attr(name string) (string, bool) {
+	v, ok := f.cat.FileAttrs[name]
+	return v, ok
+}
+
+// Close finishes the container. For writable files every rank syncs its
+// data; rank 0 then serializes the catalog, appends it, and rewrites the
+// superblock to point at it. Collective.
+func (f *File) Close() error {
+	if f.closed {
+		return storage.ErrClosed
+	}
+	f.closed = true
+	if f.writable {
+		if err := f.f.Sync(); err != nil {
+			return err
+		}
+		f.rank.Barrier() // all data flushed before the catalog is placed
+		if f.rank.ID == 0 {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(f.cat); err != nil {
+				return fmt.Errorf("h5: encode catalog: %w", err)
+			}
+			catOff := f.cat.End
+			if _, err := f.f.WriteAt(catOff, buf.Bytes()); err != nil {
+				return fmt.Errorf("h5: write catalog: %w", err)
+			}
+			if err := f.writeSuperblock(catOff, int64(buf.Len())); err != nil {
+				return err
+			}
+			if err := f.f.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return f.f.Close()
+}
+
+// Dataset is a handle to one dataset of an open file.
+type Dataset struct {
+	file *File
+	meta *datasetMeta
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.meta.Name }
+
+// Shape returns a copy of the dataset's dimensions.
+func (d *Dataset) Shape() []int64 { return append([]int64(nil), d.meta.Shape...) }
+
+// Type returns the element type.
+func (d *Dataset) Type() DType { return d.meta.Type }
+
+// SetAttr sets a dataset-level string attribute.
+func (d *Dataset) SetAttr(name, value string) error {
+	if d.file.closed {
+		return storage.ErrClosed
+	}
+	if !d.file.writable {
+		return storage.ErrReadOnly
+	}
+	d.meta.Attrs[name] = value
+	return nil
+}
+
+// Attr reads a dataset-level attribute.
+func (d *Dataset) Attr(name string) (string, bool) {
+	v, ok := d.meta.Attrs[name]
+	return v, ok
+}
+
+// slabRuns validates a hyperslab selection and invokes fn once per
+// contiguous run with (fileOffsetBytes, elemCount, slabElemIndex).
+func (d *Dataset) slabRuns(offset, count []int64, fn func(fileOff, elems, slabIdx int64) error) error {
+	shape := d.meta.Shape
+	if len(offset) != len(shape) || len(count) != len(shape) {
+		return fmt.Errorf("h5: slab rank %d/%d vs dataset rank %d: %w",
+			len(offset), len(count), len(shape), storage.ErrInvalidArg)
+	}
+	total := int64(1)
+	for i := range shape {
+		if offset[i] < 0 || count[i] <= 0 || offset[i]+count[i] > shape[i] {
+			return fmt.Errorf("h5: slab dim %d [%d, %d) outside [0, %d): %w",
+				i, offset[i], offset[i]+count[i], shape[i], storage.ErrInvalidArg)
+		}
+		total *= count[i]
+	}
+	// Row-major strides.
+	strides := make([]int64, len(shape))
+	strides[len(shape)-1] = 1
+	for i := len(shape) - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * shape[i+1]
+	}
+	es := d.meta.Type.Size()
+	last := len(shape) - 1
+	rowElems := count[last]
+	// Iterate the outer dims of the slab; each step is one contiguous run
+	// of rowElems elements.
+	idx := make([]int64, len(shape))
+	var slabIdx int64
+	for {
+		var elemOff int64
+		for i := range shape {
+			elemOff += (offset[i] + idx[i]) * strides[i]
+		}
+		if err := fn(d.meta.Offset+elemOff*es, rowElems, slabIdx); err != nil {
+			return err
+		}
+		slabIdx += rowElems
+		// Advance the odometer over dims [0, last).
+		i := last - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < count[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	if slabIdx != total {
+		return fmt.Errorf("h5: internal: visited %d of %d slab elements", slabIdx, total)
+	}
+	return nil
+}
+
+// WriteFloat64 writes a float64 hyperslab. data is in row-major slab
+// order and must hold exactly the slab's element count.
+func (d *Dataset) WriteFloat64(offset, count []int64, data []float64) error {
+	if d.meta.Type != Float64 {
+		return fmt.Errorf("h5: %s is %s: %w", d.meta.Name, d.meta.Type, storage.ErrInvalidArg)
+	}
+	if err := d.checkLen(count, int64(len(data))); err != nil {
+		return err
+	}
+	row := make([]byte, 0, 8*256)
+	return d.slabRuns(offset, count, func(fileOff, elems, slabIdx int64) error {
+		row = row[:0]
+		for i := int64(0); i < elems; i++ {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(data[slabIdx+i]))
+			row = append(row, b[:]...)
+		}
+		_, err := d.file.f.WriteAt(fileOff, row)
+		return err
+	})
+}
+
+// ReadFloat64 reads a float64 hyperslab into data (slab order).
+func (d *Dataset) ReadFloat64(offset, count []int64, data []float64) error {
+	if d.meta.Type != Float64 {
+		return fmt.Errorf("h5: %s is %s: %w", d.meta.Name, d.meta.Type, storage.ErrInvalidArg)
+	}
+	if err := d.checkLen(count, int64(len(data))); err != nil {
+		return err
+	}
+	return d.slabRuns(offset, count, func(fileOff, elems, slabIdx int64) error {
+		raw := make([]byte, 8*elems)
+		if _, err := d.file.f.ReadAt(fileOff, raw); err != nil {
+			return err
+		}
+		for i := int64(0); i < elems; i++ {
+			data[slabIdx+i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return nil
+	})
+}
+
+// WriteBytes writes a byte hyperslab.
+func (d *Dataset) WriteBytes(offset, count []int64, data []byte) error {
+	if d.meta.Type != Bytes {
+		return fmt.Errorf("h5: %s is %s: %w", d.meta.Name, d.meta.Type, storage.ErrInvalidArg)
+	}
+	if err := d.checkLen(count, int64(len(data))); err != nil {
+		return err
+	}
+	return d.slabRuns(offset, count, func(fileOff, elems, slabIdx int64) error {
+		_, err := d.file.f.WriteAt(fileOff, data[slabIdx:slabIdx+elems])
+		return err
+	})
+}
+
+// ReadBytes reads a byte hyperslab.
+func (d *Dataset) ReadBytes(offset, count []int64, data []byte) error {
+	if d.meta.Type != Bytes {
+		return fmt.Errorf("h5: %s is %s: %w", d.meta.Name, d.meta.Type, storage.ErrInvalidArg)
+	}
+	if err := d.checkLen(count, int64(len(data))); err != nil {
+		return err
+	}
+	return d.slabRuns(offset, count, func(fileOff, elems, slabIdx int64) error {
+		_, err := d.file.f.ReadAt(fileOff, data[slabIdx:slabIdx+elems])
+		return err
+	})
+}
+
+func (d *Dataset) checkLen(count []int64, have int64) error {
+	want := int64(1)
+	for _, c := range count {
+		want *= c
+	}
+	if want != have {
+		return fmt.Errorf("h5: slab holds %d elements, buffer has %d: %w",
+			want, have, storage.ErrInvalidArg)
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package h5
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+func posixBackend() storage.FileSystem {
+	return posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1}))
+}
+
+func blobBackend() storage.FileSystem {
+	return blobfs.New(blob.New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}),
+		blob.Config{ChunkSize: 1 << 16, Replication: 2}))
+}
+
+func TestDTypeHelpers(t *testing.T) {
+	if Float64.Size() != 8 || Bytes.Size() != 1 || DType(99).Size() != 0 {
+		t.Fatal("DType.Size wrong")
+	}
+	if Float64.String() != "float64" || Bytes.String() != "bytes" {
+		t.Fatal("DType.String wrong")
+	}
+}
+
+func TestCreateWriteReadRoundTrip1D(t *testing.T) {
+	fs := posixBackend()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/out.h5")
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("temperature", Float64, []int64{100})
+		if err != nil {
+			return err
+		}
+		in := make([]float64, 100)
+		for i := range in {
+			in[i] = float64(i) * 0.5
+		}
+		if err := ds.WriteFloat64([]int64{0}, []int64{100}, in); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		g, err := Open(r, fs, "/out.h5")
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		ds2, err := g.Dataset("temperature")
+		if err != nil {
+			return err
+		}
+		out := make([]float64, 100)
+		if err := ds2.ReadFloat64([]int64{0}, []int64{100}, out); err != nil {
+			return err
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				return fmt.Errorf("element %d = %v, want %v", i, out[i], in[i])
+			}
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallel2DSlabWrites(t *testing.T) {
+	// Classic climate-output pattern: a 2D field decomposed by rows across
+	// ranks, each rank writing its slab; reader verifies the full grid.
+	const ranks = 4
+	const rows, cols = 16, 32
+	fs := posixBackend()
+	errs := mpi.Run(ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/grid.h5")
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("sst", Float64, []int64{rows, cols})
+		if err != nil {
+			return err
+		}
+		myRows := int64(rows / ranks)
+		start := int64(r.ID) * myRows
+		slab := make([]float64, myRows*cols)
+		for i := range slab {
+			row := start + int64(i)/cols
+			col := int64(i) % cols
+			slab[i] = float64(row*1000 + col)
+		}
+		if err := ds.WriteFloat64([]int64{start, 0}, []int64{myRows, cols}, slab); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+
+	errs = mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/grid.h5")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err := f.Dataset("sst")
+		if err != nil {
+			return err
+		}
+		if sh := ds.Shape(); sh[0] != rows || sh[1] != cols {
+			return fmt.Errorf("shape = %v", sh)
+		}
+		full := make([]float64, rows*cols)
+		if err := ds.ReadFloat64([]int64{0, 0}, []int64{rows, cols}, full); err != nil {
+			return err
+		}
+		for row := int64(0); row < rows; row++ {
+			for col := int64(0); col < cols; col++ {
+				if got, want := full[row*cols+col], float64(row*1000+col); got != want {
+					return fmt.Errorf("(%d,%d) = %v, want %v", row, col, got, want)
+				}
+			}
+		}
+		// Interior sub-slab.
+		sub := make([]float64, 2*3)
+		if err := ds.ReadFloat64([]int64{5, 10}, []int64{2, 3}, sub); err != nil {
+			return err
+		}
+		if sub[0] != 5010 || sub[5] != 6012 {
+			return fmt.Errorf("sub-slab = %v", sub)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	fs := posixBackend()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/a.h5")
+		if err != nil {
+			return err
+		}
+		if err := f.SetAttr("model", "ECOHAM-5"); err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("d", Bytes, []int64{8})
+		if err != nil {
+			return err
+		}
+		if err := ds.SetAttr("units", "kg/m3"); err != nil {
+			return err
+		}
+		if err := ds.WriteBytes([]int64{0}, []int64{8}, []byte("12345678")); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		g, err := Open(r, fs, "/a.h5")
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		if v, ok := g.Attr("model"); !ok || v != "ECOHAM-5" {
+			return fmt.Errorf("file attr = (%q, %v)", v, ok)
+		}
+		ds2, err := g.Dataset("d")
+		if err != nil {
+			return err
+		}
+		if v, ok := ds2.Attr("units"); !ok || v != "kg/m3" {
+			return fmt.Errorf("dataset attr = (%q, %v)", v, ok)
+		}
+		if err := g.SetAttr("x", "y"); !errors.Is(err, storage.ErrReadOnly) {
+			return fmt.Errorf("SetAttr on read-only file: %v", err)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	fs := posixBackend()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/v.h5")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.CreateDataset("", Float64, []int64{4}); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("empty name: %v", err)
+		}
+		if _, err := f.CreateDataset("d", Float64, []int64{0}); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("zero dim: %v", err)
+		}
+		ds, err := f.CreateDataset("d", Float64, []int64{4, 4})
+		if err != nil {
+			return err
+		}
+		if _, err := f.CreateDataset("d", Float64, []int64{4}); !errors.Is(err, storage.ErrExists) {
+			return fmt.Errorf("duplicate dataset: %v", err)
+		}
+		if _, err := f.Dataset("ghost"); !errors.Is(err, storage.ErrNotFound) {
+			return fmt.Errorf("missing dataset: %v", err)
+		}
+		buf := make([]float64, 4)
+		if err := ds.WriteFloat64([]int64{0}, []int64{4}, buf); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("rank mismatch: %v", err)
+		}
+		if err := ds.WriteFloat64([]int64{2, 0}, []int64{3, 4}, make([]float64, 12)); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("out-of-bounds slab: %v", err)
+		}
+		if err := ds.WriteFloat64([]int64{0, 0}, []int64{2, 2}, buf[:3]); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("short buffer: %v", err)
+		}
+		if err := ds.WriteBytes([]int64{0, 0}, []int64{1, 1}, []byte{1}); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("type mismatch: %v", err)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsNonContainer(t *testing.T) {
+	fs := posixBackend()
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/junk")
+	h.WriteAt(ctx, 0, []byte("definitely not an h5 file, padded well past the superblock"))
+	h.Close(ctx)
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		if _, err := Open(r, fs, "/junk"); !errors.Is(err, storage.ErrInvalidArg) {
+			return fmt.Errorf("junk open: %v", err)
+		}
+		if _, err := Open(r, fs, "/missing"); err == nil {
+			return fmt.Errorf("missing open succeeded")
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetsListingAndMultiDataset(t *testing.T) {
+	fs := posixBackend()
+	errs := mpi.Run(2, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/multi.h5")
+		if err != nil {
+			return err
+		}
+		// Both ranks create the same datasets in the same order —
+		// deterministic identical allocation.
+		for _, name := range []string{"zeta", "alpha", "mid"} {
+			if _, err := f.CreateDataset(name, Float64, []int64{8}); err != nil {
+				return err
+			}
+		}
+		ds, err := f.Dataset("alpha")
+		if err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			if err := ds.WriteFloat64([]int64{0}, []int64{8}, []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+				return err
+			}
+		}
+		names := f.Datasets()
+		if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+			return fmt.Errorf("Datasets = %v", names)
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Figure 1 property must survive through the h5 layer: an application
+// writing scientific datasets issues no directory operations.
+func TestNoDirectoryOpsThroughH5(t *testing.T) {
+	census := trace.NewCensus()
+	fs := trace.Wrap(posixBackend(), census)
+	errs := mpi.Run(4, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/sim-output.h5")
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("field", Float64, []int64{4, 64})
+		if err != nil {
+			return err
+		}
+		row := make([]float64, 64)
+		if err := ds.WriteFloat64([]int64{int64(r.ID), 0}, []int64{1, 64}, row); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if got := census.KindCount(storage.CallDirOp); got != 0 {
+		t.Fatalf("h5 layer issued %d directory operations", got)
+	}
+	if got := census.KindCount(storage.CallOther); got != 0 {
+		t.Fatalf("h5 layer issued %d 'other' calls", got)
+	}
+}
+
+// Convergence: the identical h5 program runs on the blob-backed stack.
+func TestH5OnBlobStorage(t *testing.T) {
+	fs := blobBackend()
+	errs := mpi.Run(2, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Create(r, fs, "/blob-output.h5")
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset("v", Float64, []int64{2, 16})
+		if err != nil {
+			return err
+		}
+		row := make([]float64, 16)
+		for i := range row {
+			row[i] = float64(r.ID*100 + i)
+		}
+		if err := ds.WriteFloat64([]int64{int64(r.ID), 0}, []int64{1, 16}, row); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		g, err := Open(r, fs, "/blob-output.h5")
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		ds2, err := g.Dataset("v")
+		if err != nil {
+			return err
+		}
+		got := make([]float64, 16)
+		other := (r.ID + 1) % 2
+		if err := ds2.ReadFloat64([]int64{int64(other), 0}, []int64{1, 16}, got); err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != float64(other*100+i) {
+				return fmt.Errorf("cross-rank element %d = %v", i, got[i])
+			}
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}

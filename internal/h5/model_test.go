@@ -1,0 +1,102 @@
+package h5
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// TestHyperslabMatchesArrayModel writes random 2D hyperslabs through h5
+// and mirrors them into a plain in-memory array; full-dataset reads must
+// agree exactly, and random sub-slab reads must return the model's values.
+func TestHyperslabMatchesArrayModel(t *testing.T) {
+	const rows, cols = 12, 17
+
+	type slab struct {
+		R0, C0, NR, NC uint8
+		Seed           uint16
+	}
+	f := func(slabs []slab) bool {
+		if len(slabs) > 24 {
+			slabs = slabs[:24]
+		}
+		fs := posixBackend()
+		model := make([]float64, rows*cols)
+		ok := true
+		errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+			file, err := Create(r, fs, "/prop.h5")
+			if err != nil {
+				return err
+			}
+			ds, err := file.CreateDataset("m", Float64, []int64{rows, cols})
+			if err != nil {
+				return err
+			}
+			for _, s := range slabs {
+				r0 := int64(s.R0) % rows
+				c0 := int64(s.C0) % cols
+				nr := 1 + int64(s.NR)%(rows-r0)
+				nc := 1 + int64(s.NC)%(cols-c0)
+				data := make([]float64, nr*nc)
+				for i := range data {
+					data[i] = float64(s.Seed)*1000 + float64(i)
+				}
+				if err := ds.WriteFloat64([]int64{r0, c0}, []int64{nr, nc}, data); err != nil {
+					return err
+				}
+				for rr := int64(0); rr < nr; rr++ {
+					for cc := int64(0); cc < nc; cc++ {
+						model[(r0+rr)*cols+(c0+cc)] = data[rr*nc+cc]
+					}
+				}
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+
+			read, err := Open(r, fs, "/prop.h5")
+			if err != nil {
+				return err
+			}
+			defer read.Close()
+			ds2, err := read.Dataset("m")
+			if err != nil {
+				return err
+			}
+			full := make([]float64, rows*cols)
+			if err := ds2.ReadFloat64([]int64{0, 0}, []int64{rows, cols}, full); err != nil {
+				return err
+			}
+			for i := range full {
+				if full[i] != model[i] {
+					ok = false
+					return nil
+				}
+			}
+			// A few deterministic sub-slab probes.
+			probe := make([]float64, 2*3)
+			if err := ds2.ReadFloat64([]int64{3, 5}, []int64{2, 3}, probe); err != nil {
+				return err
+			}
+			for rr := int64(0); rr < 2; rr++ {
+				for cc := int64(0); cc < 3; cc++ {
+					if probe[rr*3+cc] != model[(3+rr)*cols+(5+cc)] {
+						ok = false
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		if err := mpi.FirstError(errs); err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package ior implements an IOR-style parallel I/O benchmark — the
+// standard HPC storage benchmark shape — against any storage.FileSystem.
+// It drives N client processes writing and reading segmented/strided
+// patterns, either to one shared file or to one file per process, and
+// reports virtual-time bandwidths.
+//
+// The pattern follows IOR's model: the file is divided into segments; each
+// segment holds one contiguous block per client; blocks are written in
+// transferSize units. With a shared file this produces the interleaved
+// access pattern parallel file systems are famous for struggling with.
+package ior
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Params configures one benchmark run.
+type Params struct {
+	// Clients is the number of concurrent client processes. Default 8.
+	Clients int
+	// TransferSize is the size of each I/O call. Default 64 KiB.
+	TransferSize int
+	// BlockSize is the contiguous region each client owns per segment;
+	// must be a multiple of TransferSize. Default 1 MiB.
+	BlockSize int
+	// Segments is the number of segments. Default 4.
+	Segments int
+	// SharedFile selects one shared file (true) or file-per-process.
+	SharedFile bool
+	// ReadBack adds a read phase over the written data, with verification.
+	ReadBack bool
+	// Dir is the working directory; it must exist. Default "/ior".
+	Dir string
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Clients <= 0 {
+		p.Clients = 8
+	}
+	if p.TransferSize <= 0 {
+		p.TransferSize = 64 << 10
+	}
+	if p.BlockSize <= 0 {
+		p.BlockSize = 1 << 20
+	}
+	if p.Segments <= 0 {
+		p.Segments = 4
+	}
+	if p.Dir == "" {
+		p.Dir = "/ior"
+	}
+	if p.BlockSize%p.TransferSize != 0 {
+		return p, fmt.Errorf("ior: block size %d not a multiple of transfer size %d: %w",
+			p.BlockSize, p.TransferSize, storage.ErrInvalidArg)
+	}
+	return p, nil
+}
+
+// Result reports one run.
+type Result struct {
+	Params     Params
+	TotalBytes int64
+	WriteTime  time.Duration
+	ReadTime   time.Duration
+	WriteMBps  float64
+	ReadMBps   float64
+}
+
+// String renders an IOR-style summary line.
+func (r *Result) String() string {
+	mode := "file-per-process"
+	if r.Params.SharedFile {
+		mode = "shared-file"
+	}
+	s := fmt.Sprintf("ior %-17s clients=%-3d xfer=%-8d block=%-8d segs=%-2d write=%8.1f MB/s",
+		mode, r.Params.Clients, r.Params.TransferSize, r.Params.BlockSize,
+		r.Params.Segments, r.WriteMBps)
+	if r.Params.ReadBack {
+		s += fmt.Sprintf("  read=%8.1f MB/s", r.ReadMBps)
+	}
+	return s
+}
+
+// fill produces a verifiable pattern byte for (client, absolute offset).
+func fill(client int, off int64) byte {
+	return byte(int64(client+1)*31 + off*7)
+}
+
+// Run executes the benchmark. The working directory must already exist.
+func Run(fs storage.FileSystem, p Params) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Params: p}
+	perClient := int64(p.BlockSize) * int64(p.Segments)
+	res.TotalBytes = perClient * int64(p.Clients)
+
+	// A shared file is created up front (IOR's open phase); per-process
+	// files are created by their writers, as IOR's O_CREAT open does.
+	if p.SharedFile {
+		setup := storage.NewContext()
+		h, err := fs.Create(setup, p.sharedPath())
+		if err != nil {
+			return nil, fmt.Errorf("ior: create shared file: %w", err)
+		}
+		if err := h.Close(setup); err != nil {
+			return nil, err
+		}
+	}
+
+	// Write phase.
+	writeTime, err := p.phase(fs, true, func(client int, ctx *storage.Context, h storage.Handle) error {
+		buf := make([]byte, p.TransferSize)
+		for seg := 0; seg < p.Segments; seg++ {
+			base := p.offset(client, seg)
+			for t := 0; t < p.BlockSize/p.TransferSize; t++ {
+				off := base + int64(t*p.TransferSize)
+				for i := range buf {
+					buf[i] = fill(client, off+int64(i))
+				}
+				if _, err := h.WriteAt(ctx, off, buf); err != nil {
+					return err
+				}
+			}
+		}
+		return h.Sync(ctx)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ior: write phase: %w", err)
+	}
+	res.WriteTime = writeTime
+	res.WriteMBps = metrics.Throughput(res.TotalBytes, writeTime)
+
+	if p.ReadBack {
+		readTime, err := p.phase(fs, false, func(client int, ctx *storage.Context, h storage.Handle) error {
+			buf := make([]byte, p.TransferSize)
+			want := make([]byte, p.TransferSize)
+			for seg := 0; seg < p.Segments; seg++ {
+				base := p.offset(client, seg)
+				for t := 0; t < p.BlockSize/p.TransferSize; t++ {
+					off := base + int64(t*p.TransferSize)
+					n, err := h.ReadAt(ctx, off, buf)
+					if err != nil {
+						return err
+					}
+					if n != p.TransferSize {
+						return fmt.Errorf("short read %d/%d at %d", n, p.TransferSize, off)
+					}
+					for i := range want {
+						want[i] = fill(client, off+int64(i))
+					}
+					if !bytes.Equal(buf, want) {
+						return fmt.Errorf("verification failed at offset %d", off)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ior: read phase: %w", err)
+		}
+		res.ReadTime = readTime
+		res.ReadMBps = metrics.Throughput(res.TotalBytes, readTime)
+	}
+	return res, nil
+}
+
+func (p Params) sharedPath() string      { return p.Dir + "/shared.dat" }
+func (p Params) clientPath(c int) string { return fmt.Sprintf("%s/proc-%04d.dat", p.Dir, c) }
+
+// offset computes the start of a client's block in a segment. Shared file:
+// IOR's segmented layout (segment-major, client blocks interleaved within
+// the segment). File-per-process: sequential within the client's own file.
+func (p Params) offset(client, seg int) int64 {
+	if p.SharedFile {
+		return (int64(seg)*int64(p.Clients) + int64(client)) * int64(p.BlockSize)
+	}
+	return int64(seg) * int64(p.BlockSize)
+}
+
+// phase runs fn on every client concurrently (each opening — or, for a
+// per-process write phase, creating — its target) and returns the makespan
+// in virtual time.
+func (p Params) phase(fs storage.FileSystem, writing bool, fn func(client int, ctx *storage.Context, h storage.Handle) error) (time.Duration, error) {
+	contexts := make([]*storage.Context, p.Clients)
+	errs := make([]error, p.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < p.Clients; c++ {
+		contexts[c] = storage.NewContext()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var h storage.Handle
+			var err error
+			if p.SharedFile {
+				h, err = fs.Open(contexts[c], p.sharedPath())
+			} else if writing {
+				h, err = fs.Create(contexts[c], p.clientPath(c))
+			} else {
+				h, err = fs.Open(contexts[c], p.clientPath(c))
+			}
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer h.Close(contexts[c])
+			errs[c] = fn(c, contexts[c], h)
+		}(c)
+	}
+	wg.Wait()
+	var makespan time.Duration
+	for c := 0; c < p.Clients; c++ {
+		if errs[c] != nil {
+			return 0, fmt.Errorf("client %d: %w", c, errs[c])
+		}
+		if t := contexts[c].Clock.Now(); t > makespan {
+			makespan = t
+		}
+	}
+	return makespan, nil
+}

@@ -1,0 +1,145 @@
+package ior
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/storage"
+)
+
+func posixTarget(t *testing.T) storage.FileSystem {
+	t.Helper()
+	fs := posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 9, Seed: 1}))
+	if err := fs.Mkdir(storage.NewContext(), "/ior"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func blobTarget(t *testing.T) storage.FileSystem {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 9, Seed: 1})
+	fs := blobfs.New(blob.New(c, blob.Config{ChunkSize: 1 << 20, Replication: 1}))
+	if err := fs.Mkdir(storage.NewContext(), "/ior"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func small() Params {
+	return Params{
+		Clients:      4,
+		TransferSize: 4 << 10,
+		BlockSize:    16 << 10,
+		Segments:     2,
+		ReadBack:     true,
+	}
+}
+
+func TestSharedFileWithVerification(t *testing.T) {
+	p := small()
+	p.SharedFile = true
+	res, err := Run(posixTarget(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 4*16*1024*2 {
+		t.Fatalf("TotalBytes = %d", res.TotalBytes)
+	}
+	if res.WriteMBps <= 0 || res.ReadMBps <= 0 {
+		t.Fatalf("bandwidths = %f / %f", res.WriteMBps, res.ReadMBps)
+	}
+	if !strings.Contains(res.String(), "shared-file") {
+		t.Fatalf("String = %q", res.String())
+	}
+}
+
+func TestFilePerProcessWithVerification(t *testing.T) {
+	res, err := Run(posixTarget(t), small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteMBps <= 0 || res.ReadMBps <= 0 {
+		t.Fatalf("bandwidths = %f / %f", res.WriteMBps, res.ReadMBps)
+	}
+	if !strings.Contains(res.String(), "file-per-process") {
+		t.Fatalf("String = %q", res.String())
+	}
+}
+
+func TestOnBlobBackend(t *testing.T) {
+	for _, shared := range []bool{false, true} {
+		p := small()
+		p.SharedFile = shared
+		if _, err := Run(blobTarget(t), p); err != nil {
+			t.Fatalf("shared=%v: %v", shared, err)
+		}
+	}
+}
+
+// File-per-process on relaxedfs works (sequential appends per file);
+// shared-file does not (random writes) — exactly HDFS's envelope.
+func TestRelaxedFSEnvelope(t *testing.T) {
+	fs := relaxedfs.New(cluster.New(cluster.Config{Nodes: 9, Seed: 1}), relaxedfs.Config{})
+	if err := fs.Mkdir(storage.NewContext(), "/ior"); err != nil {
+		t.Fatal(err)
+	}
+	p := small()
+	p.ReadBack = true
+	if _, err := Run(fs, p); err != nil {
+		t.Fatalf("file-per-process on relaxedfs: %v", err)
+	}
+
+	fs2 := relaxedfs.New(cluster.New(cluster.Config{Nodes: 9, Seed: 1}), relaxedfs.Config{})
+	fs2.Mkdir(storage.NewContext(), "/ior")
+	p.SharedFile = true
+	if _, err := Run(fs2, p); err == nil {
+		t.Fatal("shared-file strided writes succeeded on relaxedfs")
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	p := Params{TransferSize: 3000, BlockSize: 10000}
+	if _, err := Run(posixTarget(t), p); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("misaligned sizes: %v", err)
+	}
+}
+
+func TestMissingWorkingDirSurfaces(t *testing.T) {
+	fs := posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1}))
+	p := small()
+	p.SharedFile = true
+	if _, err := Run(fs, p); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+// More clients move more data and, under contention, cannot be faster
+// per byte than a single client on the same backend.
+func TestScalingSanity(t *testing.T) {
+	run := func(clients int) *Result {
+		p := small()
+		p.Clients = clients
+		p.SharedFile = true
+		res, err := Run(posixTarget(t), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	eight := run(8)
+	if eight.TotalBytes != 8*one.TotalBytes {
+		t.Fatalf("bytes: %d vs %d", eight.TotalBytes, one.TotalBytes)
+	}
+	if eight.WriteTime < one.WriteTime {
+		t.Fatalf("8 clients finished faster than 1: %v vs %v (contention missing)",
+			eight.WriteTime, one.WriteTime)
+	}
+}

@@ -1,0 +1,225 @@
+// Package kvstore implements a key-value store on top of the blob layer,
+// demonstrating the paper's Section I claim that blobs can serve "as a base
+// for storage abstractions like key-value stores or time-series databases".
+//
+// Design: keys are hashed onto a fixed set of shard blobs; each shard blob
+// is an append-only record log (put and tombstone records) with an
+// in-memory index mapping keys to their latest value's (offset, length).
+// Gets are a single blob random read; puts are a single blob append;
+// compaction rewrites a shard and truncates it — every operation maps to
+// exactly the Section III primitive set.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Store is a sharded KV store over a blob store.
+type Store struct {
+	blobs  storage.BlobStore
+	prefix string
+	shards []*shard
+}
+
+type shard struct {
+	key string
+	mu  sync.Mutex
+	// index maps key -> location of the latest live value.
+	index map[string]valueLoc
+	// end is the append offset.
+	end int64
+	// liveBytes tracks non-garbage record bytes, for compaction decisions.
+	liveBytes int64
+}
+
+type valueLoc struct {
+	off int64 // offset of the value bytes within the shard blob
+	len int64
+}
+
+// Open creates (or reattaches to) a KV store with the given shard count
+// under the key prefix. Shard blobs are created on first use.
+func Open(ctx *storage.Context, blobs storage.BlobStore, prefix string, shards int) (*Store, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("kvstore: shard count %d: %w", shards, storage.ErrInvalidArg)
+	}
+	s := &Store{blobs: blobs, prefix: prefix}
+	for i := 0; i < shards; i++ {
+		key := fmt.Sprintf("%s/shard-%04d", prefix, i)
+		if err := blobs.CreateBlob(ctx, key); err != nil {
+			return nil, fmt.Errorf("kvstore: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, &shard{key: key, index: make(map[string]valueLoc)})
+	}
+	return s, nil
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// record layout: u32 keyLen | u32 valLen (0xFFFFFFFF = tombstone) | key | value
+const tombstone = ^uint32(0)
+
+func encodeRecord(key string, value []byte, dead bool) []byte {
+	vl := uint32(len(value))
+	if dead {
+		vl = tombstone
+	}
+	out := make([]byte, 8+len(key)+len(value))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(out[4:8], vl)
+	copy(out[8:], key)
+	copy(out[8+len(key):], value)
+	return out
+}
+
+// Put stores value under key (one blob append).
+func (s *Store) Put(ctx *storage.Context, key string, value []byte) error {
+	if key == "" {
+		return fmt.Errorf("kvstore: empty key: %w", storage.ErrInvalidArg)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := encodeRecord(key, value, false)
+	if _, err := s.blobs.WriteBlob(ctx, sh.key, sh.end, rec); err != nil {
+		return fmt.Errorf("kvstore: put %q: %w", key, err)
+	}
+	if old, ok := sh.index[key]; ok {
+		sh.liveBytes -= old.len + int64(len(key)) + 8
+	}
+	sh.index[key] = valueLoc{off: sh.end + 8 + int64(len(key)), len: int64(len(value))}
+	sh.end += int64(len(rec))
+	sh.liveBytes += int64(len(rec))
+	return nil
+}
+
+// Get returns the value under key (one blob random read).
+func (s *Store) Get(ctx *storage.Context, key string) ([]byte, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	loc, ok := sh.index[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("kvstore: %q: %w", key, storage.ErrNotFound)
+	}
+	buf := make([]byte, loc.len)
+	n, err := s.blobs.ReadBlob(ctx, sh.key, loc.off, buf)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: get %q: %w", key, err)
+	}
+	if int64(n) != loc.len {
+		return nil, fmt.Errorf("kvstore: get %q: short read %d/%d: %w", key, n, loc.len, storage.ErrStaleHandle)
+	}
+	return buf, nil
+}
+
+// Delete removes key (one tombstone append).
+func (s *Store) Delete(ctx *storage.Context, key string) error {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.index[key]
+	if !ok {
+		return fmt.Errorf("kvstore: %q: %w", key, storage.ErrNotFound)
+	}
+	rec := encodeRecord(key, nil, true)
+	if _, err := s.blobs.WriteBlob(ctx, sh.key, sh.end, rec); err != nil {
+		return fmt.Errorf("kvstore: delete %q: %w", key, err)
+	}
+	delete(sh.index, key)
+	sh.end += int64(len(rec))
+	sh.liveBytes -= old.len + int64(len(key)) + 8
+	return nil
+}
+
+// Has reports whether key exists (index only, no storage call).
+func (s *Store) Has(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.index[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.index)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// GarbageRatio reports the fraction of shard bytes that are dead records,
+// the compaction trigger signal.
+func (s *Store) GarbageRatio() float64 {
+	var end, live int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		end += sh.end
+		live += sh.liveBytes
+		sh.mu.Unlock()
+	}
+	if end == 0 {
+		return 0
+	}
+	return float64(end-live) / float64(end)
+}
+
+// Compact rewrites every shard, dropping dead records, then truncates the
+// shard blob to the new length (the Section III truncate primitive).
+func (s *Store) Compact(ctx *storage.Context) error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		// Collect live records by reading current values.
+		type liveKV struct {
+			key string
+			val []byte
+		}
+		var live []liveKV
+		for key, loc := range sh.index {
+			buf := make([]byte, loc.len)
+			if _, err := s.blobs.ReadBlob(ctx, sh.key, loc.off, buf); err != nil {
+				sh.mu.Unlock()
+				return fmt.Errorf("kvstore: compact read %q: %w", key, err)
+			}
+			live = append(live, liveKV{key, buf})
+		}
+		// Rewrite from offset 0.
+		var off int64
+		newIndex := make(map[string]valueLoc, len(live))
+		for _, kv := range live {
+			rec := encodeRecord(kv.key, kv.val, false)
+			if _, err := s.blobs.WriteBlob(ctx, sh.key, off, rec); err != nil {
+				sh.mu.Unlock()
+				return fmt.Errorf("kvstore: compact write %q: %w", kv.key, err)
+			}
+			newIndex[kv.key] = valueLoc{off: off + 8 + int64(len(kv.key)), len: int64(len(kv.val))}
+			off += int64(len(rec))
+		}
+		if err := s.blobs.TruncateBlob(ctx, sh.key, off); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("kvstore: compact truncate: %w", err)
+		}
+		sh.index = newIndex
+		sh.end = off
+		sh.liveBytes = off
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Close deletes nothing (data lives in the blob store); it exists for
+// symmetry and future resource handles.
+func (s *Store) Close() error { return nil }

@@ -1,0 +1,217 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func newKV(t *testing.T, shards int) (*Store, *storage.Context) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 1})
+	ctx := storage.NewContext()
+	s, err := Open(ctx, blob.New(c, blob.Config{ChunkSize: 256, Replication: 2}), "kv", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ctx
+}
+
+func TestOpenValidation(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	ctx := storage.NewContext()
+	if _, err := Open(ctx, blob.New(c, blob.Config{}), "kv", 0); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("Open with 0 shards: %v", err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, ctx := newKV(t, 4)
+	if err := s.Put(ctx, "user:1", []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctx, "user:1")
+	if err != nil || string(got) != "alice" {
+		t.Fatalf("Get = (%q, %v)", got, err)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	s, ctx := newKV(t, 2)
+	s.Put(ctx, "k", []byte("v1"))
+	s.Put(ctx, "k", []byte("v2-longer"))
+	got, err := s.Get(ctx, "k")
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("Get after overwrite = (%q, %v)", got, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, ctx := newKV(t, 2)
+	if _, err := s.Get(ctx, "ghost"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, ctx := newKV(t, 2)
+	s.Put(ctx, "k", []byte("v"))
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	if err := s.Delete(ctx, "k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if s.Has("k") {
+		t.Fatal("Has after delete")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, ctx := newKV(t, 2)
+	if err := s.Put(ctx, "", []byte("v")); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("empty key: %v", err)
+	}
+}
+
+func TestEmptyValueAllowed(t *testing.T) {
+	s, ctx := newKV(t, 2)
+	if err := s.Put(ctx, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctx, "k")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Get empty value = (%v, %v)", got, err)
+	}
+}
+
+func TestGarbageAndCompaction(t *testing.T) {
+	s, ctx := newKV(t, 2)
+	for i := 0; i < 50; i++ {
+		s.Put(ctx, fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	// Overwrite half, delete a quarter -> garbage accumulates.
+	for i := 0; i < 25; i++ {
+		s.Put(ctx, fmt.Sprintf("k%d", i), []byte("new"))
+	}
+	for i := 25; i < 37; i++ {
+		s.Delete(ctx, fmt.Sprintf("k%d", i))
+	}
+	if g := s.GarbageRatio(); g <= 0.2 {
+		t.Fatalf("GarbageRatio = %.2f, want substantial garbage", g)
+	}
+	if err := s.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.GarbageRatio(); g != 0 {
+		t.Fatalf("GarbageRatio after compact = %.2f", g)
+	}
+	// All survivors readable with correct values.
+	for i := 0; i < 25; i++ {
+		got, err := s.Get(ctx, fmt.Sprintf("k%d", i))
+		if err != nil || string(got) != "new" {
+			t.Fatalf("k%d after compact = (%q, %v)", i, got, err)
+		}
+	}
+	for i := 25; i < 37; i++ {
+		if s.Has(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("deleted k%d resurrected by compaction", i)
+		}
+	}
+	for i := 37; i < 50; i++ {
+		got, err := s.Get(ctx, fmt.Sprintf("k%d", i))
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 100)) {
+			t.Fatalf("k%d after compact = (%v, %v)", i, len(got), err)
+		}
+	}
+}
+
+func TestConcurrentPutsDistinctKeys(t *testing.T) {
+	s, _ := newKV(t, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := storage.NewContext()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if err := s.Put(ctx, key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", s.Len())
+	}
+	ctx := storage.NewContext()
+	got, err := s.Get(ctx, "w3-k7")
+	if err != nil || string(got) != "w3-k7" {
+		t.Fatalf("spot check = (%q, %v)", got, err)
+	}
+}
+
+// Property: a random sequence of puts/deletes matches a map reference.
+func TestMatchesMapModelProperty(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+		Val []byte
+	}
+	f := func(ops []op) bool {
+		s, ctx := newKVQuick()
+		ref := map[string][]byte{}
+		for _, o := range ops {
+			key := fmt.Sprintf("key-%d", o.Key%16)
+			if o.Del {
+				_, exists := ref[key]
+				err := s.Delete(ctx, key)
+				if exists != (err == nil) {
+					return false
+				}
+				delete(ref, key)
+			} else {
+				if err := s.Put(ctx, key, o.Val); err != nil {
+					return false
+				}
+				ref[key] = append([]byte(nil), o.Val...)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, err := s.Get(ctx, k)
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newKVQuick() (*Store, *storage.Context) {
+	c := cluster.New(cluster.Config{Nodes: 3, Seed: 1})
+	ctx := storage.NewContext()
+	s, _ := Open(ctx, blob.New(c, blob.Config{ChunkSize: 128, Replication: 1}), "kv", 3)
+	return s, ctx
+}

@@ -1,0 +1,267 @@
+// Package metrics provides the measurement primitives used by the tracer
+// and the benchmark harness: counters, byte accumulators, and log-scaled
+// latency histograms with percentile queries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a concurrency-safe monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by d (d may be any non-negative value).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Histogram records durations into logarithmic buckets (factor ~2 per
+// bucket, from 1µs to ~1h) plus exact min/max/sum, supporting approximate
+// percentile queries. The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [44]int64 // bucket i covers [2^i µs, 2^(i+1) µs)
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= 44 {
+		b = 43
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) based on
+// bucket boundaries; exact min/max are used at the extremes.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			// Upper edge of bucket i: 2^(i+1) µs, clamped to observed max.
+			edge := time.Duration(1<<uint(i+1)) * time.Microsecond
+			if edge > h.max {
+				edge = h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
+// Snapshot is an immutable summary of a histogram.
+type Snapshot struct {
+	Count          int64
+	Min, Mean, Max time.Duration
+	P50, P95, P99  time.Duration
+	Sum            time.Duration
+}
+
+// Snapshot captures the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Sum:   h.Sum(),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d min=%v mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Min, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Registry is a named collection of counters and histograms, used by the
+// tracer to aggregate per-operation statistics.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterNames returns all counter names in sorted order.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ctrs))
+	for n := range r.ctrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns all histogram names in sorted order.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders every metric, one per line, for diagnostics.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	for _, n := range r.CounterNames() {
+		fmt.Fprintf(&b, "counter %-32s %d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range r.HistogramNames() {
+		fmt.Fprintf(&b, "hist    %-32s %s\n", n, r.Histogram(n).Snapshot())
+	}
+	return b.String()
+}
+
+// Throughput converts a byte count over a duration into MB/s (decimal
+// megabytes, matching the paper's units). Returns 0 for non-positive
+// durations.
+func Throughput(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 10000 {
+		t.Fatalf("concurrent increments lost: %d", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation mishandled: min=%v count=%d", h.Min(), h.Count())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if q := h.Quantile(0); q != h.Min() {
+		t.Fatalf("Quantile(0) = %v, want min %v", q, h.Min())
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Fatalf("Quantile(1) = %v, want max %v", q, h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400*time.Microsecond || p50 > 1100*time.Microsecond {
+		t.Fatalf("p50 = %v, implausible for uniform 1..1000µs", p50)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v) * time.Microsecond)
+		}
+		a, b := float64(qa%101)/100, float64(qb%101)/100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := h.Quantile(a), h.Quantile(b)
+		return pa <= pb && pa >= h.Min() && pb <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatalf("String() = %q, missing count", s.String())
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reads")
+	c1.Inc()
+	if got := r.Counter("reads").Value(); got != 1 {
+		t.Fatalf("registry did not reuse counter: %d", got)
+	}
+	h1 := r.Histogram("lat")
+	h1.Observe(time.Millisecond)
+	if got := r.Histogram("lat").Count(); got != 1 {
+		t.Fatalf("registry did not reuse histogram: %d", got)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta")
+	r.Counter("alpha")
+	r.Histogram("mid")
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+	if h := r.HistogramNames(); len(h) != 1 || h[0] != "mid" {
+		t.Fatalf("HistogramNames = %v", h)
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(7)
+	r.Histogram("lat").Observe(time.Second)
+	d := r.Dump()
+	if !strings.Contains(d, "ops") || !strings.Contains(d, "7") || !strings.Contains(d, "lat") {
+		t.Fatalf("Dump missing content:\n%s", d)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1e6, time.Second); got != 1 {
+		t.Fatalf("Throughput(1MB, 1s) = %v, want 1", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("Throughput with zero duration = %v, want 0", got)
+	}
+	if got := Throughput(2e8, 2*time.Second); got != 100 {
+		t.Fatalf("Throughput(200MB, 2s) = %v, want 100", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("concurrent Observe lost samples: %d", got)
+	}
+}

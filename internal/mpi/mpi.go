@@ -1,0 +1,307 @@
+// Package mpi implements a miniature MPI runtime: ranks are goroutines, and
+// the package provides the point-to-point and collective operations the
+// paper's HPC applications are built on (barrier, broadcast, gather,
+// all-reduce, send/recv).
+//
+// Virtual time follows the MPI model: each rank owns a clock
+// (storage.Context); collectives synchronize the participants' clocks to
+// the slowest rank plus a logarithmic tree cost, exactly how barrier time
+// behaves on a real interconnect at first order.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// World is one communicator spanning size ranks.
+type World struct {
+	size int
+	cost sim.CostModel
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int64
+	arrived int
+	inputs  [][]byte
+	outputs [][]byte
+
+	// Point-to-point mailboxes, one per (src, dst) pair, created lazily.
+	boxesMu sync.Mutex
+	boxes   map[[2]int]chan message
+
+	// Sub-communicators created by Split, keyed by (color, membership).
+	subMu sync.Mutex
+	subs  map[string]*World
+}
+
+type message struct {
+	tag  int
+	data []byte
+	at   time.Duration // sender's clock at send time
+}
+
+// Rank is one process in the world.
+type Rank struct {
+	ID    int
+	world *World
+	// Ctx carries the rank's virtual clock; storage calls made by the rank
+	// must use it.
+	Ctx *storage.Context
+}
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.world.size }
+
+// newWorld builds a communicator for n ranks.
+func newWorld(n int, cost sim.CostModel) *World {
+	w := &World{
+		size:  n,
+		cost:  cost,
+		boxes: make(map[[2]int]chan message),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Run spawns n ranks executing fn concurrently and returns each rank's
+// final error (indexed by rank) once all complete. It panics if n < 1.
+func Run(n int, cost sim.CostModel, fn func(r *Rank) error) []error {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", n))
+	}
+	w := newWorld(n, cost)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{ID: id, world: w, Ctx: storage.NewContext()}
+			errs[id] = fn(r)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// FirstError returns the first non-nil error from a Run result, or nil.
+func FirstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// rendezvous blocks until every rank has contributed input for this
+// generation, then returns the full input slice (identical view for all
+// ranks). The last arriver advances the generation.
+func (w *World) rendezvous(rank int, input []byte) [][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.inputs == nil {
+		w.inputs = make([][]byte, w.size)
+	}
+	w.inputs[rank] = input
+	w.arrived++
+	gen := w.gen
+	if w.arrived == w.size {
+		w.outputs = w.inputs
+		w.inputs = nil
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for w.gen == gen {
+			w.cond.Wait()
+		}
+	}
+	return w.outputs
+}
+
+// treeCost returns the collective's virtual-time cost for a payload of n
+// bytes: ceil(log2(size)) tree steps, each one wire traversal.
+func (w *World) treeCost(n int) time.Duration {
+	steps := 0
+	for s := 1; s < w.size; s <<= 1 {
+		steps++
+	}
+	if steps == 0 {
+		steps = 1
+	}
+	return time.Duration(steps) * w.cost.WireTime(n)
+}
+
+// syncClocks advances every participant to the max clock plus cost. It must
+// be called by every rank with its own context after a rendezvous (the
+// rendezvous result carries no clock info, so clocks are exchanged as part
+// of the collective payloads below).
+func maxTime(times []time.Duration) time.Duration {
+	var m time.Duration
+	for _, t := range times {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// clockBytes and clockFromBytes serialize a clock reading into rendezvous
+// payload prefixes.
+func clockBytes(d time.Duration) []byte {
+	v := uint64(d)
+	return []byte{
+		byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56),
+	}
+}
+
+func clockFromBytes(b []byte) time.Duration {
+	if len(b) < 8 {
+		return 0
+	}
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	return time.Duration(v)
+}
+
+// collect runs one collective exchange: every rank contributes data, every
+// rank receives all contributions, and all clocks synchronize to the
+// slowest participant plus the tree cost for the largest payload.
+func (r *Rank) collect(data []byte) [][]byte {
+	payload := append(clockBytes(r.Ctx.Clock.Now()), data...)
+	all := r.world.rendezvous(r.ID, payload)
+	times := make([]time.Duration, len(all))
+	out := make([][]byte, len(all))
+	maxLen := 0
+	for i, p := range all {
+		times[i] = clockFromBytes(p)
+		out[i] = p[8:]
+		if len(out[i]) > maxLen {
+			maxLen = len(out[i])
+		}
+	}
+	r.Ctx.Clock.AdvanceTo(maxTime(times) + r.world.treeCost(maxLen))
+	return out
+}
+
+// Barrier blocks until all ranks arrive; clocks synchronize to the slowest.
+func (r *Rank) Barrier() {
+	r.collect(nil)
+}
+
+// Bcast distributes root's buffer to every rank, returning the received
+// copy (root receives its own data back).
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	if root < 0 || root >= r.world.size {
+		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
+	}
+	var contrib []byte
+	if r.ID == root {
+		contrib = data
+	}
+	all := r.collect(contrib)
+	out := make([]byte, len(all[root]))
+	copy(out, all[root])
+	return out
+}
+
+// Gather collects every rank's buffer; the root receives the full slice
+// (indexed by rank) and the others receive nil.
+func (r *Rank) Gather(root int, data []byte) [][]byte {
+	if root < 0 || root >= r.world.size {
+		panic(fmt.Sprintf("mpi: Gather root %d out of range", root))
+	}
+	all := r.collect(data)
+	if r.ID != root {
+		return nil
+	}
+	out := make([][]byte, len(all))
+	for i, p := range all {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// AllGather collects every rank's buffer on every rank.
+func (r *Rank) AllGather(data []byte) [][]byte {
+	all := r.collect(data)
+	out := make([][]byte, len(all))
+	for i, p := range all {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// AllReduceInt64 combines one int64 per rank with op on every rank.
+func (r *Rank) AllReduceInt64(v int64, op func(a, b int64) int64) int64 {
+	buf := make([]byte, 8)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	all := r.collect(buf)
+	acc := decodeInt64(all[0])
+	for _, p := range all[1:] {
+		acc = op(acc, decodeInt64(p))
+	}
+	return acc
+}
+
+func decodeInt64(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}
+
+// Send delivers data to rank dst with a tag; it does not block on the
+// receiver (buffered eager protocol).
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.world.size {
+		panic(fmt.Sprintf("mpi: Send to rank %d out of range", dst))
+	}
+	box := r.world.box(r.ID, dst)
+	cp := append([]byte(nil), data...)
+	r.Ctx.Clock.Advance(r.world.cost.WireTime(len(data)))
+	box <- message{tag: tag, data: cp, at: r.Ctx.Clock.Now()}
+}
+
+// Recv blocks for a message from src with the given tag, returning its
+// payload. Receiving advances the clock to no earlier than the send
+// completion (message latency already charged by the sender).
+func (r *Rank) Recv(src, tag int) []byte {
+	if src < 0 || src >= r.world.size {
+		panic(fmt.Sprintf("mpi: Recv from rank %d out of range", src))
+	}
+	box := r.world.box(src, r.ID)
+	for {
+		m := <-box
+		if m.tag == tag {
+			r.Ctx.Clock.AdvanceTo(m.at)
+			return m.data
+		}
+		// Wrong tag: requeue and retry (tags are rare in this codebase, so
+		// the simple strategy suffices).
+		box <- m
+	}
+}
+
+func (w *World) box(src, dst int) chan message {
+	w.boxesMu.Lock()
+	defer w.boxesMu.Unlock()
+	key := [2]int{src, dst}
+	b, ok := w.boxes[key]
+	if !ok {
+		b = make(chan message, 1024)
+		w.boxes[key] = b
+	}
+	return b
+}

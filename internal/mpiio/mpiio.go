@@ -1,0 +1,453 @@
+// Package mpiio implements an MPI-IO-like parallel I/O library over any
+// storage.FileSystem, reproducing the semantics the paper leans on
+// (Section II-A): "MPI-IO requires a write to be visible by all processes
+// only after the file is closed or synced".
+//
+// Concretely:
+//
+//   - writes are buffered per rank (write-behind) and flushed, coalesced
+//     into contiguous runs, on Sync or Close — so the storage layer sees
+//     far fewer, larger calls than the application issued, and other ranks
+//     observe the data only after the flush;
+//   - a rank always sees its own writes (local visibility), implemented by
+//     overlaying the pending buffer on reads;
+//   - Open and Close are collective (all ranks of the communicator call
+//     them together), as the standard requires;
+//   - collective data operations (WriteAtAll / ReadAtAll) implement
+//     two-phase I/O: ranks exchange their pieces so that each rank performs
+//     one large contiguous storage access instead of many interleaved small
+//     ones.
+//
+// The package issues only file reads, writes, opens, closes and syncs —
+// never a directory operation — which is precisely why Figure 1 shows HPC
+// applications performing nothing but file I/O.
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/storage"
+)
+
+// DefaultBufferSize is the per-rank write-behind buffer threshold.
+const DefaultBufferSize = 1 << 20
+
+// File is an MPI-IO file handle held by one rank.
+type File struct {
+	fs   storage.FileSystem
+	rank *mpi.Rank
+	h    storage.Handle
+	path string
+
+	mu       sync.Mutex
+	pending  []pendingWrite
+	bufBytes int
+	maxBuf   int
+	atomic   bool
+	closed   bool
+}
+
+type pendingWrite struct {
+	off  int64
+	data []byte
+}
+
+// Options tunes an open file.
+type Options struct {
+	// BufferSize is the write-behind threshold; <= 0 selects
+	// DefaultBufferSize. A zero-buffer configuration (set to 1) makes every
+	// write synchronous, which the consistency ablation uses.
+	BufferSize int
+}
+
+// Open opens path collectively on every rank of r's communicator. When
+// create is true, rank 0 creates (truncating) the file before the others
+// open it.
+func Open(r *mpi.Rank, fs storage.FileSystem, path string, create bool, opts Options) (*File, error) {
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = DefaultBufferSize
+	}
+	var h storage.Handle
+	var err error
+	if create {
+		if r.ID == 0 {
+			h, err = fs.Create(r.Ctx, path)
+		}
+		r.Barrier() // others must not open before the create lands
+		if r.ID != 0 {
+			h, err = fs.Open(r.Ctx, path)
+		}
+	} else {
+		h, err = fs.Open(r.Ctx, path)
+	}
+	if err != nil {
+		// Collective semantics: every rank must learn of the failure; the
+		// barrier above already ordered creates, so just report.
+		return nil, fmt.Errorf("mpiio: open %q on rank %d: %w", path, r.ID, err)
+	}
+	return &File{fs: fs, rank: r, h: h, path: path, maxBuf: opts.BufferSize}, nil
+}
+
+// SetAtomicity toggles MPI-IO atomic mode (MPI_File_set_atomicity): when
+// enabled, every write goes straight to storage (no write-behind), so
+// sequential consistency among the ranks follows from the backend's own
+// ordering. Enabling it flushes any buffered writes first. Collective in
+// the standard; here each rank's handle is switched independently and the
+// caller coordinates, as the traced applications do.
+func (f *File) SetAtomicity(atomic bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return storage.ErrClosed
+	}
+	if atomic && !f.atomic {
+		if err := f.flushLocked(); err != nil {
+			return err
+		}
+	}
+	f.atomic = atomic
+	return nil
+}
+
+// Atomicity reports the handle's current atomic-mode setting.
+func (f *File) Atomicity() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.atomic
+}
+
+// WriteAt buffers an independent write. The data becomes visible to other
+// ranks only after Sync or Close (or immediately under atomic mode); it is
+// always immediately visible to this rank's own reads.
+func (f *File) WriteAt(off int64, p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, storage.ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("mpiio: write at %d: %w", off, storage.ErrInvalidArg)
+	}
+	if f.atomic {
+		if _, err := f.h.WriteAt(f.rank.Ctx, off, p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	f.pending = append(f.pending, pendingWrite{off: off, data: append([]byte(nil), p...)})
+	f.bufBytes += len(p)
+	if f.bufBytes >= f.maxBuf {
+		if err := f.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// ReadAt reads at off, overlaying this rank's pending writes so a rank
+// always observes its own data (MPI-IO local visibility).
+func (f *File) ReadAt(off int64, p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, storage.ErrClosed
+	}
+	n, err := f.h.ReadAt(f.rank.Ctx, off, p)
+	if err != nil {
+		return n, err
+	}
+	// Overlay pending writes; they may extend the visible region.
+	for _, w := range f.pending {
+		lo, hi := w.off, w.off+int64(len(w.data))
+		rLo, rHi := off, off+int64(len(p))
+		if hi <= rLo || lo >= rHi {
+			continue
+		}
+		start := lo
+		if start < rLo {
+			start = rLo
+		}
+		end := hi
+		if end > rHi {
+			end = rHi
+		}
+		copy(p[start-off:end-off], w.data[start-lo:end-lo])
+		if int(end-off) > n {
+			n = int(end - off)
+		}
+	}
+	return n, nil
+}
+
+// Sync flushes buffered writes (coalesced) and syncs the underlying handle,
+// making this rank's writes globally visible — the MPI-IO visibility point.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return storage.ErrClosed
+	}
+	if err := f.flushLocked(); err != nil {
+		return err
+	}
+	return f.h.Sync(f.rank.Ctx)
+}
+
+// flushLocked merges pending writes into maximal contiguous runs (later
+// writes win on overlap) and issues them to storage.
+func (f *File) flushLocked() error {
+	if len(f.pending) == 0 {
+		return nil
+	}
+	runs := coalesce(f.pending)
+	for _, w := range runs {
+		if _, err := f.h.WriteAt(f.rank.Ctx, w.off, w.data); err != nil {
+			return fmt.Errorf("mpiio: flush %q: %w", f.path, err)
+		}
+	}
+	f.pending = nil
+	f.bufBytes = 0
+	return nil
+}
+
+// coalesce merges a write list into sorted, disjoint, maximal runs, with
+// later writes overriding earlier ones where they overlap. Walking from the
+// last write to the first, each earlier write keeps only the parts not
+// already covered by later ones.
+func coalesce(writes []pendingWrite) []pendingWrite {
+	if len(writes) == 0 {
+		return nil
+	}
+	covered := make([]pendingWrite, 0, len(writes))
+	var result []pendingWrite
+	for i := len(writes) - 1; i >= 0; i-- {
+		if len(writes[i].data) == 0 {
+			continue
+		}
+		pieces := []pendingWrite{writes[i]}
+		for _, c := range covered {
+			var next []pendingWrite
+			for _, p := range pieces {
+				next = append(next, subtract(p, c)...)
+			}
+			pieces = next
+		}
+		for _, p := range pieces {
+			if len(p.data) > 0 {
+				result = append(result, p)
+			}
+		}
+		covered = append(covered, writes[i])
+	}
+	sort.Slice(result, func(a, b int) bool { return result[a].off < result[b].off })
+	// Merge adjacent runs into maximal contiguous writes.
+	var merged []pendingWrite
+	for _, w := range result {
+		if n := len(merged); n > 0 && merged[n-1].off+int64(len(merged[n-1].data)) == w.off {
+			merged[n-1].data = append(merged[n-1].data, w.data...)
+			continue
+		}
+		merged = append(merged, pendingWrite{w.off, append([]byte(nil), w.data...)})
+	}
+	return merged
+}
+
+// subtract returns the parts of p not covered by c.
+func subtract(p, c pendingWrite) []pendingWrite {
+	pLo, pHi := p.off, p.off+int64(len(p.data))
+	cLo, cHi := c.off, c.off+int64(len(c.data))
+	if cHi <= pLo || cLo >= pHi {
+		return []pendingWrite{p}
+	}
+	var out []pendingWrite
+	if pLo < cLo {
+		out = append(out, pendingWrite{pLo, p.data[:cLo-pLo]})
+	}
+	if pHi > cHi {
+		out = append(out, pendingWrite{cHi, p.data[cHi-pLo:]})
+	}
+	return out
+}
+
+// Close flushes, closes the storage handle, and synchronizes the
+// communicator (MPI_File_close is collective).
+func (f *File) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return storage.ErrClosed
+	}
+	err := f.flushLocked()
+	f.closed = true
+	f.mu.Unlock()
+	if cerr := f.h.Close(f.rank.Ctx); err == nil {
+		err = cerr
+	}
+	f.rank.Barrier()
+	return err
+}
+
+// Piece is one (offset, data) extent contributed to a collective write.
+type Piece struct {
+	Off  int64
+	Data []byte
+}
+
+// WriteAtAll is the collective two-phase write for one contiguous piece
+// per rank; see WriteAtAllv for the general strided form.
+func (f *File) WriteAtAll(off int64, p []byte) (int, error) {
+	n, err := f.WriteAtAllv([]Piece{{Off: off, Data: p}})
+	return int(n), err
+}
+
+// WriteAtAllv is the general collective two-phase write: every rank
+// contributes any number of (possibly tiny, strided) pieces; the pieces
+// are exchanged across the communicator and each rank issues ONE large
+// contiguous write covering its share of the union range — the I/O
+// aggregation that turns N*k interleaved small accesses into N sequential
+// streams. All ranks must call it together. Returns this rank's
+// contributed byte count.
+func (f *File) WriteAtAllv(pieces []Piece) (int64, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, storage.ErrClosed
+	}
+	f.mu.Unlock()
+	for _, p := range pieces {
+		if p.Off < 0 {
+			return 0, fmt.Errorf("mpiio: collective write at %d: %w", p.Off, storage.ErrInvalidArg)
+		}
+	}
+	var contributed int64
+	for _, p := range pieces {
+		contributed += int64(len(p.Data))
+	}
+
+	all := f.exchangeV(pieces)
+	lo, hi := unionRangeV(all)
+	if hi <= lo {
+		f.rank.Barrier()
+		return contributed, nil
+	}
+	// Partition [lo, hi) into size contiguous shares; this rank assembles
+	// and writes share #ID.
+	size := int64(f.rank.Size())
+	span := hi - lo
+	share := (span + size - 1) / size
+	myLo := lo + int64(f.rank.ID)*share
+	myHi := myLo + share
+	if myHi > hi {
+		myHi = hi
+	}
+	if myLo < myHi {
+		buf := make([]byte, myHi-myLo)
+		filled := false
+		for _, pc := range all {
+			pLo, pHi := pc.Off, pc.Off+int64(len(pc.Data))
+			if pHi <= myLo || pLo >= myHi {
+				continue
+			}
+			start, end := pLo, pHi
+			if start < myLo {
+				start = myLo
+			}
+			if end > myHi {
+				end = myHi
+			}
+			copy(buf[start-myLo:end-myLo], pc.Data[start-pLo:end-pLo])
+			filled = true
+		}
+		if filled {
+			f.mu.Lock()
+			_, err := f.h.WriteAt(f.rank.Ctx, myLo, buf)
+			f.mu.Unlock()
+			if err != nil {
+				return 0, fmt.Errorf("mpiio: collective write: %w", err)
+			}
+		}
+	}
+	f.rank.Barrier() // collective completion
+	return contributed, nil
+}
+
+// ReadAtAll is the collective read: every rank reads its extent and the
+// communicator synchronizes on completion. Aggregation happens on the
+// write path (WriteAtAll), where interleaved small accesses are the
+// dominant pattern in the traced applications; collective reads in those
+// applications are already contiguous per rank.
+func (f *File) ReadAtAll(off int64, p []byte) (int, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, storage.ErrClosed
+	}
+	n, err := f.h.ReadAt(f.rank.Ctx, off, p)
+	f.mu.Unlock()
+	f.rank.Barrier()
+	return n, err
+}
+
+// exchangeV all-gathers every rank's piece list. Wire format: u32 piece
+// count, then per piece i64 offset, u32 length, data bytes.
+func (f *File) exchangeV(pieces []Piece) []Piece {
+	size := 4
+	for _, p := range pieces {
+		size += 12 + len(p.Data)
+	}
+	payload := make([]byte, 0, size)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(pieces)))
+	payload = append(payload, hdr[:4]...)
+	for _, p := range pieces {
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(p.Off))
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(p.Data)))
+		payload = append(payload, hdr[:12]...)
+		payload = append(payload, p.Data...)
+	}
+	all := f.rank.AllGather(payload)
+	var out []Piece
+	for _, b := range all {
+		if len(b) < 4 {
+			continue
+		}
+		count := binary.LittleEndian.Uint32(b[:4])
+		pos := 4
+		for i := uint32(0); i < count && pos+12 <= len(b); i++ {
+			off := int64(binary.LittleEndian.Uint64(b[pos : pos+8]))
+			n := int(binary.LittleEndian.Uint32(b[pos+8 : pos+12]))
+			pos += 12
+			if pos+n > len(b) {
+				break
+			}
+			out = append(out, Piece{Off: off, Data: b[pos : pos+n]})
+			pos += n
+		}
+	}
+	return out
+}
+
+func unionRangeV(pieces []Piece) (lo, hi int64) {
+	first := true
+	for _, p := range pieces {
+		if len(p.Data) == 0 {
+			continue
+		}
+		pLo, pHi := p.Off, p.Off+int64(len(p.Data))
+		if first || pLo < lo {
+			lo = pLo
+		}
+		if first || pHi > hi {
+			hi = pHi
+		}
+		first = false
+	}
+	if first {
+		return 0, 0
+	}
+	return lo, hi
+}

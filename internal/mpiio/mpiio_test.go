@@ -1,0 +1,543 @@
+package mpiio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+func newTracedFS() (*trace.FS, *trace.Census) {
+	census := trace.NewCensus()
+	fs := trace.Wrap(posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1})), census)
+	return fs, census
+}
+
+func TestCollectiveCreateAndRoundTrip(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(4, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/out.dat", true, Options{})
+		if err != nil {
+			return err
+		}
+		region := []byte(fmt.Sprintf("rank-%d-data", r.ID))
+		if _, err := f.WriteAt(int64(r.ID*16), region); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		r.Barrier() // everyone synced; now cross-rank reads must see data
+		buf := make([]byte, len(region))
+		other := (r.ID + 1) % r.Size()
+		want := fmt.Sprintf("rank-%d-data", other)
+		if _, err := f.ReadAt(int64(other*16), buf); err != nil {
+			return err
+		}
+		if string(buf) != want {
+			return fmt.Errorf("rank %d read %q, want %q", r.ID, buf, want)
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalVisibilityBeforeSync(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/f", true, Options{BufferSize: 1 << 20})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteAt(10, []byte("buffered")); err != nil {
+			return err
+		}
+		// Own write visible without any sync.
+		buf := make([]byte, 8)
+		n, err := f.ReadAt(10, buf)
+		if err != nil || n != 8 || string(buf) != "buffered" {
+			return fmt.Errorf("own write invisible: (%d, %v, %q)", n, err, buf)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MPI-IO semantics: another rank must NOT see a write until the writer
+// syncs. (The underlying posixfs would show it immediately; the buffering
+// layer is what relaxes the visibility.)
+func TestDeferredGlobalVisibility(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(2, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/shared", true, Options{BufferSize: 1 << 20})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if r.ID == 0 {
+			if _, err := f.WriteAt(0, []byte("unsynced")); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			buf := make([]byte, 8)
+			n, _ := f.ReadAt(0, buf)
+			if n != 0 {
+				return fmt.Errorf("rank 1 saw %d unsynced bytes (%q)", n, buf[:n])
+			}
+		}
+		r.Barrier()
+		if r.ID == 0 {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			buf := make([]byte, 8)
+			n, _ := f.ReadAt(0, buf)
+			if n != 8 || string(buf) != "unsynced" {
+				return fmt.Errorf("rank 1 after sync: (%d, %q)", n, buf[:n])
+			}
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	fs, census := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/seq", true, Options{BufferSize: 1 << 20})
+		if err != nil {
+			return err
+		}
+		// 100 tiny sequential writes...
+		for i := 0; i < 100; i++ {
+			if _, err := f.WriteAt(int64(i*8), bytes.Repeat([]byte{byte(i)}, 8)); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	// ... must reach storage as one coalesced write.
+	if got := census.OpCount(storage.OpWrite); got != 1 {
+		t.Fatalf("storage saw %d writes, want 1 coalesced", got)
+	}
+	if got := census.BytesWritten(); got != 800 {
+		t.Fatalf("bytes written = %d", got)
+	}
+}
+
+func TestCoalesceOverlapLaterWins(t *testing.T) {
+	got := coalesce([]pendingWrite{
+		{0, []byte("aaaa")},
+		{2, []byte("bbbb")},
+		{4, []byte("cc")},
+	})
+	if len(got) != 1 {
+		t.Fatalf("coalesce returned %d runs: %+v", len(got), got)
+	}
+	if got[0].off != 0 || string(got[0].data) != "aabbcc" {
+		t.Fatalf("run = (%d, %q), want (0, aabbcc)", got[0].off, got[0].data)
+	}
+}
+
+func TestCoalesceDisjointRunsStaySplit(t *testing.T) {
+	got := coalesce([]pendingWrite{
+		{100, []byte("xx")},
+		{0, []byte("yy")},
+	})
+	if len(got) != 2 {
+		t.Fatalf("coalesce = %+v", got)
+	}
+	if got[0].off != 0 || got[1].off != 100 {
+		t.Fatalf("runs not sorted: %+v", got)
+	}
+}
+
+// Property: flushing coalesced writes produces the same file content as
+// applying the writes in order to a flat buffer.
+func TestCoalesceEquivalenceProperty(t *testing.T) {
+	type w struct {
+		Off  uint8
+		Data []byte
+	}
+	f := func(ws []w) bool {
+		var writes []pendingWrite
+		ref := make([]byte, 0, 512)
+		for _, x := range ws {
+			if len(x.Data) > 64 {
+				x.Data = x.Data[:64]
+			}
+			writes = append(writes, pendingWrite{int64(x.Off), x.Data})
+			need := int(x.Off) + len(x.Data)
+			for len(ref) < need {
+				ref = append(ref, 0)
+			}
+			copy(ref[x.Off:], x.Data)
+		}
+		runs := coalesce(writes)
+		got := make([]byte, len(ref))
+		// Runs must be disjoint and sorted; apply them.
+		var last int64 = -1
+		for _, r := range runs {
+			if r.off < last {
+				return false
+			}
+			last = r.off + int64(len(r.data))
+			if int(last) > len(got) {
+				return false
+			}
+			copy(got[r.off:], r.data)
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveWriteAtAll(t *testing.T) {
+	fs, census := newTracedFS()
+	const ranks = 4
+	const per = 64
+	errs := mpi.Run(ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/coll", true, Options{})
+		if err != nil {
+			return err
+		}
+		// Interleaved pattern: rank i owns bytes [i*per, (i+1)*per).
+		data := bytes.Repeat([]byte{byte(r.ID + 1)}, per)
+		if _, err := f.WriteAtAll(int64(r.ID*per), data); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	// Verify file contents.
+	ctx := storage.NewContext()
+	h, err := fs.Open(ctx, "/coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ranks*per)
+	n, err := h.ReadAt(ctx, 0, buf)
+	if err != nil || n != ranks*per {
+		t.Fatalf("ReadAt = (%d, %v)", n, err)
+	}
+	for i := 0; i < ranks; i++ {
+		for j := 0; j < per; j++ {
+			if buf[i*per+j] != byte(i+1) {
+				t.Fatalf("byte %d = %d, want %d", i*per+j, buf[i*per+j], i+1)
+			}
+		}
+	}
+	// Two-phase I/O: exactly one storage write per rank (each aggregator
+	// writes one contiguous share).
+	if got := census.OpCount(storage.OpWrite); got != ranks {
+		t.Fatalf("storage writes = %d, want %d aggregated", got, ranks)
+	}
+}
+
+func TestCollectiveReadAtAll(t *testing.T) {
+	fs, _ := newTracedFS()
+	// Seed the file.
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/in")
+	content := make([]byte, 256)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	h.WriteAt(ctx, 0, content)
+	h.Close(ctx)
+
+	errs := mpi.Run(4, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/in", false, Options{})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, 64)
+		n, err := f.ReadAtAll(int64(r.ID*64), buf)
+		if err != nil || n != 64 {
+			return fmt.Errorf("ReadAtAll = (%d, %v)", n, err)
+		}
+		for j := 0; j < 64; j++ {
+			if buf[j] != byte(r.ID*64+j) {
+				return fmt.Errorf("rank %d byte %d = %d", r.ID, j, buf[j])
+			}
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoDirectoryOperationsIssued(t *testing.T) {
+	// The Figure 1 property: an MPI-IO application issues file operations
+	// only, regardless of what it does.
+	fs, census := newTracedFS()
+	errs := mpi.Run(4, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/app.out", true, Options{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			f.WriteAt(int64(r.ID*1000+i*8), make([]byte, 8))
+		}
+		f.Sync()
+		buf := make([]byte, 8)
+		f.ReadAt(0, buf)
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if got := census.KindCount(storage.CallDirOp); got != 0 {
+		t.Fatalf("MPI-IO issued %d directory operations", got)
+	}
+	if got := census.KindCount(storage.CallOther); got != 0 {
+		t.Fatalf("MPI-IO issued %d 'other' calls", got)
+	}
+}
+
+func TestClosedFileRejectsOps(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/f", true, Options{})
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(0, []byte("x")); err != storage.ErrClosed {
+			return fmt.Errorf("write after close: %v", err)
+		}
+		if _, err := f.ReadAt(0, make([]byte, 1)); err != storage.ErrClosed {
+			return fmt.Errorf("read after close: %v", err)
+		}
+		if err := f.Sync(); err != storage.ErrClosed {
+			return fmt.Errorf("sync after close: %v", err)
+		}
+		if err := f.Close(); err != storage.ErrClosed {
+			return fmt.Errorf("double close: %v", err)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFileFails(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(2, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		_, err := Open(r, fs, "/absent", false, Options{})
+		if err == nil {
+			return fmt.Errorf("rank %d opened a missing file", r.ID)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferThresholdTriggersFlush(t *testing.T) {
+	fs, census := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/f", true, Options{BufferSize: 64})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// 64 bytes fills the buffer -> flush happens without Sync.
+		for i := 0; i < 8; i++ {
+			f.WriteAt(int64(i*8), make([]byte, 8))
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if got := census.OpCount(storage.OpWrite); got == 0 {
+		t.Fatal("threshold did not trigger a flush")
+	}
+}
+
+func TestAtomicModeImmediateVisibility(t *testing.T) {
+	fs, census := newTracedFS()
+	errs := mpi.Run(2, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/atomic", true, Options{BufferSize: 1 << 20})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := f.SetAtomicity(true); err != nil {
+			return err
+		}
+		if !f.Atomicity() {
+			return fmt.Errorf("atomicity not set")
+		}
+		if r.ID == 0 {
+			if _, err := f.WriteAt(0, []byte("atomic-data")); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+		if r.ID == 1 {
+			buf := make([]byte, 11)
+			n, err := f.ReadAt(0, buf)
+			if err != nil || n != 11 || string(buf) != "atomic-data" {
+				return fmt.Errorf("atomic write invisible without sync: (%d, %v, %q)", n, err, buf[:n])
+			}
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic writes reach storage one-to-one (no coalescing).
+	if got := census.OpCount(storage.OpWrite); got != 1 {
+		t.Fatalf("storage writes = %d, want 1", got)
+	}
+}
+
+func TestSetAtomicityFlushesPending(t *testing.T) {
+	fs, census := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/flush", true, Options{BufferSize: 1 << 20})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for i := 0; i < 10; i++ {
+			f.WriteAt(int64(i*4), make([]byte, 4))
+		}
+		if census.OpCount(storage.OpWrite) != 0 {
+			return fmt.Errorf("buffered writes leaked early")
+		}
+		if err := f.SetAtomicity(true); err != nil {
+			return err
+		}
+		if census.OpCount(storage.OpWrite) == 0 {
+			return fmt.Errorf("enabling atomic mode did not flush")
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAtomicityOnClosedFile(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/c", true, Options{})
+		if err != nil {
+			return err
+		}
+		f.Close()
+		if err := f.SetAtomicity(true); err != storage.ErrClosed {
+			return fmt.Errorf("SetAtomicity after close: %v", err)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAtAllvAggregatesStridedPieces(t *testing.T) {
+	fs, census := newTracedFS()
+	const ranks = 4
+	const blocks = 8
+	const bs = 64
+	errs := mpi.Run(ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/stride", true, Options{})
+		if err != nil {
+			return err
+		}
+		pieces := make([]Piece, blocks)
+		for j := 0; j < blocks; j++ {
+			data := bytes.Repeat([]byte{byte(r.ID + 1)}, bs)
+			pieces[j] = Piece{Off: int64((j*ranks + r.ID) * bs), Data: data}
+		}
+		n, err := f.WriteAtAllv(pieces)
+		if err != nil || n != blocks*bs {
+			return fmt.Errorf("WriteAtAllv = (%d, %v)", n, err)
+		}
+		return f.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	// 32 strided application pieces reach storage as `ranks` contiguous
+	// writes — the two-phase aggregation.
+	if got := census.OpCount(storage.OpWrite); got != ranks {
+		t.Fatalf("storage writes = %d, want %d aggregated", got, ranks)
+	}
+	// Content check: block j belongs to rank (j mod ranks).
+	ctx := storage.NewContext()
+	h, err := fs.Open(ctx, "/stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, ranks*blocks*bs)
+	if n, _ := h.ReadAt(ctx, 0, buf); n != len(buf) {
+		t.Fatalf("read %d/%d", n, len(buf))
+	}
+	for j := 0; j < ranks*blocks; j++ {
+		want := byte(j%ranks + 1)
+		for i := 0; i < bs; i++ {
+			if buf[j*bs+i] != want {
+				t.Fatalf("block %d byte %d = %d, want %d", j, i, buf[j*bs+i], want)
+			}
+		}
+	}
+}
+
+func TestWriteAtAllvValidation(t *testing.T) {
+	fs, _ := newTracedFS()
+	errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		f, err := Open(r, fs, "/v", true, Options{})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteAtAllv([]Piece{{Off: -1, Data: []byte("x")}}); err == nil {
+			return fmt.Errorf("negative offset accepted")
+		}
+		// Empty piece list: a no-op collective.
+		if _, err := f.WriteAtAllv(nil); err != nil {
+			return fmt.Errorf("empty list: %v", err)
+		}
+		return nil
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package s3gw
+
+import (
+	"encoding/xml"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/blobfs"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *Gateway, storage.BlobStore) {
+	t.Helper()
+	store := blob.New(cluster.New(cluster.Config{Nodes: 4, Seed: 1}),
+		blob.Config{ChunkSize: 64, Replication: 2})
+	gw := New(store)
+	srv := httptest.NewServer(gw)
+	t.Cleanup(srv.Close)
+	return srv, gw, store
+}
+
+func do(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	srv, _, _ := newServer(t)
+	resp := do(t, http.MethodPut, srv.URL+"/data/object-1", "hello s3 world")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	resp = do(t, http.MethodGet, srv.URL+"/data/object-1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello s3 world" {
+		t.Fatalf("GET body = %q", body)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	srv, _, _ := newServer(t)
+	do(t, http.MethodPut, srv.URL+"/k", "first version, long")
+	do(t, http.MethodPut, srv.URL+"/k", "v2")
+	resp := do(t, http.MethodGet, srv.URL+"/k", "")
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "v2" {
+		t.Fatalf("after overwrite = %q", body)
+	}
+}
+
+func TestHead(t *testing.T) {
+	srv, _, _ := newServer(t)
+	do(t, http.MethodPut, srv.URL+"/obj", "12345678")
+	resp := do(t, http.MethodHead, srv.URL+"/obj", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status = %d", resp.StatusCode)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "8" {
+		t.Fatalf("Content-Length = %q", cl)
+	}
+	resp = do(t, http.MethodHead, srv.URL+"/ghost", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD missing = %d", resp.StatusCode)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	srv, _, _ := newServer(t)
+	do(t, http.MethodPut, srv.URL+"/gone", "x")
+	resp := do(t, http.MethodDelete, srv.URL+"/gone", "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	resp = do(t, http.MethodGet, srv.URL+"/gone", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE = %d", resp.StatusCode)
+	}
+	resp = do(t, http.MethodDelete, srv.URL+"/gone", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double DELETE = %d", resp.StatusCode)
+	}
+}
+
+func TestRangeRequests(t *testing.T) {
+	srv, _, _ := newServer(t)
+	do(t, http.MethodPut, srv.URL+"/r", "0123456789")
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/r", nil)
+	req.Header.Set("Range", "bytes=2-5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "2345" {
+		t.Fatalf("range body = %q", body)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != "bytes 2-5/10" {
+		t.Fatalf("Content-Range = %q", cr)
+	}
+
+	// Open-ended range.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/r", nil)
+	req.Header.Set("Range", "bytes=7-")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ = io.ReadAll(resp.Body)
+	if string(body) != "789" {
+		t.Fatalf("open range body = %q", body)
+	}
+
+	// Invalid range.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/r", nil)
+	req.Header.Set("Range", "bytes=50-60")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("bad range status = %d", resp.StatusCode)
+	}
+}
+
+func TestListWithPrefix(t *testing.T) {
+	srv, _, _ := newServer(t)
+	for _, k := range []string{"logs/2017/a", "logs/2017/b", "data/x"} {
+		do(t, http.MethodPut, srv.URL+"/"+k, "content")
+	}
+	resp := do(t, http.MethodGet, srv.URL+"/?prefix=logs/", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("LIST status = %d", resp.StatusCode)
+	}
+	var result struct {
+		XMLName  xml.Name `xml:"ListBucketResult"`
+		KeyCount int      `xml:"KeyCount"`
+		Contents []struct {
+			Key  string `xml:"Key"`
+			Size int64  `xml:"Size"`
+		} `xml:"Contents"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if err := xml.Unmarshal(raw, &result); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+	if result.KeyCount != 2 || len(result.Contents) != 2 {
+		t.Fatalf("listing = %+v", result)
+	}
+	if result.Contents[0].Key != "logs/2017/a" || result.Contents[0].Size != 7 {
+		t.Fatalf("first entry = %+v", result.Contents[0])
+	}
+}
+
+func TestMethodAndPathErrors(t *testing.T) {
+	srv, _, _ := newServer(t)
+	resp := do(t, http.MethodPost, srv.URL+"/k", "x")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+	resp = do(t, http.MethodPut, srv.URL+"/", "x")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT to root = %d", resp.StatusCode)
+	}
+}
+
+func TestVirtualTimeAccrues(t *testing.T) {
+	srv, gw, _ := newServer(t)
+	do(t, http.MethodPut, srv.URL+"/t", strings.Repeat("x", 10000))
+	do(t, http.MethodGet, srv.URL+"/t", "")
+	if gw.TotalVirtualTime() <= 0 {
+		t.Fatal("gateway accrued no virtual time")
+	}
+}
+
+// Convergence property: an object PUT through the S3 interface is the same
+// bytes through the POSIX view and the native blob API.
+func TestS3AndPOSIXShareData(t *testing.T) {
+	store := blob.New(cluster.New(cluster.Config{Nodes: 4, Seed: 1}), blob.Config{})
+	srv := httptest.NewServer(New(store))
+	defer srv.Close()
+
+	do(t, http.MethodPut, srv.URL+"/shared/file.txt", "one object, three interfaces")
+
+	ctx := storage.NewContext()
+	fs := blobfs.New(store)
+	h, err := fs.Open(ctx, "/shared/file.txt")
+	if err != nil {
+		t.Fatalf("POSIX view: %v", err)
+	}
+	defer h.Close(ctx)
+	buf := make([]byte, 64)
+	n, _ := h.ReadAt(ctx, 0, buf)
+	if string(buf[:n]) != "one object, three interfaces" {
+		t.Fatalf("POSIX read = %q", buf[:n])
+	}
+	size, err := store.BlobSize(ctx, "shared/file.txt")
+	if err != nil || size != int64(n) {
+		t.Fatalf("native view = (%d, %v)", size, err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package sim provides the virtual-time substrate used by every simulated
+// subsystem in this repository: a per-client virtual clock, contended
+// resources with reservation-queue semantics, and a deterministic seeded
+// random source.
+//
+// The model is deliberately first-order. An operation that consumes a
+// resource (a disk, a NIC, a metadata CPU) reserves it for its service time;
+// if the resource is busy the operation waits until it frees up. This
+// reproduces queueing and contention effects — the phenomena the paper's
+// performance arguments rest on — without a full discrete-event engine.
+// Data movement is real (byte slices are actually copied), so functional
+// correctness is genuine; only durations are synthetic.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock owned by a single logical client (an MPI rank, a
+// Spark task, a CLI invocation). It is advanced by the resources the client
+// consumes. A Clock must not be shared between concurrently running
+// goroutines; spawn child clocks instead (see Fork).
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock starting at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// NewClockAt returns a clock starting at the given virtual time.
+func NewClockAt(t time.Duration) *Clock { return &Clock{now: t} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// virtual time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// virtual time, and reports the resulting time.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Fork returns a new clock starting at the parent's current time. Use it to
+// give each concurrent worker its own clock; join the workers back with
+// Join.
+func (c *Clock) Fork() *Clock { return NewClockAt(c.Now()) }
+
+// Join advances the clock to the latest time among the given clocks,
+// modelling a synchronization point (barrier, task join) where the slowest
+// participant determines completion.
+func (c *Clock) Join(children ...*Clock) {
+	for _, ch := range children {
+		c.AdvanceTo(ch.Now())
+	}
+}
+
+// String renders the current virtual time, for diagnostics.
+func (c *Clock) String() string {
+	return fmt.Sprintf("sim.Clock(%v)", c.Now())
+}

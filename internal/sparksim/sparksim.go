@@ -1,0 +1,403 @@
+// Package sparksim implements a miniature Spark-on-YARN execution engine,
+// faithful to the storage-call behaviour the paper traces in Section IV-D:
+//
+//   - application submission uploads the Spark jar, application jar and
+//     configuration into a per-application .sparkStaging directory
+//     (Table II's staging mkdir/rmdir traffic);
+//   - an event-log directory records the application's events (the "logs of
+//     the application execution" of Section IV-D), removed by retention
+//     cleanup at the end of the run;
+//   - the input-data directory is listed exactly once before the run to
+//     enumerate splits — the only opendir an application ever issues
+//     (Table II: 5 input-directory listings, 0 others);
+//   - every other path is accessed directly — the engine remembers the
+//     paths it created instead of listing directories, reproducing the
+//     paper's observation that "Spark accesses directly all the other
+//     files it needs with their path";
+//   - output goes through a FileOutputCommitter-style protocol: task
+//     attempts write under <out>/_temporary/0/<attempt>/, task commit
+//     renames the part file into the output directory, job commit removes
+//     the temporary tree and writes _SUCCESS.
+//
+// Tasks execute on a pool of executor workers, each with a forked virtual
+// clock; stage boundaries join the clocks (the straggler determines stage
+// latency, as in real Spark).
+package sparksim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Engine runs applications against one file system (usually a trace.FS
+// wrapping relaxedfs).
+type Engine struct {
+	fs        storage.FileSystem
+	executors int
+	chunk     int
+}
+
+// NewEngine returns an engine with the given executor count (>=1).
+func NewEngine(fs storage.FileSystem, executors int) *Engine {
+	if executors < 1 {
+		executors = 1
+	}
+	return &Engine{fs: fs, executors: executors, chunk: readChunk}
+}
+
+// SetChunkSize overrides the per-call I/O granularity. The Table-I volumes
+// are scaled down 1:1024 in this reproduction; scaling the I/O unit along
+// with them keeps the call-count ratios of Figures 1–2 faithful.
+func (e *Engine) SetChunkSize(n int) {
+	if n > 0 {
+		e.chunk = n
+	}
+}
+
+// App describes one application, parameterised the way the Table-I
+// workloads need.
+type App struct {
+	// Name identifies the application (staging/eventlog paths derive from
+	// it).
+	Name string
+	// InputDir is the input-data directory, listed once for splits.
+	InputDir string
+	// OutputDir receives committed output; it must already exist (job
+	// submission scripts create it offline, per the paper's Section IV-C
+	// observation about run preparation).
+	OutputDir string
+	// OutputTasks is the number of reduce/output tasks (= part files and
+	// committer attempt directories).
+	OutputTasks int
+	// Passes is how many times the input is read end-to-end (iterative
+	// algorithms like Decision Tree read the training set repeatedly).
+	Passes int
+	// OutputBytes maps an output task index and the total input volume to
+	// that task's output size. Required when OutputTasks > 0.
+	OutputBytes func(task int, inputBytes int64) int64
+	// StagingRoot and EventLogRoot default to /user/spark/.sparkStaging
+	// and /spark-logs; both must already exist.
+	StagingRoot  string
+	EventLogRoot string
+	// ArtifactBytes overrides the sizes of the staged submission artifacts
+	// (jar and configuration uploads). Nil selects the built-in defaults;
+	// scaled-down experiment runs scale these along with the data volumes.
+	ArtifactBytes map[string]int64
+}
+
+func (a App) withDefaults() App {
+	if a.StagingRoot == "" {
+		a.StagingRoot = "/user/spark/.sparkStaging"
+	}
+	if a.EventLogRoot == "" {
+		a.EventLogRoot = "/spark-logs"
+	}
+	if a.Passes < 1 {
+		a.Passes = 1
+	}
+	return a
+}
+
+// Result summarizes one application run.
+type Result struct {
+	App          string
+	MapTasks     int
+	OutputTasks  int
+	BytesRead    int64
+	BytesWritten int64
+}
+
+const readChunk = 64 << 10
+
+// Run executes the application: submit, read input (map stage), write
+// output through the committer (reduce stage), then clean up.
+func (e *Engine) Run(ctx *storage.Context, app App) (*Result, error) {
+	app = app.withDefaults()
+	if app.Name == "" {
+		return nil, fmt.Errorf("sparksim: app name required: %w", storage.ErrInvalidArg)
+	}
+	if app.OutputTasks > 0 && app.OutputBytes == nil {
+		return nil, fmt.Errorf("sparksim: OutputBytes required with OutputTasks: %w", storage.ErrInvalidArg)
+	}
+
+	staging := app.StagingRoot + "/" + app.Name
+	eventDir := app.EventLogRoot + "/" + app.Name
+
+	// --- Submission: staging dir + artifact upload. ---
+	if err := e.fs.Mkdir(ctx, staging); err != nil {
+		return nil, fmt.Errorf("sparksim: staging: %w", err)
+	}
+	artifacts := app.ArtifactBytes
+	if artifacts == nil {
+		artifacts = map[string]int64{
+			"spark-libs.jar": 96 << 10,
+			"app.jar":        24 << 10,
+			"spark-conf.zip": 4 << 10,
+		}
+	}
+	for name, size := range artifacts {
+		if err := e.writeFile(ctx, staging+"/"+name, size); err != nil {
+			return nil, fmt.Errorf("sparksim: upload %s: %w", name, err)
+		}
+	}
+
+	// --- Event log setup. ---
+	if err := e.fs.Mkdir(ctx, eventDir); err != nil {
+		return nil, fmt.Errorf("sparksim: eventlog dir: %w", err)
+	}
+	events, err := e.fs.Create(ctx, eventDir+"/events.log")
+	if err != nil {
+		return nil, fmt.Errorf("sparksim: eventlog: %w", err)
+	}
+	var eventOff int64
+	logEvent := func(line string) {
+		n, _ := events.WriteAt(ctx, eventOff, []byte(line+"\n"))
+		eventOff += int64(n)
+	}
+	logEvent("SparkListenerApplicationStart " + app.Name)
+
+	// --- Input listing: the one and only opendir. ---
+	entries, err := e.fs.ReadDir(ctx, app.InputDir)
+	if err != nil {
+		return nil, fmt.Errorf("sparksim: list input: %w", err)
+	}
+	var splits []string
+	for _, ent := range entries {
+		if !ent.IsDir {
+			splits = append(splits, app.InputDir+"/"+ent.Name)
+		}
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("sparksim: no input splits in %s: %w", app.InputDir, storage.ErrNotFound)
+	}
+
+	res := &Result{App: app.Name, MapTasks: len(splits) * app.Passes, OutputTasks: app.OutputTasks}
+
+	// --- Map stage(s): read every split, Passes times. ---
+	for pass := 0; pass < app.Passes; pass++ {
+		read, err := e.mapStage(ctx, splits)
+		if err != nil {
+			return nil, fmt.Errorf("sparksim: map stage pass %d: %w", pass, err)
+		}
+		res.BytesRead += read
+		logEvent(fmt.Sprintf("SparkListenerStageCompleted map pass=%d read=%d", pass, read))
+	}
+
+	// --- Reduce stage: committer-protocol output. ---
+	if app.OutputTasks > 0 {
+		written, err := e.reduceStage(ctx, app, res.BytesRead/int64(app.Passes))
+		if err != nil {
+			return nil, fmt.Errorf("sparksim: reduce stage: %w", err)
+		}
+		res.BytesWritten += written
+		logEvent(fmt.Sprintf("SparkListenerStageCompleted reduce written=%d", written))
+	}
+
+	logEvent("SparkListenerApplicationEnd " + app.Name)
+	if err := events.Sync(ctx); err != nil {
+		return nil, err
+	}
+	if err := events.Close(ctx); err != nil {
+		return nil, err
+	}
+	res.BytesWritten += eventOff
+
+	// --- Cleanup: staging teardown + event-log retention. ---
+	for name := range artifacts {
+		if err := e.fs.Unlink(ctx, staging+"/"+name); err != nil {
+			return nil, fmt.Errorf("sparksim: cleanup %s: %w", name, err)
+		}
+	}
+	if err := e.fs.Rmdir(ctx, staging); err != nil {
+		return nil, fmt.Errorf("sparksim: cleanup staging: %w", err)
+	}
+	if err := e.fs.Unlink(ctx, eventDir+"/events.log"); err != nil {
+		return nil, err
+	}
+	if err := e.fs.Rmdir(ctx, eventDir); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mapStage reads every split fully on the executor pool and returns the
+// byte count.
+func (e *Engine) mapStage(ctx *storage.Context, splits []string) (int64, error) {
+	var mu sync.Mutex
+	var total int64
+	var firstErr error
+	work := make(chan string)
+	var contexts []*storage.Context
+	var wg sync.WaitGroup
+	for w := 0; w < e.executors; w++ {
+		child := ctx.Fork()
+		contexts = append(contexts, child)
+		wg.Add(1)
+		go func(tctx *storage.Context) {
+			defer wg.Done()
+			buf := make([]byte, e.chunk)
+			for path := range work {
+				n, err := e.readFile(tctx, path, buf)
+				mu.Lock()
+				total += n
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(child)
+	}
+	for _, s := range splits {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	for _, c := range contexts {
+		ctx.Clock.Join(c.Clock)
+	}
+	return total, firstErr
+}
+
+func (e *Engine) readFile(ctx *storage.Context, path string, buf []byte) (int64, error) {
+	h, err := e.fs.Open(ctx, path)
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	for {
+		n, err := h.ReadAt(ctx, off, buf)
+		off += int64(n)
+		if err != nil {
+			h.Close(ctx)
+			return off, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return off, h.Close(ctx)
+}
+
+// reduceStage writes OutputTasks part files through the committer protocol
+// and returns the committed byte count.
+func (e *Engine) reduceStage(ctx *storage.Context, app App, inputBytes int64) (int64, error) {
+	tmp := app.OutputDir + "/_temporary"
+	if err := e.fs.Mkdir(ctx, tmp); err != nil {
+		return 0, err
+	}
+	attemptRoot := tmp + "/0"
+	if err := e.fs.Mkdir(ctx, attemptRoot); err != nil {
+		return 0, err
+	}
+
+	type taskOut struct {
+		attemptDir string
+		written    int64
+		err        error
+	}
+	results := make([]taskOut, app.OutputTasks)
+	work := make(chan int)
+	var contexts []*storage.Context
+	var wg sync.WaitGroup
+	for w := 0; w < e.executors; w++ {
+		child := ctx.Fork()
+		contexts = append(contexts, child)
+		wg.Add(1)
+		go func(tctx *storage.Context) {
+			defer wg.Done()
+			for task := range work {
+				attempt := fmt.Sprintf("%s/attempt_%04d_0", attemptRoot, task)
+				out := taskOut{attemptDir: attempt}
+				if err := e.fs.Mkdir(tctx, attempt); err != nil {
+					out.err = err
+					results[task] = out
+					continue
+				}
+				part := fmt.Sprintf("%s/part-%05d", attempt, task)
+				size := app.OutputBytes(task, inputBytes)
+				if err := e.writeFile(tctx, part, size); err != nil {
+					out.err = err
+					results[task] = out
+					continue
+				}
+				// Task commit: rename the part file into the output dir
+				// (v1 committer semantics, direct path access, no listing).
+				final := fmt.Sprintf("%s/part-%05d", app.OutputDir, task)
+				if err := e.fs.Rename(tctx, part, final); err != nil {
+					out.err = err
+					results[task] = out
+					continue
+				}
+				out.written = size
+				results[task] = out
+			}
+		}(child)
+	}
+	for task := 0; task < app.OutputTasks; task++ {
+		work <- task
+	}
+	close(work)
+	wg.Wait()
+	for _, c := range contexts {
+		ctx.Clock.Join(c.Clock)
+	}
+
+	var total int64
+	for task, out := range results {
+		if out.err != nil {
+			return 0, fmt.Errorf("task %d: %w", task, out.err)
+		}
+		total += out.written
+	}
+
+	// Job commit: tear down the temporary tree (paths remembered, no
+	// listing) and mark success.
+	for _, out := range results {
+		if err := e.fs.Rmdir(ctx, out.attemptDir); err != nil {
+			return 0, err
+		}
+	}
+	if err := e.fs.Rmdir(ctx, attemptRoot); err != nil {
+		return 0, err
+	}
+	if err := e.fs.Rmdir(ctx, tmp); err != nil {
+		return 0, err
+	}
+	success, err := e.fs.Create(ctx, app.OutputDir+"/_SUCCESS")
+	if err != nil {
+		return 0, err
+	}
+	if err := success.Close(ctx); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// writeFile streams size pseudo-content bytes into a new file in
+// readChunk-sized appends.
+func (e *Engine) writeFile(ctx *storage.Context, path string, size int64) error {
+	h, err := e.fs.Create(ctx, path)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, e.chunk)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	var off int64
+	for off < size {
+		take := int64(len(buf))
+		if take > size-off {
+			take = size - off
+		}
+		n, err := h.WriteAt(ctx, off, buf[:take])
+		if err != nil {
+			h.Close(ctx)
+			return err
+		}
+		off += int64(n)
+	}
+	return h.Close(ctx)
+}

@@ -1,0 +1,223 @@
+package sparksim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// newEnv builds a traced relaxedfs with input data and the directories the
+// submission scripts prepare offline (per Section IV-C, prep is not part of
+// the traced application run — but here everything runs through the tracer
+// only after setup).
+func newEnv(t *testing.T, splitFiles int, splitSize int64) (*Engine, *trace.Census, *storage.Context) {
+	t.Helper()
+	fs := relaxedfs.New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), relaxedfs.Config{BlockSize: 1 << 20})
+	setup := storage.NewContext()
+	mustMkdirAll(t, fs, setup, "/user")
+	mustMkdirAll(t, fs, setup, "/user/spark")
+	mustMkdirAll(t, fs, setup, "/user/spark/.sparkStaging")
+	mustMkdirAll(t, fs, setup, "/spark-logs")
+	mustMkdirAll(t, fs, setup, "/input")
+	mustMkdirAll(t, fs, setup, "/output")
+	for i := 0; i < splitFiles; i++ {
+		path := fmt.Sprintf("/input/part-%04d", i)
+		h, err := fs.Create(setup, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, splitSize)
+		if _, err := h.WriteAt(setup, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(setup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	census := trace.NewCensus()
+	census.MarkInputDir("/input")
+	traced := trace.Wrap(fs, census)
+	return NewEngine(traced, 4), census, storage.NewContext()
+}
+
+func mustMkdirAll(t *testing.T, fs storage.FileSystem, ctx *storage.Context, path string) {
+	t.Helper()
+	if err := fs.Mkdir(ctx, path); err != nil && !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("mkdir %s: %v", path, err)
+	}
+}
+
+func simpleApp(tasks int) App {
+	return App{
+		Name:        "app-under-test",
+		InputDir:    "/input",
+		OutputDir:   "/output",
+		OutputTasks: tasks,
+		OutputBytes: func(task int, inputBytes int64) int64 { return 1000 },
+	}
+}
+
+func TestRunProducesOutput(t *testing.T) {
+	e, _, ctx := newEnv(t, 3, 10_000)
+	res, err := e.Run(ctx, simpleApp(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapTasks != 3 {
+		t.Fatalf("MapTasks = %d, want 3 splits", res.MapTasks)
+	}
+	if res.BytesRead != 30_000 {
+		t.Fatalf("BytesRead = %d, want 30000", res.BytesRead)
+	}
+	if res.BytesWritten < 4000 {
+		t.Fatalf("BytesWritten = %d, want >= 4000 part bytes", res.BytesWritten)
+	}
+	// Output files committed, temporary tree gone, _SUCCESS present.
+	inner := e.fs.(*trace.FS).Inner()
+	for i := 0; i < 4; i++ {
+		if _, err := inner.Stat(ctx, fmt.Sprintf("/output/part-%05d", i)); err != nil {
+			t.Fatalf("part %d missing: %v", i, err)
+		}
+	}
+	if _, err := inner.Stat(ctx, "/output/_SUCCESS"); err != nil {
+		t.Fatalf("_SUCCESS missing: %v", err)
+	}
+	if _, err := inner.Stat(ctx, "/output/_temporary"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("_temporary survived job commit: %v", err)
+	}
+}
+
+func TestDirectoryCensusPerApp(t *testing.T) {
+	// The Table II mechanics: one app with T output tasks issues exactly
+	// 4+T mkdirs, 4+T rmdirs, 1 input opendir, 0 other opendirs.
+	for _, tasks := range []int{1, 4, 6} {
+		e, census, ctx := newEnv(t, 2, 1000)
+		if _, err := e.Run(ctx, simpleApp(tasks)); err != nil {
+			t.Fatal(err)
+		}
+		if got := census.OpCount(storage.OpMkdir); got != int64(4+tasks) {
+			t.Fatalf("tasks=%d: mkdir = %d, want %d", tasks, got, 4+tasks)
+		}
+		if got := census.OpCount(storage.OpRmdir); got != int64(4+tasks) {
+			t.Fatalf("tasks=%d: rmdir = %d, want %d", tasks, got, 4+tasks)
+		}
+		if got := census.OpendirInput(); got != 1 {
+			t.Fatalf("tasks=%d: opendir(input) = %d, want 1", tasks, got)
+		}
+		if got := census.OpendirOther(); got != 0 {
+			t.Fatalf("tasks=%d: opendir(other) = %d, want 0", tasks, got)
+		}
+	}
+}
+
+func TestStagingCleanedUp(t *testing.T) {
+	e, _, ctx := newEnv(t, 1, 100)
+	if _, err := e.Run(ctx, simpleApp(2)); err != nil {
+		t.Fatal(err)
+	}
+	inner := e.fs.(*trace.FS).Inner()
+	if _, err := inner.Stat(ctx, "/user/spark/.sparkStaging/app-under-test"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("staging dir survived: %v", err)
+	}
+	if _, err := inner.Stat(ctx, "/spark-logs/app-under-test"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("eventlog dir survived retention: %v", err)
+	}
+}
+
+func TestPassesMultiplyReads(t *testing.T) {
+	e, _, ctx := newEnv(t, 2, 5000)
+	app := simpleApp(1)
+	app.Passes = 3
+	res, err := e.Run(ctx, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesRead != 30_000 {
+		t.Fatalf("BytesRead = %d, want 3 passes x 10000", res.BytesRead)
+	}
+	if res.MapTasks != 6 {
+		t.Fatalf("MapTasks = %d, want 6", res.MapTasks)
+	}
+}
+
+func TestZeroOutputTasksSkipsCommitter(t *testing.T) {
+	e, census, ctx := newEnv(t, 1, 100)
+	app := simpleApp(0)
+	app.OutputBytes = nil
+	if _, err := e.Run(ctx, app); err != nil {
+		t.Fatal(err)
+	}
+	// Only staging + eventlog dirs.
+	if got := census.OpCount(storage.OpMkdir); got != 2 {
+		t.Fatalf("mkdir = %d, want 2", got)
+	}
+}
+
+func TestErrorsOnBadApp(t *testing.T) {
+	e, _, ctx := newEnv(t, 1, 100)
+	if _, err := e.Run(ctx, App{InputDir: "/input"}); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("nameless app: %v", err)
+	}
+	app := simpleApp(2)
+	app.OutputBytes = nil
+	if _, err := e.Run(ctx, app); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("missing OutputBytes: %v", err)
+	}
+	app = simpleApp(1)
+	app.InputDir = "/missing"
+	if _, err := e.Run(ctx, app); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing input: %v", err)
+	}
+}
+
+func TestEmptyInputDirRejected(t *testing.T) {
+	e, _, ctx := newEnv(t, 1, 100)
+	inner := e.fs.(*trace.FS).Inner()
+	mustMkdirAll(t, inner, storage.NewContext(), "/empty")
+	app := simpleApp(1)
+	app.InputDir = "/empty"
+	if _, err := e.Run(ctx, app); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	e, _, ctx := newEnv(t, 4, 100_000)
+	before := ctx.Clock.Now()
+	if _, err := e.Run(ctx, simpleApp(2)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Clock.Now() <= before {
+		t.Fatal("run did not advance virtual time")
+	}
+}
+
+func TestCallMixDominatedByFileOps(t *testing.T) {
+	// Figure 2's shape: with realistic data volumes the file-op share
+	// exceeds 98%. The I/O unit is scaled along with the data volumes so
+	// call-count ratios stay faithful (see SetChunkSize).
+	e, census, ctx := newEnv(t, 8, 2<<20)
+	e.SetChunkSize(8 << 10)
+	app := simpleApp(4)
+	app.OutputBytes = func(task int, in int64) int64 { return in / 8 }
+	if _, err := e.Run(ctx, app); err != nil {
+		t.Fatal(err)
+	}
+	fileShare := census.Percent(storage.CallFileRead) + census.Percent(storage.CallFileWrite)
+	if fileShare < 98 {
+		t.Fatalf("file-op share = %.2f%%, want > 98%% (census: %s)", fileShare, census)
+	}
+}
+
+func TestExecutorCountClamped(t *testing.T) {
+	fs := relaxedfs.New(cluster.New(cluster.Config{Nodes: 2, Seed: 1}), relaxedfs.Config{})
+	e := NewEngine(fs, 0)
+	if e.executors != 1 {
+		t.Fatalf("executors = %d, want clamped to 1", e.executors)
+	}
+}

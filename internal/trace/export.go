@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// Export is the machine-readable form of a census, for tooling (cmd/tracer
+// -json) and archival of experiment runs.
+type Export struct {
+	TotalCalls   int64 `json:"total_calls"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	// RWRatio is omitted when nothing was written (it would be infinite).
+	RWRatio      *float64           `json:"rw_ratio,omitempty"`
+	Profile      string             `json:"profile"`
+	Kinds        map[string]int64   `json:"kinds"`
+	Percent      map[string]float64 `json:"percent"`
+	Ops          map[string]int64   `json:"ops"`
+	OpendirInput int64              `json:"opendir_input"`
+	OpendirOther int64              `json:"opendir_other"`
+	Unmappable   int64              `json:"unmappable_calls"`
+}
+
+// Export snapshots the census into its serializable form.
+func (c *Census) Export() Export {
+	e := Export{
+		TotalCalls:   c.TotalCalls(),
+		BytesRead:    c.BytesRead(),
+		BytesWritten: c.BytesWritten(),
+		Profile:      c.Profile(),
+		Kinds:        make(map[string]int64, storage.NumCallKinds),
+		Percent:      make(map[string]float64, storage.NumCallKinds),
+		Ops:          make(map[string]int64),
+		OpendirInput: c.OpendirInput(),
+		OpendirOther: c.OpendirOther(),
+		Unmappable:   c.UnmappableCalls(),
+	}
+	if r := c.RWRatio(); !math.IsInf(r, 0) {
+		e.RWRatio = &r
+	}
+	for k := 0; k < storage.NumCallKinds; k++ {
+		kind := storage.CallKind(k)
+		e.Kinds[kind.String()] = c.KindCount(kind)
+		e.Percent[kind.String()] = c.Percent(kind)
+	}
+	for _, op := range c.Ops() {
+		e.Ops[string(op)] = c.OpCount(op)
+	}
+	return e
+}
+
+// JSON renders the census as indented JSON.
+func (c *Census) JSON() ([]byte, error) {
+	return json.MarshalIndent(c.Export(), "", "  ")
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"repro/internal/storage"
+)
+
+// FS wraps a storage.FileSystem, recording every call into a Census before
+// delegating. It is the Go-interface equivalent of the paper's FUSE
+// interceptor (HPC side) and modified HDFS (Spark side).
+type FS struct {
+	inner  storage.FileSystem
+	census *Census
+}
+
+// Wrap returns a tracing file system around inner, recording into census.
+func Wrap(inner storage.FileSystem, census *Census) *FS {
+	return &FS{inner: inner, census: census}
+}
+
+// Census returns the census the tracer records into.
+func (t *FS) Census() *Census { return t.census }
+
+// Inner returns the wrapped file system.
+func (t *FS) Inner() storage.FileSystem { return t.inner }
+
+// Create implements storage.FileSystem.
+func (t *FS) Create(ctx *storage.Context, path string) (storage.Handle, error) {
+	t.census.Record(storage.OpCreate, path, 0)
+	h, err := t.inner.Create(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return &tracedHandle{inner: h, census: t.census, path: path}, nil
+}
+
+// Open implements storage.FileSystem.
+func (t *FS) Open(ctx *storage.Context, path string) (storage.Handle, error) {
+	t.census.Record(storage.OpOpen, path, 0)
+	h, err := t.inner.Open(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return &tracedHandle{inner: h, census: t.census, path: path}, nil
+}
+
+// Unlink implements storage.FileSystem.
+func (t *FS) Unlink(ctx *storage.Context, path string) error {
+	t.census.Record(storage.OpUnlink, path, 0)
+	return t.inner.Unlink(ctx, path)
+}
+
+// Stat implements storage.FileSystem.
+func (t *FS) Stat(ctx *storage.Context, path string) (storage.FileInfo, error) {
+	t.census.Record(storage.OpStat, path, 0)
+	return t.inner.Stat(ctx, path)
+}
+
+// Truncate implements storage.FileSystem.
+func (t *FS) Truncate(ctx *storage.Context, path string, size int64) error {
+	t.census.Record(storage.OpTruncate, path, 0)
+	return t.inner.Truncate(ctx, path, size)
+}
+
+// Rename implements storage.FileSystem.
+func (t *FS) Rename(ctx *storage.Context, oldPath, newPath string) error {
+	t.census.Record(storage.OpRename, oldPath, 0)
+	return t.inner.Rename(ctx, oldPath, newPath)
+}
+
+// Mkdir implements storage.FileSystem.
+func (t *FS) Mkdir(ctx *storage.Context, path string) error {
+	t.census.Record(storage.OpMkdir, path, 0)
+	return t.inner.Mkdir(ctx, path)
+}
+
+// Rmdir implements storage.FileSystem.
+func (t *FS) Rmdir(ctx *storage.Context, path string) error {
+	t.census.Record(storage.OpRmdir, path, 0)
+	return t.inner.Rmdir(ctx, path)
+}
+
+// ReadDir implements storage.FileSystem; the paper's traces call this
+// opendir (open + list).
+func (t *FS) ReadDir(ctx *storage.Context, path string) ([]storage.DirEntry, error) {
+	t.census.Record(storage.OpOpendir, path, 0)
+	return t.inner.ReadDir(ctx, path)
+}
+
+// Chmod implements storage.FileSystem.
+func (t *FS) Chmod(ctx *storage.Context, path string, mode uint32) error {
+	t.census.Record(storage.OpChmod, path, 0)
+	return t.inner.Chmod(ctx, path, mode)
+}
+
+// GetXattr implements storage.FileSystem.
+func (t *FS) GetXattr(ctx *storage.Context, path, name string) (string, error) {
+	t.census.Record(storage.OpGetXattr, path, 0)
+	return t.inner.GetXattr(ctx, path, name)
+}
+
+// SetXattr implements storage.FileSystem.
+func (t *FS) SetXattr(ctx *storage.Context, path, name, value string) error {
+	t.census.Record(storage.OpSetXattr, path, 0)
+	return t.inner.SetXattr(ctx, path, name, value)
+}
+
+// tracedHandle wraps an open handle, recording data-path calls with their
+// actual transferred byte counts.
+type tracedHandle struct {
+	inner  storage.Handle
+	census *Census
+	path   string
+}
+
+func (h *tracedHandle) ReadAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	n, err := h.inner.ReadAt(ctx, off, p)
+	h.census.Record(storage.OpRead, h.path, n)
+	return n, err
+}
+
+func (h *tracedHandle) WriteAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	n, err := h.inner.WriteAt(ctx, off, p)
+	h.census.Record(storage.OpWrite, h.path, n)
+	return n, err
+}
+
+func (h *tracedHandle) Sync(ctx *storage.Context) error {
+	h.census.Record(storage.OpSync, h.path, 0)
+	return h.inner.Sync(ctx)
+}
+
+func (h *tracedHandle) Close(ctx *storage.Context) error {
+	h.census.Record(storage.OpClose, h.path, 0)
+	return h.inner.Close(ctx)
+}

@@ -1,0 +1,248 @@
+// Package trace implements the storage-call interceptor the paper's
+// methodology rests on (Section IV): the FUSE interceptor used for the HPC
+// applications and the modified-HDFS logging used for Spark, unified into
+// one Go-interface wrapper.
+//
+// A trace.FS wraps any storage.FileSystem; every call is classified into
+// the four categories of Figures 1–2 (file read, file write, directory
+// operations, other), counted per operation for Table II's breakdown, and
+// its payload bytes accumulated for Table I's volumes. Directories named as
+// input-data directories are tracked separately, reproducing Table II's
+// "opendir (Input data directory)" vs "opendir (Other directories)" split.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Census aggregates every storage call observed through a tracer.
+type Census struct {
+	mu           sync.Mutex
+	opCount      map[storage.Op]int64
+	kindCount    [storage.NumCallKinds]int64
+	bytesRead    int64
+	bytesWritten int64
+	// opendir split for Table II.
+	opendirInput int64
+	opendirOther int64
+	inputDirs    map[string]bool
+}
+
+// NewCensus returns an empty census.
+func NewCensus() *Census {
+	return &Census{
+		opCount:   make(map[storage.Op]int64),
+		inputDirs: make(map[string]bool),
+	}
+}
+
+// MarkInputDir registers a path as an input-data directory so its listings
+// are counted in Table II's "Input data directory" row.
+func (c *Census) MarkInputDir(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inputDirs[clean(path)] = true
+}
+
+func clean(path string) string {
+	return "/" + strings.Trim(path, "/")
+}
+
+// Record counts one call. bytes is the payload size for read/write calls
+// and ignored otherwise; path matters only for opendir classification.
+func (c *Census) Record(op storage.Op, path string, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opCount[op]++
+	c.kindCount[op.Kind()]++
+	switch op {
+	case storage.OpRead:
+		c.bytesRead += int64(bytes)
+	case storage.OpWrite:
+		c.bytesWritten += int64(bytes)
+	case storage.OpOpendir:
+		if c.inputDirs[clean(path)] {
+			c.opendirInput++
+		} else {
+			c.opendirOther++
+		}
+	}
+}
+
+// Merge folds other's counts into c (used to aggregate per-application
+// censuses into the cross-application Table II).
+func (c *Census) Merge(other *Census) {
+	snap := other.snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for op, n := range snap.ops {
+		c.opCount[op] += n
+	}
+	for k, n := range snap.kinds {
+		c.kindCount[k] += n
+	}
+	c.bytesRead += snap.bytesRead
+	c.bytesWritten += snap.bytesWritten
+	c.opendirInput += snap.opendirInput
+	c.opendirOther += snap.opendirOther
+}
+
+type censusSnapshot struct {
+	ops          map[storage.Op]int64
+	kinds        [storage.NumCallKinds]int64
+	bytesRead    int64
+	bytesWritten int64
+	opendirInput int64
+	opendirOther int64
+}
+
+func (c *Census) snapshot() censusSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := censusSnapshot{
+		ops:          make(map[storage.Op]int64, len(c.opCount)),
+		kinds:        c.kindCount,
+		bytesRead:    c.bytesRead,
+		bytesWritten: c.bytesWritten,
+		opendirInput: c.opendirInput,
+		opendirOther: c.opendirOther,
+	}
+	for op, n := range c.opCount {
+		s.ops[op] = n
+	}
+	return s
+}
+
+// OpCount returns the number of calls recorded for op.
+func (c *Census) OpCount(op storage.Op) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opCount[op]
+}
+
+// KindCount returns the number of calls in a figure category.
+func (c *Census) KindCount(k storage.CallKind) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(k) < 0 || int(k) >= storage.NumCallKinds {
+		return 0
+	}
+	return c.kindCount[k]
+}
+
+// TotalCalls returns the total number of recorded calls.
+func (c *Census) TotalCalls() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, n := range c.kindCount {
+		t += n
+	}
+	return t
+}
+
+// Percent returns a category's share of all calls, in percent.
+func (c *Census) Percent(k storage.CallKind) float64 {
+	total := c.TotalCalls()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.KindCount(k)) / float64(total)
+}
+
+// BytesRead returns the total payload bytes read.
+func (c *Census) BytesRead() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesRead
+}
+
+// BytesWritten returns the total payload bytes written.
+func (c *Census) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesWritten
+}
+
+// RWRatio returns bytesRead / bytesWritten, Table I's "R / W ratio". It
+// returns +Inf when nothing was written.
+func (c *Census) RWRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bytesWritten == 0 {
+		if c.bytesRead == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(c.bytesRead) / float64(c.bytesWritten)
+}
+
+// Profile labels the application as in Table I's last column.
+func (c *Census) Profile() string {
+	r := c.RWRatio()
+	switch {
+	case r >= 2:
+		return "Read-intensive"
+	case r <= 0.5:
+		return "Write-intensive"
+	default:
+		return "Balanced"
+	}
+}
+
+// OpendirInput and OpendirOther expose Table II's opendir split.
+func (c *Census) OpendirInput() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opendirInput
+}
+
+// OpendirOther returns listings of non-input directories.
+func (c *Census) OpendirOther() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opendirOther
+}
+
+// UnmappableCalls counts recorded calls that do not map directly onto a
+// Section III blob primitive (directory ops, xattrs, chmod) — the quantity
+// the mapping-coverage experiment reports.
+func (c *Census) UnmappableCalls() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for op, n := range c.opCount {
+		if !op.MapsToBlobPrimitive() {
+			t += n
+		}
+	}
+	return t
+}
+
+// Ops returns the recorded operations in sorted order, for reports.
+func (c *Census) Ops() []storage.Op {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]storage.Op, 0, len(c.opCount))
+	for op := range c.opCount {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// String renders a one-line summary.
+func (c *Census) String() string {
+	return fmt.Sprintf("calls=%d read=%.1f%% write=%.1f%% dir=%.1f%% other=%.1f%% bytesR=%d bytesW=%d",
+		c.TotalCalls(),
+		c.Percent(storage.CallFileRead), c.Percent(storage.CallFileWrite),
+		c.Percent(storage.CallDirOp), c.Percent(storage.CallOther),
+		c.BytesRead(), c.BytesWritten())
+}

@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/storage"
+)
+
+func tracedFS(t *testing.T) (*FS, *Census) {
+	t.Helper()
+	census := NewCensus()
+	fs := Wrap(posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 4, Seed: 1})), census)
+	return fs, census
+}
+
+func TestRecordsDataCallsWithBytes(t *testing.T) {
+	fs, census := tracedFS(t)
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.WriteAt(ctx, 0, make([]byte, 100))
+	h.WriteAt(ctx, 100, make([]byte, 50))
+	buf := make([]byte, 60)
+	h.ReadAt(ctx, 0, buf)
+	h.Sync(ctx)
+	h.Close(ctx)
+
+	if got := census.OpCount(storage.OpWrite); got != 2 {
+		t.Fatalf("write count = %d", got)
+	}
+	if got := census.OpCount(storage.OpRead); got != 1 {
+		t.Fatalf("read count = %d", got)
+	}
+	if got := census.BytesWritten(); got != 150 {
+		t.Fatalf("bytes written = %d", got)
+	}
+	if got := census.BytesRead(); got != 60 {
+		t.Fatalf("bytes read = %d", got)
+	}
+	if got := census.OpCount(storage.OpSync); got != 1 {
+		t.Fatalf("sync count = %d", got)
+	}
+	if got := census.OpCount(storage.OpClose); got != 1 {
+		t.Fatalf("close count = %d", got)
+	}
+}
+
+func TestDirectoryOpsClassified(t *testing.T) {
+	fs, census := tracedFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	fs.ReadDir(ctx, "/d")
+	fs.Rmdir(ctx, "/d")
+	if got := census.KindCount(storage.CallDirOp); got != 3 {
+		t.Fatalf("dir op count = %d, want 3", got)
+	}
+	if got := census.OpCount(storage.OpOpendir); got != 1 {
+		t.Fatalf("opendir count = %d", got)
+	}
+}
+
+func TestOpendirInputSplit(t *testing.T) {
+	fs, census := tracedFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/input")
+	fs.Mkdir(ctx, "/staging")
+	census.MarkInputDir("/input")
+	fs.ReadDir(ctx, "/input")
+	fs.ReadDir(ctx, "/input/")
+	fs.ReadDir(ctx, "/staging")
+	if got := census.OpendirInput(); got != 2 {
+		t.Fatalf("opendir(input) = %d, want 2 (path normalization)", got)
+	}
+	if got := census.OpendirOther(); got != 1 {
+		t.Fatalf("opendir(other) = %d, want 1", got)
+	}
+}
+
+func TestOtherCategory(t *testing.T) {
+	fs, census := tracedFS(t)
+	ctx := storage.NewContext()
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	fs.SetXattr(ctx, "/f", "user.a", "1")
+	fs.GetXattr(ctx, "/f", "user.a")
+	fs.Chmod(ctx, "/f", 0o600)
+	if got := census.KindCount(storage.CallOther); got != 3 {
+		t.Fatalf("other count = %d, want 3", got)
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	fs, census := tracedFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	h, _ := fs.Create(ctx, "/d/f")
+	for i := 0; i < 10; i++ {
+		h.WriteAt(ctx, int64(i), []byte{1})
+	}
+	h.Close(ctx)
+	total := census.Percent(storage.CallFileRead) + census.Percent(storage.CallFileWrite) +
+		census.Percent(storage.CallDirOp) + census.Percent(storage.CallOther)
+	if total < 99.999 || total > 100.001 {
+		t.Fatalf("percentages sum to %f", total)
+	}
+}
+
+func TestRWRatioAndProfile(t *testing.T) {
+	c := NewCensus()
+	c.Record(storage.OpRead, "/f", 600)
+	c.Record(storage.OpWrite, "/f", 100)
+	if got := c.RWRatio(); got != 6 {
+		t.Fatalf("RWRatio = %v", got)
+	}
+	if got := c.Profile(); got != "Read-intensive" {
+		t.Fatalf("Profile = %q", got)
+	}
+
+	w := NewCensus()
+	w.Record(storage.OpRead, "/f", 100)
+	w.Record(storage.OpWrite, "/f", 1000)
+	if got := w.Profile(); got != "Write-intensive" {
+		t.Fatalf("Profile = %q", got)
+	}
+
+	b := NewCensus()
+	b.Record(storage.OpRead, "/f", 100)
+	b.Record(storage.OpWrite, "/f", 100)
+	if got := b.Profile(); got != "Balanced" {
+		t.Fatalf("Profile = %q", got)
+	}
+
+	empty := NewCensus()
+	if got := empty.RWRatio(); got != 0 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+	ro := NewCensus()
+	ro.Record(storage.OpRead, "/f", 1)
+	if got := ro.RWRatio(); got < 1e300 {
+		t.Fatalf("read-only ratio = %v, want +Inf-like", got)
+	}
+}
+
+func TestUnmappableCalls(t *testing.T) {
+	c := NewCensus()
+	c.Record(storage.OpRead, "/f", 1)
+	c.Record(storage.OpOpen, "/f", 0)
+	c.Record(storage.OpMkdir, "/d", 0)
+	c.Record(storage.OpOpendir, "/d", 0)
+	c.Record(storage.OpGetXattr, "/f", 0)
+	if got := c.UnmappableCalls(); got != 3 {
+		t.Fatalf("UnmappableCalls = %d, want 3 (mkdir, opendir, getxattr)", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewCensus()
+	a.Record(storage.OpRead, "/f", 10)
+	a.MarkInputDir("/in")
+	a.Record(storage.OpOpendir, "/in", 0)
+	b := NewCensus()
+	b.Record(storage.OpWrite, "/g", 20)
+	b.Record(storage.OpOpendir, "/other", 0)
+	a.Merge(b)
+	if a.TotalCalls() != 4 {
+		t.Fatalf("merged total = %d", a.TotalCalls())
+	}
+	if a.BytesWritten() != 20 || a.BytesRead() != 10 {
+		t.Fatalf("merged bytes = %d/%d", a.BytesRead(), a.BytesWritten())
+	}
+	if a.OpendirInput() != 1 || a.OpendirOther() != 1 {
+		t.Fatalf("merged opendir split = %d/%d", a.OpendirInput(), a.OpendirOther())
+	}
+}
+
+func TestErrorsPassThrough(t *testing.T) {
+	fs, census := tracedFS(t)
+	ctx := storage.NewContext()
+	if _, err := fs.Open(ctx, "/missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("open error not passed through: %v", err)
+	}
+	// The attempt is still recorded (FUSE sees the call regardless).
+	if got := census.OpCount(storage.OpOpen); got != 1 {
+		t.Fatalf("failed open not recorded: %d", got)
+	}
+}
+
+func TestOpsSortedAndString(t *testing.T) {
+	c := NewCensus()
+	c.Record(storage.OpWrite, "/f", 1)
+	c.Record(storage.OpMkdir, "/d", 0)
+	c.Record(storage.OpRead, "/f", 1)
+	ops := c.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("Ops = %v", ops)
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1] >= ops[i] {
+			t.Fatalf("Ops not sorted: %v", ops)
+		}
+	}
+	if s := c.String(); !strings.Contains(s, "calls=3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCensus()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Record(storage.OpRead, "/f", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.OpCount(storage.OpRead); got != 4000 {
+		t.Fatalf("concurrent records lost: %d", got)
+	}
+}
+
+func TestInnerAndCensusAccessors(t *testing.T) {
+	fs, census := tracedFS(t)
+	if fs.Census() != census {
+		t.Fatal("Census accessor mismatch")
+	}
+	if fs.Inner() == nil {
+		t.Fatal("Inner accessor nil")
+	}
+}
+
+func TestExportAndJSON(t *testing.T) {
+	c := NewCensus()
+	c.MarkInputDir("/in")
+	c.Record(storage.OpRead, "/f", 100)
+	c.Record(storage.OpWrite, "/f", 25)
+	c.Record(storage.OpOpendir, "/in", 0)
+	c.Record(storage.OpMkdir, "/d", 0)
+
+	e := c.Export()
+	if e.TotalCalls != 4 || e.BytesRead != 100 || e.BytesWritten != 25 {
+		t.Fatalf("export = %+v", e)
+	}
+	if e.RWRatio == nil || *e.RWRatio != 4 {
+		t.Fatalf("ratio = %v", e.RWRatio)
+	}
+	if e.Ops["read"] != 1 || e.Ops["mkdir"] != 1 {
+		t.Fatalf("ops = %v", e.Ops)
+	}
+	if e.OpendirInput != 1 || e.Unmappable != 2 {
+		t.Fatalf("export = %+v", e)
+	}
+
+	raw, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, raw)
+	}
+	if back.TotalCalls != 4 || back.Profile != e.Profile {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestExportInfiniteRatioOmitted(t *testing.T) {
+	c := NewCensus()
+	c.Record(storage.OpRead, "/f", 10)
+	e := c.Export()
+	if e.RWRatio != nil {
+		t.Fatalf("read-only ratio should be omitted, got %v", *e.RWRatio)
+	}
+	if _, err := c.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

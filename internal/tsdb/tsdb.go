@@ -1,0 +1,187 @@
+// Package tsdb implements a time-series store on top of the blob layer —
+// the second of the paper's Section I "storage abstractions" built on
+// blobs.
+//
+// Design: each (series, time-window) pair is one blob holding fixed-width
+// 16-byte points (int64 unix-nano timestamp, float64 value) in append
+// order. Window blobs are named <prefix>/<series>/<window-index>, so a
+// range query discovers its windows with the Scan primitive (namespace
+// access) and then performs random reads — the full Section III primitive
+// set, no directories anywhere.
+package tsdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// DB is a time-series database over a blob store.
+type DB struct {
+	blobs  storage.BlobStore
+	prefix string
+	window time.Duration
+
+	mu sync.Mutex
+	// ends caches the append offset per window blob key.
+	ends map[string]int64
+}
+
+// Point is one sample.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+const pointSize = 16
+
+// Open returns a DB storing points under the key prefix, partitioned into
+// blobs of the given time window (e.g. time.Hour).
+func Open(blobs storage.BlobStore, prefix string, window time.Duration) (*DB, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("tsdb: window %v: %w", window, storage.ErrInvalidArg)
+	}
+	return &DB{blobs: blobs, prefix: prefix, window: window, ends: make(map[string]int64)}, nil
+}
+
+func (db *DB) windowKey(series string, t time.Time) string {
+	idx := t.UnixNano() / int64(db.window)
+	return fmt.Sprintf("%s/%s/%020d", db.prefix, series, idx)
+}
+
+func (db *DB) seriesPrefix(series string) string {
+	return fmt.Sprintf("%s/%s/", db.prefix, series)
+}
+
+// Append adds a point to a series, creating the window blob on first use.
+// Appends are serialized per DB so concurrent writers never clobber each
+// other's offsets.
+func (db *DB) Append(ctx *storage.Context, series string, p Point) error {
+	if series == "" {
+		return fmt.Errorf("tsdb: empty series: %w", storage.ErrInvalidArg)
+	}
+	key := db.windowKey(series, p.T)
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	end, known := db.ends[key]
+	if !known {
+		if err := db.blobs.CreateBlob(ctx, key); err != nil && !errors.Is(err, storage.ErrExists) {
+			return fmt.Errorf("tsdb: window %s: %w", key, err)
+		}
+		size, err := db.blobs.BlobSize(ctx, key)
+		if err != nil {
+			return fmt.Errorf("tsdb: window %s: %w", key, err)
+		}
+		end = size
+	}
+
+	var rec [pointSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(p.T.UnixNano()))
+	binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(p.V))
+	if _, err := db.blobs.WriteBlob(ctx, key, end, rec[:]); err != nil {
+		return fmt.Errorf("tsdb: append %s: %w", series, err)
+	}
+	db.ends[key] = end + pointSize
+	return nil
+}
+
+// Query returns the series' points with from <= t < to, in append order.
+// Window blobs are discovered via Scan and only overlapping windows are
+// read.
+func (db *DB) Query(ctx *storage.Context, series string, from, to time.Time) ([]Point, error) {
+	if !to.After(from) {
+		return nil, nil
+	}
+	infos, err := db.blobs.Scan(ctx, db.seriesPrefix(series))
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: scan %s: %w", series, err)
+	}
+	loIdx := from.UnixNano() / int64(db.window)
+	hiIdx := to.UnixNano() / int64(db.window)
+	var out []Point
+	for _, info := range infos {
+		var idx int64
+		if _, err := fmt.Sscanf(info.Key[len(db.seriesPrefix(series)):], "%d", &idx); err != nil {
+			continue
+		}
+		if idx < loIdx || idx > hiIdx {
+			continue
+		}
+		buf := make([]byte, info.Size)
+		n, err := db.blobs.ReadBlob(ctx, info.Key, 0, buf)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: read window %s: %w", info.Key, err)
+		}
+		for off := 0; off+pointSize <= n; off += pointSize {
+			ts := int64(binary.LittleEndian.Uint64(buf[off : off+8]))
+			t := time.Unix(0, ts)
+			if t.Before(from) || !t.Before(to) {
+				continue
+			}
+			out = append(out, Point{
+				T: t,
+				V: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8 : off+16])),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Series lists all series names under the DB's prefix (a namespace scan).
+func (db *DB) Series(ctx *storage.Context) ([]string, error) {
+	infos, err := db.blobs.Scan(ctx, db.prefix+"/")
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, info := range infos {
+		rest := info.Key[len(db.prefix)+1:]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '/' {
+				name := rest[:i]
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// DropBefore deletes whole window blobs older than the cutoff (retention),
+// using only scan + delete primitives.
+func (db *DB) DropBefore(ctx *storage.Context, series string, cutoff time.Time) (int, error) {
+	infos, err := db.blobs.Scan(ctx, db.seriesPrefix(series))
+	if err != nil {
+		return 0, err
+	}
+	cutIdx := cutoff.UnixNano() / int64(db.window)
+	dropped := 0
+	for _, info := range infos {
+		var idx int64
+		if _, err := fmt.Sscanf(info.Key[len(db.seriesPrefix(series)):], "%d", &idx); err != nil {
+			continue
+		}
+		// A window holds points in [idx*w, (idx+1)*w); drop only windows
+		// that end at or before the cutoff.
+		if idx+1 <= cutIdx {
+			if err := db.blobs.DeleteBlob(ctx, info.Key); err != nil {
+				return dropped, err
+			}
+			db.mu.Lock()
+			delete(db.ends, info.Key)
+			db.mu.Unlock()
+			dropped++
+		}
+	}
+	return dropped, nil
+}

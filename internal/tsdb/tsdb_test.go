@@ -1,0 +1,183 @@
+package tsdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+func newDB(t *testing.T, window time.Duration) (*DB, *storage.Context) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 1})
+	db, err := Open(blob.New(c, blob.Config{ChunkSize: 512, Replication: 2}), "metrics", window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, storage.NewContext()
+}
+
+var t0 = time.Date(2017, 9, 5, 12, 0, 0, 0, time.UTC) // CLUSTER'17 week
+
+func TestOpenValidation(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	if _, err := Open(blob.New(c, blob.Config{}), "m", 0); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("Open with zero window: %v", err)
+	}
+}
+
+func TestAppendQueryRoundTrip(t *testing.T) {
+	db, ctx := newDB(t, time.Hour)
+	for i := 0; i < 10; i++ {
+		err := db.Append(ctx, "cpu", Point{T: t0.Add(time.Duration(i) * time.Minute), V: float64(i) * 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts, err := db.Query(ctx, "cpu", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("Query returned %d points, want 10", len(pts))
+	}
+	for i, p := range pts {
+		if p.V != float64(i)*1.5 || !p.T.Equal(t0.Add(time.Duration(i)*time.Minute)) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+func TestQueryRangeFiltering(t *testing.T) {
+	db, ctx := newDB(t, time.Hour)
+	for i := 0; i < 60; i++ {
+		db.Append(ctx, "mem", Point{T: t0.Add(time.Duration(i) * time.Minute), V: float64(i)})
+	}
+	pts, err := db.Query(ctx, "mem", t0.Add(10*time.Minute), t0.Add(20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("range query returned %d points, want 10", len(pts))
+	}
+	if pts[0].V != 10 || pts[9].V != 19 {
+		t.Fatalf("range bounds wrong: first=%v last=%v", pts[0].V, pts[9].V)
+	}
+	// Empty and inverted ranges.
+	if pts, _ := db.Query(ctx, "mem", t0, t0); pts != nil {
+		t.Fatalf("empty range returned %d points", len(pts))
+	}
+	if pts, _ := db.Query(ctx, "mem", t0.Add(time.Hour), t0); pts != nil {
+		t.Fatal("inverted range returned points")
+	}
+}
+
+func TestWindowsSpanBlobs(t *testing.T) {
+	db, ctx := newDB(t, 10*time.Minute)
+	// 30 minutes of data -> 3 window blobs.
+	for i := 0; i < 30; i++ {
+		db.Append(ctx, "io", Point{T: t0.Add(time.Duration(i) * time.Minute), V: float64(i)})
+	}
+	pts, err := db.Query(ctx, "io", t0, t0.Add(30*time.Minute))
+	if err != nil || len(pts) != 30 {
+		t.Fatalf("cross-window query = (%d, %v)", len(pts), err)
+	}
+	// Query touching only the middle window.
+	pts, err = db.Query(ctx, "io", t0.Add(12*time.Minute), t0.Add(17*time.Minute))
+	if err != nil || len(pts) != 5 {
+		t.Fatalf("mid-window query = (%d, %v)", len(pts), err)
+	}
+}
+
+func TestSeriesDiscovery(t *testing.T) {
+	db, ctx := newDB(t, time.Hour)
+	db.Append(ctx, "cpu", Point{T: t0, V: 1})
+	db.Append(ctx, "mem", Point{T: t0, V: 2})
+	db.Append(ctx, "cpu", Point{T: t0.Add(time.Minute), V: 3})
+	series, err := db.Series(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("Series = %v", series)
+	}
+	found := map[string]bool{}
+	for _, s := range series {
+		found[s] = true
+	}
+	if !found["cpu"] || !found["mem"] {
+		t.Fatalf("Series = %v", series)
+	}
+}
+
+func TestRetentionDropBefore(t *testing.T) {
+	db, ctx := newDB(t, 10*time.Minute)
+	for i := 0; i < 30; i++ {
+		db.Append(ctx, "old", Point{T: t0.Add(time.Duration(i) * time.Minute), V: float64(i)})
+	}
+	// Drop windows fully before t0+20min: the first two 10-minute windows.
+	dropped, err := db.DropBefore(ctx, "old", t0.Add(20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d windows, want 2", dropped)
+	}
+	pts, err := db.Query(ctx, "old", t0, t0.Add(30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("%d points survive retention, want 10", len(pts))
+	}
+	if pts[0].V != 20 {
+		t.Fatalf("surviving points start at %v, want 20", pts[0].V)
+	}
+}
+
+func TestEmptySeriesRejected(t *testing.T) {
+	db, ctx := newDB(t, time.Hour)
+	if err := db.Append(ctx, "", Point{T: t0, V: 1}); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("empty series: %v", err)
+	}
+}
+
+func TestQueryUnknownSeries(t *testing.T) {
+	db, ctx := newDB(t, time.Hour)
+	pts, err := db.Query(ctx, "nothing", t0, t0.Add(time.Hour))
+	if err != nil || pts != nil {
+		t.Fatalf("unknown series = (%v, %v)", pts, err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	db, _ := newDB(t, time.Hour)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := storage.NewContext()
+			for i := 0; i < 25; i++ {
+				err := db.Append(ctx, "shared", Point{
+					T: t0.Add(time.Duration(w*25+i) * time.Second),
+					V: float64(w),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ctx := storage.NewContext()
+	pts, err := db.Query(ctx, "shared", t0, t0.Add(time.Hour))
+	if err != nil || len(pts) != 100 {
+		t.Fatalf("concurrent appends: %d points, %v", len(pts), err)
+	}
+}

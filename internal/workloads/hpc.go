@@ -1,0 +1,423 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// HPCApp is one MPI application model. Setup creates its input files
+// (offline, on the raw file system — the paper runs preparation scripts
+// outside the traced MPI phase); Run executes the traced MPI phase.
+type HPCApp struct {
+	Name  string
+	Usage string
+	// Setup prepares input files and directories.
+	Setup func(fs storage.FileSystem, cfg Config) error
+	// Run executes the application against fs (normally a trace.FS).
+	Run func(fs storage.FileSystem, cfg Config) error
+}
+
+// HPCApps returns the paper's four MPI applications plus the EH/MPI
+// variant (ECOHAM with the preparation script moved offline), i.e. the five
+// bars of Figure 1.
+func HPCApps() []HPCApp {
+	return []HPCApp{
+		{Name: "BLAST", Usage: "Protein docking", Setup: setupBLAST, Run: runBLAST},
+		{Name: "MOM", Usage: "Oceanic model", Setup: setupMOM, Run: runMOM},
+		{Name: "EH", Usage: "Sediment propagation", Setup: setupEH,
+			Run: func(fs storage.FileSystem, cfg Config) error { return runEH(fs, cfg, true) }},
+		{Name: "EH / MPI", Usage: "Sediment propagation (prep offline)", Setup: setupEH,
+			Run: func(fs storage.FileSystem, cfg Config) error { return runEH(fs, cfg, false) }},
+		{Name: "RT", Usage: "Video processing", Setup: setupRT, Run: runRT},
+	}
+}
+
+// HPCAppByName returns the named application model.
+func HPCAppByName(name string) (HPCApp, error) {
+	for _, a := range HPCApps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return HPCApp{}, fmt.Errorf("workloads: unknown HPC app %q", name)
+}
+
+// mkdirIfMissing tolerates already-present directories during setup.
+func mkdirIfMissing(fs storage.FileSystem, ctx *storage.Context, path string) error {
+	err := fs.Mkdir(ctx, path)
+	if err == nil {
+		return nil
+	}
+	if _, statErr := fs.Stat(ctx, path); statErr == nil {
+		return nil
+	}
+	return err
+}
+
+// makeFile writes a file of the given size in large offline chunks.
+func makeFile(fs storage.FileSystem, ctx *storage.Context, path string, size int64) error {
+	h, err := fs.Create(ctx, path)
+	if err != nil {
+		return fmt.Errorf("setup %s: %w", path, err)
+	}
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	var off int64
+	for off < size {
+		take := int64(len(buf))
+		if take > size-off {
+			take = size - off
+		}
+		n, err := h.WriteAt(ctx, off, buf[:take])
+		if err != nil {
+			h.Close(ctx)
+			return fmt.Errorf("setup %s: %w", path, err)
+		}
+		off += int64(n)
+	}
+	return h.Close(ctx)
+}
+
+// readShare reads [off, off+n) from f in cfg.Chunk units.
+func readShare(f *mpiio.File, cfg Config, off, n int64) (int64, error) {
+	buf := make([]byte, cfg.Chunk)
+	var done int64
+	for done < n {
+		take := int64(len(buf))
+		if take > n-done {
+			take = n - done
+		}
+		got, err := f.ReadAt(off+done, buf[:take])
+		if err != nil {
+			return done, err
+		}
+		if got == 0 {
+			break
+		}
+		done += int64(got)
+	}
+	return done, nil
+}
+
+// writeShare writes n bytes at off in cfg.Chunk units.
+func writeShare(f *mpiio.File, cfg Config, off, n int64) error {
+	buf := make([]byte, cfg.Chunk)
+	for i := range buf {
+		buf[i] = byte(i * 17)
+	}
+	var done int64
+	for done < n {
+		take := int64(len(buf))
+		if take > n-done {
+			take = n - done
+		}
+		if _, err := f.WriteAt(off+done, buf[:take]); err != nil {
+			return err
+		}
+		done += int64(take)
+	}
+	return nil
+}
+
+// --- mpiBLAST: every rank scans its share of a shared protein database;
+// match results are gathered to rank 0, which writes the small report.
+// Read-intensive (paper ratio 2.1e3). ---
+
+func setupBLAST(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	ctx := storage.NewContext()
+	if err := mkdirIfMissing(fs, ctx, "/data"); err != nil {
+		return err
+	}
+	if err := mkdirIfMissing(fs, ctx, "/results"); err != nil {
+		return err
+	}
+	return makeFile(fs, ctx, "/data/protein.db", cfg.Scale(27.7*GB))
+}
+
+func runBLAST(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	dbSize := cfg.Scale(27.7 * GB)
+	outSize := cfg.Scale(12.8 * MB)
+	errs := mpi.Run(cfg.Ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		db, err := mpiio.Open(r, fs, "/data/protein.db", false, mpiio.Options{})
+		if err != nil {
+			return err
+		}
+		share := dbSize / int64(r.Size())
+		off := int64(r.ID) * share
+		if r.ID == r.Size()-1 {
+			share = dbSize - off
+		}
+		if _, err := readShare(db, cfg, off, share); err != nil {
+			db.Close()
+			return err
+		}
+		if err := db.Close(); err != nil {
+			return err
+		}
+		// Gather per-rank hit summaries to rank 0, which writes the report.
+		r.Gather(0, []byte(fmt.Sprintf("rank %d: hits", r.ID)))
+		out, err := mpiio.Open(r, fs, "/results/blast.out", true, mpiio.Options{})
+		if err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			if err := writeShare(out, cfg, 0, outSize); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Sync(); err != nil {
+				out.Close()
+				return err
+			}
+		}
+		return out.Close()
+	})
+	return mpi.FirstError(errs)
+}
+
+// --- MOM: ranks load an initial ocean state, iterate timesteps with halo
+// exchanges, and periodically write snapshot slabs. Read-intensive
+// (ratio 6.01). ---
+
+const momSnapshots = 8
+
+func setupMOM(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	ctx := storage.NewContext()
+	if err := mkdirIfMissing(fs, ctx, "/data"); err != nil {
+		return err
+	}
+	if err := mkdirIfMissing(fs, ctx, "/results"); err != nil {
+		return err
+	}
+	return makeFile(fs, ctx, "/data/ocean-init.nc", cfg.Scale(19.5*GB))
+}
+
+func runMOM(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	initSize := cfg.Scale(19.5 * GB)
+	writeTotal := cfg.Scale(3.2 * GB)
+	errs := mpi.Run(cfg.Ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		init, err := mpiio.Open(r, fs, "/data/ocean-init.nc", false, mpiio.Options{})
+		if err != nil {
+			return err
+		}
+		share := initSize / int64(r.Size())
+		off := int64(r.ID) * share
+		if r.ID == r.Size()-1 {
+			share = initSize - off
+		}
+		if _, err := readShare(init, cfg, off, share); err != nil {
+			init.Close()
+			return err
+		}
+		if err := init.Close(); err != nil {
+			return err
+		}
+
+		out, err := mpiio.Open(r, fs, "/results/ocean-snapshots.nc", true, mpiio.Options{})
+		if err != nil {
+			return err
+		}
+		snapBytes := writeTotal / momSnapshots
+		perRank := snapBytes / int64(r.Size())
+		for step := 0; step < momSnapshots; step++ {
+			// Halo exchange with neighbours, then a snapshot slab write.
+			right := (r.ID + 1) % r.Size()
+			left := (r.ID + r.Size() - 1) % r.Size()
+			if r.Size() > 1 {
+				r.Send(right, step, []byte("halo"))
+				r.Recv(left, step)
+			}
+			slabOff := int64(step)*snapBytes + int64(r.ID)*perRank
+			if err := writeShare(out, cfg, slabOff, perRank); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Sync(); err != nil {
+				out.Close()
+				return err
+			}
+			r.Barrier()
+		}
+		return out.Close()
+	})
+	return mpi.FirstError(errs)
+}
+
+// --- ECOHAM: small config/boundary input, heavy timestep output.
+// Write-intensive (ratio 4.2e-2). The EH variant runs the preparation
+// script inside the traced window (directory listings and xattr reads,
+// Figure 1's small non-file slivers); EH/MPI moves it offline. ---
+
+const ehSteps = 16
+
+func setupEH(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	ctx := storage.NewContext()
+	for _, d := range []string{"/data", "/results", "/run"} {
+		if err := mkdirIfMissing(fs, ctx, d); err != nil {
+			return err
+		}
+	}
+	if err := makeFile(fs, ctx, "/data/sediment-boundary.nc", cfg.Scale(0.4*GB)); err != nil {
+		return err
+	}
+	if err := makeFile(fs, ctx, "/run/ecoham.cfg", 4096); err != nil {
+		return err
+	}
+	return fs.SetXattr(ctx, "/run/ecoham.cfg", "user.version", "eh-5.2")
+}
+
+func runEH(fs storage.FileSystem, cfg Config, withPrep bool) error {
+	cfg = cfg.WithDefaults()
+	if withPrep {
+		// The run-preparation script: list the run directory, check the
+		// configuration's attributes, stat the boundary data. These are
+		// exactly the non-read/write calls Figure 1 shows for EH.
+		ctx := storage.NewContext()
+		if _, err := fs.ReadDir(ctx, "/run"); err != nil {
+			return fmt.Errorf("eh prep: %w", err)
+		}
+		if _, err := fs.GetXattr(ctx, "/run/ecoham.cfg", "user.version"); err != nil {
+			return fmt.Errorf("eh prep: %w", err)
+		}
+		if _, err := fs.Stat(ctx, "/data/sediment-boundary.nc"); err != nil {
+			return fmt.Errorf("eh prep: %w", err)
+		}
+	}
+
+	inSize := cfg.Scale(0.4 * GB)
+	outTotal := cfg.Scale(9.7 * GB)
+	errs := mpi.Run(cfg.Ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		in, err := mpiio.Open(r, fs, "/data/sediment-boundary.nc", false, mpiio.Options{})
+		if err != nil {
+			return err
+		}
+		share := inSize / int64(r.Size())
+		off := int64(r.ID) * share
+		if r.ID == r.Size()-1 {
+			share = inSize - off
+		}
+		if _, err := readShare(in, cfg, off, share); err != nil {
+			in.Close()
+			return err
+		}
+		if err := in.Close(); err != nil {
+			return err
+		}
+
+		out, err := mpiio.Open(r, fs, "/results/sediment-out.nc", true, mpiio.Options{})
+		if err != nil {
+			return err
+		}
+		stepBytes := outTotal / ehSteps
+		perRank := stepBytes / int64(r.Size())
+		for step := 0; step < ehSteps; step++ {
+			slabOff := int64(step)*stepBytes + int64(r.ID)*perRank
+			if err := writeShare(out, cfg, slabOff, perRank); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Sync(); err != nil {
+				out.Close()
+				return err
+			}
+		}
+		return out.Close()
+	})
+	if err := mpi.FirstError(errs); err != nil {
+		return err
+	}
+	if withPrep {
+		// Post-run collection step of the script.
+		ctx := storage.NewContext()
+		if _, err := fs.ReadDir(ctx, "/results"); err != nil {
+			return fmt.Errorf("eh collect: %w", err)
+		}
+	}
+	return nil
+}
+
+// --- Ray Tracing: a frame pipeline — read a frame, render, write the
+// output frame. Balanced (ratio 0.94). ---
+
+const rtFrames = 16
+
+func setupRT(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	ctx := storage.NewContext()
+	if err := mkdirIfMissing(fs, ctx, "/data"); err != nil {
+		return err
+	}
+	if err := mkdirIfMissing(fs, ctx, "/results"); err != nil {
+		return err
+	}
+	inTotal := cfg.Scale(67.4 * GB)
+	per := inTotal / rtFrames
+	for fno := 0; fno < rtFrames; fno++ {
+		size := per
+		if fno == rtFrames-1 {
+			size = inTotal - per*(rtFrames-1)
+		}
+		if err := makeFile(fs, ctx, fmt.Sprintf("/data/frame-%03d.raw", fno), size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runRT(fs storage.FileSystem, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	inTotal := cfg.Scale(67.4 * GB)
+	outTotal := cfg.Scale(71.2 * GB)
+	inPer := inTotal / rtFrames
+	outPer := outTotal / rtFrames
+	errs := mpi.Run(cfg.Ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+		for fno := 0; fno < rtFrames; fno++ {
+			in, err := mpiio.Open(r, fs, fmt.Sprintf("/data/frame-%03d.raw", fno), false, mpiio.Options{})
+			if err != nil {
+				return err
+			}
+			frameSize := inPer
+			if fno == rtFrames-1 {
+				frameSize = inTotal - inPer*(rtFrames-1)
+			}
+			share := frameSize / int64(r.Size())
+			off := int64(r.ID) * share
+			if r.ID == r.Size()-1 {
+				share = frameSize - off
+			}
+			if _, err := readShare(in, cfg, off, share); err != nil {
+				in.Close()
+				return err
+			}
+			if err := in.Close(); err != nil {
+				return err
+			}
+
+			out, err := mpiio.Open(r, fs, fmt.Sprintf("/results/frame-%03d.png", fno), true, mpiio.Options{})
+			if err != nil {
+				return err
+			}
+			outShare := outPer / int64(r.Size())
+			if err := writeShare(out, cfg, int64(r.ID)*outShare, outShare); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return mpi.FirstError(errs)
+}

@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/sparksim"
+	"repro/internal/storage"
+)
+
+// SparkApp is one SparkBench application model: the input volume it needs
+// and the sparksim job that replays its I/O shape.
+type SparkApp struct {
+	Name  string
+	Usage string
+	// InputBytes is the volume of input data to materialize (per pass).
+	InputBytes int64
+	// Splits is the number of input files (= map tasks per pass).
+	Splits int
+	// App is the sparksim job description. InputDir/OutputDir are filled
+	// by convention: /input/<name> and /output/<name>.
+	App sparksim.App
+}
+
+// SparkApps returns the paper's five SparkBench applications, scaled by
+// cfg. Output-task counts (4, 4, 5, 4, 6) are chosen so the five runs'
+// directory traffic sums to Table II's census: Σ(4+T) = 43 mkdir = 43
+// rmdir, and one input listing each = 5 opendir.
+func SparkApps(cfg Config) []SparkApp {
+	cfg = cfg.WithDefaults()
+	mk := func(name, usage string, readPaper, writePaper float64, tasks, passes int) SparkApp {
+		inBytes := cfg.Scale(readPaper) / int64(passes)
+		outBytes := cfg.Scale(writePaper)
+		return SparkApp{
+			Name:       name,
+			Usage:      usage,
+			InputBytes: inBytes,
+			Splits:     4,
+			App: sparksim.App{
+				Name:        name,
+				InputDir:    "/input/" + name,
+				OutputDir:   "/output/" + name,
+				OutputTasks: tasks,
+				Passes:      passes,
+				OutputBytes: func(task int, inputBytes int64) int64 {
+					per := outBytes / int64(tasks)
+					if task == tasks-1 {
+						per = outBytes - per*int64(tasks-1)
+					}
+					return per
+				},
+				// Submission artifacts (Spark assembly jar, app jar, conf)
+				// scale along with the data volumes.
+				ArtifactBytes: map[string]int64{
+					"spark-libs.jar": cfg.Scale(96 * MB),
+					"app.jar":        cfg.Scale(24 * MB),
+					"spark-conf.zip": cfg.Scale(4 * MB),
+				},
+			},
+		}
+	}
+	return []SparkApp{
+		mk("Sort", "Text Processing", 5.8*GB, 5.8*GB, 4, 1),
+		mk("CC", "Graph Processing", 13.1*GB, 71.2*MB, 4, 1),
+		mk("Grep", "Text Processing", 55.8*GB, 863.8*MB, 4, 1),
+		mk("DT", "Machine Learning", 59.1*GB, 4.7*GB, 5, 3),
+		mk("Tokenizer", "Text Processing", 55.8*GB, 235.7*GB, 6, 1),
+	}
+}
+
+// SparkAppByName returns the named application model.
+func SparkAppByName(cfg Config, name string) (SparkApp, error) {
+	for _, a := range SparkApps(cfg) {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return SparkApp{}, fmt.Errorf("workloads: unknown Spark app %q", name)
+}
+
+// SetupSparkEnv creates the cluster-wide directories every Spark run
+// expects (user home, staging root, event-log root). Idempotent.
+func SetupSparkEnv(fs storage.FileSystem) error {
+	ctx := storage.NewContext()
+	for _, d := range []string{"/user", "/user/spark", "/user/spark/.sparkStaging",
+		"/spark-logs", "/input", "/output"} {
+		if err := mkdirIfMissing(fs, ctx, d); err != nil {
+			return fmt.Errorf("spark env %s: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// SetupSparkApp materializes one application's input directory and output
+// root on the raw file system (offline preparation, per Section IV-C).
+func SetupSparkApp(fs storage.FileSystem, app SparkApp) error {
+	ctx := storage.NewContext()
+	if err := mkdirIfMissing(fs, ctx, app.App.InputDir); err != nil {
+		return err
+	}
+	if err := mkdirIfMissing(fs, ctx, app.App.OutputDir); err != nil {
+		return err
+	}
+	per := app.InputBytes / int64(app.Splits)
+	for i := 0; i < app.Splits; i++ {
+		size := per
+		if i == app.Splits-1 {
+			size = app.InputBytes - per*int64(app.Splits-1)
+		}
+		path := fmt.Sprintf("%s/part-%04d", app.App.InputDir, i)
+		if err := makeFile(fs, ctx, path, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSpark executes the application on an engine (normally over a traced
+// relaxedfs) and returns the job result.
+func RunSpark(e *sparksim.Engine, ctx *storage.Context, app SparkApp) (*sparksim.Result, error) {
+	return e.Run(ctx, app.App)
+}

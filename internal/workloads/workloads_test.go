@@ -1,0 +1,307 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fs/posixfs"
+	"repro/internal/fs/relaxedfs"
+	"repro/internal/sparksim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// testCfg scales aggressively (factor 2^16: GB -> tens of KB) so unit tests
+// stay fast; the benchmark harness uses the default 1024.
+func testCfg() Config {
+	return Config{Factor: 1 << 16, Chunk: 512, Ranks: 4, Executors: 2}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Factor != 1024 || c.Chunk != 4096 || c.Ranks != 8 || c.Executors != 4 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := Config{Factor: 1000}.WithDefaults()
+	if got := c.Scale(5e9); got != 5e6 {
+		t.Fatalf("Scale(5GB) = %d", got)
+	}
+	if got := c.Scale(10); got != 1 {
+		t.Fatalf("Scale floor = %d, want 1", got)
+	}
+}
+
+func TestTableIReferenceData(t *testing.T) {
+	if len(TableI) != 9 {
+		t.Fatalf("Table I has %d rows, want 9", len(TableI))
+	}
+	hpc, spark := 0, 0
+	for _, r := range TableI {
+		switch r.Platform {
+		case "HPC / MPI":
+			hpc++
+		case "Cloud / Spark":
+			spark++
+		default:
+			t.Fatalf("unknown platform %q", r.Platform)
+		}
+	}
+	if hpc != 4 || spark != 5 {
+		t.Fatalf("platform split = %d/%d, want 4/5", hpc, spark)
+	}
+	if _, err := TableIByApp("BLAST"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableIByApp("nope"); err == nil {
+		t.Fatal("unknown app lookup succeeded")
+	}
+}
+
+func TestHPCAppRegistry(t *testing.T) {
+	apps := HPCApps()
+	if len(apps) != 5 {
+		t.Fatalf("HPCApps returned %d, want 5 (Figure 1 bars)", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"BLAST", "MOM", "EH", "EH / MPI", "RT"} {
+		if !names[want] {
+			t.Fatalf("missing app %q", want)
+		}
+	}
+	if _, err := HPCAppByName("MOM"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HPCAppByName("nope"); err == nil {
+		t.Fatal("unknown HPC app lookup succeeded")
+	}
+}
+
+// runHPC sets up and runs one HPC app under the tracer, returning its
+// census.
+func runHPC(t *testing.T, name string) *trace.Census {
+	t.Helper()
+	app, err := HPCAppByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	fs := posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1}))
+	if err := app.Setup(fs, cfg); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	census := trace.NewCensus()
+	if err := app.Run(trace.Wrap(fs, census), cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return census
+}
+
+func TestBLASTReadIntensive(t *testing.T) {
+	c := runHPC(t, "BLAST")
+	if got := c.Profile(); got != "Read-intensive" {
+		t.Fatalf("BLAST profile = %q (%s)", got, c)
+	}
+	if c.RWRatio() < 100 {
+		t.Fatalf("BLAST R/W ratio = %.1f, want >> 100", c.RWRatio())
+	}
+	if got := c.KindCount(storage.CallDirOp); got != 0 {
+		t.Fatalf("BLAST issued %d dir ops", got)
+	}
+}
+
+func TestMOMReadIntensive(t *testing.T) {
+	c := runHPC(t, "MOM")
+	if got := c.Profile(); got != "Read-intensive" {
+		t.Fatalf("MOM profile = %q (%s)", got, c)
+	}
+	r := c.RWRatio()
+	if r < 3 || r > 12 {
+		t.Fatalf("MOM R/W ratio = %.2f, want near the paper's 6.01", r)
+	}
+}
+
+func TestEHWriteIntensiveWithPrepCalls(t *testing.T) {
+	c := runHPC(t, "EH")
+	if got := c.Profile(); got != "Write-intensive" {
+		t.Fatalf("EH profile = %q (%s)", got, c)
+	}
+	// The prep script's listings and xattr reads appear — the small
+	// Figure 1 slivers.
+	if got := c.KindCount(storage.CallDirOp); got == 0 {
+		t.Fatal("EH prep produced no directory operations")
+	}
+	if got := c.KindCount(storage.CallOther); got == 0 {
+		t.Fatal("EH prep produced no 'other' calls")
+	}
+}
+
+func TestEHMPIPureFileIO(t *testing.T) {
+	c := runHPC(t, "EH / MPI")
+	if got := c.KindCount(storage.CallDirOp); got != 0 {
+		t.Fatalf("EH/MPI issued %d dir ops, want 0", got)
+	}
+	if got := c.KindCount(storage.CallOther); got != 0 {
+		t.Fatalf("EH/MPI issued %d other calls, want 0", got)
+	}
+	if got := c.Profile(); got != "Write-intensive" {
+		t.Fatalf("EH/MPI profile = %q", got)
+	}
+}
+
+func TestRTBalanced(t *testing.T) {
+	c := runHPC(t, "RT")
+	if got := c.Profile(); got != "Balanced" {
+		t.Fatalf("RT profile = %q (%s)", got, c)
+	}
+	r := c.RWRatio()
+	if r < 0.7 || r > 1.4 {
+		t.Fatalf("RT ratio = %.2f, want near the paper's 0.94", r)
+	}
+}
+
+func TestHPCVolumesTrackTableI(t *testing.T) {
+	cfg := testCfg()
+	for _, name := range []string{"BLAST", "MOM", "EH / MPI", "RT"} {
+		c := runHPC(t, name)
+		refName := name
+		if name == "EH / MPI" {
+			refName = "EH"
+		}
+		ref, err := TableIByApp(refName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRead := float64(cfg.Scale(ref.ReadBytes))
+		gotRead := float64(c.BytesRead())
+		if relErr(gotRead, wantRead) > 0.15 {
+			t.Fatalf("%s: bytes read = %.0f, want ≈ %.0f", name, gotRead, wantRead)
+		}
+		wantWrite := float64(cfg.Scale(ref.WriteBytes))
+		gotWrite := float64(c.BytesWritten())
+		if relErr(gotWrite, wantWrite) > 0.15 {
+			t.Fatalf("%s: bytes written = %.0f, want ≈ %.0f", name, gotWrite, wantWrite)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestSparkAppRegistry(t *testing.T) {
+	apps := SparkApps(testCfg())
+	if len(apps) != 5 {
+		t.Fatalf("SparkApps returned %d, want 5", len(apps))
+	}
+	totalTasks := 0
+	for _, a := range apps {
+		totalTasks += a.App.OutputTasks
+	}
+	// Σ(4+T) over 5 apps = 43 requires ΣT = 23 (Table II).
+	if totalTasks != 23 {
+		t.Fatalf("Σ output tasks = %d, want 23 for the Table II census", totalTasks)
+	}
+	if _, err := SparkAppByName(testCfg(), "Grep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SparkAppByName(testCfg(), "nope"); err == nil {
+		t.Fatal("unknown Spark app lookup succeeded")
+	}
+}
+
+func sparkEnv(t *testing.T) (storage.FileSystem, *trace.Census, *sparksim.Engine) {
+	t.Helper()
+	cfg := testCfg()
+	fs := relaxedfs.New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), relaxedfs.Config{BlockSize: 1 << 20})
+	if err := SetupSparkEnv(fs); err != nil {
+		t.Fatal(err)
+	}
+	census := trace.NewCensus()
+	traced := trace.Wrap(fs, census)
+	e := sparksim.NewEngine(traced, cfg.Executors)
+	e.SetChunkSize(cfg.Chunk)
+	return fs, census, e
+}
+
+func TestSparkAppProfiles(t *testing.T) {
+	cfg := testCfg()
+	want := map[string]string{
+		"Sort":      "Balanced",
+		"CC":        "Read-intensive",
+		"Grep":      "Read-intensive",
+		"DT":        "Read-intensive",
+		"Tokenizer": "Write-intensive",
+	}
+	for _, app := range SparkApps(cfg) {
+		fs, census, e := sparkEnv(t)
+		if err := SetupSparkApp(fs, app); err != nil {
+			t.Fatalf("%s setup: %v", app.Name, err)
+		}
+		census.MarkInputDir(app.App.InputDir)
+		if _, err := RunSpark(e, storage.NewContext(), app); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if got := census.Profile(); got != want[app.Name] {
+			t.Fatalf("%s profile = %q, want %q (%s)", app.Name, got, want[app.Name], census)
+		}
+	}
+}
+
+func TestSparkDTReadsInputThreeTimes(t *testing.T) {
+	cfg := testCfg()
+	app, _ := SparkAppByName(cfg, "DT")
+	if app.App.Passes != 3 {
+		t.Fatalf("DT passes = %d, want 3 (iterative training)", app.App.Passes)
+	}
+	fs, census, e := sparkEnv(t)
+	if err := SetupSparkApp(fs, app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpark(e, storage.NewContext(), app); err != nil {
+		t.Fatal(err)
+	}
+	wantRead := float64(cfg.Scale(59.1 * GB))
+	if relErr(float64(census.BytesRead()), wantRead) > 0.15 {
+		t.Fatalf("DT bytes read = %d, want ≈ %.0f", census.BytesRead(), wantRead)
+	}
+}
+
+// The Table II census across all five applications: 43 mkdir, 43 rmdir,
+// 5 input-directory listings, 0 other listings.
+func TestTableIICensusAcrossAllApps(t *testing.T) {
+	cfg := testCfg()
+	fs, census, e := sparkEnv(t)
+	for _, app := range SparkApps(cfg) {
+		if err := SetupSparkApp(fs, app); err != nil {
+			t.Fatalf("%s setup: %v", app.Name, err)
+		}
+		census.MarkInputDir(app.App.InputDir)
+	}
+	for _, app := range SparkApps(cfg) {
+		if _, err := RunSpark(e, storage.NewContext(), app); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+	}
+	if got := census.OpCount(storage.OpMkdir); got != 43 {
+		t.Fatalf("mkdir = %d, want 43", got)
+	}
+	if got := census.OpCount(storage.OpRmdir); got != 43 {
+		t.Fatalf("rmdir = %d, want 43", got)
+	}
+	if got := census.OpendirInput(); got != 5 {
+		t.Fatalf("opendir(input) = %d, want 5", got)
+	}
+	if got := census.OpendirOther(); got != 0 {
+		t.Fatalf("opendir(other) = %d, want 0", got)
+	}
+}
