@@ -359,6 +359,47 @@ func BenchmarkAblationScanEmulation(b *testing.B) {
 	}
 }
 
+// --- Data-plane hot path: per-chunk dispatch cost on striped reads and
+// writes (placement lookup, chunk addressing, server locks, WAL append).
+// Allocation counts are the regression guard: see BENCH_hotpath.json. ---
+
+func BenchmarkHotPathRead(b *testing.B) {
+	h, err := bench.NewHotPath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(h.OpBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathWrite(b *testing.B) {
+	h, err := bench.NewHotPath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(h.OpBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%bench.CompactEvery == bench.CompactEvery-1 {
+			// Periodic WAL checkpoint outside the timer: keeps the metric
+			// on per-op dispatch cost, not in-memory log accumulation.
+			b.StopTimer()
+			h.Compact()
+			b.StartTimer()
+		}
+		if err := h.Write(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // reportVirtual attaches the simulated-cluster time per operation.
 func reportVirtual(b *testing.B, total time.Duration) {
 	if b.N > 0 {

@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework]
+//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath]
 //	           [-factor N] [-chunk N] [-ranks N] [-executors N]
+//	           [-hotpath-out FILE]
 //
 // The default factor 1024 scales the paper's GB volumes to MB; the chunk
 // scales the per-call I/O unit accordingly (see internal/workloads).
+//
+// The hotpath experiment is the benchcheck target: it runs the data-plane
+// micro-benchmarks (BenchmarkHotPathRead / BenchmarkHotPathWrite, with
+// allocation accounting equivalent to `go test -bench HotPath -benchmem`)
+// and writes the results to -hotpath-out (default BENCH_hotpath.json) so
+// successive PRs have a perf trajectory to compare against:
+//
+//	go run ./cmd/benchsuite -exp hotpath
 package main
 
 import (
@@ -21,11 +30,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath")
 	factor := flag.Int64("factor", 1024, "divide the paper's byte volumes by this factor")
 	chunk := flag.Int("chunk", 4096, "per-call I/O unit in bytes")
 	ranks := flag.Int("ranks", 8, "MPI ranks for HPC applications")
 	executors := flag.Int("executors", 4, "Spark executors")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output file for the hotpath experiment")
 	flag.Parse()
 
 	cfg := workloads.Config{
@@ -98,4 +108,27 @@ func main() {
 		fmt.Printf("flat-namespace gains hold: %v\n", res.GainsHold())
 		return nil
 	})
+	// The hotpath experiment only runs when requested explicitly: it is the
+	// benchcheck target, not part of the paper's evaluation tables.
+	if *exp == "hotpath" {
+		results, err := bench.RunHotPath()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := bench.RenderHotPath(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*hotpathOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-24s %10d ns/op %8d B/op %6d allocs/op %10.1f MB/s\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
+		}
+		fmt.Printf("wrote %s\n", *hotpathOut)
+	}
 }

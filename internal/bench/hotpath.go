@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// HotPath is the fixture behind BenchmarkHotPathRead/BenchmarkHotPathWrite
+// and the benchsuite `hotpath` experiment: a 9-node store with 64 KiB chunks
+// and 3-way replication, serving 256 KiB operations that stripe across four
+// chunks — the steady-state data-plane shape whose per-chunk dispatch cost
+// (placement lookup, chunk addressing, server locking, WAL append) the
+// benchmarks isolate.
+type HotPath struct {
+	Store *blob.Store
+	Ctx   *storage.Context
+	buf   []byte
+}
+
+// NewHotPath builds the fixture with the blob pre-written so reads hit
+// materialized chunks.
+func NewHotPath() (*HotPath, error) {
+	st := blob.New(cluster.New(cluster.Config{Nodes: 9, Seed: 1}),
+		blob.Config{ChunkSize: 64 << 10, Replication: 3})
+	ctx := storage.NewContext()
+	if err := st.CreateBlob(ctx, "hot"); err != nil {
+		return nil, err
+	}
+	h := &HotPath{Store: st, Ctx: ctx, buf: make([]byte, 256<<10)}
+	for i := range h.buf {
+		h.buf[i] = byte(i)
+	}
+	if _, err := st.WriteBlob(ctx, "hot", 0, h.buf); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// OpBytes is the payload size of one Read/Write operation.
+func (h *HotPath) OpBytes() int64 { return int64(len(h.buf)) }
+
+// CompactEvery is how many write ops a benchmark runs between WAL
+// checkpoints (HotPath.Compact).
+const CompactEvery = 256
+
+// Compact checkpoints every server's WAL, dropping the accumulated log
+// bytes. Write benchmarks call it with the timer stopped every
+// CompactEvery iterations so the measured loop reflects per-op dispatch
+// cost instead of unbounded in-memory log growth (which would otherwise
+// dominate B/op and drift with -benchtime).
+func (h *HotPath) Compact() { h.Store.CheckpointAll() }
+
+// Read performs one 4-chunk striped read.
+func (h *HotPath) Read() error {
+	n, err := h.Store.ReadBlob(h.Ctx, "hot", 0, h.buf)
+	if err != nil {
+		return err
+	}
+	if n != len(h.buf) {
+		return fmt.Errorf("hotpath: short read %d", n)
+	}
+	return nil
+}
+
+// Write performs one 4-chunk striped overwrite (a multi-chunk transaction:
+// prepare + data + commit phases).
+func (h *HotPath) Write() error {
+	n, err := h.Store.WriteBlob(h.Ctx, "hot", 0, h.buf)
+	if err != nil {
+		return err
+	}
+	if n != len(h.buf) {
+		return fmt.Errorf("hotpath: short write %d", n)
+	}
+	return nil
+}
+
+// HotPathResult is one benchmark's measurement, serialized by the
+// benchsuite `benchcheck` target into BENCH_hotpath.json so successive PRs
+// have a perf trajectory to compare against.
+type HotPathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// RunHotPath runs both hot-path benchmarks via testing.Benchmark (so the
+// numbers match `go test -bench HotPath -benchmem`) and returns the results.
+func RunHotPath() ([]HotPathResult, error) {
+	h, err := NewHotPath()
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	run := func(name string, op func() error) HotPathResult {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(h.OpBytes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%CompactEvery == CompactEvery-1 {
+					b.StopTimer()
+					h.Compact()
+					b.StartTimer()
+				}
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if r.N == 0 && firstErr == nil {
+			firstErr = fmt.Errorf("benchmark %s failed", name)
+		}
+		mbps := 0.0
+		if r.T > 0 {
+			mbps = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		return HotPathResult{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			MBPerSec:    mbps,
+		}
+	}
+	out := []HotPathResult{
+		run("BenchmarkHotPathRead", h.Read),
+		run("BenchmarkHotPathWrite", h.Write),
+	}
+	return out, firstErr
+}
+
+// RenderHotPath formats results as the JSON written to BENCH_hotpath.json.
+func RenderHotPath(results []HotPathResult) ([]byte, error) {
+	return json.MarshalIndent(results, "", "  ")
+}

@@ -17,6 +17,32 @@
 // are simulated. A per-blob latch provides the atomic visibility the real
 // system gets from versioned chunk sets, while the two-phase commit cost is
 // charged explicitly, so benchmarks still see the protocol's latency.
+//
+// # Data-plane architecture
+//
+// The per-chunk dispatch path is engineered for throughput and allocation
+// discipline, because the paper's thesis — one blob namespace serving both
+// HPC and Big-Data traffic — only holds if per-chunk cost is near-free:
+//
+//   - chunk addressing: chunks are identified by the comparable struct
+//     chunkID{key, idx}. Server chunk tables are keyed by chunkID and the
+//     placement hash is computed by streaming the key material through
+//     chash.KeyHasher, so no "key\x00idx" string is ever built on the
+//     read/write path.
+//   - placement cache: Store.ownersForHash fronts the consistent-hash ring
+//     with an epoch-versioned, sharded lookup cache. Steady-state placement
+//     is a shard-local RLock plus one map probe; ring walks happen only on
+//     cold keys or after a membership change bumps Ring.Epoch(), which
+//     invalidates the cache lazily.
+//   - striped server state: each server's chunk table is split across
+//     chunkStripes lock-striped shards selected by the chunk's placement
+//     hash, so concurrent readers and writers of different chunks do not
+//     contend on one RWMutex. The per-blob descriptor latch remains the
+//     atomic-visibility point for multi-chunk commits.
+//   - WAL fast path: chunk and meta payloads are staged in pooled scratch
+//     buffers (released after the log copies them out), the log encodes
+//     into a per-log reusable buffer, and multi-record operations batch
+//     same-server records through wal.AppendN.
 package blob
 
 import (
@@ -27,6 +53,7 @@ import (
 
 	"repro/internal/chash"
 	"repro/internal/cluster"
+	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -69,27 +96,225 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// chunkID addresses one chunk of one blob. It is the map key of the server
+// chunk tables and the unit of placement: a comparable struct, so the hot
+// path never materializes a combined string key.
+type chunkID struct {
+	key string
+	idx int64
+}
+
+// ringHash returns the chunk's placement hash, streamed through the ring's
+// key hasher. It is bit-identical to hashing the historical string form
+// "c:" + key + "\x00" + decimal(idx), so placement is unchanged from the
+// string-keyed implementation — but no string is built.
+func (c chunkID) ringHash() uint64 {
+	return chash.NewKeyHasher().String("c:").String(c.key).Byte(0).Int64Decimal(c.idx).Sum()
+}
+
+// descRingHash returns the placement hash of a blob's descriptor,
+// equivalent to hashing "d:" + key without the concatenation.
+func descRingHash(key string) uint64 {
+	return chash.NewKeyHasher().String("d:").String(key).Sum()
+}
+
+// placementShards shards the placement cache to keep cache hits from
+// serializing on one lock. Must be a power of two.
+const placementShards = 16
+
+// placementShardMax bounds one shard's entry count so a long-lived store
+// serving a huge key population cannot pin unbounded ring-derivable data.
+// Eviction is a whole-shard reset: entries are cheap to re-derive, and a
+// reset leaves the other shards untouched.
+const placementShardMax = 1 << 14
+
+// placementCache memoizes ring lookups per placement hash. Entries are
+// valid for exactly one ring epoch; a membership change bumps the epoch and
+// each shard drops its map lazily on next access. Caching by hash is exact,
+// not approximate: ring placement is a pure function of the hash.
+type placementCache struct {
+	shards [placementShards]placementShard
+}
+
+type placementShard struct {
+	mu    sync.RWMutex
+	epoch uint64
+	m     map[uint64][]int
+}
+
+// ownersForHash returns the replica set (primary first) for a placement
+// hash. Steady state is a shard RLock and one map probe — no ring lock, no
+// allocation. The returned slice is shared and must not be mutated.
+func (s *Store) ownersForHash(h uint64) []int {
+	ep := s.ring.Epoch()
+	sh := &s.placement.shards[h&(placementShards-1)]
+	sh.mu.RLock()
+	if sh.epoch == ep {
+		if owners, ok := sh.m[h]; ok {
+			sh.mu.RUnlock()
+			return owners
+		}
+	}
+	sh.mu.RUnlock()
+
+	dst := make([]int, s.cfg.Replication)
+	got := s.ring.LocateHashNInto(h, dst)
+	owners := dst[:got]
+
+	sh.mu.Lock()
+	if sh.epoch != ep {
+		if sh.epoch > ep {
+			// The shard has already advanced past the epoch we computed
+			// under; our result may be stale — serve it to this caller
+			// (equivalent to a lookup racing the membership change) but do
+			// not cache it.
+			sh.mu.Unlock()
+			return owners
+		}
+		sh.epoch = ep
+		sh.m = nil
+	}
+	if sh.m == nil || len(sh.m) >= placementShardMax {
+		sh.m = make(map[uint64][]int, 64)
+	}
+	sh.m[h] = owners
+	sh.mu.Unlock()
+	return owners
+}
+
+// ownersUncachedForHash computes a replica set straight from the ring,
+// bypassing the cache. Pre-migration snapshots use it: their lookups are
+// about to be invalidated by the epoch bump, so caching them is wasted
+// write-back churn.
+func (s *Store) ownersUncachedForHash(h uint64) []int {
+	dst := make([]int, s.cfg.Replication)
+	got := s.ring.LocateHashNInto(h, dst)
+	return dst[:got]
+}
+
 // Store is a blob store running on a simulated cluster. It implements
 // storage.BlobStore.
 type Store struct {
-	cfg     Config
-	cluster *cluster.Cluster
-	ring    *chash.Ring
-	servers []*server
+	cfg       Config
+	cluster   *cluster.Cluster
+	ring      *chash.Ring
+	servers   []*server
+	placement placementCache
+}
+
+// chunkStripes is the lock-striping factor of each server's chunk table.
+// Must be a power of two.
+const chunkStripes = 16
+
+// chunkStripe is one lock-striped shard of a server's chunk table.
+type chunkStripe struct {
+	mu sync.RWMutex
+	m  map[chunkID][]byte
 }
 
 // server is the per-node state: the descriptors this node owns as primary
-// or replica, the chunks placed on it, and its write-ahead log.
+// or replica, the chunks placed on it (lock-striped by placement hash), and
+// its write-ahead log.
 type server struct {
 	node cluster.NodeID
 	mu   sync.RWMutex
 	// blobs maps key -> descriptor for descriptors replicated here.
 	blobs map[string]*descriptor
-	// chunks maps chunkKey(key, idx) -> data for chunks replicated here.
-	chunks map[string][]byte
-	log    *wal.Log
-	logBuf *wal.Buffer
-	down   bool
+	// stripes hold the chunk replicas placed on this server, sharded so
+	// that concurrent access to different chunks does not contend.
+	stripes [chunkStripes]chunkStripe
+	log     *wal.Log
+	logBuf  *wal.Buffer
+	down    bool
+}
+
+// stripe selects the lock stripe for a chunk placement hash. It uses a
+// different bit range than the placement-cache shard selector so the two
+// shardings decorrelate.
+func (sv *server) stripe(h uint64) *chunkStripe {
+	return &sv.stripes[(h>>32)&(chunkStripes-1)]
+}
+
+func (sv *server) getChunk(h uint64, id chunkID) ([]byte, bool) {
+	st := sv.stripe(h)
+	st.mu.RLock()
+	data, ok := st.m[id]
+	st.mu.RUnlock()
+	return data, ok
+}
+
+// copyChunk returns a copy of the chunk's bytes, made while holding the
+// stripe lock, so callers can use it without racing concurrent writers
+// that mutate the live slice in place.
+func (sv *server) copyChunk(h uint64, id chunkID) ([]byte, bool) {
+	st := sv.stripe(h)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	data, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+func (sv *server) setChunk(h uint64, id chunkID, data []byte) {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	st.m[id] = data
+	st.mu.Unlock()
+}
+
+func (sv *server) deleteChunk(h uint64, id chunkID) {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	delete(st.m, id)
+	st.mu.Unlock()
+}
+
+// trimChunk shortens the chunk to keep bytes if it is longer.
+func (sv *server) trimChunk(h uint64, id chunkID, keep int64) {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	if c, ok := st.m[id]; ok && int64(len(c)) > keep {
+		st.m[id] = c[:keep]
+	}
+	st.mu.Unlock()
+}
+
+// chunkCount sums the stripes.
+func (sv *server) chunkCount() int {
+	n := 0
+	for i := range sv.stripes {
+		st := &sv.stripes[i]
+		st.mu.RLock()
+		n += len(st.m)
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// forEachChunk calls fn for every chunk replica on the server, holding each
+// stripe's read lock for the duration of its visits; fn must not mutate the
+// data or call back into the stripe.
+func (sv *server) forEachChunk(fn func(id chunkID, data []byte)) {
+	for i := range sv.stripes {
+		st := &sv.stripes[i]
+		st.mu.RLock()
+		for id, data := range st.m {
+			fn(id, data)
+		}
+		st.mu.RUnlock()
+	}
+}
+
+// resetChunks drops every chunk replica (crash / drain).
+func (sv *server) resetChunks() {
+	for i := range sv.stripes {
+		st := &sv.stripes[i]
+		st.mu.Lock()
+		st.m = make(map[chunkID][]byte)
+		st.mu.Unlock()
+	}
 }
 
 // descriptor is a blob's metadata. The authoritative copy lives on the
@@ -128,13 +353,16 @@ func NewOnNodes(c *cluster.Cluster, cfg Config, serving []cluster.NodeID) *Store
 	s := &Store{cfg: cfg, cluster: c, ring: chash.New(cfg.VNodes)}
 	for _, n := range c.Nodes() {
 		buf := &wal.Buffer{}
-		s.servers = append(s.servers, &server{
+		sv := &server{
 			node:   n.ID,
 			blobs:  make(map[string]*descriptor),
-			chunks: make(map[string][]byte),
 			log:    wal.New(buf),
 			logBuf: buf,
-		})
+		}
+		for i := range sv.stripes {
+			sv.stripes[i].m = make(map[chunkID][]byte)
+		}
+		s.servers = append(s.servers, sv)
 		if inRing[n.ID] {
 			s.ring.Add(int(n.ID))
 		}
@@ -163,18 +391,18 @@ func (sv *server) isDown() bool {
 	return sv.down
 }
 
-func chunkKey(key string, idx int64) string {
-	return fmt.Sprintf("%s\x00%d", key, idx)
-}
-
 // descOwners returns the descriptor replica set for key, primary first.
+// The result is shared with the placement cache: callers must not mutate.
 func (s *Store) descOwners(key string) []int {
-	return s.ring.LocateN("d:"+key, s.cfg.Replication)
+	return s.ownersForHash(descRingHash(key))
 }
 
-// chunkOwners returns the replica set for one chunk, primary first.
-func (s *Store) chunkOwners(key string, idx int64) []int {
-	return s.ring.LocateN("c:"+chunkKey(key, idx), s.cfg.Replication)
+// chunkOwners returns the replica set for one chunk, primary first. The
+// result is shared with the placement cache: callers must not mutate. Hot
+// paths that already computed id.ringHash() call ownersForHash directly so
+// the hash also selects the lock stripe.
+func (s *Store) chunkOwners(id chunkID) []int {
+	return s.ownersForHash(id.ringHash())
 }
 
 // primaryDesc returns the primary descriptor server and the live descriptor
@@ -194,6 +422,67 @@ func (s *Store) primaryDesc(key string) (*server, *descriptor, error) {
 	return sv, d, nil
 }
 
+// ctxFan amortizes the fork/join contexts of scatter-gather operations
+// (per-chunk reads, replica writes, descriptor replication). Child
+// contexts and the tracking slice are recycled through pools, so a
+// steady-state fan-out allocates nothing. On error paths the fan is simply
+// dropped — the GC reclaims it and the pools miss once.
+type ctxFan struct {
+	children []*storage.Context
+}
+
+var fanPool = sync.Pool{New: func() any { return &ctxFan{} }}
+
+var childCtxPool = sync.Pool{
+	New: func() any { return &storage.Context{Clock: sim.NewClock()} },
+}
+
+func newFan() *ctxFan { return fanPool.Get().(*ctxFan) }
+
+// child returns a context whose clock starts at ctx's current time, exactly
+// like ctx.Fork but recycled.
+func (f *ctxFan) child(ctx *storage.Context) *storage.Context {
+	ch := childCtxPool.Get().(*storage.Context)
+	ch.Clock.Reset(ctx.Clock.Now())
+	ch.UID, ch.GID = ctx.UID, ctx.GID
+	f.children = append(f.children, ch)
+	return ch
+}
+
+// join advances ctx to the slowest child (the synchronization point of the
+// simulated parallel fan-out) and recycles everything.
+func (f *ctxFan) join(ctx *storage.Context) {
+	for i, ch := range f.children {
+		ctx.Clock.Join(ch.Clock)
+		childCtxPool.Put(ch)
+		f.children[i] = nil
+	}
+	f.children = f.children[:0]
+	fanPool.Put(f)
+}
+
+// drop recycles the children without joining their clocks — the
+// async-replication acknowledgement path, where the client does not wait.
+func (f *ctxFan) drop() {
+	for i, ch := range f.children {
+		childCtxPool.Put(ch)
+		f.children[i] = nil
+	}
+	f.children = f.children[:0]
+	fanPool.Put(f)
+}
+
+// payloadPool stages WAL payloads. The log copies the payload into its own
+// encode buffer during Append, so the staging buffer is returned to the
+// pool immediately afterwards — chunk-sized payloads stop being a per-append
+// allocation.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // walAppend records a durable mutation on sv and charges ctx's clock for
 // the log persistence on sv's disk.
 func (s *Store) walAppend(ctx *storage.Context, sv *server, t wal.RecordType, payload []byte) {
@@ -203,6 +492,23 @@ func (s *Store) walAppend(ctx *storage.Context, sv *server, t wal.RecordType, pa
 		panic(fmt.Sprintf("blob: wal append: %v", err))
 	}
 	s.cluster.DiskAppend(ctx.Clock, sv.node, n)
+}
+
+// walAppendChunk logs a chunk mutation, staging the payload in a pooled
+// buffer so the hot write path does not allocate per record.
+func (s *Store) walAppendChunk(ctx *storage.Context, sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
+	bp := payloadPool.Get().(*[]byte)
+	*bp = appendChunkPayload((*bp)[:0], id, within, data)
+	s.walAppend(ctx, sv, t, *bp)
+	payloadPool.Put(bp)
+}
+
+// walAppendMeta logs a descriptor mutation through the same pooled staging.
+func (s *Store) walAppendMeta(ctx *storage.Context, sv *server, t wal.RecordType, key string, size int64) {
+	bp := payloadPool.Get().(*[]byte)
+	*bp = appendMetaPayload((*bp)[:0], key, size)
+	s.walAppend(ctx, sv, t, *bp)
+	payloadPool.Put(bp)
 }
 
 // CreateBlob registers a new, empty blob. The descriptor is written to its
@@ -231,7 +537,7 @@ func (s *Store) CreateBlob(ctx *storage.Context, key string) error {
 	}
 	primary.blobs[key] = &descriptor{}
 	primary.mu.Unlock()
-	s.walAppend(ctx, primary, wal.RecCreate, encMeta(key, 0))
+	s.walAppendMeta(ctx, primary, wal.RecCreate, key, 0)
 
 	// Synchronous descriptor replication, replicas updated in parallel.
 	s.replicateDesc(ctx, key, owners[1:], 0)
@@ -241,10 +547,10 @@ func (s *Store) CreateBlob(ctx *storage.Context, key string) error {
 // replicateDesc copies the descriptor (with the given size) to replicas,
 // charging parallel RPC+WAL costs.
 func (s *Store) replicateDesc(ctx *storage.Context, key string, replicas []int, size int64) {
-	children := make([]*storage.Context, 0, len(replicas))
+	fan := newFan()
 	for _, r := range replicas {
 		rs := s.servers[r]
-		child := ctx.Fork()
+		child := fan.child(ctx)
 		s.cluster.MetaOp(child.Clock, rs.node, 1)
 		rs.mu.Lock()
 		d, ok := rs.blobs[key]
@@ -254,15 +560,14 @@ func (s *Store) replicateDesc(ctx *storage.Context, key string, replicas []int, 
 		}
 		d.size = size
 		rs.mu.Unlock()
-		s.walAppend(child, rs, wal.RecCreate, encMeta(key, size))
-		children = append(children, child)
+		s.walAppendMeta(child, rs, wal.RecCreate, key, size)
 	}
-	for _, c := range children {
-		ctx.Clock.Join(c.Clock)
-	}
+	fan.join(ctx)
 }
 
-// DeleteBlob removes the blob's descriptor and all chunk replicas.
+// DeleteBlob removes the blob's descriptor and all chunk replicas. Chunk
+// deletion records bound for the same server are batched into one WAL
+// append.
 func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 	primary, d, err := s.primaryDesc(key)
 	if err != nil {
@@ -282,24 +587,26 @@ func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 	size := d.size
 	nChunks := (size + int64(s.cfg.ChunkSize) - 1) / int64(s.cfg.ChunkSize)
 
-	// Drop chunk replicas, recording each removal durably.
+	// Drop chunk replicas, recording each removal durably; records are
+	// grouped per server and logged with one batched append each.
+	batch := newWalBatch(s)
 	for idx := int64(0); idx < nChunks; idx++ {
-		ck := chunkKey(key, idx)
-		for _, o := range s.chunkOwners(key, idx) {
+		id := chunkID{key, idx}
+		h := id.ringHash()
+		for _, o := range s.ownersForHash(h) {
 			sv := s.servers[o]
-			sv.mu.Lock()
-			delete(sv.chunks, ck)
-			sv.mu.Unlock()
-			s.walAppend(ctx, sv, wal.RecDelete, encChunk(ck, 0, nil))
+			sv.deleteChunk(h, id)
+			batch.addChunk(sv, wal.RecChunkDelete, id, 0, nil)
 		}
 	}
+	batch.flush(ctx)
 	// Drop descriptor replicas, then the primary copy.
 	for _, o := range s.descOwners(key) {
 		sv := s.servers[o]
 		sv.mu.Lock()
 		delete(sv.blobs, key)
 		sv.mu.Unlock()
-		s.walAppend(ctx, sv, wal.RecDelete, encMeta(key, 0))
+		s.walAppendMeta(ctx, sv, wal.RecDelete, key, 0)
 	}
 	return nil
 }
@@ -322,9 +629,9 @@ func (s *Store) BlobSize(ctx *storage.Context, key string) (int64, error) {
 // "far from optimized".
 func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, error) {
 	seen := make(map[string]int64)
-	clocks := make([]*storage.Context, 0, len(s.servers))
+	fan := newFan()
 	for i, sv := range s.servers {
-		child := ctx.Fork()
+		child := fan.child(ctx)
 		s.cluster.MetaOp(child.Clock, sv.node, 1)
 		sv.mu.RLock()
 		examined := len(sv.blobs)
@@ -351,15 +658,118 @@ func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, e
 			// approximates RADOS-style pool listing cost.
 			s.cluster.LocalCompute(child.Clock, s.cluster.Cost().MetaTime(1+examined/4))
 		}
-		clocks = append(clocks, child)
 	}
-	for _, c := range clocks {
-		ctx.Clock.Join(c.Clock)
-	}
+	fan.join(ctx)
 	out := make([]storage.BlobInfo, 0, len(seen))
 	for k, size := range seen {
 		out = append(out, storage.BlobInfo{Key: k, Size: size})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	return out, nil
+}
+
+// walBatch accumulates per-server WAL records so a multi-record operation
+// (chunk drops of a delete, commit markers of a 2PC write) issues one
+// wal.AppendN per server instead of one Append per record. Payload bytes
+// are staged in one pooled buffer; spec payloads point into it.
+type walBatch struct {
+	s       *Store
+	servers []*server
+	specs   [][]wal.AppendSpec
+	extents [][][2]int // staged payload extents, parallel to specs
+	buf     *[]byte
+}
+
+func newWalBatch(s *Store) *walBatch {
+	buf := payloadPool.Get().(*[]byte)
+	*buf = (*buf)[:0] // pooled buffers keep their stale length; start clean
+	return &walBatch{s: s, buf: buf}
+}
+
+// addChunk stages one chunk record for sv.
+func (b *walBatch) addChunk(sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
+	start := len(*b.buf)
+	*b.buf = appendChunkPayload(*b.buf, id, within, data)
+	b.add(sv, t, start, len(*b.buf))
+}
+
+// addMeta stages one descriptor record for sv.
+func (b *walBatch) addMeta(sv *server, t wal.RecordType, key string, size int64) {
+	start := len(*b.buf)
+	*b.buf = appendMetaPayload(*b.buf, key, size)
+	b.add(sv, t, start, len(*b.buf))
+}
+
+// add records the spec under sv's group. Payload extents are resolved into
+// slices only at flush time, because the staging buffer may still be
+// reallocated by later appends.
+func (b *walBatch) add(sv *server, t wal.RecordType, start, end int) {
+	i := -1
+	for j, known := range b.servers {
+		if known == sv {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		i = len(b.servers)
+		b.servers = append(b.servers, sv)
+		b.specs = append(b.specs, nil)
+		b.extents = append(b.extents, nil)
+	}
+	b.specs[i] = append(b.specs[i], wal.AppendSpec{Type: t})
+	b.extents[i] = append(b.extents[i], [2]int{start, end})
+}
+
+// resolve turns the staged payload extents into slices, once the staging
+// buffer has stopped growing.
+func (b *walBatch) resolve() {
+	for i := range b.servers {
+		for j := range b.specs[i] {
+			ext := b.extents[i][j]
+			b.specs[i][j].Payload = (*b.buf)[ext[0]:ext[1]]
+		}
+	}
+}
+
+// appendTo logs server i's batch with a single AppendN and charges the
+// disk time to clk.
+func (b *walBatch) appendTo(i int, clk *sim.Clock) {
+	_, n, err := b.servers[i].log.AppendN(b.specs[i])
+	if err != nil {
+		panic(fmt.Sprintf("blob: wal batch append: %v", err))
+	}
+	b.s.cluster.DiskAppend(clk, b.servers[i].node, n)
+}
+
+// flush logs every server's batch, charging the disk appends sequentially
+// on ctx's clock — the cost shape of a client walking replica sets one
+// record at a time (deletes, truncates, transaction commit markers).
+func (b *walBatch) flush(ctx *storage.Context) {
+	b.resolve()
+	for i := range b.servers {
+		b.appendTo(i, ctx.Clock)
+	}
+	payloadPool.Put(b.buf)
+	b.buf = nil
+}
+
+// flushParallel logs each server's batch on its own forked clock and joins
+// on the slowest — the cost shape of the 2PC commit phase, where every
+// participant persists its commit records concurrently. metaPerRecord
+// additionally charges one commit round trip per record on the
+// participant's clock before the append.
+func (b *walBatch) flushParallel(ctx *storage.Context, metaPerRecord bool) {
+	b.resolve()
+	fan := newFan()
+	for i, sv := range b.servers {
+		child := fan.child(ctx)
+		if metaPerRecord {
+			b.s.cluster.MetaOp(child.Clock, sv.node, len(b.specs[i]))
+		}
+		b.appendTo(i, child.Clock)
+	}
+	fan.join(ctx)
+	payloadPool.Put(b.buf)
+	b.buf = nil
 }

@@ -285,7 +285,7 @@ func TestReadFallbackWhenPrimaryDown(t *testing.T) {
 	data := []byte("survives failure")
 	s.WriteBlob(ctx, "f", 0, data)
 	// Take down the chunk primary.
-	owners := s.chunkOwners("f", 0)
+	owners := s.chunkOwners(chunkID{"f", 0})
 	s.SetDown(cluster.NodeID(owners[0]), true)
 	got := make([]byte, len(data))
 	n, err := s.ReadBlob(ctx, "f", 0, got)
@@ -305,7 +305,7 @@ func TestWriteFailsWhenChunkPrimaryDown(t *testing.T) {
 	s := newStore(t, 4, Config{ChunkSize: 4, Replication: 2})
 	ctx := storage.NewContext()
 	s.CreateBlob(ctx, "w")
-	owners := s.chunkOwners("w", 0)
+	owners := s.chunkOwners(chunkID{"w", 0})
 	s.SetDown(cluster.NodeID(owners[0]), true)
 	// Skip if the descriptor primary happens to be the downed node; that
 	// path errors even earlier, which is also correct.

@@ -8,19 +8,26 @@ import (
 // WAL payload codecs. Every record carries enough to rebuild the server's
 // state on replay:
 //
-//	meta   record: u16 keyLen | key | i64 size        (descriptor state)
-//	chunk  record: u16 ckLen  | ck  | i64 within | data (chunk mutation)
+//	meta  record: u16 keyLen | key | i64 size               (descriptor state)
+//	chunk record: u16 keyLen | key | i64 idx | i64 within | data (chunk mutation)
 //
-// Chunk keys contain a NUL separator (chunkKey), descriptor keys cannot
-// (CreateBlob rejects NUL), so replay can distinguish the two shapes of
-// delete/truncate records by inspecting the key.
+// Meta and chunk payloads are distinguished by record type (RecCreate /
+// RecDelete / RecTruncate / RecMeta carry meta payloads; RecWrite /
+// RecChunkDelete / RecChunkTruncate carry chunk payloads), so chunk
+// addressing never round-trips through a combined string key. RecCommit /
+// RecAbort markers are opaque to replay — 2PC chunk commits stamp a chunk
+// payload, transaction commits a meta payload — and are skipped either
+// way. All encoders are append-style into caller-provided buffers, which
+// the hot path stages from a sync.Pool.
 
-func encMeta(key string, size int64) []byte {
-	out := make([]byte, 2+len(key)+8)
-	binary.LittleEndian.PutUint16(out[0:2], uint16(len(key)))
-	copy(out[2:], key)
-	binary.LittleEndian.PutUint64(out[2+len(key):], uint64(size))
-	return out
+func appendMetaPayload(dst []byte, key string, size int64) []byte {
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(key)))
+	dst = append(dst, u16[:]...)
+	dst = append(dst, key...)
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(size))
+	return append(dst, u64[:]...)
 }
 
 func decMeta(p []byte) (key string, size int64, err error) {
@@ -36,25 +43,29 @@ func decMeta(p []byte) (key string, size int64, err error) {
 	return key, size, nil
 }
 
-func encChunk(ck string, within int64, data []byte) []byte {
-	out := make([]byte, 2+len(ck)+8+len(data))
-	binary.LittleEndian.PutUint16(out[0:2], uint16(len(ck)))
-	copy(out[2:], ck)
-	binary.LittleEndian.PutUint64(out[2+len(ck):], uint64(within))
-	copy(out[2+len(ck)+8:], data)
-	return out
+func appendChunkPayload(dst []byte, id chunkID, within int64, data []byte) []byte {
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(id.key)))
+	dst = append(dst, u16[:]...)
+	dst = append(dst, id.key...)
+	var u64 [16]byte
+	binary.LittleEndian.PutUint64(u64[0:8], uint64(id.idx))
+	binary.LittleEndian.PutUint64(u64[8:16], uint64(within))
+	dst = append(dst, u64[:]...)
+	return append(dst, data...)
 }
 
-func decChunk(p []byte) (ck string, within int64, data []byte, err error) {
+func decChunkPayload(p []byte) (id chunkID, within int64, data []byte, err error) {
 	if len(p) < 2 {
-		return "", 0, nil, fmt.Errorf("blob: chunk record too short (%d bytes)", len(p))
+		return chunkID{}, 0, nil, fmt.Errorf("blob: chunk record too short (%d bytes)", len(p))
 	}
 	kl := int(binary.LittleEndian.Uint16(p[0:2]))
-	if len(p) < 2+kl+8 {
-		return "", 0, nil, fmt.Errorf("blob: chunk record truncated (%d bytes, key %d)", len(p), kl)
+	if len(p) < 2+kl+16 {
+		return chunkID{}, 0, nil, fmt.Errorf("blob: chunk record truncated (%d bytes, key %d)", len(p), kl)
 	}
-	ck = string(p[2 : 2+kl])
-	within = int64(binary.LittleEndian.Uint64(p[2+kl : 2+kl+8]))
-	data = p[2+kl+8:]
-	return ck, within, data, nil
+	id.key = string(p[2 : 2+kl])
+	id.idx = int64(binary.LittleEndian.Uint64(p[2+kl : 2+kl+8]))
+	within = int64(binary.LittleEndian.Uint64(p[2+kl+8 : 2+kl+16]))
+	data = p[2+kl+16:]
+	return id, within, data, nil
 }

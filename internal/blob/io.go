@@ -2,6 +2,7 @@ package blob
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -35,7 +36,7 @@ func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) 
 	// Fan out per-chunk reads with forked clocks; join on the slowest —
 	// parallel striped reads are the throughput story of object storage.
 	cs := int64(s.cfg.ChunkSize)
-	var children []*storage.Context
+	fan := newFan()
 	var n int64
 	for n < want {
 		idx := (off + n) / cs
@@ -45,45 +46,43 @@ func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) 
 			take = want - n
 		}
 		dst := p[n : n+take]
-		child := ctx.Fork()
-		if err := s.readChunk(child, key, idx, within, dst); err != nil {
+		child := fan.child(ctx)
+		if err := s.readChunk(child, chunkID{key, idx}, within, dst); err != nil {
 			return int(n), err
 		}
-		children = append(children, child)
 		n += take
 	}
-	for _, c := range children {
-		ctx.Clock.Join(c.Clock)
-	}
+	fan.join(ctx)
 	return int(n), nil
 }
 
-// readChunk reads from the first live replica of chunk idx. Missing chunk
-// data within the blob's size reads as zeros (sparse blob semantics).
-func (s *Store) readChunk(ctx *storage.Context, key string, idx, within int64, dst []byte) error {
-	owners := s.chunkOwners(key, idx)
-	ck := chunkKey(key, idx)
+// readChunk reads from the first live replica of the chunk. Missing chunk
+// data within the blob's size reads as zeros (sparse blob semantics). The
+// placement hash is computed once and reused for both the owner lookup and
+// the lock-stripe selection — the whole dispatch is allocation-free.
+func (s *Store) readChunk(ctx *storage.Context, id chunkID, within int64, dst []byte) error {
+	h := id.ringHash()
+	owners := s.ownersForHash(h)
 	for _, o := range owners {
 		sv := s.servers[o]
 		if sv.isDown() {
 			continue
 		}
-		sv.mu.RLock()
-		data, ok := sv.chunks[ck]
 		var copied int
-		if ok && within < int64(len(data)) {
+		st := sv.stripe(h)
+		st.mu.RLock()
+		if data, ok := st.m[id]; ok && within < int64(len(data)) {
 			copied = copy(dst, data[within:])
 		}
-		sv.mu.RUnlock()
-		for i := copied; i < len(dst); i++ {
-			dst[i] = 0
-		}
+		st.mu.RUnlock()
+		// Sparse tail: anything the replica did not cover reads as zeros.
+		clear(dst[copied:])
 		// Cost: RPC carrying the chunk payload back, plus the disk read.
 		s.cluster.DiskRead(ctx.Clock, sv.node, len(dst))
 		s.cluster.RPC(ctx.Clock, sv.node, 64, len(dst), 0)
 		return nil
 	}
-	return fmt.Errorf("chunk %d of %q: all replicas down: %w", idx, key, storage.ErrStaleHandle)
+	return fmt.Errorf("chunk %d of %q: all replicas down: %w", id.idx, id.key, storage.ErrStaleHandle)
 }
 
 // WriteBlob writes p at off, extending the blob as needed. A write that
@@ -115,6 +114,22 @@ func (s *Store) WriteBlob(ctx *storage.Context, key string, off int64, p []byte)
 	return s.writeLocked(ctx, key, primary, d, off, p)
 }
 
+// chunkPlace is one participant chunk's resolved placement, computed once
+// per write and shared by the prepare, data, and commit phases.
+type chunkPlace struct {
+	id     chunkID
+	h      uint64
+	owners []int
+}
+
+// placePool recycles the per-write placement scratch.
+var placePool = sync.Pool{
+	New: func() any {
+		s := make([]chunkPlace, 0, 8)
+		return &s
+	},
+}
+
 // writeLocked performs the write with the descriptor latch already held.
 // Multi-blob transactions (txn.go) call it while holding several latches.
 func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d *descriptor, off int64, p []byte) (int, error) {
@@ -123,27 +138,38 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 	lastChunk := (off + int64(len(p)) - 1) / cs
 	multi := lastChunk > firstChunk
 
+	// Resolve every participant chunk's placement once; the prepare, data,
+	// and commit phases all dispatch from this scratch instead of
+	// re-hashing and re-probing per phase.
+	pp := placePool.Get().(*[]chunkPlace)
+	places := (*pp)[:0]
+	defer func() {
+		*pp = places[:0]
+		placePool.Put(pp)
+	}()
+	for idx := firstChunk; idx <= lastChunk; idx++ {
+		id := chunkID{key, idx}
+		h := id.ringHash()
+		places = append(places, chunkPlace{id: id, h: h, owners: s.ownersForHash(h)})
+	}
+
 	if multi {
 		// Prepare phase: one metadata round trip per participant chunk
 		// primary, charged in parallel.
-		var children []*storage.Context
-		for idx := firstChunk; idx <= lastChunk; idx++ {
-			owners := s.chunkOwners(key, idx)
-			if s.servers[owners[0]].isDown() {
-				return 0, fmt.Errorf("chunk %d of %q: primary down: %w", idx, key, storage.ErrStaleHandle)
+		fan := newFan()
+		for _, pl := range places {
+			if s.servers[pl.owners[0]].isDown() {
+				return 0, fmt.Errorf("chunk %d of %q: primary down: %w", pl.id.idx, key, storage.ErrStaleHandle)
 			}
-			child := ctx.Fork()
-			s.cluster.MetaOp(child.Clock, s.servers[owners[0]].node, 1)
-			children = append(children, child)
+			child := fan.child(ctx)
+			s.cluster.MetaOp(child.Clock, s.servers[pl.owners[0]].node, 1)
 		}
-		for _, c := range children {
-			ctx.Clock.Join(c.Clock)
-		}
+		fan.join(ctx)
 	}
 
 	// Data phase: write each chunk to its full replica set, in parallel
 	// across chunks.
-	var children []*storage.Context
+	fan := newFan()
 	var n int64
 	for n < int64(len(p)) {
 		idx := (off + n) / cs
@@ -152,30 +178,24 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 		if take > int64(len(p))-n {
 			take = int64(len(p)) - n
 		}
-		child := ctx.Fork()
-		if err := s.writeChunk(child, key, idx, within, p[n:n+take]); err != nil {
+		child := fan.child(ctx)
+		if err := s.writeChunk(child, places[idx-firstChunk], within, p[n:n+take]); err != nil {
 			return int(n), err
 		}
-		children = append(children, child)
 		n += take
 	}
-	for _, c := range children {
-		ctx.Clock.Join(c.Clock)
-	}
+	fan.join(ctx)
 
 	if multi {
-		// Commit phase: one round trip per participant, in parallel.
-		var commits []*storage.Context
-		for idx := firstChunk; idx <= lastChunk; idx++ {
-			owners := s.chunkOwners(key, idx)
-			child := ctx.Fork()
-			s.cluster.MetaOp(child.Clock, s.servers[owners[0]].node, 1)
-			s.walAppend(child, s.servers[owners[0]], wal.RecCommit, []byte(chunkKey(key, idx)))
-			commits = append(commits, child)
+		// Commit phase: one commit round trip per participant chunk plus
+		// the commit record's log append, charged in parallel across the
+		// participant servers; records bound for the same server's log
+		// are batched into one append.
+		batch := newWalBatch(s)
+		for _, pl := range places {
+			batch.addChunk(s.servers[pl.owners[0]], wal.RecCommit, pl.id, 0, nil)
 		}
-		for _, c := range commits {
-			ctx.Clock.Join(c.Clock)
-		}
+		batch.flushParallel(ctx, true)
 	}
 
 	// Descriptor update: bump version, extend size if needed, replicate.
@@ -183,49 +203,51 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 	if off+int64(len(p)) > d.size {
 		d.size = off + int64(len(p))
 		s.cluster.MetaOp(ctx.Clock, primary.node, 1)
-		s.walAppend(ctx, primary, wal.RecMeta, encMeta(key, d.size))
+		s.walAppendMeta(ctx, primary, wal.RecMeta, key, d.size)
 		s.replicateDescSize(ctx, key, d.size)
 	}
 	return len(p), nil
 }
 
-// writeChunk applies data to chunk idx at the given intra-chunk offset on
+// writeChunk applies data to the chunk at the given intra-chunk offset on
 // every replica, primary first then replicas in parallel (primary-copy
-// replication).
-func (s *Store) writeChunk(ctx *storage.Context, key string, idx, within int64, data []byte) error {
-	owners := s.chunkOwners(key, idx)
-	ck := chunkKey(key, idx)
+// replication). The caller resolves placement once (chunkPlace); the hash
+// serves both the owner lookup and the lock-stripe selection.
+func (s *Store) writeChunk(ctx *storage.Context, pl chunkPlace, within int64, data []byte) error {
+	id, h, owners := pl.id, pl.h, pl.owners
 	// Client -> primary carries the payload.
 	primary := s.servers[owners[0]]
 	if primary.isDown() {
-		return fmt.Errorf("chunk %d of %q: primary down: %w", idx, key, storage.ErrStaleHandle)
+		return fmt.Errorf("chunk %d of %q: primary down: %w", id.idx, id.key, storage.ErrStaleHandle)
 	}
 	s.cluster.RPC(ctx.Clock, primary.node, len(data), 64, 0)
-	applyChunk(primary, ck, within, data)
-	s.walAppend(ctx, primary, wal.RecWrite, encChunk(ck, within, data))
+	applyChunk(primary, h, id, within, data)
+	s.walAppendChunk(ctx, primary, wal.RecWrite, id, within, data)
 	s.cluster.DiskWrite(ctx.Clock, primary.node, len(data))
 
 	// Primary -> replicas in parallel. With synchronous replication the
 	// client waits for every copy; with AsyncReplication the copies are
 	// applied (and their resource time reserved) but the client clock does
 	// not wait on them.
-	var children []*storage.Context
+	fan := newFan()
 	for _, o := range owners[1:] {
 		sv := s.servers[o]
 		if sv.isDown() {
-			return fmt.Errorf("chunk %d of %q: replica down: %w", idx, key, storage.ErrStaleHandle)
+			return fmt.Errorf("chunk %d of %q: replica down: %w", id.idx, id.key, storage.ErrStaleHandle)
 		}
-		child := ctx.Fork()
+		child := fan.child(ctx)
 		s.cluster.RPC(child.Clock, sv.node, len(data), 64, 0)
-		applyChunk(sv, ck, within, data)
-		s.walAppend(child, sv, wal.RecWrite, encChunk(ck, within, data))
+		applyChunk(sv, h, id, within, data)
+		s.walAppendChunk(child, sv, wal.RecWrite, id, within, data)
 		s.cluster.DiskWrite(child.Clock, sv.node, len(data))
-		children = append(children, child)
 	}
-	if !s.cfg.AsyncReplication {
-		for _, c := range children {
-			ctx.Clock.Join(c.Clock)
-		}
+	if s.cfg.AsyncReplication {
+		// The replica clocks are deliberately not joined: the client is
+		// acknowledged without waiting. Recycle the children without
+		// advancing ctx.
+		fan.drop()
+	} else {
+		fan.join(ctx)
 	}
 	return nil
 }
@@ -233,10 +255,11 @@ func (s *Store) writeChunk(ctx *storage.Context, key string, idx, within int64, 
 // applyChunk writes data into sv's copy of the chunk, growing it as
 // needed. Growth doubles capacity so sequential small appends stay
 // amortized O(1) instead of quadratic.
-func applyChunk(sv *server, ck string, within int64, data []byte) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	chunk := sv.chunks[ck]
+func applyChunk(sv *server, h uint64, id chunkID, within int64, data []byte) {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	chunk := st.m[id]
 	need := within + int64(len(data))
 	switch {
 	case int64(len(chunk)) >= need:
@@ -246,8 +269,8 @@ func applyChunk(sv *server, ck string, within int64, data []byte) {
 		// the gap before the write must read as zeros (sparse semantics).
 		old := int64(len(chunk))
 		chunk = chunk[:need]
-		for i := old; i < within; i++ {
-			chunk[i] = 0
+		if old < within {
+			clear(chunk[old:within])
 		}
 	default:
 		newCap := int64(cap(chunk))
@@ -262,7 +285,7 @@ func applyChunk(sv *server, ck string, within int64, data []byte) {
 		chunk = grown
 	}
 	copy(chunk[within:], data)
-	sv.chunks[ck] = chunk
+	st.m[id] = chunk
 }
 
 // TruncateBlob sets the blob's size. Shrinking drops whole chunks past the
@@ -288,35 +311,33 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 	if size < d.size {
 		oldChunks := (d.size + cs - 1) / cs
 		keepChunks := (size + cs - 1) / cs
+		batch := newWalBatch(s)
 		for idx := keepChunks; idx < oldChunks; idx++ {
-			ck := chunkKey(key, idx)
-			for _, o := range s.chunkOwners(key, idx) {
+			id := chunkID{key, idx}
+			h := id.ringHash()
+			for _, o := range s.ownersForHash(h) {
 				sv := s.servers[o]
-				sv.mu.Lock()
-				delete(sv.chunks, ck)
-				sv.mu.Unlock()
-				s.walAppend(ctx, sv, wal.RecDelete, encChunk(ck, 0, nil))
+				sv.deleteChunk(h, id)
+				batch.addChunk(sv, wal.RecChunkDelete, id, 0, nil)
 			}
 		}
 		// Trim the boundary chunk.
 		if keepChunks > 0 {
 			idx := keepChunks - 1
 			keep := size - idx*cs
-			ck := chunkKey(key, idx)
-			for _, o := range s.chunkOwners(key, idx) {
+			id := chunkID{key, idx}
+			h := id.ringHash()
+			for _, o := range s.ownersForHash(h) {
 				sv := s.servers[o]
-				sv.mu.Lock()
-				if c, ok := sv.chunks[ck]; ok && int64(len(c)) > keep {
-					sv.chunks[ck] = c[:keep]
-				}
-				sv.mu.Unlock()
-				s.walAppend(ctx, sv, wal.RecTruncate, encChunk(ck, keep, nil))
+				sv.trimChunk(h, id, keep)
+				batch.addChunk(sv, wal.RecChunkTruncate, id, keep, nil)
 			}
 		}
+		batch.flush(ctx)
 	}
 	d.version++
 	d.size = size
-	s.walAppend(ctx, primary, wal.RecTruncate, encMeta(key, size))
+	s.walAppendMeta(ctx, primary, wal.RecTruncate, key, size)
 	s.replicateDescSize(ctx, key, size)
 	return nil
 }
@@ -325,20 +346,17 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 // Caller holds the primary descriptor latch.
 func (s *Store) replicateDescSize(ctx *storage.Context, key string, size int64) {
 	owners := s.descOwners(key)
-	var children []*storage.Context
+	fan := newFan()
 	for _, o := range owners[1:] {
 		sv := s.servers[o]
-		child := ctx.Fork()
+		child := fan.child(ctx)
 		s.cluster.MetaOp(child.Clock, sv.node, 1)
 		sv.mu.Lock()
 		if rd, ok := sv.blobs[key]; ok {
 			rd.size = size
 		}
 		sv.mu.Unlock()
-		s.walAppend(child, sv, wal.RecMeta, encMeta(key, size))
-		children = append(children, child)
+		s.walAppendMeta(child, sv, wal.RecMeta, key, size)
 	}
-	for _, c := range children {
-		ctx.Clock.Join(c.Clock)
-	}
+	fan.join(ctx)
 }

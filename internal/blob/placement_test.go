@@ -1,0 +1,149 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Placement-cache behaviour: membership changes bump the ring epoch and the
+// cache must lazily drop its entries, so no read is ever routed with a
+// stale replica set.
+
+func writeWorkload(t *testing.T, s *Store, ctx *storage.Context, rng *sim.RNG, prefix string, n int) map[string][]byte {
+	t.Helper()
+	expect := make(map[string][]byte)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%s-%03d", prefix, i)
+		if err := s.CreateBlob(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 64+i*13)
+		rng.Fill(data)
+		if _, err := s.WriteBlob(ctx, key, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		expect[key] = data
+	}
+	return expect
+}
+
+func readAndVerify(t *testing.T, s *Store, ctx *storage.Context, expect map[string][]byte) {
+	t.Helper()
+	for key, want := range expect {
+		got := make([]byte, len(want))
+		n, err := s.ReadBlob(ctx, key, 0, got)
+		if err != nil || n != len(want) {
+			t.Fatalf("read %q = (%d, %v), want %d bytes", key, n, err, len(want))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %q returned wrong bytes", key)
+		}
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+// TestPlacementCacheInvalidationOnMembershipChange adds and removes a
+// member mid-workload and asserts every chunk is still found — a stale
+// cache entry would misroute reads to servers that no longer (or never)
+// hold the chunk.
+func TestPlacementCacheInvalidationOnMembershipChange(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 8, Seed: 7})
+	serving := []cluster.NodeID{0, 1, 2, 3, 4, 5}
+	s := NewOnNodes(c, Config{ChunkSize: 96, Replication: 2}, serving)
+	ctx := storage.NewContext()
+	expect := writeWorkload(t, s, ctx, sim.NewRNG(21), "pc", 40)
+
+	// Warm the placement cache for every chunk and descriptor.
+	readAndVerify(t, s, ctx, expect)
+
+	// Join a new server: placements move, the cache must follow.
+	if err := s.AddServer(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	readAndVerify(t, s, ctx, expect)
+
+	// Interleave new writes (repopulating the cache at the new epoch),
+	// then drain a server that holds data.
+	more := writeWorkload(t, s, ctx, sim.NewRNG(22), "pc2", 10)
+	for k, v := range more {
+		expect[k] = v
+	}
+	readAndVerify(t, s, ctx, expect)
+
+	if err := s.RemoveServer(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	readAndVerify(t, s, ctx, expect)
+
+	// One more join after the removal, for good measure.
+	if err := s.AddServer(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	readAndVerify(t, s, ctx, expect)
+}
+
+// TestPlacementCacheSteadyStateAllocationFree pins the acceptance criterion
+// that steady-state placement lookups allocate nothing and bypass the ring.
+func TestPlacementCacheSteadyStateAllocationFree(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 9, Seed: 1}), Config{ChunkSize: 1 << 16, Replication: 3})
+	id := chunkID{"steady", 3}
+	h := id.ringHash()
+	s.ownersForHash(h) // prime
+	allocs := testing.AllocsPerRun(200, func() {
+		if len(s.ownersForHash(h)) != 3 {
+			t.Fatal("wrong replica count")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state placement lookup allocates %v per call, want 0", allocs)
+	}
+	// chunkID hashing itself must also be allocation-free.
+	allocs = testing.AllocsPerRun(200, func() {
+		if (chunkID{"steady", 3}).ringHash() != h {
+			t.Fatal("hash instability")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("chunkID.ringHash allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestPlacementCacheMatchesRing cross-checks cached placements against
+// direct ring lookups before and after an epoch bump.
+func TestPlacementCacheMatchesRing(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 7, Seed: 3}), Config{ChunkSize: 128, Replication: 3})
+	check := func() {
+		for i := 0; i < 50; i++ {
+			id := chunkID{fmt.Sprintf("x-%d", i), int64(i % 5)}
+			got := s.ownersForHash(id.ringHash())
+			want := make([]int, 3)
+			cnt := s.ring.LocateHashNInto(id.ringHash(), want)
+			if !equalOwners(got, want[:cnt]) {
+				t.Fatalf("cached owners %v != ring owners %v for %v", got, want[:cnt], id)
+			}
+		}
+	}
+	check()
+	check() // second pass is served from the cache
+	s.ring.Remove(4)
+	check() // epoch advanced: cache must re-derive
+}
+
+func equalOwners(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -12,6 +12,8 @@ import (
 // The consistent-hash ring keeps movement minimal (only keys whose replica
 // set actually changed migrate), which is the operational argument for
 // hash-placed object stores over directory-partitioned file systems.
+// Membership changes bump the ring epoch, lazily invalidating the
+// placement cache; steady-state lookups resume caching at the new epoch.
 
 // ErrLastServer is returned when removal would empty the store.
 var ErrLastServer = fmt.Errorf("blob: cannot remove the last server: %w", storage.ErrInvalidArg)
@@ -62,8 +64,8 @@ func (s *Store) RemoveServer(ctx *storage.Context, node cluster.NodeID) error {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
 	sv.blobs = make(map[string]*descriptor)
-	sv.chunks = make(map[string][]byte)
 	sv.mu.Unlock()
+	sv.resetChunks()
 	return nil
 }
 
@@ -77,13 +79,13 @@ func (s *Store) ServingNodes() []cluster.NodeID {
 	return out
 }
 
-// ownership captures, for one key (descriptor) or chunk, who held it before
+// ownership captures, for every descriptor and chunk, who held it before
 // a membership change.
 type ownership struct {
 	descOwners  map[string][]int
-	chunkOwners map[string][]int
-	// sizes and chunk data snapshot from the primaries, used as the
-	// migration source of truth.
+	chunkOwners map[chunkID][]int
+	// sizes snapshot from the primaries, used as the migration source of
+	// truth.
 	descSizes map[string]int64
 }
 
@@ -91,28 +93,28 @@ type ownership struct {
 func (s *Store) ownershipSnapshot() *ownership {
 	o := &ownership{
 		descOwners:  make(map[string][]int),
-		chunkOwners: make(map[string][]int),
+		chunkOwners: make(map[chunkID][]int),
 		descSizes:   make(map[string]int64),
 	}
+	// Lookups go straight to the ring (ownersUncachedForHash): the epoch
+	// bump that follows this snapshot would discard any entries cached
+	// here before they could ever be served.
 	for i, sv := range s.servers {
 		sv.mu.RLock()
 		for key, d := range sv.blobs {
 			if _, seen := o.descOwners[key]; !seen {
-				o.descOwners[key] = s.descOwners(key)
+				o.descOwners[key] = s.ownersUncachedForHash(descRingHash(key))
 			}
 			if owners := o.descOwners[key]; len(owners) > 0 && owners[0] == i {
 				o.descSizes[key] = d.size
 			}
 		}
-		for ck := range sv.chunks {
-			if _, seen := o.chunkOwners[ck]; !seen {
-				key, idx, ok := splitChunkKey(ck)
-				if ok {
-					o.chunkOwners[ck] = s.chunkOwners(key, idx)
-				}
-			}
-		}
 		sv.mu.RUnlock()
+		sv.forEachChunk(func(id chunkID, _ []byte) {
+			if _, seen := o.chunkOwners[id]; !seen {
+				o.chunkOwners[id] = s.ownersUncachedForHash(id.ringHash())
+			}
+		})
 	}
 	return o
 }
@@ -132,39 +134,34 @@ func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
 			}
 			sv.mu.Unlock()
 			s.cluster.MetaOp(ctx.Clock, sv.node, 1)
-			s.walAppend(ctx, sv, wal.RecCreate, encMeta(key, size))
+			s.walAppendMeta(ctx, sv, wal.RecCreate, key, size)
 		}
 		for _, lost := range diff(oldOwners, newOwners) {
 			sv := s.servers[lost]
 			sv.mu.Lock()
 			delete(sv.blobs, key)
 			sv.mu.Unlock()
-			s.walAppend(ctx, sv, wal.RecDelete, encMeta(key, 0))
+			s.walAppendMeta(ctx, sv, wal.RecDelete, key, 0)
 		}
 	}
 
-	for ck, oldOwners := range before.chunkOwners {
-		newOwners := oldOwners
-		if key, idx, ok := splitChunkKey(ck); ok {
-			newOwners = s.chunkOwners(key, idx)
-		}
+	for id, oldOwners := range before.chunkOwners {
+		h := id.ringHash()
+		newOwners := s.ownersForHash(h)
 		gained := diff(newOwners, oldOwners)
 		lost := diff(oldOwners, newOwners)
 		if len(gained) == 0 && len(lost) == 0 {
 			continue
 		}
-		// Source: the first old owner still holding the bytes.
+		// Source: the first old owner still holding the bytes. The copy is
+		// made under the stripe lock so a concurrent writer cannot tear it.
 		var data []byte
 		var src *server
 		for _, o := range oldOwners {
 			sv := s.servers[o]
-			sv.mu.RLock()
-			if c, ok := sv.chunks[ck]; ok {
-				data = append([]byte(nil), c...)
+			if c, ok := sv.copyChunk(h, id); ok {
+				data = c
 				src = sv
-			}
-			sv.mu.RUnlock()
-			if src != nil {
 				break
 			}
 		}
@@ -175,17 +172,13 @@ func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
 				s.cluster.RPC(ctx.Clock, sv.node, len(data), 64, 0)
 				s.cluster.DiskWrite(ctx.Clock, sv.node, len(data))
 			}
-			sv.mu.Lock()
-			sv.chunks[ck] = append([]byte(nil), data...)
-			sv.mu.Unlock()
-			s.walAppend(ctx, sv, wal.RecWrite, encChunk(ck, 0, data))
+			sv.setChunk(h, id, append([]byte(nil), data...))
+			s.walAppendChunk(ctx, sv, wal.RecWrite, id, 0, data)
 		}
 		for _, l := range lost {
 			sv := s.servers[l]
-			sv.mu.Lock()
-			delete(sv.chunks, ck)
-			sv.mu.Unlock()
-			s.walAppend(ctx, sv, wal.RecDelete, encChunk(ck, 0, nil))
+			sv.deleteChunk(h, id)
+			s.walAppendChunk(ctx, sv, wal.RecChunkDelete, id, 0, nil)
 		}
 	}
 	return nil

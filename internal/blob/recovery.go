@@ -2,7 +2,6 @@ package blob
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/wal"
@@ -27,21 +26,23 @@ func (s *Store) Crash(node cluster.NodeID) {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
 	sv.blobs = make(map[string]*descriptor)
-	sv.chunks = make(map[string][]byte)
 	sv.down = true
 	sv.mu.Unlock()
+	sv.resetChunks()
 }
 
 // Recover rebuilds a server's volatile state by replaying its write-ahead
 // log, then marks the server up again. Every mutation path appends a
-// self-describing record (codec.go), so replay reconstructs descriptors
-// (with sizes) and chunk bytes exactly.
+// self-describing record (codec.go) whose payload shape is determined by
+// its type — meta records carry (key, size), chunk records carry
+// (chunkID, within, data) — so replay reconstructs descriptors and chunk
+// bytes exactly without parsing string keys.
 func (s *Store) Recover(node cluster.NodeID) error {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	blobs := make(map[string]*descriptor)
-	chunks := make(map[string][]byte)
+	chunks := make(map[chunkID][]byte)
 	err := wal.Replay(sv.logBuf.Reader(), func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecCreate, wal.RecMeta:
@@ -57,11 +58,11 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			d.size = size
 			return nil
 		case wal.RecWrite:
-			ck, within, data, err := decChunk(rec.Payload)
+			id, within, data, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
-			chunk := chunks[ck]
+			chunk := chunks[id]
 			need := within + int64(len(data))
 			if int64(len(chunk)) < need {
 				grown := make([]byte, need)
@@ -69,30 +70,38 @@ func (s *Store) Recover(node cluster.NodeID) error {
 				chunk = grown
 			}
 			copy(chunk[within:], data)
-			chunks[ck] = chunk
+			chunks[id] = chunk
 			return nil
 		case wal.RecDelete:
 			key, _, err := decMeta(rec.Payload)
 			if err != nil {
 				return err
 			}
-			if strings.ContainsRune(key, '\x00') {
-				delete(chunks, key)
-			} else {
-				delete(blobs, key)
-			}
+			delete(blobs, key)
 			return nil
-		case wal.RecTruncate:
-			key, keep, err := decMeta(rec.Payload)
+		case wal.RecChunkDelete:
+			id, _, _, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
-			if strings.ContainsRune(key, '\x00') {
-				if c, ok := chunks[key]; ok && int64(len(c)) > keep {
-					chunks[key] = c[:keep]
-				}
-			} else if d, ok := blobs[key]; ok {
-				d.size = keep
+			delete(chunks, id)
+			return nil
+		case wal.RecTruncate:
+			key, size, err := decMeta(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if d, ok := blobs[key]; ok {
+				d.size = size
+			}
+			return nil
+		case wal.RecChunkTruncate:
+			id, keep, _, err := decChunkPayload(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if c, ok := chunks[id]; ok && int64(len(c)) > keep {
+				chunks[id] = c[:keep]
 			}
 			return nil
 		case wal.RecCommit, wal.RecAbort:
@@ -105,9 +114,59 @@ func (s *Store) Recover(node cluster.NodeID) error {
 		return fmt.Errorf("blob: recover node %d: %w", node, err)
 	}
 	sv.blobs = blobs
-	sv.chunks = chunks
+	sv.resetChunks()
+	for id, data := range chunks {
+		sv.setChunk(id.ringHash(), id, data)
+	}
 	sv.down = false
 	return nil
+}
+
+// Checkpoint rewrites a server's write-ahead log as a snapshot of its
+// current volatile state — one record per descriptor and chunk replica —
+// and drops the old log content, bounding log growth the way real object
+// stores compact their journals. Recovery after a checkpoint replays the
+// snapshot exactly. The server must be quiescent (no concurrent mutations)
+// for the duration, the same discipline Crash and Recover require.
+func (s *Store) Checkpoint(node cluster.NodeID) {
+	sv := s.servers[int(node)]
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.down {
+		// A crashed server's volatile state is empty; its WAL is the only
+		// recovery source. Checkpointing it would snapshot nothing and
+		// discard that source — silent data loss. Skip until recovered.
+		return
+	}
+	sv.logBuf.Reset()
+	sv.log.ResetSize()
+	// Records are staged and appended one at a time so the staging buffer
+	// and the log's encode scratch stay bounded by the largest single
+	// record (one chunk) — the write path's working size — instead of the
+	// server's whole dataset.
+	bp := payloadPool.Get().(*[]byte)
+	appendOne := func(t wal.RecordType) {
+		if _, _, err := sv.log.Append(t, *bp); err != nil {
+			panic(fmt.Sprintf("blob: checkpoint node %d: %v", node, err))
+		}
+	}
+	for key, d := range sv.blobs {
+		*bp = appendMetaPayload((*bp)[:0], key, d.size)
+		appendOne(wal.RecCreate)
+	}
+	sv.forEachChunk(func(id chunkID, data []byte) {
+		*bp = appendChunkPayload((*bp)[:0], id, 0, data)
+		appendOne(wal.RecWrite)
+	})
+	payloadPool.Put(bp)
+}
+
+// CheckpointAll checkpoints every live server; the store must be
+// quiescent. Down servers are skipped (their WAL is their only state).
+func (s *Store) CheckpointAll() {
+	for i := range s.servers {
+		s.Checkpoint(cluster.NodeID(i))
+	}
 }
 
 // DescriptorCount reports how many blob descriptors (primary or replica
@@ -121,10 +180,7 @@ func (s *Store) DescriptorCount(node cluster.NodeID) int {
 
 // ChunkCount reports how many chunk replicas the server currently holds.
 func (s *Store) ChunkCount(node cluster.NodeID) int {
-	sv := s.servers[int(node)]
-	sv.mu.RLock()
-	defer sv.mu.RUnlock()
-	return len(sv.chunks)
+	return s.servers[int(node)].chunkCount()
 }
 
 // CheckInvariants validates cross-server consistency:
@@ -172,57 +228,34 @@ func (s *Store) CheckInvariants() string {
 
 	// Chunk-level checks from each chunk primary's view.
 	for i, sv := range s.servers {
-		sv.mu.RLock()
-		cks := make([]string, 0, len(sv.chunks))
-		for ck := range sv.chunks {
-			cks = append(cks, ck)
-		}
-		sv.mu.RUnlock()
-		for _, ck := range cks {
-			key, idx, ok := splitChunkKey(ck)
-			if !ok {
-				return fmt.Sprintf("malformed chunk key %q on node %d", ck, i)
-			}
-			owners := s.chunkOwners(key, idx)
+		var ids []chunkID
+		sv.forEachChunk(func(id chunkID, _ []byte) {
+			ids = append(ids, id)
+		})
+		for _, id := range ids {
+			h := id.ringHash()
+			owners := s.ownersForHash(h)
 			if owners[0] != i {
 				continue
 			}
-			_, d, err := s.primaryDesc(key)
+			_, d, err := s.primaryDesc(id.key)
 			if err != nil {
-				return fmt.Sprintf("chunk %q has no live blob", ck)
+				return fmt.Sprintf("chunk %d of %q has no live blob", id.idx, id.key)
 			}
 			d.latch.RLock()
 			size := d.size
 			d.latch.RUnlock()
-			if idx*int64(s.cfg.ChunkSize) >= size {
-				return fmt.Sprintf("chunk %q lies beyond blob size %d", ck, size)
+			if id.idx*int64(s.cfg.ChunkSize) >= size {
+				return fmt.Sprintf("chunk %d of %q lies beyond blob size %d", id.idx, id.key, size)
 			}
-			sv.mu.RLock()
-			primaryData := string(sv.chunks[ck])
-			sv.mu.RUnlock()
+			primaryData, _ := sv.copyChunk(h, id)
 			for _, o := range owners[1:] {
-				rs := s.servers[o]
-				rs.mu.RLock()
-				replicaData := string(rs.chunks[ck])
-				rs.mu.RUnlock()
-				if replicaData != primaryData {
-					return fmt.Sprintf("chunk %q diverges between node %d and node %d", ck, i, o)
+				replicaData, _ := s.servers[o].copyChunk(h, id)
+				if string(replicaData) != string(primaryData) {
+					return fmt.Sprintf("chunk %d of %q diverges between node %d and node %d", id.idx, id.key, i, o)
 				}
 			}
 		}
 	}
 	return ""
-}
-
-func splitChunkKey(ck string) (key string, idx int64, ok bool) {
-	i := strings.IndexByte(ck, '\x00')
-	if i < 0 {
-		return "", 0, false
-	}
-	key = ck[:i]
-	var n int64
-	if _, err := fmt.Sscanf(ck[i+1:], "%d", &n); err != nil {
-		return "", 0, false
-	}
-	return key, n, true
 }

@@ -112,11 +112,11 @@ func TestRecoveredStateIdenticalToLive(t *testing.T) {
 	for k, d := range sv.blobs {
 		liveDesc[k] = d.size
 	}
-	liveChunks := make(map[string]string, len(sv.chunks))
-	for k, c := range sv.chunks {
-		liveChunks[k] = string(c)
-	}
 	sv.mu.RUnlock()
+	liveChunks := make(map[chunkID]string)
+	sv.forEachChunk(func(id chunkID, c []byte) {
+		liveChunks[id] = string(c)
+	})
 
 	s.Crash(2)
 	if err := s.Recover(2); err != nil {
@@ -124,7 +124,6 @@ func TestRecoveredStateIdenticalToLive(t *testing.T) {
 	}
 
 	sv.mu.RLock()
-	defer sv.mu.RUnlock()
 	if len(sv.blobs) != len(liveDesc) {
 		t.Fatalf("descriptor count after recovery = %d, want %d", len(sv.blobs), len(liveDesc))
 	}
@@ -134,13 +133,78 @@ func TestRecoveredStateIdenticalToLive(t *testing.T) {
 			t.Fatalf("descriptor %q diverges after recovery", k)
 		}
 	}
-	if len(sv.chunks) != len(liveChunks) {
-		t.Fatalf("chunk count after recovery = %d, want %d", len(sv.chunks), len(liveChunks))
+	sv.mu.RUnlock()
+	if got := sv.chunkCount(); got != len(liveChunks) {
+		t.Fatalf("chunk count after recovery = %d, want %d", got, len(liveChunks))
 	}
-	for k, c := range liveChunks {
-		if string(sv.chunks[k]) != c {
-			t.Fatalf("chunk %q diverges after recovery", k)
+	for id, c := range liveChunks {
+		got, ok := sv.getChunk(id.ringHash(), id)
+		if !ok || string(got) != c {
+			t.Fatalf("chunk %v diverges after recovery", id)
 		}
+	}
+}
+
+// TestCheckpointPreservesRecovery: compacting the WAL into a state
+// snapshot must leave crash recovery bit-for-bit equivalent, and the log
+// must actually shrink.
+func TestCheckpointPreservesRecovery(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 5, Seed: 9}), Config{ChunkSize: 64, Replication: 2})
+	ctx := storage.NewContext()
+	expect := populate(t, s, ctx, sim.NewRNG(31))
+
+	// Grow the logs with overwrites, then checkpoint everywhere.
+	for i := 0; i < 20; i++ {
+		if _, err := s.WriteBlob(ctx, "obj-0", 0, []byte("overwrite-cycle")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copy(expect["obj-0"], "overwrite-cycle")
+	grown := s.servers[0].logBuf.Len()
+	s.CheckpointAll()
+	if after := s.servers[0].logBuf.Len(); after >= grown {
+		t.Fatalf("checkpoint did not shrink the log: %d -> %d", grown, after)
+	}
+
+	// Crash + recover every node: the snapshot must reconstruct the state.
+	for node := 0; node < 5; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("recover node %d after checkpoint: %v", node, err)
+		}
+	}
+	verifyAll(t, s, ctx, expect)
+
+	// Post-checkpoint mutations append to the compacted log and survive
+	// another crash cycle.
+	if _, err := s.WriteBlob(ctx, "obj-0", 4, []byte("post-ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	copy(expect["obj-0"][4:], "post-ckpt")
+	for node := 0; node < 5; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAll(t, s, ctx, expect)
+}
+
+// TestCheckpointSkipsDownServer: a crashed server's WAL is its only
+// recovery source; checkpointing must not wipe it.
+func TestCheckpointSkipsDownServer(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 4, Seed: 10}), Config{ChunkSize: 64, Replication: 2})
+	ctx := storage.NewContext()
+	expect := populate(t, s, ctx, sim.NewRNG(41))
+
+	s.Crash(2)
+	s.CheckpointAll() // must leave node 2's WAL intact
+	if err := s.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, s, ctx, expect)
+	if n := s.DescriptorCount(2) + s.ChunkCount(2); n == 0 {
+		t.Fatal("node 2 recovered empty: checkpoint wiped a down server's WAL")
 	}
 }
 

@@ -160,11 +160,14 @@ func (t *Txn) Commit() error {
 		}
 	}
 
-	// Commit records on every participant.
+	// Commit records on every participant, batched per server so a
+	// k-participant commit staged on one primary logs with one append.
+	batch := newWalBatch(t.s)
 	for _, p := range parts {
-		t.s.walAppend(t.ctx, p.primary, wal.RecCommit, encMeta(p.key, 0))
+		batch.addMeta(p.primary, wal.RecCommit, p.key, 0)
 		t.s.cluster.MetaOp(t.ctx.Clock, p.primary.node, 1)
 	}
+	batch.flush(t.ctx)
 	unlock()
 	return nil
 }

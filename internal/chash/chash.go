@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Ring maps keys to member IDs via consistent hashing.
@@ -19,6 +21,11 @@ type Ring struct {
 	vnodes  int
 	points  []point // sorted by hash
 	members map[int]bool
+	// epoch counts membership changes. Placement caches key their entries
+	// by epoch and invalidate lazily when it advances; it is bumped inside
+	// the write critical section so a reader that observes the new epoch is
+	// guaranteed to also observe the new point set.
+	epoch atomic.Uint64
 }
 
 type point struct {
@@ -50,6 +57,58 @@ func hashKey(s string) uint64 {
 	return mix64(h.Sum64())
 }
 
+// KeyHasher incrementally computes a ring key hash over structured key
+// material (prefixes, blob keys, chunk indices) without materializing an
+// intermediate string. The hash is bit-identical to hashing the
+// concatenated bytes with the ring's own key hash, so callers can switch
+// between string keys and streamed keys without moving data:
+//
+//	NewKeyHasher().String("c:").String(key).Byte(0).Int64Decimal(idx).Sum()
+//
+// equals HashKey("c:" + key + "\x00" + strconv.FormatInt(idx, 10)).
+// The value is FNV-1a state; the SplitMix64 finalizer is applied by Sum.
+type KeyHasher uint64
+
+const (
+	fnvOffset64 KeyHasher = 14695981039346656037
+	fnvPrime64  KeyHasher = 1099511628211
+)
+
+// NewKeyHasher returns the empty-input hasher state.
+func NewKeyHasher() KeyHasher { return fnvOffset64 }
+
+// String folds s into the hash.
+func (k KeyHasher) String(s string) KeyHasher {
+	for i := 0; i < len(s); i++ {
+		k = (k ^ KeyHasher(s[i])) * fnvPrime64
+	}
+	return k
+}
+
+// Byte folds one byte into the hash.
+func (k KeyHasher) Byte(b byte) KeyHasher {
+	return (k ^ KeyHasher(b)) * fnvPrime64
+}
+
+// Int64Decimal folds the ASCII decimal representation of v into the hash,
+// matching what hashing fmt.Sprintf("%d", v) as part of a string key would
+// produce. Allocation-free.
+func (k KeyHasher) Int64Decimal(v int64) KeyHasher {
+	var buf [20]byte
+	s := strconv.AppendInt(buf[:0], v, 10)
+	for _, c := range s {
+		k = k.Byte(c)
+	}
+	return k
+}
+
+// Sum finalizes the hash for use with LocateHashNInto.
+func (k KeyHasher) Sum() uint64 { return mix64(uint64(k)) }
+
+// HashKey returns the ring hash of a plain string key; the value can be fed
+// to LocateHashNInto. HashKey(s) == NewKeyHasher().String(s).Sum().
+func HashKey(s string) uint64 { return hashKey(s) }
+
 func hashVnode(member, i int) uint64 {
 	h := fnv.New64a()
 	var buf [16]byte
@@ -71,6 +130,7 @@ func (r *Ring) Add(member int) {
 		r.points = append(r.points, point{hashVnode(member, i), member})
 	}
 	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	r.epoch.Add(1)
 }
 
 // Remove deletes a member from the ring. Removing an absent member is a
@@ -89,7 +149,13 @@ func (r *Ring) Remove(member int) {
 		}
 	}
 	r.points = kept
+	r.epoch.Add(1)
 }
+
+// Epoch returns the number of membership changes so far. It is monotonic;
+// a placement cached at one epoch is valid exactly while Epoch() still
+// returns that value.
+func (r *Ring) Epoch() uint64 { return r.epoch.Load() }
 
 // Members returns the current member IDs in ascending order.
 func (r *Ring) Members() []int {
@@ -122,28 +188,74 @@ func (r *Ring) Locate(key string) (int, bool) {
 
 // LocateN returns up to n distinct members responsible for key, primary
 // first, walking the ring clockwise. Fewer than n are returned when the
-// ring has fewer members.
+// ring has fewer members. The result slice is the only allocation; use
+// LocateNInto to avoid it.
 func (r *Ring) LocateN(key string, n int) []int {
+	if n <= 0 {
+		return nil
+	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.points) == 0 || n <= 0 {
+	if len(r.points) == 0 {
+		r.mu.RUnlock()
 		return nil
 	}
 	if n > len(r.members) {
 		n = len(r.members)
 	}
-	h := hashKey(key)
-	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	out := make([]int, 0, n)
-	seen := make(map[int]bool, n)
-	for i := 0; len(out) < n && i < len(r.points); i++ {
-		p := r.points[(idx+i)%len(r.points)]
-		if !seen[p.member] {
-			seen[p.member] = true
-			out = append(out, p.member)
-		}
+	out := make([]int, n)
+	got := r.locateIntoLocked(hashKey(key), out)
+	r.mu.RUnlock()
+	return out[:got]
+}
+
+// LocateNInto fills dst with up to len(dst) distinct members responsible
+// for key, primary first, and returns how many were written. It performs no
+// allocation: callers on hot paths pass a reusable or stack buffer.
+func (r *Ring) LocateNInto(key string, dst []int) int {
+	return r.LocateHashNInto(hashKey(key), dst)
+}
+
+// LocateHashNInto is LocateNInto for a pre-computed key hash (HashKey or
+// KeyHasher.Sum), letting callers that address structured keys skip string
+// construction entirely.
+func (r *Ring) LocateHashNInto(h uint64, dst []int) int {
+	r.mu.RLock()
+	got := r.locateIntoLocked(h, dst)
+	r.mu.RUnlock()
+	return got
+}
+
+// locateIntoLocked walks the ring clockwise from h, writing distinct owners
+// into dst. Caller holds r.mu. Duplicate suppression is a linear scan of
+// the owners found so far — replica counts are small, so this beats a map
+// and allocates nothing.
+func (r *Ring) locateIntoLocked(h uint64, dst []int) int {
+	if len(r.points) == 0 || len(dst) == 0 {
+		return 0
 	}
-	return out
+	n := len(dst)
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if len(r.members) == 1 {
+		// Single-member ring: every point belongs to it; skip the search.
+		dst[0] = r.points[0].member
+		return 1
+	}
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	got := 0
+walk:
+	for i := 0; got < n && i < len(r.points); i++ {
+		m := r.points[(idx+i)%len(r.points)].member
+		for _, prev := range dst[:got] {
+			if prev == m {
+				continue walk
+			}
+		}
+		dst[got] = m
+		got++
+	}
+	return got
 }
 
 // Distribution counts how many of the given keys land on each member as

@@ -174,3 +174,148 @@ func TestLocateReturnsMemberProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: LocateN ordering is pinned to the clockwise walk from the
+// key's hash (primary first), and the allocation-free variants agree with
+// it exactly — including when the ring has no more members than requested
+// replicas (the early-return path).
+func TestLocateNOrderingPinnedAcrossVariants(t *testing.T) {
+	for _, members := range [][]int{{4}, {1, 7}, {0, 1, 2}, {3, 5, 8, 11, 13}} {
+		r := New(32)
+		for _, m := range members {
+			r.Add(m)
+		}
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("pin-%d", i)
+			for _, n := range []int{1, 2, 3, len(members), len(members) + 3} {
+				want := locateNReference(r, k, n)
+				got := r.LocateN(k, n)
+				if !equalInts(got, want) {
+					t.Fatalf("members %v LocateN(%q,%d) = %v, want %v", members, k, n, got, want)
+				}
+				dst := make([]int, n)
+				cnt := r.LocateNInto(k, dst)
+				if !equalInts(dst[:cnt], want) {
+					t.Fatalf("members %v LocateNInto(%q,%d) = %v, want %v", members, k, n, dst[:cnt], want)
+				}
+				cnt = r.LocateHashNInto(HashKey(k), dst)
+				if !equalInts(dst[:cnt], want) {
+					t.Fatalf("members %v LocateHashNInto(%q,%d) = %v, want %v", members, k, n, dst[:cnt], want)
+				}
+				if len(want) > 0 {
+					if p, _ := r.Locate(k); p != want[0] {
+						t.Fatalf("primary mismatch for %q: Locate=%d, walk=%d", k, p, want[0])
+					}
+				}
+			}
+		}
+	}
+}
+
+// locateNReference reimplements the clockwise walk naively, as the pinned
+// specification of owner ordering.
+func locateNReference(r *Ring, key string, n int) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := 0
+	for start < len(r.points) && r.points[start].hash < h {
+		start++
+	}
+	var out []int
+	seen := map[int]bool{}
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLocateNIntoAllocationFree(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 8; i++ {
+		r.Add(i)
+	}
+	dst := make([]int, 3)
+	h := HashKey("steady-key")
+	allocs := testing.AllocsPerRun(200, func() {
+		if r.LocateHashNInto(h, dst) != 3 {
+			t.Fatal("short lookup")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LocateHashNInto allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestEpochAdvancesOnMembershipChange(t *testing.T) {
+	r := New(8)
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh ring epoch = %d", r.Epoch())
+	}
+	r.Add(1)
+	r.Add(2)
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after two adds = %d, want 2", r.Epoch())
+	}
+	r.Add(1) // no-op must not bump
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after no-op add = %d, want 2", r.Epoch())
+	}
+	r.Remove(1)
+	if r.Epoch() != 3 {
+		t.Fatalf("epoch after remove = %d, want 3", r.Epoch())
+	}
+	r.Remove(1) // no-op must not bump
+	if r.Epoch() != 3 {
+		t.Fatalf("epoch after no-op remove = %d, want 3", r.Epoch())
+	}
+}
+
+// KeyHasher must be bit-identical to hashing the concatenated string, so
+// stores can stream structured keys without changing placement.
+func TestKeyHasherMatchesStringHash(t *testing.T) {
+	cases := []struct {
+		streamed KeyHasher
+		str      string
+	}{
+		{NewKeyHasher().String("d:").String("blob/alpha"), "d:blob/alpha"},
+		{NewKeyHasher().String("c:").String("k").Byte(0).Int64Decimal(0), "c:k\x000"},
+		{NewKeyHasher().String("c:").String("a/b").Byte(0).Int64Decimal(12345), "c:a/b\x0012345"},
+		{NewKeyHasher().String("c:").String("x").Byte(0).Int64Decimal(-7), "c:x\x00-7"},
+		{NewKeyHasher(), ""},
+	}
+	for _, c := range cases {
+		if got, want := c.streamed.Sum(), HashKey(c.str); got != want {
+			t.Fatalf("streamed hash of %q = %#x, want %#x", c.str, got, want)
+		}
+	}
+	f := func(key string, idx int64) bool {
+		streamed := NewKeyHasher().String("c:").String(key).Byte(0).Int64Decimal(idx).Sum()
+		return streamed == HashKey(fmt.Sprintf("c:%s\x00%d", key, idx))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

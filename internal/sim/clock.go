@@ -67,6 +67,16 @@ func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
 // Join.
 func (c *Clock) Fork() *Clock { return NewClockAt(c.Now()) }
 
+// Reset rewinds the clock to t. Unlike AdvanceTo it may move time
+// backwards: it exists to recycle clocks through pools (a recycled child
+// clock restarts at its new parent's current time), so it must only be
+// called on clocks no other component still observes.
+func (c *Clock) Reset(t time.Duration) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
 // Join advances the clock to the latest time among the given clocks,
 // modelling a synchronization point (barrier, task join) where the slowest
 // participant determines completion.

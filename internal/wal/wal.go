@@ -32,6 +32,8 @@ const (
 	RecCommit
 	RecAbort
 	RecMeta
+	RecChunkDelete
+	RecChunkTruncate
 )
 
 // String names the record type.
@@ -51,6 +53,10 @@ func (t RecordType) String() string {
 		return "abort"
 	case RecMeta:
 		return "meta"
+	case RecChunkDelete:
+		return "chunk-delete"
+	case RecChunkTruncate:
+		return "chunk-truncate"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -74,6 +80,11 @@ type Log struct {
 	w       io.Writer
 	nextLSN uint64
 	bytes   int64
+	// scratch is the per-log reusable encode buffer: records are staged
+	// here under mu and written out in one Write call, so steady-state
+	// appends allocate nothing once the buffer has grown to the working
+	// record size.
+	scratch []byte
 }
 
 // New returns a log appending to w.
@@ -85,13 +96,42 @@ func (l *Log) Append(t RecordType, payload []byte) (lsn uint64, n int, err error
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lsn = l.nextLSN
-	buf := encode(Record{Type: t, LSN: lsn, Payload: payload})
-	if _, err := l.w.Write(buf); err != nil {
+	l.scratch = appendRecord(l.scratch[:0], t, lsn, payload)
+	if _, err := l.w.Write(l.scratch); err != nil {
 		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.nextLSN++
-	l.bytes += int64(len(buf))
-	return lsn, len(buf), nil
+	l.bytes += int64(len(l.scratch))
+	return lsn, len(l.scratch), nil
+}
+
+// AppendSpec is one record of a batched AppendN.
+type AppendSpec struct {
+	Type    RecordType
+	Payload []byte
+}
+
+// AppendN appends the records atomically with consecutive LSNs, staging
+// them all in the log's scratch buffer and issuing a single Write — one
+// buffer grow for a k-record batch instead of k. It returns the LSN of the
+// first record and the total encoded size.
+func (l *Log) AppendN(specs []AppendSpec) (firstLSN uint64, n int, err error) {
+	if len(specs) == 0 {
+		return 0, 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	firstLSN = l.nextLSN
+	l.scratch = l.scratch[:0]
+	for i, sp := range specs {
+		l.scratch = appendRecord(l.scratch, sp.Type, firstLSN+uint64(i), sp.Payload)
+	}
+	if _, err := l.w.Write(l.scratch); err != nil {
+		return 0, 0, fmt.Errorf("wal: append batch: %w", err)
+	}
+	l.nextLSN += uint64(len(specs))
+	l.bytes += int64(len(l.scratch))
+	return firstLSN, len(l.scratch), nil
 }
 
 // NextLSN returns the LSN the next append will receive.
@@ -101,11 +141,21 @@ func (l *Log) NextLSN() uint64 {
 	return l.nextLSN
 }
 
-// Size returns the total encoded bytes appended so far.
+// Size returns the encoded bytes appended since New or the last ResetSize.
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.bytes
+}
+
+// ResetSize zeroes the byte counter after the caller has truncated the
+// log's underlying writer (checkpoint compaction), keeping Size consistent
+// with the bytes actually on the medium. LSNs are deliberately NOT reset:
+// they stay monotonic across compactions.
+func (l *Log) ResetSize() {
+	l.mu.Lock()
+	l.bytes = 0
+	l.mu.Unlock()
 }
 
 // record layout:
@@ -115,16 +165,21 @@ func (l *Log) Size() int64 {
 //	u8  type
 //	u64 lsn
 //	payload
-func encode(r Record) []byte {
-	body := make([]byte, 1+8+len(r.Payload))
-	body[0] = byte(r.Type)
-	binary.LittleEndian.PutUint64(body[1:9], r.LSN)
-	copy(body[9:], r.Payload)
-	out := make([]byte, 8+len(body))
-	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(body, castagnoli))
-	copy(out[8:], body)
-	return out
+// appendRecord appends the encoded record to dst without any intermediate
+// buffer: the checksum is computed incrementally over the type/LSN header
+// and the payload in place.
+func appendRecord(dst []byte, t RecordType, lsn uint64, payload []byte) []byte {
+	var hdr [9]byte
+	hdr[0] = byte(t)
+	binary.LittleEndian.PutUint64(hdr[1:9], lsn)
+	sum := crc32.Update(0, castagnoli, hdr[:])
+	sum = crc32.Update(sum, castagnoli, payload)
+	var pre [8]byte
+	binary.LittleEndian.PutUint32(pre[0:4], uint32(len(hdr)+len(payload)))
+	binary.LittleEndian.PutUint32(pre[4:8], sum)
+	dst = append(dst, pre[:]...)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // Replay decodes records from r in order, invoking fn for each. It stops at
@@ -208,6 +263,14 @@ func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.Len()
+}
+
+// Reset discards all buffered content. Checkpointing uses it to drop a log
+// prefix that a freshly written snapshot has made redundant.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
 }
 
 // Corrupt flips one byte at off, for crash/corruption injection in tests.

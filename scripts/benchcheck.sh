@@ -1,0 +1,11 @@
+#!/bin/sh
+# benchcheck: run the data-plane hot-path micro-benchmarks with allocation
+# accounting and record the results in BENCH_hotpath.json, giving future PRs
+# a perf trajectory to compare against.
+#
+# Usage: scripts/benchcheck.sh [output-file]
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_hotpath.json}"
+go test -run '^$' -bench 'HotPath' -benchmem -benchtime=1s .
+go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out"
