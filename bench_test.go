@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -397,6 +398,75 @@ func BenchmarkHotPathWrite(b *testing.B) {
 		if err := h.Write(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Inline variants pin the dispatcher's overhead against sequential
+// execution of the same code path (virtual times are identical by
+// construction; host time is the contrast).
+
+func BenchmarkHotPathReadInline(b *testing.B) {
+	h, err := bench.NewHotPathInline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(h.OpBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathWriteInline(b *testing.B) {
+	h, err := bench.NewHotPathInline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(h.OpBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%bench.CompactEvery == bench.CompactEvery-1 {
+			b.StopTimer()
+			h.Compact()
+			b.StartTimer()
+		}
+		if err := h.Write(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathReadParallel drives the dispatcher from many concurrent
+// clients — the shape the worker pool exists for. Each client owns its
+// context and buffer; the blob, its descriptor latch (read-shared), and
+// the chunk stripes are shared.
+func BenchmarkHotPathReadParallel(b *testing.B) {
+	h, err := bench.NewHotPath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(h.OpBytes())
+	b.ReportAllocs()
+	var readErr atomic.Value // Fatalf must not run on RunParallel workers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := storage.NewContext()
+		buf := make([]byte, h.OpBytes())
+		for pb.Next() {
+			n, err := h.Store.ReadBlob(ctx, "hot", 0, buf)
+			if err != nil || n != len(buf) {
+				readErr.Store(fmt.Errorf("parallel read: (%d, %v)", n, err))
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := readErr.Load(); err != nil {
+		b.Fatal(err)
 	}
 }
 

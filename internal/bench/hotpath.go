@@ -23,10 +23,18 @@ type HotPath struct {
 }
 
 // NewHotPath builds the fixture with the blob pre-written so reads hit
-// materialized chunks.
-func NewHotPath() (*HotPath, error) {
+// materialized chunks. The store runs the default configuration: per-chunk
+// work dispatched across the goroutine worker pool.
+func NewHotPath() (*HotPath, error) { return newHotPath(false) }
+
+// NewHotPathInline builds the same fixture with blob.Config.InlineFanout:
+// the sequential-execution baseline the dispatcher is measured against.
+// Virtual times are identical by construction; host ns/op is the contrast.
+func NewHotPathInline() (*HotPath, error) { return newHotPath(true) }
+
+func newHotPath(inline bool) (*HotPath, error) {
 	st := blob.New(cluster.New(cluster.Config{Nodes: 9, Seed: 1}),
-		blob.Config{ChunkSize: 64 << 10, Replication: 3})
+		blob.Config{ChunkSize: 64 << 10, Replication: 3, InlineFanout: inline})
 	ctx := storage.NewContext()
 	if err := st.CreateBlob(ctx, "hot"); err != nil {
 		return nil, err

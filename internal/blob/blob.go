@@ -43,6 +43,12 @@
 //     buffers (released after the log copies them out), the log encodes
 //     into a per-log reusable buffer, and multi-record operations batch
 //     same-server records through wal.AppendN.
+//   - goroutine fan-out: per-chunk work executes on a bounded worker pool
+//     (dispatch.go) with resource charges recorded into per-task ledgers
+//     and folded into the shared cluster accounting at join, so real
+//     parallel execution keeps the sequential implementation's virtual
+//     clock semantics bit-for-bit. See dispatch.go for the concurrency
+//     contract.
 package blob
 
 import (
@@ -53,7 +59,6 @@ import (
 
 	"repro/internal/chash"
 	"repro/internal/cluster"
-	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -81,6 +86,11 @@ type Config struct {
 	// concedes — at the price of index maintenance on every create and
 	// delete. This is the extension the paper's future work points toward.
 	IndexedScan bool
+	// InlineFanout executes fan-out tasks sequentially on the calling
+	// goroutine instead of the worker pool. Virtual-time results are
+	// identical by construction (charges fold at join either way); the
+	// knob exists as the determinism baseline and for debugging.
+	InlineFanout bool
 }
 
 func (c Config) withDefaults() Config {
@@ -422,56 +432,6 @@ func (s *Store) primaryDesc(key string) (*server, *descriptor, error) {
 	return sv, d, nil
 }
 
-// ctxFan amortizes the fork/join contexts of scatter-gather operations
-// (per-chunk reads, replica writes, descriptor replication). Child
-// contexts and the tracking slice are recycled through pools, so a
-// steady-state fan-out allocates nothing. On error paths the fan is simply
-// dropped — the GC reclaims it and the pools miss once.
-type ctxFan struct {
-	children []*storage.Context
-}
-
-var fanPool = sync.Pool{New: func() any { return &ctxFan{} }}
-
-var childCtxPool = sync.Pool{
-	New: func() any { return &storage.Context{Clock: sim.NewClock()} },
-}
-
-func newFan() *ctxFan { return fanPool.Get().(*ctxFan) }
-
-// child returns a context whose clock starts at ctx's current time, exactly
-// like ctx.Fork but recycled.
-func (f *ctxFan) child(ctx *storage.Context) *storage.Context {
-	ch := childCtxPool.Get().(*storage.Context)
-	ch.Clock.Reset(ctx.Clock.Now())
-	ch.UID, ch.GID = ctx.UID, ctx.GID
-	f.children = append(f.children, ch)
-	return ch
-}
-
-// join advances ctx to the slowest child (the synchronization point of the
-// simulated parallel fan-out) and recycles everything.
-func (f *ctxFan) join(ctx *storage.Context) {
-	for i, ch := range f.children {
-		ctx.Clock.Join(ch.Clock)
-		childCtxPool.Put(ch)
-		f.children[i] = nil
-	}
-	f.children = f.children[:0]
-	fanPool.Put(f)
-}
-
-// drop recycles the children without joining their clocks — the
-// async-replication acknowledgement path, where the client does not wait.
-func (f *ctxFan) drop() {
-	for i, ch := range f.children {
-		childCtxPool.Put(ch)
-		f.children[i] = nil
-	}
-	f.children = f.children[:0]
-	fanPool.Put(f)
-}
-
 // payloadPool stages WAL payloads. The log copies the payload into its own
 // encode buffer during Append, so the staging buffer is returned to the
 // pool immediately afterwards — chunk-sized payloads stop being a per-append
@@ -483,31 +443,32 @@ var payloadPool = sync.Pool{
 	},
 }
 
-// walAppend records a durable mutation on sv and charges ctx's clock for
-// the log persistence on sv's disk.
-func (s *Store) walAppend(ctx *storage.Context, sv *server, t wal.RecordType, payload []byte) {
+// walAppend records a durable mutation on sv and charges the log
+// persistence on sv's disk through cg (directly on the caller's clock, or
+// into a fan task's ledger).
+func (s *Store) walAppend(cg *charge, sv *server, t wal.RecordType, payload []byte) {
 	_, n, err := sv.log.Append(t, payload)
 	if err != nil {
 		// The in-memory buffer cannot fail; a failure here is a bug.
 		panic(fmt.Sprintf("blob: wal append: %v", err))
 	}
-	s.cluster.DiskAppend(ctx.Clock, sv.node, n)
+	cg.diskAppend(sv.node, n)
 }
 
 // walAppendChunk logs a chunk mutation, staging the payload in a pooled
 // buffer so the hot write path does not allocate per record.
-func (s *Store) walAppendChunk(ctx *storage.Context, sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
+func (s *Store) walAppendChunk(cg *charge, sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
 	bp := payloadPool.Get().(*[]byte)
 	*bp = appendChunkPayload((*bp)[:0], id, within, data)
-	s.walAppend(ctx, sv, t, *bp)
+	s.walAppend(cg, sv, t, *bp)
 	payloadPool.Put(bp)
 }
 
 // walAppendMeta logs a descriptor mutation through the same pooled staging.
-func (s *Store) walAppendMeta(ctx *storage.Context, sv *server, t wal.RecordType, key string, size int64) {
+func (s *Store) walAppendMeta(cg *charge, sv *server, t wal.RecordType, key string, size int64) {
 	bp := payloadPool.Get().(*[]byte)
 	*bp = appendMetaPayload((*bp)[:0], key, size)
-	s.walAppend(ctx, sv, t, *bp)
+	s.walAppend(cg, sv, t, *bp)
 	payloadPool.Put(bp)
 }
 
@@ -537,7 +498,8 @@ func (s *Store) CreateBlob(ctx *storage.Context, key string) error {
 	}
 	primary.blobs[key] = &descriptor{}
 	primary.mu.Unlock()
-	s.walAppendMeta(ctx, primary, wal.RecCreate, key, 0)
+	cg := s.directCharge(ctx)
+	s.walAppendMeta(&cg, primary, wal.RecCreate, key, 0)
 
 	// Synchronous descriptor replication, replicas updated in parallel.
 	s.replicateDesc(ctx, key, owners[1:], 0)
@@ -547,20 +509,15 @@ func (s *Store) CreateBlob(ctx *storage.Context, key string) error {
 // replicateDesc copies the descriptor (with the given size) to replicas,
 // charging parallel RPC+WAL costs.
 func (s *Store) replicateDesc(ctx *storage.Context, key string, replicas []int, size int64) {
-	fan := newFan()
+	fan := s.newFan()
 	for _, r := range replicas {
-		rs := s.servers[r]
-		child := fan.child(ctx)
-		s.cluster.MetaOp(child.Clock, rs.node, 1)
-		rs.mu.Lock()
-		d, ok := rs.blobs[key]
-		if !ok {
-			d = &descriptor{}
-			rs.blobs[key] = d
-		}
-		d.size = size
-		rs.mu.Unlock()
-		s.walAppendMeta(child, rs, wal.RecCreate, key, size)
+		t := fan.task(taskDescReplicate)
+		t.sv = s.servers[r]
+		t.key = key
+		t.size = size
+		t.rec = wal.RecCreate
+		t.meta = true // upsert: the replica may not hold the descriptor yet
+		fan.spawn(t)
 	}
 	fan.join(ctx)
 }
@@ -601,12 +558,13 @@ func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 	}
 	batch.flush(ctx)
 	// Drop descriptor replicas, then the primary copy.
+	cg := s.directCharge(ctx)
 	for _, o := range s.descOwners(key) {
 		sv := s.servers[o]
 		sv.mu.Lock()
 		delete(sv.blobs, key)
 		sv.mu.Unlock()
-		s.walAppendMeta(ctx, sv, wal.RecDelete, key, 0)
+		s.walAppendMeta(&cg, sv, wal.RecDelete, key, 0)
 	}
 	return nil
 }
@@ -628,41 +586,65 @@ func (s *Store) BlobSize(ctx *storage.Context, key string) (int64, error) {
 // index), mirroring the paper's note that scan-based emulation is
 // "far from optimized".
 func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, error) {
-	seen := make(map[string]int64)
-	fan := newFan()
-	for i, sv := range s.servers {
-		child := fan.child(ctx)
-		s.cluster.MetaOp(child.Clock, sv.node, 1)
-		sv.mu.RLock()
-		examined := len(sv.blobs)
-		matches := 0
-		for key, d := range sv.blobs {
-			if !strings.HasPrefix(key, prefix) {
-				continue
-			}
-			matches++
-			// Only the primary's answer is authoritative for size.
-			if owners := s.descOwners(key); len(owners) > 0 && owners[0] == i {
-				seen[key] = d.size
-			}
-		}
-		sv.mu.RUnlock()
-		if s.cfg.IndexedScan {
-			// Ordered prefix index: cost follows the matches only.
-			s.cluster.LocalCompute(child.Clock, s.cluster.Cost().MetaTime(1+matches/16))
-		} else {
-			// The plain flat namespace has no index: every descriptor on
-			// the server is examined regardless of the prefix — the reason
-			// the paper calls scan-based directory emulation "far from
-			// optimized". One metadata unit per four descriptors examined
-			// approximates RADOS-style pool listing cost.
-			s.cluster.LocalCompute(child.Clock, s.cluster.Cost().MetaTime(1+examined/4))
-		}
+	// Per-server hit slices: each key is reported only by its primary, so
+	// the slices are disjoint and merge without deduplication. Tasks only
+	// collect descriptor pointers — a worker must never block on the
+	// descriptor latch (writers hold it across their own fan joins, see
+	// the dispatch.go contract); sizes are read on the caller after join.
+	type hit struct {
+		key string
+		d   *descriptor
 	}
-	fan.join(ctx)
-	out := make([]storage.BlobInfo, 0, len(seen))
-	for k, size := range seen {
-		out = append(out, storage.BlobInfo{Key: k, Size: size})
+	results := make([][]hit, len(s.servers))
+	fan := s.newFan()
+	for i, sv := range s.servers {
+		i, sv := i, sv
+		t := fan.task(taskFunc)
+		t.fn = func(cg *charge) error {
+			cg.metaOp(sv.node, 1)
+			sv.mu.RLock()
+			examined := len(sv.blobs)
+			matches := 0
+			for key, d := range sv.blobs {
+				if !strings.HasPrefix(key, prefix) {
+					continue
+				}
+				matches++
+				// Only the primary's answer is authoritative for size.
+				if owners := s.descOwners(key); len(owners) > 0 && owners[0] == i {
+					results[i] = append(results[i], hit{key, d})
+				}
+			}
+			sv.mu.RUnlock()
+			if s.cfg.IndexedScan {
+				// Ordered prefix index: cost follows the matches only.
+				cg.localCompute(s.cluster.Cost().MetaTime(1 + matches/16))
+			} else {
+				// The plain flat namespace has no index: every descriptor on
+				// the server is examined regardless of the prefix — the reason
+				// the paper calls scan-based directory emulation "far from
+				// optimized". One metadata unit per four descriptors examined
+				// approximates RADOS-style pool listing cost.
+				cg.localCompute(s.cluster.Cost().MetaTime(1 + examined/4))
+			}
+			return nil
+		}
+		fan.spawn(t)
+	}
+	if _, err := fan.join(ctx); err != nil {
+		return nil, err
+	}
+	var out []storage.BlobInfo
+	for _, part := range results {
+		for _, h := range part {
+			// The latch is the writers' lock for primary descriptor sizes;
+			// taking it here, on the caller with no other lock held, cannot
+			// deadlock against a writer's fan.
+			h.d.latch.RLock()
+			size := h.d.size
+			h.d.latch.RUnlock()
+			out = append(out, storage.BlobInfo{Key: h.key, Size: size})
+		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	return out, nil
@@ -671,7 +653,9 @@ func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, e
 // walBatch accumulates per-server WAL records so a multi-record operation
 // (chunk drops of a delete, commit markers of a 2PC write) issues one
 // wal.AppendN per server instead of one Append per record. Payload bytes
-// are staged in one pooled buffer; spec payloads point into it.
+// are staged in one pooled buffer; spec payloads point into it. Batches
+// are pooled, and the per-server spec slices keep their capacity across
+// recycling, so a steady-state commit phase allocates nothing.
 type walBatch struct {
 	s       *Store
 	servers []*server
@@ -680,10 +664,28 @@ type walBatch struct {
 	buf     *[]byte
 }
 
+var walBatchPool = sync.Pool{New: func() any { return new(walBatch) }}
+
 func newWalBatch(s *Store) *walBatch {
-	buf := payloadPool.Get().(*[]byte)
-	*buf = (*buf)[:0] // pooled buffers keep their stale length; start clean
-	return &walBatch{s: s, buf: buf}
+	b := walBatchPool.Get().(*walBatch)
+	b.s = s
+	b.buf = payloadPool.Get().(*[]byte)
+	*b.buf = (*b.buf)[:0] // pooled buffers keep their stale length; start clean
+	return b
+}
+
+// release returns the staging buffer and the batch to their pools. The
+// specs/extents backing arrays are kept (truncated on slot reuse in add),
+// and the servers slice is what bounds the live slot count.
+func (b *walBatch) release() {
+	payloadPool.Put(b.buf)
+	b.buf = nil
+	for i := range b.servers {
+		b.servers[i] = nil
+	}
+	b.servers = b.servers[:0]
+	b.s = nil
+	walBatchPool.Put(b)
 }
 
 // addChunk stages one chunk record for sv.
@@ -714,8 +716,14 @@ func (b *walBatch) add(sv *server, t wal.RecordType, start, end int) {
 	if i < 0 {
 		i = len(b.servers)
 		b.servers = append(b.servers, sv)
-		b.specs = append(b.specs, nil)
-		b.extents = append(b.extents, nil)
+		if len(b.specs) <= i {
+			b.specs = append(b.specs, nil)
+			b.extents = append(b.extents, nil)
+		} else {
+			// Recycled slot: keep the backing arrays, drop stale entries.
+			b.specs[i] = b.specs[i][:0]
+			b.extents[i] = b.extents[i][:0]
+		}
 	}
 	b.specs[i] = append(b.specs[i], wal.AppendSpec{Type: t})
 	b.extents[i] = append(b.extents[i], [2]int{start, end})
@@ -732,14 +740,16 @@ func (b *walBatch) resolve() {
 	}
 }
 
-// appendTo logs server i's batch with a single AppendN and charges the
-// disk time to clk.
-func (b *walBatch) appendTo(i int, clk *sim.Clock) {
-	_, n, err := b.servers[i].log.AppendN(b.specs[i])
+// walAppendBatch logs specs to sv with a single AppendN and charges the
+// disk append through cg. Shared by walBatch.flush (direct charging) and
+// the dispatcher's taskWalFlush (ledger charging), so the append invariant
+// and the cost shape cannot diverge between the two.
+func (s *Store) walAppendBatch(cg *charge, sv *server, specs []wal.AppendSpec) {
+	_, n, err := sv.log.AppendN(specs)
 	if err != nil {
 		panic(fmt.Sprintf("blob: wal batch append: %v", err))
 	}
-	b.s.cluster.DiskAppend(clk, b.servers[i].node, n)
+	cg.diskAppend(sv.node, n)
 }
 
 // flush logs every server's batch, charging the disk appends sequentially
@@ -747,29 +757,29 @@ func (b *walBatch) appendTo(i int, clk *sim.Clock) {
 // record at a time (deletes, truncates, transaction commit markers).
 func (b *walBatch) flush(ctx *storage.Context) {
 	b.resolve()
+	cg := b.s.directCharge(ctx)
 	for i := range b.servers {
-		b.appendTo(i, ctx.Clock)
+		b.s.walAppendBatch(&cg, b.servers[i], b.specs[i])
 	}
-	payloadPool.Put(b.buf)
-	b.buf = nil
+	b.release()
 }
 
-// flushParallel logs each server's batch on its own forked clock and joins
-// on the slowest — the cost shape of the 2PC commit phase, where every
-// participant persists its commit records concurrently. metaPerRecord
-// additionally charges one commit round trip per record on the
-// participant's clock before the append.
+// flushParallel logs each server's batch as a worker-pool task on its own
+// forked clock and joins on the slowest — the cost shape of the 2PC commit
+// phase, where every participant persists its commit records concurrently.
+// metaPerRecord additionally charges one commit round trip per record on
+// the participant's clock before the append.
 func (b *walBatch) flushParallel(ctx *storage.Context, metaPerRecord bool) {
 	b.resolve()
-	fan := newFan()
-	for i, sv := range b.servers {
-		child := fan.child(ctx)
-		if metaPerRecord {
-			b.s.cluster.MetaOp(child.Clock, sv.node, len(b.specs[i]))
-		}
-		b.appendTo(i, child.Clock)
+	fan := b.s.newFan()
+	for i := range b.servers {
+		t := fan.task(taskWalFlush)
+		t.sv = b.servers[i]
+		t.specs = b.specs[i]
+		t.meta = metaPerRecord
+		fan.spawn(t)
 	}
+	// join waits for every append before the staging buffer is recycled.
 	fan.join(ctx)
-	payloadPool.Put(b.buf)
-	b.buf = nil
+	b.release()
 }

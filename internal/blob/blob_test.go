@@ -318,7 +318,8 @@ func TestWALDurabilityRecords(t *testing.T) {
 	s := newStore(t, 3, Config{ChunkSize: 8, Replication: 2})
 	ctx := storage.NewContext()
 	s.CreateBlob(ctx, "w")
-	s.WriteBlob(ctx, "w", 0, make([]byte, 20)) // multi-chunk -> commit records
+	s.WriteBlob(ctx, "w", 0, make([]byte, 20)) // multi-chunk -> 2PC prepare + commit records
+	s.WriteBlob(ctx, "w", 0, make([]byte, 4))  // single-chunk -> plain write records
 	s.TruncateBlob(ctx, "w", 4)
 	s.DeleteBlob(ctx, "w")
 	byType := map[wal.RecordType]int{}
@@ -332,8 +333,15 @@ func TestWALDurabilityRecords(t *testing.T) {
 		}
 	}
 	if byType[wal.RecCreate] == 0 || byType[wal.RecWrite] == 0 ||
-		byType[wal.RecTruncate] == 0 || byType[wal.RecDelete] == 0 || byType[wal.RecCommit] == 0 {
+		byType[wal.RecPrepWrite] == 0 || byType[wal.RecChunkCommit] == 0 ||
+		byType[wal.RecTruncate] == 0 || byType[wal.RecDelete] == 0 {
 		t.Fatalf("missing WAL record types: %v", byType)
+	}
+	// A multi-chunk write must commit on every replica that holds a
+	// prepare, or that replica's own crash replay would discard the data.
+	if byType[wal.RecChunkCommit] != byType[wal.RecPrepWrite] {
+		t.Fatalf("prepares (%d) and chunk commits (%d) diverge: %v",
+			byType[wal.RecPrepWrite], byType[wal.RecChunkCommit], byType)
 	}
 }
 

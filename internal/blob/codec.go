@@ -13,12 +13,13 @@ import (
 //
 // Meta and chunk payloads are distinguished by record type (RecCreate /
 // RecDelete / RecTruncate / RecMeta carry meta payloads; RecWrite /
-// RecChunkDelete / RecChunkTruncate carry chunk payloads), so chunk
-// addressing never round-trips through a combined string key. RecCommit /
-// RecAbort markers are opaque to replay — 2PC chunk commits stamp a chunk
-// payload, transaction commits a meta payload — and are skipped either
-// way. All encoders are append-style into caller-provided buffers, which
-// the hot path stages from a sync.Pool.
+// RecPrepWrite / RecChunkDelete / RecChunkTruncate and the 2PC markers
+// RecChunkCommit / RecAbort carry chunk payloads), so chunk addressing
+// never round-trips through a combined string key. RecCommit remains the
+// transaction-level marker with a meta payload; replay skips it, while
+// RecChunkCommit / RecAbort drive the prepared-write buffer (recovery.go).
+// All encoders are append-style into caller-provided buffers, which the
+// hot path stages from a sync.Pool.
 
 func appendMetaPayload(dst []byte, key string, size int64) []byte {
 	var u16 [2]byte

@@ -1,0 +1,605 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// mkStore builds a store over a fresh cluster with the given fan-out mode.
+func mkStore(nodes int, cfg Config, inline bool) *Store {
+	cfg.InlineFanout = inline
+	return New(cluster.New(cluster.Config{Nodes: nodes, Seed: 42}), cfg)
+}
+
+// TestFanoutDeterministicVirtualTime pins the dispatcher's core invariant:
+// executing fan-out tasks on the worker pool must produce, operation by
+// operation, exactly the virtual clock times of the sequential baseline
+// (InlineFanout). Charges are recorded per task and folded at join in
+// submission order, so the two modes must agree bit-for-bit.
+func TestFanoutDeterministicVirtualTime(t *testing.T) {
+	run := func(inline bool) []int64 {
+		cfg := Config{ChunkSize: 32, Replication: 3}
+		s := mkStore(6, cfg, inline)
+		ctx := storage.NewContext()
+		var stamps []int64
+		stamp := func() { stamps = append(stamps, int64(ctx.Clock.Now())) }
+
+		for i := 0; i < 4; i++ {
+			if err := s.CreateBlob(ctx, fmt.Sprintf("det-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+			stamp()
+		}
+		buf := make([]byte, 200)
+		for i := range buf {
+			buf[i] = byte(i * 7)
+		}
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("det-%d", i)
+			if _, err := s.WriteBlob(ctx, key, int64(i*13), buf); err != nil { // multi-chunk 2PC
+				t.Fatal(err)
+			}
+			stamp()
+			if _, err := s.WriteBlob(ctx, key, 5, buf[:8]); err != nil { // single chunk
+				t.Fatal(err)
+			}
+			stamp()
+			rd := make([]byte, 150)
+			if _, err := s.ReadBlob(ctx, key, 3, rd); err != nil {
+				t.Fatal(err)
+			}
+			stamp()
+			if err := s.TruncateBlob(ctx, key, 70); err != nil { // shrink
+				t.Fatal(err)
+			}
+			stamp()
+			if err := s.TruncateBlob(ctx, key, 70); err != nil { // no-op
+				t.Fatal(err)
+			}
+			stamp()
+		}
+		if _, err := s.Scan(ctx, "det-"); err != nil {
+			t.Fatal(err)
+		}
+		stamp()
+		txn := s.Begin(ctx)
+		txn.Write("det-0", 0, buf)
+		txn.Write("det-1", 16, buf[:40])
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		stamp()
+		// Error paths must charge deterministically too.
+		owners := s.chunkOwners(chunkID{"det-2", 1})
+		s.SetDown(cluster.NodeID(owners[0]), true)
+		if _, err := s.WriteBlob(ctx, "det-2", 0, buf[:96]); err == nil {
+			t.Fatal("write with a chunk primary down succeeded")
+		}
+		stamp()
+		s.SetDown(cluster.NodeID(owners[0]), false)
+		if err := s.DeleteBlob(ctx, "det-3"); err != nil {
+			t.Fatal(err)
+		}
+		stamp()
+		return stamps
+	}
+
+	seq := run(true)
+	par := run(false)
+	if len(seq) != len(par) {
+		t.Fatalf("stamp counts diverge: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("virtual time diverges at op %d: sequential %d, dispatcher %d", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestFanoutRaceStress hammers shared keys from many goroutines with mixed
+// reads, writes (single- and multi-chunk), truncates, sizes, and scans.
+// Run under -race (scripts/benchcheck.sh does) it is the dispatcher's
+// concurrency-safety gate; the invariant check at the end is the
+// correctness gate.
+func TestFanoutRaceStress(t *testing.T) {
+	s := mkStore(8, Config{ChunkSize: 64, Replication: 2}, false)
+	setup := storage.NewContext()
+	const keys = 4
+	for i := 0; i < keys; i++ {
+		if err := s.CreateBlob(setup, fmt.Sprintf("shared-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := storage.NewContext()
+			buf := make([]byte, 200)
+			for i := range buf {
+				buf[i] = byte(w*31 + i)
+			}
+			rd := make([]byte, 256)
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("shared-%d", (w+i)%keys)
+				switch i % 5 {
+				case 0: // multi-chunk write
+					if _, err := s.WriteBlob(ctx, key, int64((w*17+i)%128), buf); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // single-chunk write
+					if _, err := s.WriteBlob(ctx, key, int64(i%48), buf[:16]); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := s.ReadBlob(ctx, key, int64(i%200), rd); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if err := s.TruncateBlob(ctx, key, int64(64+(w*i)%192)); err != nil {
+						errs <- err
+						return
+					}
+				case 4:
+					if _, err := s.BlobSize(ctx, key); err != nil {
+						errs <- err
+						return
+					}
+					if i%20 == 4 {
+						if _, err := s.Scan(ctx, "shared-"); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants after concurrent churn: %s", msg)
+	}
+}
+
+// TestMultiChunkAbortNotReplayed is the write-atomicity regression test: a
+// multi-chunk write that dies in the data phase must append RecAbort
+// markers so crash replay discards the prepared chunk writes instead of
+// resurrecting a half-committed transaction.
+func TestMultiChunkAbortNotReplayed(t *testing.T) {
+	s := mkStore(8, Config{ChunkSize: 8, Replication: 2}, false)
+	ctx := storage.NewContext()
+
+	// Find a key whose placement lets the data phase — not the prepare
+	// phase — fail: some chunk replica that is neither the descriptor
+	// primary nor any participant chunk's primary.
+	key, victim := "", -1
+	for k := 0; k < 64 && victim < 0; k++ {
+		cand := fmt.Sprintf("atomic-%d", k)
+		primaries := map[int]bool{s.descOwners(cand)[0]: true}
+		for idx := int64(0); idx < 3; idx++ {
+			primaries[s.chunkOwners(chunkID{cand, idx})[0]] = true
+		}
+		for idx := int64(0); idx < 3 && victim < 0; idx++ {
+			if r := s.chunkOwners(chunkID{cand, idx})[1]; !primaries[r] {
+				key, victim = cand, r
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no placement with a pure-replica victim found")
+	}
+
+	if err := s.CreateBlob(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	before := []byte("committed-multi-chunk-ok")[:24] // 3 chunks
+	if _, err := s.WriteBlob(ctx, key, 0, before); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the replica: the prepare phase (primaries only) passes, the
+	// data phase fails on that replica.
+	s.SetDown(cluster.NodeID(victim), true)
+	after := bytes.Repeat([]byte("X"), 24)
+	if _, err := s.WriteBlob(ctx, key, 0, after); !errors.Is(err, storage.ErrStaleHandle) {
+		t.Fatalf("overwrite with a replica down: err = %v, want ErrStaleHandle", err)
+	}
+	s.SetDown(cluster.NodeID(victim), false)
+
+	// The abort must be durable on the live participants.
+	aborts := 0
+	for i := 0; i < 8; i++ {
+		recs, err := s.LogRecords(cluster.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.Type == wal.RecAbort {
+				aborts++
+			}
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("failed multi-chunk write logged no RecAbort records")
+	}
+
+	// Live replicas must be untouched by the aborted transaction (the
+	// data phase defers memory materialization to the commit), so a
+	// single recovered node agrees with its live peers.
+	live := make([]byte, len(before))
+	if n, err := s.ReadBlob(ctx, key, 0, live); err != nil || n != len(before) || !bytes.Equal(live, before) {
+		t.Fatalf("aborted write visible on live replicas: (%d, %v) %q", n, err, live)
+	}
+	someOwner := s.chunkOwners(chunkID{key, 0})[0]
+	s.Crash(cluster.NodeID(someOwner))
+	if err := s.Recover(cluster.NodeID(someOwner)); err != nil {
+		t.Fatal(err)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("recovered node diverges from live peers after abort: %s", msg)
+	}
+
+	// Total power loss: every node rebuilds from its WAL alone. The
+	// half-committed transaction must not survive.
+	for i := 0; i < 8; i++ {
+		s.Crash(cluster.NodeID(i))
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Recover(cluster.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(before))
+	if n, err := s.ReadBlob(ctx, key, 0, got); err != nil || n != len(before) {
+		t.Fatalf("read after recovery: (%d, %v)", n, err)
+	}
+	if !bytes.Equal(got, before) {
+		t.Fatalf("aborted write resurrected by replay:\n got %q\nwant %q", got, before)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants after abort recovery: %s", msg)
+	}
+}
+
+// TestSingleChunkWriteAtomicOnReplicaFailure: the single-chunk direct
+// path has no 2PC log protocol, so it must validate the whole replica set
+// before mutating — a replica-down failure may not leave a durable
+// RecWrite on the primary that crash replay would apply one-sidedly.
+func TestSingleChunkWriteAtomicOnReplicaFailure(t *testing.T) {
+	s := mkStore(6, Config{ChunkSize: 64, Replication: 2}, false)
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "single"); err != nil {
+		t.Fatal(err)
+	}
+	before := []byte("stable-committed-content")
+	if _, err := s.WriteBlob(ctx, "single", 0, before); err != nil {
+		t.Fatal(err)
+	}
+	owners := s.chunkOwners(chunkID{"single", 0})
+	s.SetDown(cluster.NodeID(owners[1]), true)
+	if _, err := s.WriteBlob(ctx, "single", 0, bytes.Repeat([]byte("Y"), len(before))); !errors.Is(err, storage.ErrStaleHandle) {
+		t.Fatalf("single-chunk write with replica down: err = %v", err)
+	}
+	s.SetDown(cluster.NodeID(owners[1]), false)
+	// The primary must not have applied or logged the failed write.
+	s.Crash(cluster.NodeID(owners[0]))
+	if err := s.Recover(cluster.NodeID(owners[0])); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(before))
+	if n, err := s.ReadBlob(ctx, "single", 0, got); err != nil || n != len(before) {
+		t.Fatalf("read after recovery: (%d, %v)", n, err)
+	}
+	if !bytes.Equal(got, before) {
+		t.Fatalf("failed single-chunk write leaked to the primary: %q", got)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("replica divergence after failed single-chunk write: %s", msg)
+	}
+}
+
+// TestCrashMidTransactionDropsPrepares covers the torn-transaction variant
+// of atomicity: prepares logged, commit never written (crash between the
+// phases, simulated by truncating the log back to before the commit
+// records). Replay must drop the pending prepares.
+func TestCrashMidTransactionDropsPrepares(t *testing.T) {
+	s := mkStore(3, Config{ChunkSize: 8, Replication: 1}, false)
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "torn"); err != nil {
+		t.Fatal(err)
+	}
+	first := []byte("0123456789abcdef01234567") // 3 chunks
+	if _, err := s.WriteBlob(ctx, "torn", 0, first); err != nil {
+		t.Fatal(err)
+	}
+	// Record per-node log lengths, run a second multi-chunk write, then
+	// rewind one chunk owner's log to just after its prepare: everything
+	// from the commit on is torn away.
+	owners := s.chunkOwners(chunkID{"torn", 0})
+	sv := s.servers[owners[0]]
+	preLen := sv.logBuf.Len()
+	second := bytes.Repeat([]byte("Z"), 24)
+	if _, err := s.WriteBlob(ctx, "torn", 0, second); err != nil {
+		t.Fatal(err)
+	}
+	// The prepare record for chunk 0 is 8 bytes of data + header; keep the
+	// prepare but drop the commit by scanning replayed records.
+	recs, err := s.LogRecords(cluster.NodeID(owners[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasPrep bool
+	for _, r := range recs {
+		if r.Type == wal.RecPrepWrite {
+			hasPrep = true
+		}
+	}
+	if !hasPrep {
+		t.Fatal("multi-chunk write logged no prepares")
+	}
+	// Truncate the log to preLen + one prepare record: replay the bytes
+	// appended by the second write and cut before the first commit.
+	tail := sv.logBuf.Len() - preLen
+	if tail <= 0 {
+		t.Fatal("second write appended nothing")
+	}
+	// Find the cut point: replay from scratch counting bytes; simplest is
+	// to truncate right after the first RecPrepWrite appended post-preLen.
+	// Record framing: 8-byte preamble + 9-byte header + payload.
+	cut := -1
+	off := 0
+	for _, r := range recs {
+		recLen := 8 + 9 + len(r.Payload)
+		off += recLen
+		if off > preLen && r.Type == wal.RecPrepWrite {
+			cut = off
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatal("no post-baseline prepare found")
+	}
+	sv.logBuf.Truncate(cut)
+	s.Crash(cluster.NodeID(owners[0]))
+	if err := s.Recover(cluster.NodeID(owners[0])); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered node must serve chunk 0's committed (first-write)
+	// bytes, not the torn transaction's.
+	got := make([]byte, 8)
+	if _, err := s.ReadBlob(ctx, "torn", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, first[:8]) {
+		t.Fatalf("torn transaction replayed: got %q, want %q", got, first[:8])
+	}
+}
+
+// TestStalePrepareNotResurrectedByLaterCommit: a dangling RecPrepWrite
+// left by a torn transaction must not be applied by a later, unrelated
+// transaction's commit to the same chunk — replay keeps only the latest
+// pending prepare per chunk.
+func TestStalePrepareNotResurrectedByLaterCommit(t *testing.T) {
+	s := mkStore(3, Config{ChunkSize: 8, Replication: 1}, false)
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "stale"); err != nil {
+		t.Fatal(err)
+	}
+	base := []byte("0123456789abcdef01234567") // 3 chunks
+	if _, err := s.WriteBlob(ctx, "stale", 0, base); err != nil {
+		t.Fatal(err)
+	}
+	owner := s.chunkOwners(chunkID{"stale", 0})[0]
+	sv := s.servers[owner]
+	preLen := sv.logBuf.Len()
+	// Second multi-chunk write; then tear its log on chunk 0's owner
+	// right after the prepare, leaving a dangling RecPrepWrite("ZZZZ...").
+	if _, err := s.WriteBlob(ctx, "stale", 0, bytes.Repeat([]byte("Z"), 24)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.LogRecords(cluster.NodeID(owner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, off := -1, 0
+	for _, r := range recs {
+		off += 8 + 9 + len(r.Payload)
+		if off > preLen && r.Type == wal.RecPrepWrite {
+			cut = off
+			break
+		}
+	}
+	if cut < 0 {
+		t.Fatal("no prepare found after the baseline")
+	}
+	sv.logBuf.Truncate(cut)
+	s.Crash(cluster.NodeID(owner))
+	if err := s.Recover(cluster.NodeID(owner)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A later multi-chunk transaction commits 4 bytes into chunk 0. Its
+	// commit must apply its own prepare only, not the stale one still
+	// sitting in the durable log.
+	if _, err := s.WriteBlob(ctx, "stale", 4, []byte("yyyyzzzz")); err != nil { // chunks 0 and 1
+		t.Fatal(err)
+	}
+	s.Crash(cluster.NodeID(owner))
+	if err := s.Recover(cluster.NodeID(owner)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := s.ReadBlob(ctx, "stale", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("0123yyyy"); !bytes.Equal(got, want) {
+		t.Fatalf("stale prepare resurrected: chunk 0 = %q, want %q", got, want)
+	}
+}
+
+// TestTruncateNoopLeavesStateUntouched is the regression test for the
+// no-op truncate fix: truncating to the current size must charge the
+// metadata lookup but change nothing — no version bump, no WAL append, no
+// descriptor replication.
+func TestTruncateNoopLeavesStateUntouched(t *testing.T) {
+	s := mkStore(4, Config{ChunkSize: 16, Replication: 2}, false)
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "noop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteBlob(ctx, "noop", 0, make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := s.primaryDesc("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verBefore := d.version
+	logBefore := make([]int, 4)
+	for i := range logBefore {
+		logBefore[i] = s.servers[i].logBuf.Len()
+	}
+	clockBefore := ctx.Clock.Now()
+
+	if err := s.TruncateBlob(ctx, "noop", 40); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Clock.Now() <= clockBefore {
+		t.Fatal("no-op truncate did not charge the metadata lookup")
+	}
+	if d.version != verBefore {
+		t.Fatalf("no-op truncate bumped version %d -> %d", verBefore, d.version)
+	}
+	for i := range logBefore {
+		if got := s.servers[i].logBuf.Len(); got != logBefore[i] {
+			t.Fatalf("no-op truncate appended to node %d's WAL (%d -> %d)", i, logBefore[i], got)
+		}
+	}
+
+	// A size-changing truncate still versions and logs.
+	if err := s.TruncateBlob(ctx, "noop", 48); err != nil {
+		t.Fatal(err)
+	}
+	if d.version != verBefore+1 {
+		t.Fatalf("grow truncate version = %d, want %d", d.version, verBefore+1)
+	}
+	if size, _ := s.BlobSize(ctx, "noop"); size != 48 {
+		t.Fatalf("grow truncate size = %d", size)
+	}
+}
+
+// TestErrorPathsJoinFanAndCharge is the fan-leak regression test: an
+// operation that fails mid-fan must still join its fan — advancing the
+// caller's clock by the work that did complete — and leave the pooled
+// dispatcher state consistent for the next operation.
+func TestErrorPathsJoinFanAndCharge(t *testing.T) {
+	s := mkStore(4, Config{ChunkSize: 8, Replication: 1}, false)
+	ctx := storage.NewContext()
+	if err := s.CreateBlob(ctx, "leak"); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("abcdefgh-second-:third--") // chunks 0,1,2
+	if _, err := s.WriteBlob(ctx, "leak", 0, content); err != nil {
+		t.Fatal(err)
+	}
+
+	// Down chunk 1's only replica: reads of chunk 0 succeed, chunk 1 fails.
+	victim := s.chunkOwners(chunkID{"leak", 1})[0]
+	s.SetDown(cluster.NodeID(victim), true)
+	before := ctx.Clock.Now()
+	got := make([]byte, 24)
+	n, err := s.ReadBlob(ctx, "leak", 0, got)
+	if !errors.Is(err, storage.ErrStaleHandle) {
+		t.Fatalf("read with chunk 1 down: err = %v", err)
+	}
+	if n != 8 {
+		t.Fatalf("partial read returned n = %d, want 8 (the chunks before the failure)", n)
+	}
+	if !bytes.Equal(got[:8], content[:8]) {
+		t.Fatalf("prefix bytes corrupt: %q", got[:8])
+	}
+	if ctx.Clock.Now() <= before {
+		t.Fatal("failed read charged no virtual time: completed chunk work was lost")
+	}
+
+	// A failing multi-chunk write (prepare phase) must also charge and
+	// leave the pools reusable.
+	before = ctx.Clock.Now()
+	if _, err := s.WriteBlob(ctx, "leak", 0, content); !errors.Is(err, storage.ErrStaleHandle) {
+		t.Fatalf("write with chunk primary down: err = %v", err)
+	}
+	if ctx.Clock.Now() <= before {
+		t.Fatal("failed write charged no virtual time")
+	}
+
+	// Recover and verify the store still works and the dispatcher pools
+	// were not corrupted by the error exits.
+	s.SetDown(cluster.NodeID(victim), false)
+	for i := 0; i < 50; i++ {
+		if _, err := s.WriteBlob(ctx, "leak", 0, content); err != nil {
+			t.Fatal(err)
+		}
+		rd := make([]byte, 24)
+		if n, err := s.ReadBlob(ctx, "leak", 0, rd); err != nil || n != 24 || !bytes.Equal(rd, content) {
+			t.Fatalf("post-error op %d: (%d, %v)", i, n, err)
+		}
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+// TestRebalanceDeterministicWithDispatcher extends the determinism pin to
+// the membership-change scatter-gather.
+func TestRebalanceDeterministicWithDispatcher(t *testing.T) {
+	run := func(inline bool) int64 {
+		c := cluster.New(cluster.Config{Nodes: 6, Seed: 11})
+		s := NewOnNodes(c, Config{ChunkSize: 32, Replication: 2, InlineFanout: inline},
+			[]cluster.NodeID{0, 1, 2, 3})
+		ctx := storage.NewContext()
+		buf := make([]byte, 300)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		for i := 0; i < 12; i++ {
+			key := fmt.Sprintf("mig-%02d", i)
+			if err := s.CreateBlob(ctx, key); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.WriteBlob(ctx, key, 0, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.AddServer(ctx, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RemoveServer(ctx, 0); err != nil {
+			t.Fatal(err)
+		}
+		if msg := s.CheckInvariants(); msg != "" {
+			t.Fatalf("invariants after churn: %s", msg)
+		}
+		return int64(ctx.Clock.Now())
+	}
+	if seq, par := run(true), run(false); seq != par {
+		t.Fatalf("rebalance virtual time diverges: sequential %d, dispatcher %d", seq, par)
+	}
+}

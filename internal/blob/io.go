@@ -33,34 +33,38 @@ func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) 
 		want = size - off
 	}
 
-	// Fan out per-chunk reads with forked clocks; join on the slowest —
+	// Fan out per-chunk reads across the worker pool; join on the slowest —
 	// parallel striped reads are the throughput story of object storage.
+	// Every exit joins the fan, so no pooled context leaks and the time
+	// charged by completed chunks is never lost. A read confined to one
+	// chunk runs inline: a one-task fan pays dispatch overhead for no
+	// parallelism, and the folded virtual time is identical either way.
 	cs := int64(s.cfg.ChunkSize)
-	fan := newFan()
-	var n int64
-	for n < want {
-		idx := (off + n) / cs
-		within := (off + n) % cs
-		take := cs - within
-		if take > want-n {
-			take = want - n
-		}
-		dst := p[n : n+take]
-		child := fan.child(ctx)
-		if err := s.readChunk(child, chunkID{key, idx}, within, dst); err != nil {
-			return int(n), err
-		}
-		n += take
+	fan := s.newFan()
+	if off/cs == (off+want-1)/cs {
+		fan.inline = true
 	}
-	fan.join(ctx)
-	return int(n), nil
+	forEachSpan(off, want, cs, func(idx, within, start, take int64) {
+		t := fan.task(taskReadChunk)
+		t.pl.id = chunkID{key, idx}
+		t.within = within
+		t.data = p[start : start+take]
+		fan.spawn(t)
+	})
+	errIdx, err := fan.join(ctx)
+	if err != nil {
+		// Chunks before the first failed one are fully read; later chunks
+		// may or may not have landed in p, which pread semantics allow.
+		return int(fanPrefixBytes(off, want, cs, errIdx)), err
+	}
+	return int(want), nil
 }
 
 // readChunk reads from the first live replica of the chunk. Missing chunk
 // data within the blob's size reads as zeros (sparse blob semantics). The
 // placement hash is computed once and reused for both the owner lookup and
 // the lock-stripe selection — the whole dispatch is allocation-free.
-func (s *Store) readChunk(ctx *storage.Context, id chunkID, within int64, dst []byte) error {
+func (s *Store) readChunk(cg *charge, id chunkID, within int64, dst []byte) error {
 	h := id.ringHash()
 	owners := s.ownersForHash(h)
 	for _, o := range owners {
@@ -78,8 +82,8 @@ func (s *Store) readChunk(ctx *storage.Context, id chunkID, within int64, dst []
 		// Sparse tail: anything the replica did not cover reads as zeros.
 		clear(dst[copied:])
 		// Cost: RPC carrying the chunk payload back, plus the disk read.
-		s.cluster.DiskRead(ctx.Clock, sv.node, len(dst))
-		s.cluster.RPC(ctx.Clock, sv.node, 64, len(dst), 0)
+		cg.diskRead(sv.node, len(dst))
+		cg.rpc(sv.node, 64, len(dst), 0)
 		return nil
 	}
 	return fmt.Errorf("chunk %d of %q: all replicas down: %w", id.idx, id.key, storage.ErrStaleHandle)
@@ -132,6 +136,12 @@ var placePool = sync.Pool{
 
 // writeLocked performs the write with the descriptor latch already held.
 // Multi-blob transactions (txn.go) call it while holding several latches.
+//
+// Multi-chunk writes log 2PC-style: the data phase appends RecPrepWrite to
+// every replica of every participant, the commit phase appends
+// RecChunkCommit to the same set, and a data-phase failure appends RecAbort
+// markers — so crash replay applies a multi-chunk write all-or-nothing
+// (recovery.go buffers prepares and materializes them only on commit).
 func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d *descriptor, off int64, p []byte) (int, error) {
 	cs := int64(s.cfg.ChunkSize)
 	firstChunk := off / cs
@@ -153,47 +163,85 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 		places = append(places, chunkPlace{id: id, h: h, owners: s.ownersForHash(h)})
 	}
 
+	recType := wal.RecWrite
 	if multi {
+		recType = wal.RecPrepWrite
+
 		// Prepare phase: one metadata round trip per participant chunk
 		// primary, charged in parallel.
-		fan := newFan()
-		for _, pl := range places {
-			if s.servers[pl.owners[0]].isDown() {
-				return 0, fmt.Errorf("chunk %d of %q: primary down: %w", pl.id.idx, key, storage.ErrStaleHandle)
-			}
-			child := fan.child(ctx)
-			s.cluster.MetaOp(child.Clock, s.servers[pl.owners[0]].node, 1)
+		fan := s.newFan()
+		for i := range places {
+			t := fan.task(taskPrepare)
+			t.sv = s.servers[places[i].owners[0]]
+			t.pl = places[i]
+			fan.spawn(t)
 		}
-		fan.join(ctx)
+		if _, err := fan.join(ctx); err != nil {
+			// Nothing durable was prepared (the prepare is a round trip,
+			// not a log record), so there is nothing to abort.
+			return 0, err
+		}
 	}
 
 	// Data phase: write each chunk to its full replica set, in parallel
-	// across chunks.
-	fan := newFan()
-	var n int64
-	for n < int64(len(p)) {
-		idx := (off + n) / cs
-		within := (off + n) % cs
-		take := cs - within
-		if take > int64(len(p))-n {
-			take = int64(len(p)) - n
-		}
-		child := fan.child(ctx)
-		if err := s.writeChunk(child, places[idx-firstChunk], within, p[n:n+take]); err != nil {
-			return int(n), err
-		}
-		n += take
+	// across chunks. A single-chunk write keeps the chunk task inline
+	// (PR 1's sequential shape); only its replica sub-fan, if any, can
+	// profit from the pool, and that profit is below dispatch cost at
+	// typical chunk sizes.
+	fan := s.newFan()
+	if !multi {
+		fan.inline = true
 	}
-	fan.join(ctx)
+	forEachSpan(off, int64(len(p)), cs, func(idx, within, start, take int64) {
+		t := fan.task(taskWriteChunk)
+		t.pl = places[idx-firstChunk]
+		t.within = within
+		t.data = p[start : start+take]
+		t.rec = recType
+		fan.spawn(t)
+	})
+	if _, err := fan.join(ctx); err != nil {
+		if multi {
+			// The transaction dies mid-flight: append abort markers so
+			// replay discards the prepared chunk writes instead of
+			// resurrecting a half-committed transaction.
+			s.abortPrepared(ctx, places)
+		}
+		// Nothing is readable or durable from the failed write — a
+		// single-chunk write validates its replica set before mutating,
+		// and a multi-chunk write is rolled back whole by the abort — so
+		// the reported count is zero, not the completed-task prefix.
+		return 0, err
+	}
 
 	if multi {
-		// Commit phase: one commit round trip per participant chunk plus
-		// the commit record's log append, charged in parallel across the
-		// participant servers; records bound for the same server's log
-		// are batched into one append.
+		// Commit phase, step 1: materialize the prepared writes in memory,
+		// one task per chunk covering its whole replica set. Pure memory
+		// work (no charges fold), deferred to here so an aborted data
+		// phase leaves live replicas untouched. Readers cannot observe the
+		// window: the descriptor latch is held until the write returns.
+		applyFan := s.newFan()
+		forEachSpan(off, int64(len(p)), cs, func(idx, within, start, take int64) {
+			t := applyFan.task(taskApplyChunk)
+			t.pl = places[idx-firstChunk]
+			t.within = within
+			t.data = p[start : start+take]
+			applyFan.spawn(t)
+		})
+		applyFan.join(ctx)
+
+		// Commit phase, step 2: one commit round trip per participant
+		// replica plus the commit record's log append, charged in parallel
+		// across the participant servers; records bound for the same
+		// server's log are batched into one append. Every replica that
+		// holds a prepare must also log the commit, or its own crash
+		// replay would discard the data.
 		batch := newWalBatch(s)
-		for _, pl := range places {
-			batch.addChunk(s.servers[pl.owners[0]], wal.RecCommit, pl.id, 0, nil)
+		for i := range places {
+			pl := &places[i]
+			for _, o := range pl.owners {
+				batch.addChunk(s.servers[o], wal.RecChunkCommit, pl.id, 0, nil)
+			}
 		}
 		batch.flushParallel(ctx, true)
 	}
@@ -203,52 +251,102 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 	if off+int64(len(p)) > d.size {
 		d.size = off + int64(len(p))
 		s.cluster.MetaOp(ctx.Clock, primary.node, 1)
-		s.walAppendMeta(ctx, primary, wal.RecMeta, key, d.size)
+		cg := s.directCharge(ctx)
+		s.walAppendMeta(&cg, primary, wal.RecMeta, key, d.size)
 		s.replicateDescSize(ctx, key, d.size)
 	}
 	return len(p), nil
 }
 
+// abortPrepared logs RecAbort markers on every live replica of every
+// participant chunk, batched per server. Down servers are skipped: their
+// logs are unreachable, and their uncommitted prepares die at replay anyway.
+func (s *Store) abortPrepared(ctx *storage.Context, places []chunkPlace) {
+	batch := newWalBatch(s)
+	for i := range places {
+		pl := &places[i]
+		for _, o := range pl.owners {
+			sv := s.servers[o]
+			if sv.isDown() {
+				continue
+			}
+			batch.addChunk(sv, wal.RecAbort, pl.id, 0, nil)
+		}
+	}
+	batch.flushParallel(ctx, true)
+}
+
 // writeChunk applies data to the chunk at the given intra-chunk offset on
 // every replica, primary first then replicas in parallel (primary-copy
-// replication). The caller resolves placement once (chunkPlace); the hash
-// serves both the owner lookup and the lock-stripe selection.
-func (s *Store) writeChunk(ctx *storage.Context, pl chunkPlace, within int64, data []byte) error {
-	id, h, owners := pl.id, pl.h, pl.owners
-	// Client -> primary carries the payload.
-	primary := s.servers[owners[0]]
+// replication). It runs as a fan task: the replica copies are a nested fan
+// recorded into this task's ledger, so simulated time keeps the
+// primary-then-parallel-replicas shape while the actual copies run on the
+// worker pool.
+func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte, rec wal.RecordType) error {
+	cg := &t.cg
+	// Validate the whole replica set before mutating anything: down-ness
+	// is the failure model here, so checking up front makes the
+	// single-chunk direct-commit path failure-atomic — no durable RecWrite
+	// on the primary for a write that then dies on a replica, which crash
+	// replay would resurrect one-sidedly. (A server going down between
+	// this check and the copies is still caught by the per-replica check
+	// below; the multi-chunk path additionally has the RecAbort protocol.)
+	primary := s.servers[pl.owners[0]]
 	if primary.isDown() {
-		return fmt.Errorf("chunk %d of %q: primary down: %w", id.idx, id.key, storage.ErrStaleHandle)
+		return fmt.Errorf("chunk %d of %q: primary down: %w", pl.id.idx, pl.id.key, storage.ErrStaleHandle)
 	}
-	s.cluster.RPC(ctx.Clock, primary.node, len(data), 64, 0)
-	applyChunk(primary, h, id, within, data)
-	s.walAppendChunk(ctx, primary, wal.RecWrite, id, within, data)
-	s.cluster.DiskWrite(ctx.Clock, primary.node, len(data))
+	for _, o := range pl.owners[1:] {
+		if s.servers[o].isDown() {
+			return fmt.Errorf("chunk %d of %q: replica down: %w", pl.id.idx, pl.id.key, storage.ErrStaleHandle)
+		}
+	}
+	// Client -> primary carries the payload. A prepared (multi-chunk)
+	// write logs now but materializes in memory only at the commit phase,
+	// so a transaction that dies mid-data-phase leaves live replicas
+	// exactly as consistent as crash-recovered ones.
+	apply := rec == wal.RecWrite
+	cg.rpc(primary.node, len(data), 64, 0)
+	if apply {
+		applyChunk(primary, pl.h, pl.id, within, data)
+	}
+	s.walAppendChunk(cg, primary, rec, pl.id, within, data)
+	cg.diskWrite(primary.node, len(data))
 
 	// Primary -> replicas in parallel. With synchronous replication the
 	// client waits for every copy; with AsyncReplication the copies are
 	// applied (and their resource time reserved) but the client clock does
 	// not wait on them.
-	fan := newFan()
-	for _, o := range owners[1:] {
-		sv := s.servers[o]
-		if sv.isDown() {
-			return fmt.Errorf("chunk %d of %q: replica down: %w", id.idx, id.key, storage.ErrStaleHandle)
+	if len(pl.owners) > 1 {
+		sf := t.subFan()
+		for _, o := range pl.owners[1:] {
+			rt := sf.task(taskReplicaWrite)
+			rt.sv = s.servers[o]
+			rt.pl = pl
+			rt.within = within
+			rt.data = data
+			rt.rec = rec
+			sf.spawn(rt)
 		}
-		child := fan.child(ctx)
-		s.cluster.RPC(child.Clock, sv.node, len(data), 64, 0)
-		applyChunk(sv, h, id, within, data)
-		s.walAppendChunk(child, sv, wal.RecWrite, id, within, data)
-		s.cluster.DiskWrite(child.Clock, sv.node, len(data))
+		if s.cfg.AsyncReplication {
+			t.dropSubs(&sf)
+		} else {
+			t.joinSubs(&sf)
+		}
 	}
-	if s.cfg.AsyncReplication {
-		// The replica clocks are deliberately not joined: the client is
-		// acknowledged without waiting. Recycle the children without
-		// advancing ctx.
-		fan.drop()
-	} else {
-		fan.join(ctx)
+	return nil
+}
+
+// replicaWrite is the per-replica body of writeChunk's nested fan.
+func (s *Store) replicaWrite(cg *charge, sv *server, pl chunkPlace, within int64, data []byte, rec wal.RecordType) error {
+	if sv.isDown() {
+		return fmt.Errorf("chunk %d of %q: replica down: %w", pl.id.idx, pl.id.key, storage.ErrStaleHandle)
 	}
+	cg.rpc(sv.node, len(data), 64, 0)
+	if rec == wal.RecWrite {
+		applyChunk(sv, pl.h, pl.id, within, data)
+	}
+	s.walAppendChunk(cg, sv, rec, pl.id, within, data)
+	cg.diskWrite(sv.node, len(data))
 	return nil
 }
 
@@ -290,7 +388,9 @@ func applyChunk(sv *server, h uint64, id chunkID, within int64, data []byte) {
 
 // TruncateBlob sets the blob's size. Shrinking drops whole chunks past the
 // new end and trims the boundary chunk; growing is sparse (reads return
-// zeros).
+// zeros). Truncating to the current size is a pure metadata probe: after
+// the lookup charge it changes nothing — no version bump, no WAL record,
+// no descriptor replication.
 func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error {
 	if size < 0 {
 		return fmt.Errorf("truncate %q to %d: %w", key, size, storage.ErrInvalidArg)
@@ -307,17 +407,24 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 	d.latch.Lock()
 	defer d.latch.Unlock()
 
+	if size == d.size {
+		return nil
+	}
 	cs := int64(s.cfg.ChunkSize)
 	if size < d.size {
 		oldChunks := (d.size + cs - 1) / cs
 		keepChunks := (size + cs - 1) / cs
 		batch := newWalBatch(s)
+		fan := s.newFan()
 		for idx := keepChunks; idx < oldChunks; idx++ {
 			id := chunkID{key, idx}
 			h := id.ringHash()
 			for _, o := range s.ownersForHash(h) {
 				sv := s.servers[o]
-				sv.deleteChunk(h, id)
+				t := fan.task(taskChunkDelete)
+				t.sv = sv
+				t.pl = chunkPlace{id: id, h: h}
+				fan.spawn(t)
 				batch.addChunk(sv, wal.RecChunkDelete, id, 0, nil)
 			}
 		}
@@ -329,15 +436,21 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 			h := id.ringHash()
 			for _, o := range s.ownersForHash(h) {
 				sv := s.servers[o]
-				sv.trimChunk(h, id, keep)
+				t := fan.task(taskChunkTrim)
+				t.sv = sv
+				t.pl = chunkPlace{id: id, h: h}
+				t.size = keep
+				fan.spawn(t)
 				batch.addChunk(sv, wal.RecChunkTruncate, id, keep, nil)
 			}
 		}
+		fan.join(ctx)
 		batch.flush(ctx)
 	}
 	d.version++
 	d.size = size
-	s.walAppendMeta(ctx, primary, wal.RecTruncate, key, size)
+	cg := s.directCharge(ctx)
+	s.walAppendMeta(&cg, primary, wal.RecTruncate, key, size)
 	s.replicateDescSize(ctx, key, size)
 	return nil
 }
@@ -346,17 +459,14 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 // Caller holds the primary descriptor latch.
 func (s *Store) replicateDescSize(ctx *storage.Context, key string, size int64) {
 	owners := s.descOwners(key)
-	fan := newFan()
+	fan := s.newFan()
 	for _, o := range owners[1:] {
-		sv := s.servers[o]
-		child := fan.child(ctx)
-		s.cluster.MetaOp(child.Clock, sv.node, 1)
-		sv.mu.Lock()
-		if rd, ok := sv.blobs[key]; ok {
-			rd.size = size
-		}
-		sv.mu.Unlock()
-		s.walAppendMeta(child, sv, wal.RecMeta, key, size)
+		t := fan.task(taskDescReplicate)
+		t.sv = s.servers[o]
+		t.key = key
+		t.size = size
+		t.rec = wal.RecMeta
+		fan.spawn(t)
 	}
 	fan.join(ctx)
 }

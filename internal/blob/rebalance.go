@@ -2,6 +2,7 @@ package blob
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/storage"
@@ -122,8 +123,18 @@ func (s *Store) ownershipSnapshot() *ownership {
 // migrate reconciles placements after a ring change: for every descriptor
 // and chunk, copy to gained owners and delete from lost ones. Costs are
 // charged per moved byte (read source disk + wire + destination disk).
+// Chunk moves are scatter-gathered across the worker pool — each chunk is
+// an independent fan task — and both sweeps iterate in sorted order so the
+// folded virtual time is deterministic despite the map-shaped snapshot.
 func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
-	for key, oldOwners := range before.descOwners {
+	descKeys := make([]string, 0, len(before.descOwners))
+	for key := range before.descOwners {
+		descKeys = append(descKeys, key)
+	}
+	sort.Strings(descKeys)
+	cg := s.directCharge(ctx)
+	for _, key := range descKeys {
+		oldOwners := before.descOwners[key]
 		newOwners := s.descOwners(key)
 		size := before.descSizes[key]
 		for _, gained := range diff(newOwners, oldOwners) {
@@ -134,54 +145,80 @@ func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
 			}
 			sv.mu.Unlock()
 			s.cluster.MetaOp(ctx.Clock, sv.node, 1)
-			s.walAppendMeta(ctx, sv, wal.RecCreate, key, size)
+			s.walAppendMeta(&cg, sv, wal.RecCreate, key, size)
 		}
 		for _, lost := range diff(oldOwners, newOwners) {
 			sv := s.servers[lost]
 			sv.mu.Lock()
 			delete(sv.blobs, key)
 			sv.mu.Unlock()
-			s.walAppendMeta(ctx, sv, wal.RecDelete, key, 0)
+			s.walAppendMeta(&cg, sv, wal.RecDelete, key, 0)
 		}
 	}
 
-	for id, oldOwners := range before.chunkOwners {
-		h := id.ringHash()
-		newOwners := s.ownersForHash(h)
-		gained := diff(newOwners, oldOwners)
-		lost := diff(oldOwners, newOwners)
-		if len(gained) == 0 && len(lost) == 0 {
-			continue
+	ids := make([]chunkID, 0, len(before.chunkOwners))
+	for id := range before.chunkOwners {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].key != ids[j].key {
+			return ids[i].key < ids[j].key
 		}
-		// Source: the first old owner still holding the bytes. The copy is
-		// made under the stripe lock so a concurrent writer cannot tear it.
-		var data []byte
-		var src *server
-		for _, o := range oldOwners {
-			sv := s.servers[o]
-			if c, ok := sv.copyChunk(h, id); ok {
-				data = c
-				src = sv
-				break
-			}
+		return ids[i].idx < ids[j].idx
+	})
+	fan := s.newFan()
+	for _, id := range ids {
+		id := id
+		oldOwners := before.chunkOwners[id]
+		t := fan.task(taskFunc)
+		t.fn = func(tcg *charge) error {
+			s.migrateChunk(tcg, id, oldOwners)
+			return nil
 		}
-		for _, g := range gained {
-			sv := s.servers[g]
-			if src != nil {
-				s.cluster.DiskRead(ctx.Clock, src.node, len(data))
-				s.cluster.RPC(ctx.Clock, sv.node, len(data), 64, 0)
-				s.cluster.DiskWrite(ctx.Clock, sv.node, len(data))
-			}
-			sv.setChunk(h, id, append([]byte(nil), data...))
-			s.walAppendChunk(ctx, sv, wal.RecWrite, id, 0, data)
-		}
-		for _, l := range lost {
-			sv := s.servers[l]
-			sv.deleteChunk(h, id)
-			s.walAppendChunk(ctx, sv, wal.RecChunkDelete, id, 0, nil)
+		fan.spawn(t)
+	}
+	fan.join(ctx)
+	return nil
+}
+
+// migrateChunk reconciles one chunk's replica set after a ring change. It
+// runs as a fan task: stripe locks guard the chunk tables, the placement
+// cache and WAL are concurrency-safe, and costs fold at the migrate join.
+func (s *Store) migrateChunk(cg *charge, id chunkID, oldOwners []int) {
+	h := id.ringHash()
+	newOwners := s.ownersForHash(h)
+	gained := diff(newOwners, oldOwners)
+	lost := diff(oldOwners, newOwners)
+	if len(gained) == 0 && len(lost) == 0 {
+		return
+	}
+	// Source: the first old owner still holding the bytes. The copy is
+	// made under the stripe lock so a concurrent writer cannot tear it.
+	var data []byte
+	var src *server
+	for _, o := range oldOwners {
+		sv := s.servers[o]
+		if c, ok := sv.copyChunk(h, id); ok {
+			data = c
+			src = sv
+			break
 		}
 	}
-	return nil
+	for _, g := range gained {
+		sv := s.servers[g]
+		if src != nil {
+			cg.diskRead(src.node, len(data))
+			cg.rpc(sv.node, len(data), 64, 0)
+			cg.diskWrite(sv.node, len(data))
+		}
+		sv.setChunk(h, id, append([]byte(nil), data...))
+		s.walAppendChunk(cg, sv, wal.RecWrite, id, 0, data)
+	}
+	for _, l := range lost {
+		sv := s.servers[l]
+		sv.deleteChunk(h, id)
+		s.walAppendChunk(cg, sv, wal.RecChunkDelete, id, 0, nil)
+	}
 }
 
 // diff returns the members of a not present in b.

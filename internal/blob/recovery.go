@@ -31,18 +31,47 @@ func (s *Store) Crash(node cluster.NodeID) {
 	sv.resetChunks()
 }
 
+// prepWrite is the buffered 2PC chunk write awaiting its commit record
+// during replay. At most one is pending per chunk: the per-blob latch
+// serializes transactions and each transaction prepares a chunk exactly
+// once, so a newer prepare supersedes any dangling one a torn transaction
+// left behind — which is also what keeps a later commit from resurrecting
+// stale prepared bytes.
+type prepWrite struct {
+	within int64
+	data   []byte
+}
+
+// applyRecovered merges one chunk write into the replayed chunk table.
+func applyRecovered(chunks map[chunkID][]byte, id chunkID, within int64, data []byte) {
+	chunk := chunks[id]
+	need := within + int64(len(data))
+	if int64(len(chunk)) < need {
+		grown := make([]byte, need)
+		copy(grown, chunk)
+		chunk = grown
+	}
+	copy(chunk[within:], data)
+	chunks[id] = chunk
+}
+
 // Recover rebuilds a server's volatile state by replaying its write-ahead
 // log, then marks the server up again. Every mutation path appends a
 // self-describing record (codec.go) whose payload shape is determined by
 // its type — meta records carry (key, size), chunk records carry
 // (chunkID, within, data) — so replay reconstructs descriptors and chunk
 // bytes exactly without parsing string keys.
+//
+// Multi-chunk (2PC) writes replay all-or-nothing: RecPrepWrite records are
+// buffered per chunk and materialize only when that chunk's RecChunkCommit
+// arrives; a RecAbort discards them, and prepares still pending when the
+// log ends (a crash mid-transaction) are dropped.
 func (s *Store) Recover(node cluster.NodeID) error {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	blobs := make(map[string]*descriptor)
 	chunks := make(map[chunkID][]byte)
+	var pending map[chunkID]prepWrite
 	err := wal.Replay(sv.logBuf.Reader(), func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecCreate, wal.RecMeta:
@@ -62,15 +91,37 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			if err != nil {
 				return err
 			}
-			chunk := chunks[id]
-			need := within + int64(len(data))
-			if int64(len(chunk)) < need {
-				grown := make([]byte, need)
-				copy(grown, chunk)
-				chunk = grown
+			applyRecovered(chunks, id, within, data)
+			return nil
+		case wal.RecPrepWrite:
+			id, within, data, err := decChunkPayload(rec.Payload)
+			if err != nil {
+				return err
 			}
-			copy(chunk[within:], data)
-			chunks[id] = chunk
+			if pending == nil {
+				pending = make(map[chunkID]prepWrite)
+			}
+			// rec.Payload is a fresh per-record buffer; retaining data is
+			// safe. Overwrite, never accumulate: only the latest prepare
+			// belongs to the transaction whose commit may follow.
+			pending[id] = prepWrite{within: within, data: data}
+			return nil
+		case wal.RecChunkCommit:
+			id, _, _, err := decChunkPayload(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if p, ok := pending[id]; ok {
+				applyRecovered(chunks, id, p.within, p.data)
+				delete(pending, id)
+			}
+			return nil
+		case wal.RecAbort:
+			id, _, _, err := decChunkPayload(rec.Payload)
+			if err != nil {
+				return err
+			}
+			delete(pending, id)
 			return nil
 		case wal.RecDelete:
 			key, _, err := decMeta(rec.Payload)
@@ -104,21 +155,35 @@ func (s *Store) Recover(node cluster.NodeID) error {
 				chunks[id] = c[:keep]
 			}
 			return nil
-		case wal.RecCommit, wal.RecAbort:
-			return nil // transaction bookkeeping; state already in data records
+		case wal.RecCommit:
+			return nil // transaction-level marker; state is in the chunk records
 		default:
 			return fmt.Errorf("blob: recover node %d: unknown record type %v", node, rec.Type)
 		}
 	})
 	if err != nil {
+		sv.mu.Unlock()
 		return fmt.Errorf("blob: recover node %d: %w", node, err)
 	}
 	sv.blobs = blobs
+	sv.mu.Unlock()
+	// Scatter the rebuilt chunks across the worker pool; insertions into
+	// distinct lock stripes proceed in parallel and the map is read-only
+	// here, so order does not matter. sv.mu is deliberately NOT held
+	// across this wait: a worker must never block on a lock whose holder
+	// is waiting on the pool (see the dispatch.go contract).
 	sv.resetChunks()
-	for id, data := range chunks {
-		sv.setChunk(id.ringHash(), id, data)
+	ids := make([]chunkID, 0, len(chunks))
+	for id := range chunks {
+		ids = append(ids, id)
 	}
+	parallelDo(len(ids), func(i int) {
+		id := ids[i]
+		sv.setChunk(id.ringHash(), id, chunks[id])
+	})
+	sv.mu.Lock()
 	sv.down = false
+	sv.mu.Unlock()
 	return nil
 }
 
@@ -161,12 +226,13 @@ func (s *Store) Checkpoint(node cluster.NodeID) {
 	payloadPool.Put(bp)
 }
 
-// CheckpointAll checkpoints every live server; the store must be
-// quiescent. Down servers are skipped (their WAL is their only state).
+// CheckpointAll checkpoints every live server in parallel across the
+// worker pool; the store must be quiescent. Down servers are skipped
+// (their WAL is their only state).
 func (s *Store) CheckpointAll() {
-	for i := range s.servers {
+	parallelDo(len(s.servers), func(i int) {
 		s.Checkpoint(cluster.NodeID(i))
-	}
+	})
 }
 
 // DescriptorCount reports how many blob descriptors (primary or replica

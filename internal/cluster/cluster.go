@@ -8,6 +8,15 @@
 // service time; a persisted write pays a disk transfer — and the per-client
 // virtual clocks of package sim turn those reservations into latency and
 // contention.
+//
+// Every charging endpoint (RPC, DiskRead, DiskWrite, DiskAppend, MetaOp)
+// tolerates concurrent callers: resources and clocks are internally
+// locked, and busy-time/op accounting never loses a reservation
+// (TestConcurrentChargingAccumulatesExactly). Reservation ORDER under
+// concurrency is scheduler-dependent, however, so callers that need
+// reproducible virtual times serialize their charges — internal/blob's
+// dispatcher records per-task ledgers and folds them at join in
+// submission order for exactly this reason.
 package cluster
 
 import (

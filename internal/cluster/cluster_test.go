@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -131,5 +132,43 @@ func TestRNGDeterministicPerSeed(t *testing.T) {
 		if a.RNG().Uint64() != b.RNG().Uint64() {
 			t.Fatal("same-seed clusters diverge")
 		}
+	}
+}
+
+// TestConcurrentChargingAccumulatesExactly: the cluster's charging
+// endpoints are hit concurrently by the blob dispatcher's fold-at-join
+// (one folding goroutine per in-flight client operation). Under -race this
+// pins their locking; the accounting must not lose a single reservation.
+func TestConcurrentChargingAccumulatesExactly(t *testing.T) {
+	c := New(Config{Nodes: 4})
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := sim.NewClock()
+			for i := 0; i < each; i++ {
+				node := NodeID((w + i) % 4)
+				c.DiskWrite(clk, node, 4096)
+				c.MetaOp(clk, node, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var diskOps, cpuOps int64
+	for _, n := range c.Nodes() {
+		_, d := n.Disk().Stats()
+		_, p := n.CPU().Stats()
+		diskOps += d
+		cpuOps += p
+	}
+	if want := int64(workers * each); diskOps != want || cpuOps != want {
+		t.Fatalf("lost reservations: disk ops = %d, cpu ops = %d, want %d each", diskOps, cpuOps, want)
+	}
+	wantDisk := time.Duration(workers*each) * c.Cost().DiskTime(4096)
+	disk, _, _ := c.Utilization()
+	if disk != wantDisk {
+		t.Fatalf("disk busy = %v, want %v", disk, wantDisk)
 	}
 }

@@ -20,8 +20,18 @@ import (
 
 // Clock is a virtual clock owned by a single logical client (an MPI rank, a
 // Spark task, a CLI invocation). It is advanced by the resources the client
-// consumes. A Clock must not be shared between concurrently running
-// goroutines; spawn child clocks instead (see Fork).
+// consumes.
+//
+// Every method is individually safe for concurrent use (the clock is
+// internally locked), which makes forked child clocks safely mergeable: a
+// worker goroutine may advance its child while the parent concurrently
+// Joins other children. What locking cannot provide is a deterministic
+// ORDER of advancement, so the ownership discipline still matters: give
+// each concurrent worker its own child clock (see Fork), let exactly one
+// goroutine at a time drive any given clock, and merge at a join point.
+// Callers that need bit-for-bit reproducible times must additionally
+// serialize the resource charging itself, the way internal/blob's
+// dispatcher folds per-task cost ledgers at join in submission order.
 type Clock struct {
 	mu  sync.Mutex
 	now time.Duration
@@ -79,7 +89,9 @@ func (c *Clock) Reset(t time.Duration) {
 
 // Join advances the clock to the latest time among the given clocks,
 // modelling a synchronization point (barrier, task join) where the slowest
-// participant determines completion.
+// participant determines completion. Join is safe to call while other
+// goroutines concurrently advance or join this clock; each child is
+// sampled atomically via Now.
 func (c *Clock) Join(children ...*Clock) {
 	for _, ch := range children {
 		c.AdvanceTo(ch.Now())

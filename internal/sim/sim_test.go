@@ -267,3 +267,61 @@ func TestRNGConcurrentSafety(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestClockConcurrentMerge: forked child clocks are advanced by worker
+// goroutines and joined back concurrently — the blob dispatcher's usage
+// shape. Run under -race this pins the clock's internal locking; the final
+// time must be the maximum any child reached.
+func TestClockConcurrentMerge(t *testing.T) {
+	parent := NewClock()
+	parent.Advance(time.Second)
+	var wg sync.WaitGroup
+	children := make([]*Clock, 16)
+	for i := range children {
+		children[i] = parent.Fork()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j <= i; j++ {
+				children[i].Advance(time.Millisecond)
+			}
+			parent.Join(children[i])
+		}(i)
+	}
+	wg.Wait()
+	want := time.Second + 16*time.Millisecond
+	if got := parent.Now(); got != want {
+		t.Fatalf("concurrent join: parent = %v, want %v", got, want)
+	}
+}
+
+// TestResourceConcurrentUseAccumulatesExactly: reservations from many
+// goroutines must serialize without losing service time — the property the
+// blob dispatcher's fold-at-join relies on when several client operations
+// fold concurrently.
+func TestResourceConcurrentUseAccumulatesExactly(t *testing.T) {
+	r := NewResource("disk")
+	const workers, each = 8, 500
+	const service = 10 * time.Microsecond
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				r.Use(0, service)
+			}
+		}()
+	}
+	wg.Wait()
+	busy, ops := r.Stats()
+	if want := time.Duration(workers*each) * service; busy != want {
+		t.Fatalf("busy = %v, want %v", busy, want)
+	}
+	if ops != workers*each {
+		t.Fatalf("ops = %d, want %d", ops, workers*each)
+	}
+	if free := r.Peek(); free != time.Duration(workers*each)*service {
+		t.Fatalf("nextFree = %v after back-to-back reservations", free)
+	}
+}

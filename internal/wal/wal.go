@@ -34,6 +34,15 @@ const (
 	RecMeta
 	RecChunkDelete
 	RecChunkTruncate
+	// RecPrepWrite is a chunk write prepared by a multi-chunk (2PC)
+	// transaction: replay buffers it and applies it only once the same
+	// chunk's RecChunkCommit arrives, so a crash mid-transaction cannot
+	// resurrect a half-committed write.
+	RecPrepWrite
+	// RecChunkCommit commits every buffered RecPrepWrite for its chunk.
+	// (RecCommit remains the transaction-level marker with a meta payload;
+	// replay skips it.)
+	RecChunkCommit
 )
 
 // String names the record type.
@@ -57,6 +66,10 @@ func (t RecordType) String() string {
 		return "chunk-delete"
 	case RecChunkTruncate:
 		return "chunk-truncate"
+	case RecPrepWrite:
+		return "prep-write"
+	case RecChunkCommit:
+		return "chunk-commit"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}

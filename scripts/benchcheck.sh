@@ -1,11 +1,20 @@
 #!/bin/sh
-# benchcheck: run the data-plane hot-path micro-benchmarks with allocation
-# accounting and record the results in BENCH_hotpath.json, giving future PRs
-# a perf trajectory to compare against.
+# benchcheck: gate the data plane, then record its perf trajectory.
+#
+# Order matters: vet and the -race suites must pass before the numbers are
+# worth recording — a racy dispatcher produces fast garbage. The race scope
+# covers the packages the goroutine fan-out touches: the blob data plane
+# and the virtual-time substrate it folds costs into.
+#
+# The hot-path micro-benchmarks then run with allocation accounting and the
+# results land in BENCH_hotpath.json, giving future PRs a perf trajectory
+# to compare against.
 #
 # Usage: scripts/benchcheck.sh [output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
+go vet ./...
+go test -race ./internal/blob/... ./internal/sim/... ./internal/cluster/...
 go test -run '^$' -bench 'HotPath' -benchmem -benchtime=1s .
 go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out"
