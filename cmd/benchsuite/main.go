@@ -6,18 +6,21 @@
 //
 //	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath]
 //	           [-factor N] [-chunk N] [-ranks N] [-executors N]
-//	           [-hotpath-out FILE]
+//	           [-hotpath-out FILE] [-hotpath-baseline FILE]
 //
 // The default factor 1024 scales the paper's GB volumes to MB; the chunk
 // scales the per-call I/O unit accordingly (see internal/workloads).
 //
 // The hotpath experiment is the benchcheck target: it runs the data-plane
-// micro-benchmarks (BenchmarkHotPathRead / BenchmarkHotPathWrite, with
-// allocation accounting equivalent to `go test -bench HotPath -benchmem`)
-// and writes the results to -hotpath-out (default BENCH_hotpath.json) so
-// successive PRs have a perf trajectory to compare against:
+// micro-benchmarks (BenchmarkHotPathRead / BenchmarkHotPathWrite /
+// BenchmarkHotPathWriteParallel, with allocation accounting equivalent to
+// `go test -bench HotPath -benchmem`) and writes the results to
+// -hotpath-out (default BENCH_hotpath.json) so successive PRs have a perf
+// trajectory to compare against. With -hotpath-baseline, the committed
+// file is read BEFORE the results overwrite it and the run fails if the
+// write path's allocation volume regressed against it:
 //
-//	go run ./cmd/benchsuite -exp hotpath
+//	go run ./cmd/benchsuite -exp hotpath -hotpath-baseline BENCH_hotpath.json
 package main
 
 import (
@@ -36,7 +39,19 @@ func main() {
 	ranks := flag.Int("ranks", 8, "MPI ranks for HPC applications")
 	executors := flag.Int("executors", 4, "Spark executors")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output file for the hotpath experiment")
+	hotpathBaseline := flag.String("hotpath-baseline", "", "committed BENCH_hotpath.json to gate write-path allocation regressions against")
 	flag.Parse()
+
+	// Read the baseline up front: -hotpath-out usually names the same file,
+	// and the gate must compare against the committed numbers, not ours.
+	var baseline []byte
+	if *hotpathBaseline != "" {
+		var err error
+		if baseline, err = os.ReadFile(*hotpathBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: hotpath baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	cfg := workloads.Config{
 		Factor:    *factor,
@@ -116,6 +131,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v\n", err)
 			os.Exit(1)
 		}
+		for _, r := range results {
+			fmt.Printf("%-30s %10d ns/op %8d B/op %6d allocs/op %10.1f MB/s\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
+		}
+		// Gate BEFORE writing -hotpath-out: the two usually name the same
+		// file, and a failing run must not clobber the committed baseline —
+		// that would make a simple re-run pass against its own regression.
+		if baseline != nil {
+			if err := bench.CheckHotPathBaseline(results, baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v (baseline left untouched)\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("write-path allocation gate vs %s: ok\n", *hotpathBaseline)
+		}
 		out, err := bench.RenderHotPath(results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v\n", err)
@@ -124,10 +153,6 @@ func main() {
 		if err := os.WriteFile(*hotpathOut, append(out, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v\n", err)
 			os.Exit(1)
-		}
-		for _, r := range results {
-			fmt.Printf("%-24s %10d ns/op %8d B/op %6d allocs/op %10.1f MB/s\n",
-				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
 		}
 		fmt.Printf("wrote %s\n", *hotpathOut)
 	}

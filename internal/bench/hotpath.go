@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/blob"
@@ -20,6 +22,17 @@ type HotPath struct {
 	Store *blob.Store
 	Ctx   *storage.Context
 	buf   []byte
+	// clients is the per-client fixture of the parallel write benchmark:
+	// every client owns a key (so its descriptor latch is private and the
+	// contention lands on the shared WAL mutexes and dispatcher), a
+	// context, and a payload buffer.
+	clients []hotClient
+}
+
+type hotClient struct {
+	key string
+	ctx *storage.Context
+	buf []byte
 }
 
 // NewHotPath builds the fixture with the blob pre-written so reads hit
@@ -52,9 +65,118 @@ func newHotPath(inline bool) (*HotPath, error) {
 // OpBytes is the payload size of one Read/Write operation.
 func (h *HotPath) OpBytes() int64 { return int64(len(h.buf)) }
 
+// NewHotPathParallel builds the fixture plus clients per-client blobs
+// ("hot-0".."hot-N", pre-written like the shared blob) for multi-client
+// write benchmarks — the shape that answers ROADMAP's descriptor-latch vs.
+// per-server-WAL-mutex scaling question, since per-client keys make every
+// latch private while all clients share the nine servers' logs. clients <= 0
+// selects GOMAXPROCS capped at 16 (the dispatcher's worker ceiling).
+func NewHotPathParallel(clients int) (*HotPath, error) {
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+		if clients > 16 {
+			clients = 16
+		}
+	}
+	h, err := newHotPath(false)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < clients; i++ {
+		c := hotClient{
+			key: fmt.Sprintf("hot-%d", i),
+			ctx: storage.NewContext(),
+			buf: append([]byte(nil), h.buf...),
+		}
+		if err := h.Store.CreateBlob(c.ctx, c.key); err != nil {
+			return nil, err
+		}
+		if _, err := h.Store.WriteBlob(c.ctx, c.key, 0, c.buf); err != nil {
+			return nil, err
+		}
+		h.clients = append(h.clients, c)
+	}
+	return h, nil
+}
+
+// Clients reports the parallel fixture's client count.
+func (h *HotPath) Clients() int { return len(h.clients) }
+
+// WriteParallel performs ops write operations split round-robin across the
+// per-client blobs, each client driving its share from its own goroutine
+// against its own key, context, and buffer. It returns the first error.
+// Callers interleave WriteParallel batches with Compact the way the serial
+// write benchmarks do, so the in-memory logs stay bounded.
+func (h *HotPath) WriteParallel(ops int) error {
+	if len(h.clients) == 0 {
+		return fmt.Errorf("hotpath: fixture built without clients")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(h.clients))
+	per := ops / len(h.clients)
+	extra := ops % len(h.clients)
+	for i := range h.clients {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			c := &h.clients[i]
+			for j := 0; j < n; j++ {
+				if _, err := h.Store.WriteBlob(c.ctx, c.key, 0, c.buf); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CompactEvery is how many write ops a benchmark runs between WAL
 // checkpoints (HotPath.Compact).
 const CompactEvery = 256
+
+// Warm drives a double compaction window of serial writes and compacts, so
+// every server's slab-backed log reaches its steady-state high-water (the
+// slabs parked on the free list by the final Compact) before measurement
+// begins. Without it, whether the one-time first-window medium fill lands
+// inside the measured trial depends on testing.Benchmark's ramp timing —
+// B/op would flip between ~0 and the fill cost run to run. The window is
+// doubled because a fixture shared across trials (benchsuite) sees
+// un-compacted stretches of up to 2*CompactEvery-2 ops: a trial's leftover
+// tail plus the next trial's ops before its first compaction. Write
+// benchmarks call it before the timer starts.
+func (h *HotPath) Warm() error {
+	for i := 0; i < 2*CompactEvery; i++ {
+		if err := h.Write(); err != nil {
+			return err
+		}
+	}
+	h.Compact()
+	return nil
+}
+
+// WarmParallel is Warm for the multi-client fixture: a double benchmark
+// batch of parallel writes, then a compaction.
+func (h *HotPath) WarmParallel() error {
+	if err := h.WriteParallel(2 * CompactEvery); err != nil {
+		return err
+	}
+	h.Compact()
+	return nil
+}
 
 // Compact checkpoints every server's WAL, dropping the accumulated log
 // bytes. Write benchmarks call it with the timer stopped every
@@ -107,22 +229,8 @@ func RunHotPath() ([]HotPathResult, error) {
 		return nil, err
 	}
 	var firstErr error
-	run := func(name string, op func() error) HotPathResult {
-		r := testing.Benchmark(func(b *testing.B) {
-			b.SetBytes(h.OpBytes())
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if i%CompactEvery == CompactEvery-1 {
-					b.StopTimer()
-					h.Compact()
-					b.StartTimer()
-				}
-				if err := op(); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+	run := func(name string, body func(b *testing.B)) HotPathResult {
+		r := testing.Benchmark(body)
 		if r.N == 0 && firstErr == nil {
 			firstErr = fmt.Errorf("benchmark %s failed", name)
 		}
@@ -138,11 +246,100 @@ func RunHotPath() ([]HotPathResult, error) {
 			MBPerSec:    mbps,
 		}
 	}
-	out := []HotPathResult{
-		run("BenchmarkHotPathRead", h.Read),
-		run("BenchmarkHotPathWrite", h.Write),
+	if err := h.Warm(); err != nil {
+		return nil, err
 	}
+	serial := func(op func() error) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(h.OpBytes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%CompactEvery == CompactEvery-1 {
+					b.StopTimer()
+					h.Compact()
+					b.StartTimer()
+				}
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	out := []HotPathResult{
+		run("BenchmarkHotPathRead", serial(h.Read)),
+		run("BenchmarkHotPathWrite", serial(h.Write)),
+	}
+
+	// Multi-client write scaling: per-client keys, shared servers. ns/op
+	// counts individual writes, so the serial/parallel ns_per_op ratio is
+	// the aggregate write speedup under contention.
+	hp, err := NewHotPathParallel(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := hp.WarmParallel(); err != nil {
+		return nil, err
+	}
+	out = append(out, run("BenchmarkHotPathWriteParallel", func(b *testing.B) {
+		b.SetBytes(hp.OpBytes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := CompactEvery
+			if n > b.N-done {
+				n = b.N - done
+			}
+			if err := hp.WriteParallel(n); err != nil {
+				b.Fatal(err)
+			}
+			done += n
+			b.StopTimer()
+			hp.Compact()
+			b.StartTimer()
+		}
+	}))
 	return out, firstErr
+}
+
+// CheckHotPathBaseline compares fresh results against the raw JSON of a
+// committed BENCH_hotpath.json (read by the caller before the results
+// overwrite it) and returns an error if the write path's allocation volume
+// regressed: alloc_bytes_per_op (or allocs_per_op) of BenchmarkHotPathWrite
+// above the committed value — beyond a small noise floor, since GC-driven
+// sync.Pool evictions during a run can surface a handful of refill
+// allocations against a zero baseline — fails the gate. A real regression
+// (un-pooled staging, per-record escapes) costs hundreds of bytes per op
+// and clears the floor by orders of magnitude. Benchmarks present on only
+// one side are ignored, so adding a benchmark does not break the gate
+// against an older baseline.
+func CheckHotPathBaseline(results []HotPathResult, raw []byte) error {
+	var baseline []HotPathResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("bench: parse baseline: %w", err)
+	}
+	byName := make(map[string]HotPathResult, len(baseline))
+	for _, r := range baseline {
+		byName[r.Name] = r
+	}
+	for _, r := range results {
+		if r.Name != "BenchmarkHotPathWrite" {
+			continue
+		}
+		old, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		if limit := old.BytesPerOp + max(old.BytesPerOp/8, 64); r.BytesPerOp > limit {
+			return fmt.Errorf("bench: %s alloc_bytes_per_op regressed: %d > baseline %d (+noise floor %d)",
+				r.Name, r.BytesPerOp, old.BytesPerOp, limit)
+		}
+		if limit := old.AllocsPerOp + max(old.AllocsPerOp/8, 2); r.AllocsPerOp > limit {
+			return fmt.Errorf("bench: %s allocs_per_op regressed: %d > baseline %d (+noise floor %d)",
+				r.Name, r.AllocsPerOp, old.AllocsPerOp, limit)
+		}
+	}
+	return nil
 }
 
 // RenderHotPath formats results as the JSON written to BENCH_hotpath.json.

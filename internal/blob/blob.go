@@ -39,10 +39,11 @@
 //     hash, so concurrent readers and writers of different chunks do not
 //     contend on one RWMutex. The per-blob descriptor latch remains the
 //     atomic-visibility point for multi-chunk commits.
-//   - WAL fast path: chunk and meta payloads are staged in pooled scratch
-//     buffers (released after the log copies them out), the log encodes
-//     into a per-log reusable buffer, and multi-record operations batch
-//     same-server records through wal.AppendN.
+//   - WAL fast path: records append vectored (wal.AppendV/AppendNV): only
+//     the small addressing header is staged in a pooled scratch buffer,
+//     while chunk data streams from the caller's buffer to the log medium
+//     in exactly one copy. Multi-record operations batch same-server
+//     records through wal.AppendNV.
 //   - goroutine fan-out: per-chunk work executes on a bounded worker pool
 //     (dispatch.go) with resource charges recorded into per-task ledgers
 //     and folded into the shared cluster accounting at join, so real
@@ -432,22 +433,23 @@ func (s *Store) primaryDesc(key string) (*server, *descriptor, error) {
 	return sv, d, nil
 }
 
-// payloadPool stages WAL payloads. The log copies the payload into its own
-// encode buffer during Append, so the staging buffer is returned to the
-// pool immediately afterwards — chunk-sized payloads stop being a per-append
-// allocation.
-var payloadPool = sync.Pool{
+// hdrPool stages the small record headers of vectored WAL appends (chunk
+// addressing, descriptor metadata). Chunk data never enters it: wal.AppendV
+// streams the data segment from the caller's buffer straight to the log
+// medium, so the only staged bytes are the header's few dozen.
+var hdrPool = sync.Pool{
 	New: func() any {
-		b := make([]byte, 0, 4096)
+		b := make([]byte, 0, 256)
 		return &b
 	},
 }
 
-// walAppend records a durable mutation on sv and charges the log
-// persistence on sv's disk through cg (directly on the caller's clock, or
-// into a fan task's ledger).
-func (s *Store) walAppend(cg *charge, sv *server, t wal.RecordType, payload []byte) {
-	_, n, err := sv.log.Append(t, payload)
+// walAppendV records a durable mutation on sv — the record payload being
+// header||data, appended vectored so data is copied exactly once — and
+// charges the log persistence on sv's disk through cg (directly on the
+// caller's clock, or into a fan task's ledger).
+func (s *Store) walAppendV(cg *charge, sv *server, t wal.RecordType, header, data []byte) {
+	_, n, err := sv.log.AppendV(t, header, data)
 	if err != nil {
 		// The in-memory buffer cannot fail; a failure here is a bug.
 		panic(fmt.Sprintf("blob: wal append: %v", err))
@@ -455,21 +457,22 @@ func (s *Store) walAppend(cg *charge, sv *server, t wal.RecordType, payload []by
 	cg.diskAppend(sv.node, n)
 }
 
-// walAppendChunk logs a chunk mutation, staging the payload in a pooled
-// buffer so the hot write path does not allocate per record.
+// walAppendChunk logs a chunk mutation: the addressing header is staged in
+// a pooled buffer, the chunk bytes stream through the vectored append.
 func (s *Store) walAppendChunk(cg *charge, sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
-	bp := payloadPool.Get().(*[]byte)
-	*bp = appendChunkPayload((*bp)[:0], id, within, data)
-	s.walAppend(cg, sv, t, *bp)
-	payloadPool.Put(bp)
+	bp := hdrPool.Get().(*[]byte)
+	*bp = appendChunkHeader((*bp)[:0], id, within)
+	s.walAppendV(cg, sv, t, *bp, data)
+	hdrPool.Put(bp)
 }
 
-// walAppendMeta logs a descriptor mutation through the same pooled staging.
+// walAppendMeta logs a descriptor mutation through the same pooled staging
+// (meta payloads are all header, no data segment).
 func (s *Store) walAppendMeta(cg *charge, sv *server, t wal.RecordType, key string, size int64) {
-	bp := payloadPool.Get().(*[]byte)
+	bp := hdrPool.Get().(*[]byte)
 	*bp = appendMetaPayload((*bp)[:0], key, size)
-	s.walAppend(cg, sv, t, *bp)
-	payloadPool.Put(bp)
+	s.walAppendV(cg, sv, t, *bp, nil)
+	hdrPool.Put(bp)
 }
 
 // CreateBlob registers a new, empty blob. The descriptor is written to its
@@ -652,15 +655,17 @@ func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, e
 
 // walBatch accumulates per-server WAL records so a multi-record operation
 // (chunk drops of a delete, commit markers of a 2PC write) issues one
-// wal.AppendN per server instead of one Append per record. Payload bytes
-// are staged in one pooled buffer; spec payloads point into it. Batches
-// are pooled, and the per-server spec slices keep their capacity across
-// recycling, so a steady-state commit phase allocates nothing.
+// wal.AppendNV per server instead of one append per record. Only the small
+// record headers are staged (in one pooled buffer; spec headers point into
+// it) — data segments, when present, ride through the vectored append
+// straight from the caller's bytes. Batches are pooled, and the per-server
+// spec slices keep their capacity across recycling, so a steady-state
+// commit phase allocates nothing.
 type walBatch struct {
 	s       *Store
 	servers []*server
-	specs   [][]wal.AppendSpec
-	extents [][][2]int // staged payload extents, parallel to specs
+	specs   [][]wal.AppendVSpec
+	extents [][][2]int // staged header extents, parallel to specs
 	buf     *[]byte
 }
 
@@ -669,43 +674,49 @@ var walBatchPool = sync.Pool{New: func() any { return new(walBatch) }}
 func newWalBatch(s *Store) *walBatch {
 	b := walBatchPool.Get().(*walBatch)
 	b.s = s
-	b.buf = payloadPool.Get().(*[]byte)
+	b.buf = hdrPool.Get().(*[]byte)
 	*b.buf = (*b.buf)[:0] // pooled buffers keep their stale length; start clean
 	return b
 }
 
 // release returns the staging buffer and the batch to their pools. The
-// specs/extents backing arrays are kept (truncated on slot reuse in add),
-// and the servers slice is what bounds the live slot count.
+// specs/extents backing arrays are kept (truncated on slot reuse in add)
+// with their spec entries zeroed so no caller data buffer stays reachable
+// from the pool; the servers slice is what bounds the live slot count.
 func (b *walBatch) release() {
-	payloadPool.Put(b.buf)
+	hdrPool.Put(b.buf)
 	b.buf = nil
 	for i := range b.servers {
 		b.servers[i] = nil
+		for j := range b.specs[i] {
+			b.specs[i][j] = wal.AppendVSpec{}
+		}
 	}
 	b.servers = b.servers[:0]
 	b.s = nil
 	walBatchPool.Put(b)
 }
 
-// addChunk stages one chunk record for sv.
+// addChunk stages one chunk record for sv. data (may be nil for the marker
+// records) is carried by reference into the vectored append; the caller
+// must keep it unchanged until the batch flushes.
 func (b *walBatch) addChunk(sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
 	start := len(*b.buf)
-	*b.buf = appendChunkPayload(*b.buf, id, within, data)
-	b.add(sv, t, start, len(*b.buf))
+	*b.buf = appendChunkHeader(*b.buf, id, within)
+	b.add(sv, t, start, len(*b.buf), data)
 }
 
 // addMeta stages one descriptor record for sv.
 func (b *walBatch) addMeta(sv *server, t wal.RecordType, key string, size int64) {
 	start := len(*b.buf)
 	*b.buf = appendMetaPayload(*b.buf, key, size)
-	b.add(sv, t, start, len(*b.buf))
+	b.add(sv, t, start, len(*b.buf), nil)
 }
 
-// add records the spec under sv's group. Payload extents are resolved into
+// add records the spec under sv's group. Header extents are resolved into
 // slices only at flush time, because the staging buffer may still be
-// reallocated by later appends.
-func (b *walBatch) add(sv *server, t wal.RecordType, start, end int) {
+// reallocated by later appends; the data segment is stable and stored now.
+func (b *walBatch) add(sv *server, t wal.RecordType, start, end int, data []byte) {
 	i := -1
 	for j, known := range b.servers {
 		if known == sv {
@@ -725,27 +736,27 @@ func (b *walBatch) add(sv *server, t wal.RecordType, start, end int) {
 			b.extents[i] = b.extents[i][:0]
 		}
 	}
-	b.specs[i] = append(b.specs[i], wal.AppendSpec{Type: t})
+	b.specs[i] = append(b.specs[i], wal.AppendVSpec{Type: t, Payload: data})
 	b.extents[i] = append(b.extents[i], [2]int{start, end})
 }
 
-// resolve turns the staged payload extents into slices, once the staging
+// resolve turns the staged header extents into slices, once the staging
 // buffer has stopped growing.
 func (b *walBatch) resolve() {
 	for i := range b.servers {
 		for j := range b.specs[i] {
 			ext := b.extents[i][j]
-			b.specs[i][j].Payload = (*b.buf)[ext[0]:ext[1]]
+			b.specs[i][j].Header = (*b.buf)[ext[0]:ext[1]]
 		}
 	}
 }
 
-// walAppendBatch logs specs to sv with a single AppendN and charges the
+// walAppendBatch logs specs to sv with a single AppendNV and charges the
 // disk append through cg. Shared by walBatch.flush (direct charging) and
 // the dispatcher's taskWalFlush (ledger charging), so the append invariant
 // and the cost shape cannot diverge between the two.
-func (s *Store) walAppendBatch(cg *charge, sv *server, specs []wal.AppendSpec) {
-	_, n, err := sv.log.AppendN(specs)
+func (s *Store) walAppendBatch(cg *charge, sv *server, specs []wal.AppendVSpec) {
+	_, n, err := sv.log.AppendNV(specs)
 	if err != nil {
 		panic(fmt.Sprintf("blob: wal batch append: %v", err))
 	}

@@ -18,8 +18,13 @@ import (
 // never round-trips through a combined string key. RecCommit remains the
 // transaction-level marker with a meta payload; replay skips it, while
 // RecChunkCommit / RecAbort drive the prepared-write buffer (recovery.go).
-// All encoders are append-style into caller-provided buffers, which the
-// hot path stages from a sync.Pool.
+// All encoders are append-style into caller-provided buffers.
+//
+// A chunk record's payload is the addressing header (appendChunkHeader)
+// followed by the raw chunk bytes. The hot path stages only the small
+// header from a sync.Pool and hands header and data to the WAL as separate
+// segments (wal.AppendV), so the data bytes are never staged — the log
+// medium receives them straight from the caller's buffer.
 
 func appendMetaPayload(dst []byte, key string, size int64) []byte {
 	var u16 [2]byte
@@ -44,7 +49,10 @@ func decMeta(p []byte) (key string, size int64, err error) {
 	return key, size, nil
 }
 
-func appendChunkPayload(dst []byte, id chunkID, within int64, data []byte) []byte {
+// appendChunkHeader encodes the addressing header of a chunk record: the
+// whole payload minus the chunk data, which the vectored WAL append carries
+// as its own segment.
+func appendChunkHeader(dst []byte, id chunkID, within int64) []byte {
 	var u16 [2]byte
 	binary.LittleEndian.PutUint16(u16[:], uint16(len(id.key)))
 	dst = append(dst, u16[:]...)
@@ -52,8 +60,7 @@ func appendChunkPayload(dst []byte, id chunkID, within int64, data []byte) []byt
 	var u64 [16]byte
 	binary.LittleEndian.PutUint64(u64[0:8], uint64(id.idx))
 	binary.LittleEndian.PutUint64(u64[8:16], uint64(within))
-	dst = append(dst, u64[:]...)
-	return append(dst, data...)
+	return append(dst, u64[:]...)
 }
 
 func decChunkPayload(p []byte) (id chunkID, within int64, data []byte, err error) {

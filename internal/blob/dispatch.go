@@ -280,7 +280,7 @@ type fanTask struct {
 	rec    wal.RecordType
 	key    string
 	meta   bool // taskWalFlush: charge one round trip per record; taskDescReplicate: upsert
-	specs  []wal.AppendSpec
+	specs  []wal.AppendVSpec
 	fn     func(cg *charge) error
 }
 

@@ -303,7 +303,9 @@ func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte,
 	// Client -> primary carries the payload. A prepared (multi-chunk)
 	// write logs now but materializes in memory only at the commit phase,
 	// so a transaction that dies mid-data-phase leaves live replicas
-	// exactly as consistent as crash-recovered ones.
+	// exactly as consistent as crash-recovered ones. The log append is
+	// vectored: data streams from the caller's buffer to the log medium in
+	// one copy, with only the chunk-addressing header staged.
 	apply := rec == wal.RecWrite
 	cg.rpc(primary.node, len(data), 64, 0)
 	if apply {

@@ -184,6 +184,8 @@ func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
 // migrateChunk reconciles one chunk's replica set after a ring change. It
 // runs as a fan task: stripe locks guard the chunk tables, the placement
 // cache and WAL are concurrency-safe, and costs fold at the migrate join.
+// Migration appends ride the vectored WAL path (walAppendChunk): the moved
+// chunk's bytes are copied once into the destination log, not staged.
 func (s *Store) migrateChunk(cg *charge, id chunkID, oldOwners []int) {
 	h := id.ringHash()
 	newOwners := s.ownersForHash(h)

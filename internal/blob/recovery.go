@@ -66,13 +66,18 @@ func applyRecovered(chunks map[chunkID][]byte, id chunkID, within int64, data []
 // buffered per chunk and materialize only when that chunk's RecChunkCommit
 // arrives; a RecAbort discards them, and prepares still pending when the
 // log ends (a crash mid-transaction) are dropped.
+//
+// Recovery also repairs the medium: a torn final record left by the crash
+// is truncated away (wal.ReplayValid reports the valid prefix length), so
+// appends accepted after recovery follow the last valid record instead of
+// hiding behind torn garbage a later replay would trip over.
 func (s *Store) Recover(node cluster.NodeID) error {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
 	blobs := make(map[string]*descriptor)
 	chunks := make(map[chunkID][]byte)
 	var pending map[chunkID]prepWrite
-	err := wal.Replay(sv.logBuf.Reader(), func(rec wal.Record) error {
+	valid, err := wal.ReplayValid(sv.logBuf.Reader(), func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecCreate, wal.RecMeta:
 			key, size, err := decMeta(rec.Payload)
@@ -165,6 +170,16 @@ func (s *Store) Recover(node cluster.NodeID) error {
 		sv.mu.Unlock()
 		return fmt.Errorf("blob: recover node %d: %w", node, err)
 	}
+	// Crash repair: a torn final record (the append the crash interrupted)
+	// stays on the medium as garbage the replay skipped. Truncate it away
+	// before the server accepts new appends — otherwise the next record
+	// lands behind the torn one, whose stale length prefix would make the
+	// NEXT replay swallow the new record's bytes into the torn record's
+	// checksum window: ErrCorrupt and silent loss of everything after.
+	if int64(sv.logBuf.Len()) > valid {
+		sv.logBuf.Truncate(int(valid))
+		sv.log.SetSize(valid)
+	}
 	sv.blobs = blobs
 	sv.mu.Unlock()
 	// Scatter the rebuilt chunks across the worker pool; insertions into
@@ -205,25 +220,27 @@ func (s *Store) Checkpoint(node cluster.NodeID) {
 	}
 	sv.logBuf.Reset()
 	sv.log.ResetSize()
-	// Records are staged and appended one at a time so the staging buffer
-	// and the log's encode scratch stay bounded by the largest single
-	// record (one chunk) — the write path's working size — instead of the
-	// server's whole dataset.
-	bp := payloadPool.Get().(*[]byte)
-	appendOne := func(t wal.RecordType) {
-		if _, _, err := sv.log.Append(t, *bp); err != nil {
+	// Records are re-encoded one at a time through the vectored append:
+	// only the few-dozen-byte header is staged, and each chunk's bytes
+	// stream from the live chunk slice (stable under the stripe read lock
+	// forEachChunk holds) to the compacted log in one copy. The log's
+	// slab-backed Buffer reuses the slabs the Reset above just freed, so a
+	// steady checkpoint cycle allocates nothing.
+	bp := hdrPool.Get().(*[]byte)
+	appendOne := func(t wal.RecordType, data []byte) {
+		if _, _, err := sv.log.AppendV(t, *bp, data); err != nil {
 			panic(fmt.Sprintf("blob: checkpoint node %d: %v", node, err))
 		}
 	}
 	for key, d := range sv.blobs {
 		*bp = appendMetaPayload((*bp)[:0], key, d.size)
-		appendOne(wal.RecCreate)
+		appendOne(wal.RecCreate, nil)
 	}
 	sv.forEachChunk(func(id chunkID, data []byte) {
-		*bp = appendChunkPayload((*bp)[:0], id, 0, data)
-		appendOne(wal.RecWrite)
+		*bp = appendChunkHeader((*bp)[:0], id, 0)
+		appendOne(wal.RecWrite, data)
 	})
-	payloadPool.Put(bp)
+	hdrPool.Put(bp)
 }
 
 // CheckpointAll checkpoints every live server in parallel across the

@@ -7,6 +7,19 @@
 // The log writes into any io.Writer (in the simulation, an in-memory buffer
 // whose persistence cost is charged to the virtual disk by the caller), so
 // the package itself is pure and synchronous.
+//
+// # Vectored appends
+//
+// A record's payload often arrives in two pieces: a small caller-encoded
+// header (chunk addressing, descriptor metadata) and a large data segment
+// (the chunk bytes). AppendV and AppendNV accept the pieces separately and,
+// when the target implements RecordWriter, stream prefix, header, and
+// payload to the medium as one vectored write — the data segment is copied
+// exactly once, caller buffer to log medium, with the CRC computed
+// incrementally over the segments. Targets that only implement io.Writer
+// get the same byte stream via a staging buffer. Either way the encoding is
+// bit-identical to the single-buffer appendRecord form, so logs written by
+// any mix of Append/AppendV/AppendNV replay interchangeably.
 package wal
 
 import (
@@ -87,64 +100,163 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorrupt reports a record whose checksum failed during replay.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// RecordWriter is the writev-style log target: WriteV appends the
+// concatenation of the segments as one atomic write, so a vectored record
+// append lands on the medium without the segments being staged into a
+// contiguous buffer first. Buffer implements it; targets that do not are
+// served through a staging fallback producing the identical byte stream.
+type RecordWriter interface {
+	io.Writer
+	WriteV(segs [][]byte) (int, error)
+}
+
 // Log is an append-only write-ahead log. Safe for concurrent appends.
 type Log struct {
 	mu      sync.Mutex
 	w       io.Writer
+	rw      RecordWriter // non-nil when w supports vectored writes
 	nextLSN uint64
 	bytes   int64
-	// scratch is the per-log reusable encode buffer: records are staged
-	// here under mu and written out in one Write call, so steady-state
-	// appends allocate nothing once the buffer has grown to the working
-	// record size.
+	// scratch is the per-log reusable encode buffer for non-vectored
+	// targets: records are staged here under mu and written out in one
+	// Write call, so steady-state appends allocate nothing once the buffer
+	// has grown to the working record size.
 	scratch []byte
+	// hdrs stages the fixed 17-byte prefix+header block of each record in
+	// a vectored append (recPrefixLen per record, contiguous). Persistent
+	// so the blocks never escape to a per-call heap allocation.
+	hdrs []byte
+	// segs is the reusable segment list handed to rw.WriteV.
+	segs [][]byte
 }
 
+// recPrefixLen is the encoded size of the per-record framing: u32 length,
+// u32 crc32c, u8 type, u64 lsn.
+const recPrefixLen = 17
+
 // New returns a log appending to w.
-func New(w io.Writer) *Log { return &Log{w: w, nextLSN: 1} }
+func New(w io.Writer) *Log {
+	l := &Log{w: w, nextLSN: 1}
+	l.rw, _ = w.(RecordWriter)
+	return l
+}
 
 // Append writes one record and returns its LSN and the encoded size in
 // bytes (so the caller can charge the virtual disk for the persistence).
 func (l *Log) Append(t RecordType, payload []byte) (lsn uint64, n int, err error) {
+	return l.AppendV(t, payload, nil)
+}
+
+// AppendV writes one record whose payload is the concatenation of header
+// and payload, without ever staging the payload segment: on a RecordWriter
+// target the prefix, header, and payload stream to the medium as one
+// vectored write (payload bytes are copied exactly once). Either segment
+// may be nil. The encoded byte stream is bit-identical to
+// Append(t, header||payload).
+func (l *Log) AppendV(t RecordType, header, payload []byte) (lsn uint64, n int, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lsn = l.nextLSN
-	l.scratch = appendRecord(l.scratch[:0], t, lsn, payload)
-	if _, err := l.w.Write(l.scratch); err != nil {
+	if cap(l.hdrs) < recPrefixLen {
+		l.hdrs = make([]byte, 0, 16*recPrefixLen)
+	}
+	l.hdrs = l.hdrs[:recPrefixLen]
+	l.stagePrefix(0, t, lsn, header, payload)
+	if l.rw != nil {
+		l.segs = append(l.segs[:0], l.hdrs[0:recPrefixLen], header, payload)
+		n, err = l.rw.WriteV(l.segs)
+		l.clearSegs()
+	} else {
+		l.scratch = append(l.scratch[:0], l.hdrs[0:recPrefixLen]...)
+		l.scratch = append(l.scratch, header...)
+		l.scratch = append(l.scratch, payload...)
+		n, err = l.w.Write(l.scratch)
+	}
+	if err != nil {
 		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.nextLSN++
-	l.bytes += int64(len(l.scratch))
-	return lsn, len(l.scratch), nil
+	l.bytes += int64(n)
+	return lsn, n, nil
 }
 
-// AppendSpec is one record of a batched AppendN.
-type AppendSpec struct {
+// AppendVSpec is one record of a batched AppendNV: the record's payload is
+// the concatenation of Header and Payload (either may be nil).
+type AppendVSpec struct {
 	Type    RecordType
+	Header  []byte
 	Payload []byte
 }
 
-// AppendN appends the records atomically with consecutive LSNs, staging
-// them all in the log's scratch buffer and issuing a single Write — one
-// buffer grow for a k-record batch instead of k. It returns the LSN of the
-// first record and the total encoded size.
-func (l *Log) AppendN(specs []AppendSpec) (firstLSN uint64, n int, err error) {
-	if len(specs) == 0 {
+// AppendNV is the vectored batch append: the records land atomically with
+// consecutive LSNs in a single write to the target, every record's header
+// and payload segments streaming to a RecordWriter without staging. Byte
+// stream, LSNs, and sizes are identical to calling
+// Append(t, header||payload) per spec. It returns the LSN of the first
+// record and the total encoded size.
+func (l *Log) AppendNV(specs []AppendVSpec) (firstLSN uint64, n int, err error) {
+	k := len(specs)
+	if k == 0 {
 		return 0, 0, nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	firstLSN = l.nextLSN
-	l.scratch = l.scratch[:0]
-	for i, sp := range specs {
-		l.scratch = appendRecord(l.scratch, sp.Type, firstLSN+uint64(i), sp.Payload)
+	if need := k * recPrefixLen; cap(l.hdrs) < need {
+		l.hdrs = make([]byte, 0, need)
 	}
-	if _, err := l.w.Write(l.scratch); err != nil {
+	l.hdrs = l.hdrs[:k*recPrefixLen]
+	for i, sp := range specs {
+		l.stagePrefix(i*recPrefixLen, sp.Type, firstLSN+uint64(i), sp.Header, sp.Payload)
+	}
+	if l.rw != nil {
+		l.segs = l.segs[:0]
+		for i, sp := range specs {
+			l.segs = append(l.segs, l.hdrs[i*recPrefixLen:(i+1)*recPrefixLen], sp.Header, sp.Payload)
+		}
+		n, err = l.rw.WriteV(l.segs)
+		l.clearSegs()
+	} else {
+		l.scratch = l.scratch[:0]
+		for i, sp := range specs {
+			l.scratch = append(l.scratch, l.hdrs[i*recPrefixLen:(i+1)*recPrefixLen]...)
+			l.scratch = append(l.scratch, sp.Header...)
+			l.scratch = append(l.scratch, sp.Payload...)
+		}
+		n, err = l.w.Write(l.scratch)
+	}
+	if err != nil {
 		return 0, 0, fmt.Errorf("wal: append batch: %w", err)
 	}
-	l.nextLSN += uint64(len(specs))
-	l.bytes += int64(len(l.scratch))
-	return firstLSN, len(l.scratch), nil
+	l.nextLSN += uint64(k)
+	l.bytes += int64(n)
+	return firstLSN, n, nil
+}
+
+// clearSegs drops the segment references once WriteV has copied them out,
+// so the log does not pin the caller's payload buffers (which can be whole
+// chunk-sized client slices) until its next append.
+func (l *Log) clearSegs() {
+	for i := range l.segs {
+		l.segs[i] = nil
+	}
+	l.segs = l.segs[:0]
+}
+
+// stagePrefix encodes one record's 17-byte framing block at offset off in
+// l.hdrs (which the caller has already sized to cover it), computing the
+// CRC incrementally over the type/LSN header and both payload segments.
+// Staging in the log-owned buffer — not a stack array — keeps the block
+// from escaping to a per-append heap allocation in the checksum call.
+func (l *Log) stagePrefix(off int, t RecordType, lsn uint64, header, payload []byte) {
+	b := l.hdrs[off : off+recPrefixLen]
+	b[8] = byte(t)
+	binary.LittleEndian.PutUint64(b[9:17], lsn)
+	sum := crc32.Update(0, castagnoli, b[8:17])
+	sum = crc32.Update(sum, castagnoli, header)
+	sum = crc32.Update(sum, castagnoli, payload)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(9+len(header)+len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], sum)
 }
 
 // NextLSN returns the LSN the next append will receive.
@@ -171,16 +283,33 @@ func (l *Log) ResetSize() {
 	l.mu.Unlock()
 }
 
-// record layout:
+// SetSize overwrites the byte counter after the caller has repaired the
+// medium to a known length — crash recovery truncating a torn tail
+// (ReplayValid). Like ResetSize, it does not touch LSNs.
+func (l *Log) SetSize(n int64) {
+	l.mu.Lock()
+	l.bytes = n
+	l.mu.Unlock()
+}
+
+// record layout (all integers little-endian):
 //
-//	u32 length of (type + lsn + payload)
-//	u32 crc32c of that region
-//	u8  type
-//	u64 lsn
-//	payload
+//	u32 length of (type + lsn + payload)     \  framing prefix, 8 bytes
+//	u32 crc32c of that region                /
+//	u8  type                                 \  record header, 9 bytes,
+//	u64 lsn                                  /  covered by the crc
+//	payload                                  — covered by the crc
+//
+// A vectored append (AppendV/AppendNV) contributes the payload as two
+// back-to-back segments, header then data; the framing and crc treat them
+// as one region, so the on-medium stream does not record — and replay
+// cannot observe — which append form produced a record.
+//
 // appendRecord appends the encoded record to dst without any intermediate
 // buffer: the checksum is computed incrementally over the type/LSN header
-// and the payload in place.
+// and the payload in place. It is the reference encoder the vectored paths
+// are pinned against (TestAppendVMatchesAppendRecord); the Log itself now
+// encodes through stagePrefix.
 func appendRecord(dst []byte, t RecordType, lsn uint64, payload []byte) []byte {
 	var hdr [9]byte
 	hdr[0] = byte(t)
@@ -200,28 +329,64 @@ func appendRecord(dst []byte, t RecordType, lsn uint64, payload []byte) []byte {
 // an error), or at the first checksum failure, which returns ErrCorrupt.
 // If fn returns an error, replay stops and returns that error.
 func Replay(r io.Reader, fn func(Record) error) error {
+	_, err := ReplayValid(r, fn)
+	return err
+}
+
+// replayBodyStep bounds each incremental body-read allocation during
+// replay, so an untrusted length prefix cannot trigger a giant eager
+// allocation for bytes the medium does not hold.
+const replayBodyStep = 1 << 20
+
+// ReplayValid is Replay plus the medium-repair datum crash recovery needs:
+// it additionally returns the length in bytes of the valid record prefix —
+// the offset just past the last record that decoded and checksummed clean.
+// After a torn-tail stop the caller must truncate the medium to that
+// offset before appending again; otherwise the next append lands behind
+// the torn partial record, whose stale length prefix would make a later
+// replay swallow the new record's first bytes and fail the torn record's
+// checksum — ErrCorrupt and silent loss of everything appended since.
+func ReplayValid(r io.Reader, fn func(Record) error) (valid int64, err error) {
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn header: clean stop
+				return valid, nil // torn header: clean stop
 			}
-			return fmt.Errorf("wal: replay header: %w", err)
+			return valid, fmt.Errorf("wal: replay header: %w", err)
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		if length < 9 || length > 1<<30 {
-			return fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
+			return valid, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
 		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(r, body); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn body: clean stop
+		// Read the body in bounded steps: the length field is untrusted
+		// (corruption, torn prefix), so the buffer grows only as bytes
+		// actually arrive instead of eagerly allocating up to 1 GiB for a
+		// record the medium cannot deliver.
+		body := make([]byte, 0, min(int(length), replayBodyStep))
+		torn := false
+		for len(body) < int(length) {
+			grow := min(int(length)-len(body), replayBodyStep)
+			off := len(body)
+			if off+grow <= cap(body) {
+				body = body[:off+grow] // records <= one step extend in place
+			} else {
+				body = append(body, make([]byte, grow)...)
 			}
-			return fmt.Errorf("wal: replay body: %w", err)
+			if _, err := io.ReadFull(r, body[off:]); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					torn = true
+					break
+				}
+				return valid, fmt.Errorf("wal: replay body: %w", err)
+			}
+		}
+		if torn {
+			return valid, nil // torn body: clean stop
 		}
 		if crc32.Checksum(body, castagnoli) != sum {
-			return ErrCorrupt
+			return valid, ErrCorrupt
 		}
 		rec := Record{
 			Type:    RecordType(body[0]),
@@ -229,8 +394,9 @@ func Replay(r io.Reader, fn func(Record) error) error {
 			Payload: body[9:],
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return valid, err
 		}
+		valid += int64(len(hdr)) + int64(length)
 	}
 }
 
@@ -250,62 +416,138 @@ func ReplayAll(r io.Reader) ([]Record, error) {
 	return recs, err
 }
 
+// DefaultSlabSize is Buffer's backing-slab granularity when SlabSize is 0.
+const DefaultSlabSize = 64 << 10
+
 // Buffer is a convenience in-memory log target that also serves as the
-// replay source.
+// replay source. It implements RecordWriter over fixed-size slabs: the
+// backing never regrows geometrically (no growSlice copy-and-discard of a
+// giant contiguous slice), appends past the current slab simply start a new
+// one, and Reset retains the slabs on a free list, so a steady
+// append/compact cycle allocates nothing once the high-water mark is
+// reached.
 type Buffer struct {
-	mu  sync.Mutex
-	buf bytes.Buffer
+	// SlabSize overrides the backing-slab size in bytes (for tests that
+	// want to cross slab boundaries cheaply). Zero means DefaultSlabSize.
+	// Must not change once the buffer holds data.
+	SlabSize int
+
+	mu    sync.Mutex
+	slabs [][]byte // each of slabSize() capacity; bytes [0,n) are live
+	n     int      // total content length
+	free  [][]byte // slabs retained by Reset for reuse
+}
+
+func (b *Buffer) slabSize() int {
+	if b.SlabSize > 0 {
+		return b.SlabSize
+	}
+	return DefaultSlabSize
+}
+
+// writeLocked copies p into the slab sequence at the current end.
+func (b *Buffer) writeLocked(p []byte) {
+	ss := b.slabSize()
+	for len(p) > 0 {
+		si, off := b.n/ss, b.n%ss
+		if si == len(b.slabs) {
+			if k := len(b.free); k > 0 {
+				b.slabs = append(b.slabs, b.free[k-1])
+				b.free[k-1] = nil
+				b.free = b.free[:k-1]
+			} else {
+				b.slabs = append(b.slabs, make([]byte, ss))
+			}
+		}
+		c := copy(b.slabs[si][off:], p)
+		b.n += c
+		p = p[c:]
+	}
 }
 
 // Write implements io.Writer.
 func (b *Buffer) Write(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.buf.Write(p)
+	b.writeLocked(p)
+	return len(p), nil
+}
+
+// WriteV implements RecordWriter: the segments land back-to-back under one
+// lock acquisition, so a vectored record append is as atomic with respect
+// to concurrent appenders and readers as a single Write.
+func (b *Buffer) WriteV(segs [][]byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, p := range segs {
+		b.writeLocked(p)
+		n += len(p)
+	}
+	return n, nil
 }
 
 // Reader returns a reader over a snapshot of the current contents.
 func (b *Buffer) Reader() io.Reader {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return bytes.NewReader(append([]byte(nil), b.buf.Bytes()...))
+	snap := make([]byte, b.n)
+	ss := b.slabSize()
+	for i := 0; i < len(b.slabs) && i*ss < b.n; i++ {
+		copy(snap[i*ss:], b.slabs[i][:min(ss, b.n-i*ss)])
+	}
+	return bytes.NewReader(snap)
 }
 
 // Len returns the current content length.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.buf.Len()
+	return b.n
+}
+
+// Slabs reports how many backing slabs currently hold content. Tests use
+// it to prove a log actually spans a segmented backing.
+func (b *Buffer) Slabs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ss := b.slabSize()
+	return (b.n + ss - 1) / ss
 }
 
 // Reset discards all buffered content. Checkpointing uses it to drop a log
-// prefix that a freshly written snapshot has made redundant.
+// prefix that a freshly written snapshot has made redundant. The slabs move
+// to a free list, so refilling after a reset reuses them instead of
+// re-allocating the first window.
 func (b *Buffer) Reset() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.buf.Reset()
+	b.free = append(b.free, b.slabs...)
+	b.slabs = b.slabs[:0]
+	b.n = 0
 }
 
 // Corrupt flips one byte at off, for crash/corruption injection in tests.
 func (b *Buffer) Corrupt(off int) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	data := b.buf.Bytes()
-	if off < 0 || off >= len(data) {
-		return fmt.Errorf("wal: corrupt offset %d out of range %d", off, len(data))
+	if off < 0 || off >= b.n {
+		return fmt.Errorf("wal: corrupt offset %d out of range %d", off, b.n)
 	}
-	data[off] ^= 0xff
+	ss := b.slabSize()
+	b.slabs[off/ss][off%ss] ^= 0xff
 	return nil
 }
 
-// Truncate drops all content after n bytes, simulating a torn write.
+// Truncate drops all content after n bytes, simulating a torn write. Slabs
+// past the cut stay allocated and are overwritten by subsequent appends.
 func (b *Buffer) Truncate(n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
-	if n < b.buf.Len() {
-		b.buf.Truncate(n)
+	if n < b.n {
+		b.n = n
 	}
 }

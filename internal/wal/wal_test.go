@@ -186,6 +186,210 @@ func TestConcurrentAppendsUniqueLSNs(t *testing.T) {
 	}
 }
 
+// plainWriter hides a Buffer's WriteV so a Log falls back to the staging
+// encode path, which must produce the identical byte stream.
+type plainWriter struct{ b *Buffer }
+
+func (w plainWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+// vOp is one randomized record shape for the vectored-equivalence
+// properties: a type, a header segment, and a payload segment.
+type vOp struct {
+	T       uint8
+	Header  []byte
+	Payload []byte
+}
+
+// legacyStream encodes ops with the reference single-buffer encoder
+// appendRecord (payload = header||payload), with LSNs from 1 — the
+// on-medium stream every append form is pinned against.
+func legacyStream(ops []vOp) []byte {
+	var dst []byte
+	for i, op := range ops {
+		joined := append(append([]byte(nil), op.Header...), op.Payload...)
+		dst = appendRecord(dst, RecordType(op.T), uint64(i+1), joined)
+	}
+	return dst
+}
+
+// checkAccounting verifies one append's LSN/size bookkeeping against the
+// reference encoder's encoded length.
+func checkAccounting(t *testing.T, l *Log, lsn uint64, wantLSN uint64, n, wantN int) {
+	t.Helper()
+	if lsn != wantLSN {
+		t.Fatalf("lsn = %d, want %d", lsn, wantLSN)
+	}
+	if n != wantN {
+		t.Fatalf("encoded size = %d, want %d", n, wantN)
+	}
+}
+
+// TestAppendVMatchesAppendRecord pins the vectored encode paths —
+// AppendV and AppendNV, on both a RecordWriter target and a plain
+// io.Writer fallback — byte-for-byte against the legacy appendRecord
+// encoding across randomized type/header/payload shapes, including
+// LSN/Size accounting equality.
+func TestAppendVMatchesAppendRecord(t *testing.T) {
+	f := func(ops []vOp) bool {
+		want := legacyStream(ops)
+
+		// AppendV, vectored target.
+		var vb Buffer
+		vl := New(&vb)
+		// AppendV, fallback (staging) target.
+		var fb Buffer
+		fl := New(plainWriter{&fb})
+		// AppendNV, vectored target, one atomic batch.
+		var nb Buffer
+		nl := New(&nb)
+		specs := make([]AppendVSpec, 0, len(ops))
+
+		off := 0
+		for i, op := range ops {
+			recLen := recPrefixLen + len(op.Header) + len(op.Payload)
+			lsn, n, err := vl.AppendV(RecordType(op.T), op.Header, op.Payload)
+			if err != nil {
+				return false
+			}
+			checkAccounting(t, vl, lsn, uint64(i+1), n, recLen)
+			lsn, n, err = fl.AppendV(RecordType(op.T), op.Header, op.Payload)
+			if err != nil {
+				return false
+			}
+			checkAccounting(t, fl, lsn, uint64(i+1), n, recLen)
+			specs = append(specs, AppendVSpec{Type: RecordType(op.T), Header: op.Header, Payload: op.Payload})
+			off += recLen
+		}
+		if len(specs) > 0 {
+			first, n, err := nl.AppendNV(specs)
+			if err != nil || first != 1 || n != len(want) {
+				return false
+			}
+		}
+		for name, b := range map[string]*Buffer{"AppendV": &vb, "AppendV-fallback": &fb, "AppendNV": &nb} {
+			if got := readerBytes(t, b); !bytes.Equal(got, want) {
+				t.Logf("%s stream diverges from appendRecord (%d vs %d bytes)", name, len(got), len(want))
+				return false
+			}
+		}
+		// Size/NextLSN accounting must agree with the reference stream.
+		for _, l := range []*Log{vl, fl, nl} {
+			if l.Size() != int64(len(want)) || l.NextLSN() != uint64(len(ops)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendVEquivalentToAppend pins that splitting a record's payload at
+// any point is invisible on the medium: Append(t, header||payload) and
+// AppendV(t, header, payload) produce identical streams, and replay cannot
+// tell which form wrote a record.
+func TestAppendVEquivalentToAppend(t *testing.T) {
+	f := func(joined []byte, cut uint8) bool {
+		k := int(cut) % (len(joined) + 1)
+		var ab, vb Buffer
+		al, vl := New(&ab), New(&vb)
+		if _, _, err := al.Append(RecWrite, joined); err != nil {
+			return false
+		}
+		if _, _, err := vl.AppendV(RecWrite, joined[:k], joined[k:]); err != nil {
+			return false
+		}
+		return bytes.Equal(readerBytes(t, &ab), readerBytes(t, &vb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendNVMatchesSequentialAppendV: one atomic batch equals the record
+// sequence appended one at a time, including the total-size return.
+func TestAppendNVMatchesSequentialAppendV(t *testing.T) {
+	f := func(ops []vOp) bool {
+		if len(ops) == 0 {
+			return true
+		}
+		var sb, nb Buffer
+		sl, nl := New(&sb), New(&nb)
+		total := 0
+		specs := make([]AppendVSpec, len(ops))
+		for i, op := range ops {
+			_, n, err := sl.AppendV(RecordType(op.T), op.Header, op.Payload)
+			if err != nil {
+				return false
+			}
+			total += n
+			specs[i] = AppendVSpec{Type: RecordType(op.T), Header: op.Header, Payload: op.Payload}
+		}
+		first, n, err := nl.AppendNV(specs)
+		if err != nil || first != 1 || n != total {
+			return false
+		}
+		return bytes.Equal(readerBytes(t, &sb), readerBytes(t, &nb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferSlabbed exercises the segmented backing across slab boundaries:
+// content written through Write/WriteV spanning many small slabs must read
+// back exactly, Truncate and Corrupt must address the right slab, and Reset
+// must recycle slabs without mixing stale bytes into new content.
+func TestBufferSlabbed(t *testing.T) {
+	b := &Buffer{SlabSize: 7}
+	var want []byte
+	for i := 0; i < 100; i++ {
+		seg := bytes.Repeat([]byte{byte(i)}, i%13)
+		if i%2 == 0 {
+			b.Write(seg)
+		} else {
+			b.WriteV([][]byte{seg, seg})
+			want = append(want, seg...)
+		}
+		want = append(want, seg...)
+	}
+	if b.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(want))
+	}
+	if got := readerBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("slabbed content diverges from contiguous reference")
+	}
+	if min := (len(want) + 6) / 7; b.Slabs() != min {
+		t.Fatalf("Slabs = %d, want %d", b.Slabs(), min)
+	}
+	// Truncate mid-slab, then overwrite the tail: stale slab bytes beyond
+	// the cut must not resurface.
+	b.Truncate(100)
+	b.Write(bytes.Repeat([]byte{0xEE}, 50))
+	want = append(want[:100], bytes.Repeat([]byte{0xEE}, 50)...)
+	if got := readerBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("content diverges after truncate+rewrite")
+	}
+	// Corrupt addresses the logical offset across slabs.
+	if err := b.Corrupt(101); err != nil {
+		t.Fatal(err)
+	}
+	want[101] ^= 0xff
+	if got := readerBytes(t, b); !bytes.Equal(got, want) {
+		t.Fatal("Corrupt flipped the wrong byte")
+	}
+	// Reset recycles: refilling must not see stale content.
+	b.Reset()
+	if b.Len() != 0 || b.Slabs() != 0 {
+		t.Fatalf("after Reset: Len=%d Slabs=%d", b.Len(), b.Slabs())
+	}
+	b.Write([]byte("fresh"))
+	if got := readerBytes(t, b); !bytes.Equal(got, []byte("fresh")) {
+		t.Fatalf("after Reset+Write: %q", got)
+	}
+}
+
 // Property: any sequence of appended payloads replays byte-identically and
 // in order.
 func TestRoundTripProperty(t *testing.T) {

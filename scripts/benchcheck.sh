@@ -1,20 +1,29 @@
 #!/bin/sh
 # benchcheck: gate the data plane, then record its perf trajectory.
 #
-# Order matters: vet and the -race suites must pass before the numbers are
-# worth recording — a racy dispatcher produces fast garbage. The race scope
-# covers the packages the goroutine fan-out touches: the blob data plane
-# and the virtual-time substrate it folds costs into.
+# Order matters: vet, the -race suites, and the WAL fuzz battery must pass
+# before the numbers are worth recording — a racy dispatcher or a log
+# format that breaks crash replay produces fast garbage. The race scope
+# covers the packages the goroutine fan-out touches: the blob data plane,
+# the WAL it appends to, and the virtual-time substrate it folds costs
+# into. Each wal fuzz target then runs for a short fixed budget, so framing
+# or replay regressions in the record encoding are caught here, not in a
+# later crash.
 #
 # The hot-path micro-benchmarks then run with allocation accounting and the
 # results land in BENCH_hotpath.json, giving future PRs a perf trajectory
-# to compare against.
+# to compare against. The committed BENCH_hotpath.json doubles as the
+# regression baseline: benchsuite reads it before overwriting and fails if
+# the write path's alloc_bytes_per_op (or allocs_per_op) regressed.
 #
 # Usage: scripts/benchcheck.sh [output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 go vet ./...
-go test -race ./internal/blob/... ./internal/sim/... ./internal/cluster/...
+go test -race ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/...
+for fz in $(go test -run '^$' -list '^Fuzz' ./internal/wal | grep '^Fuzz'); do
+	go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s ./internal/wal
+done
 go test -run '^$' -bench 'HotPath' -benchmem -benchtime=1s .
-go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out"
+go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out" -hotpath-baseline BENCH_hotpath.json
