@@ -494,22 +494,23 @@ func BenchmarkHotPathWriteParallel(b *testing.B) {
 	if err := h.WarmParallel(); err != nil {
 		b.Fatal(err)
 	}
-	b.SetBytes(h.OpBytes())
-	b.ReportAllocs()
-	b.ResetTimer()
-	for done := 0; done < b.N; {
-		n := bench.CompactEvery
-		if n > b.N-done {
-			n = b.N - done
-		}
-		if err := h.WriteParallel(n); err != nil {
-			b.Fatal(err)
-		}
-		done += n
-		b.StopTimer()
-		h.Compact()
-		b.StartTimer()
+	h.DriveParallelWrites(b)
+}
+
+// BenchmarkHotPathWriteParallelLanes1 is the same contended-writer shape
+// pinned to a single WAL lane per server — the pre-sharding layout. The
+// contrast against BenchmarkHotPathWriteParallel is what the lane sharding
+// and group commit buy under multi-client write load (benchsuite records
+// the fuller lane sweep in BENCH_hotpath.json).
+func BenchmarkHotPathWriteParallelLanes1(b *testing.B) {
+	h, err := bench.NewHotPathParallelLanes(0, 1)
+	if err != nil {
+		b.Fatal(err)
 	}
+	if err := h.WarmParallel(); err != nil {
+		b.Fatal(err)
+	}
+	h.DriveParallelWrites(b)
 }
 
 // reportVirtual attaches the simulated-cluster time per operation.

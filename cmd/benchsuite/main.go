@@ -13,14 +13,22 @@
 //
 // The hotpath experiment is the benchcheck target: it runs the data-plane
 // micro-benchmarks (BenchmarkHotPathRead / BenchmarkHotPathWrite /
-// BenchmarkHotPathWriteParallel, with allocation accounting equivalent to
-// `go test -bench HotPath -benchmem`) and writes the results to
-// -hotpath-out (default BENCH_hotpath.json) so successive PRs have a perf
-// trajectory to compare against. With -hotpath-baseline, the committed
-// file is read BEFORE the results overwrite it and the run fails if the
-// write path's allocation volume regressed against it:
+// BenchmarkHotPathWriteParallel plus a WAL lane-count sweep, with
+// allocation accounting equivalent to `go test -bench HotPath -benchmem`)
+// and writes the results to -hotpath-out (default BENCH_hotpath.json) so
+// successive PRs have a perf trajectory to compare against. Two gates run
+// before the file is written:
 //
-//	go run ./cmd/benchsuite -exp hotpath -hotpath-baseline BENCH_hotpath.json
+//   - with -hotpath-baseline, the committed file is read BEFORE the
+//     results overwrite it and the run fails if the write path's
+//     allocation volume regressed against it;
+//
+//   - the parallel/serial write ratio is checked against -hotpath-ratio
+//     (default: a hardware-aware bound chosen by GOMAXPROCS, see
+//     bench.CheckWriteScaling; 0 disables), failing the run if the
+//     sharded-lane WAL stops delivering parallel write scaling.
+//
+//     go run ./cmd/benchsuite -exp hotpath -hotpath-baseline BENCH_hotpath.json
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 	executors := flag.Int("executors", 4, "Spark executors")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output file for the hotpath experiment")
 	hotpathBaseline := flag.String("hotpath-baseline", "", "committed BENCH_hotpath.json to gate write-path allocation regressions against")
+	hotpathRatio := flag.Float64("hotpath-ratio", -1,
+		"max parallel/serial write ns-per-op ratio gate: <0 picks a GOMAXPROCS-aware default, 0 disables the gate")
 	flag.Parse()
 
 	// Read the baseline up front: -hotpath-out usually names the same file,
@@ -144,6 +154,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("write-path allocation gate vs %s: ok\n", *hotpathBaseline)
+		}
+		if *hotpathRatio != 0 {
+			if err := bench.CheckWriteScaling(results, *hotpathRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: hotpath: %v (baseline left untouched)\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("parallel/serial write-scaling gate: ok")
 		}
 		out, err := bench.RenderHotPath(results)
 		if err != nil {

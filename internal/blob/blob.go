@@ -39,11 +39,20 @@
 //     hash, so concurrent readers and writers of different chunks do not
 //     contend on one RWMutex. The per-blob descriptor latch remains the
 //     atomic-visibility point for multi-chunk commits.
-//   - WAL fast path: records append vectored (wal.AppendV/AppendNV): only
-//     the small addressing header is staged in a pooled scratch buffer,
-//     while chunk data streams from the caller's buffer to the log medium
-//     in exactly one copy. Multi-record operations batch same-server
-//     records through wal.AppendNV.
+//   - sharded WAL lanes + group commit: each server's write-ahead log is a
+//     wal.MultiLog — Config.WALLanes lanes (default: the chunk-stripe
+//     count), a chunk's lane derived from the same placement-hash bits as
+//     its lock stripe, descriptor records routed by the descriptor's ring
+//     hash — so parallel writers to different chunks append to different
+//     lane mutexes, and writers that do collide on a lane coalesce through
+//     the group-commit staging ring into one medium write. A server-scoped
+//     order key stamped into every record lets recovery merge the lanes
+//     back into exact logical order (wal.MultiLog.RecoverMerged). Records
+//     append vectored (AppendV/AppendNV): only the small addressing header
+//     is staged in a pooled scratch buffer, while chunk data streams from
+//     the caller's buffer to the log medium in exactly one copy.
+//     Multi-record operations batch same-(server,lane) records through
+//     AppendNV.
 //   - goroutine fan-out: per-chunk work executes on a bounded worker pool
 //     (dispatch.go) with resource charges recorded into per-task ledgers
 //     and folded into the shared cluster accounting at join, so real
@@ -92,6 +101,14 @@ type Config struct {
 	// identical by construction (charges fold at join either way); the
 	// knob exists as the determinism baseline and for debugging.
 	InlineFanout bool
+	// WALLanes is the number of sharded write-ahead-log lanes per server
+	// (wal.MultiLog): concurrent writers to chunks in different lanes do
+	// not contend on a log mutex, and writers that do share a lane group-
+	// commit. Defaults to the chunk-stripe count, so a chunk's log lane is
+	// derived from the same placement-hash bits as its lock stripe. With 1
+	// lane the on-medium layout is byte-identical to the single-log
+	// implementation.
+	WALLanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VNodes <= 0 {
 		c.VNodes = 64
+	}
+	if c.WALLanes <= 0 {
+		c.WALLanes = chunkStripes
 	}
 	return c
 }
@@ -225,7 +245,7 @@ type chunkStripe struct {
 
 // server is the per-node state: the descriptors this node owns as primary
 // or replica, the chunks placed on it (lock-striped by placement hash), and
-// its write-ahead log.
+// its sharded, group-committed write-ahead log.
 type server struct {
 	node cluster.NodeID
 	mu   sync.RWMutex
@@ -234,10 +254,19 @@ type server struct {
 	// stripes hold the chunk replicas placed on this server, sharded so
 	// that concurrent access to different chunks does not contend.
 	stripes [chunkStripes]chunkStripe
-	log     *wal.Log
-	logBuf  *wal.Buffer
-	down    bool
+	// wal is the lane log: chunk records route to the lane derived from
+	// their placement hash (the bits that also pick the lock stripe),
+	// descriptor records to the lane of the descriptor's ring hash.
+	// This is the ONLY append path — there is no per-server single log.
+	wal  *wal.MultiLog
+	down bool
 }
+
+// chunkLane selects the log lane for a chunk placement hash.
+func (sv *server) chunkLane(h uint64) int { return sv.wal.LaneFor(h) }
+
+// metaLane selects the log lane for a descriptor record.
+func (sv *server) metaLane(key string) int { return sv.wal.LaneFor(descRingHash(key)) }
 
 // stripe selects the lock stripe for a chunk placement hash. It uses a
 // different bit range than the placement-cache shard selector so the two
@@ -363,12 +392,10 @@ func NewOnNodes(c *cluster.Cluster, cfg Config, serving []cluster.NodeID) *Store
 	}
 	s := &Store{cfg: cfg, cluster: c, ring: chash.New(cfg.VNodes)}
 	for _, n := range c.Nodes() {
-		buf := &wal.Buffer{}
 		sv := &server{
-			node:   n.ID,
-			blobs:  make(map[string]*descriptor),
-			log:    wal.New(buf),
-			logBuf: buf,
+			node:  n.ID,
+			blobs: make(map[string]*descriptor),
+			wal:   wal.NewMultiLog(cfg.WALLanes),
 		}
 		for i := range sv.stripes {
 			sv.stripes[i].m = make(map[chunkID][]byte)
@@ -444,12 +471,13 @@ var hdrPool = sync.Pool{
 	},
 }
 
-// walAppendV records a durable mutation on sv — the record payload being
-// header||data, appended vectored so data is copied exactly once — and
-// charges the log persistence on sv's disk through cg (directly on the
-// caller's clock, or into a fan task's ledger).
-func (s *Store) walAppendV(cg *charge, sv *server, t wal.RecordType, header, data []byte) {
-	_, n, err := sv.log.AppendV(t, header, data)
+// walAppendLane records a durable mutation on one of sv's log lanes — the
+// record payload being header||data, appended vectored (and possibly
+// group-committed with concurrent lane appenders) so data is copied exactly
+// once — and charges the log persistence on sv's disk through cg (directly
+// on the caller's clock, or into a fan task's ledger).
+func (s *Store) walAppendLane(cg *charge, sv *server, lane int, t wal.RecordType, header, data []byte) {
+	_, n, err := sv.wal.AppendV(lane, t, header, data)
 	if err != nil {
 		// The in-memory buffer cannot fail; a failure here is a bug.
 		panic(fmt.Sprintf("blob: wal append: %v", err))
@@ -457,21 +485,24 @@ func (s *Store) walAppendV(cg *charge, sv *server, t wal.RecordType, header, dat
 	cg.diskAppend(sv.node, n)
 }
 
-// walAppendChunk logs a chunk mutation: the addressing header is staged in
-// a pooled buffer, the chunk bytes stream through the vectored append.
-func (s *Store) walAppendChunk(cg *charge, sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
+// walAppendChunk logs a chunk mutation on the chunk's lane: the addressing
+// header is staged in a pooled buffer, the chunk bytes stream through the
+// vectored append. h is the chunk's placement hash, which callers on the
+// hot path have already computed — it selects the lane exactly as it
+// selects the lock stripe.
+func (s *Store) walAppendChunk(cg *charge, sv *server, t wal.RecordType, h uint64, id chunkID, within int64, data []byte) {
 	bp := hdrPool.Get().(*[]byte)
 	*bp = appendChunkHeader((*bp)[:0], id, within)
-	s.walAppendV(cg, sv, t, *bp, data)
+	s.walAppendLane(cg, sv, sv.chunkLane(h), t, *bp, data)
 	hdrPool.Put(bp)
 }
 
-// walAppendMeta logs a descriptor mutation through the same pooled staging
-// (meta payloads are all header, no data segment).
+// walAppendMeta logs a descriptor mutation on the descriptor's lane through
+// the same pooled staging (meta payloads are all header, no data segment).
 func (s *Store) walAppendMeta(cg *charge, sv *server, t wal.RecordType, key string, size int64) {
 	bp := hdrPool.Get().(*[]byte)
 	*bp = appendMetaPayload((*bp)[:0], key, size)
-	s.walAppendV(cg, sv, t, *bp, nil)
+	s.walAppendLane(cg, sv, sv.metaLane(key), t, *bp, nil)
 	hdrPool.Put(bp)
 }
 
@@ -556,7 +587,7 @@ func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 		for _, o := range s.ownersForHash(h) {
 			sv := s.servers[o]
 			sv.deleteChunk(h, id)
-			batch.addChunk(sv, wal.RecChunkDelete, id, 0, nil)
+			batch.addChunk(sv, wal.RecChunkDelete, h, id, 0, nil)
 		}
 	}
 	batch.flush(ctx)
@@ -653,17 +684,18 @@ func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, e
 	return out, nil
 }
 
-// walBatch accumulates per-server WAL records so a multi-record operation
-// (chunk drops of a delete, commit markers of a 2PC write) issues one
-// wal.AppendNV per server instead of one append per record. Only the small
-// record headers are staged (in one pooled buffer; spec headers point into
-// it) — data segments, when present, ride through the vectored append
-// straight from the caller's bytes. Batches are pooled, and the per-server
-// spec slices keep their capacity across recycling, so a steady-state
-// commit phase allocates nothing.
+// walBatch accumulates per-(server,lane) WAL records so a multi-record
+// operation (chunk drops of a delete, commit markers of a 2PC write)
+// issues one wal.MultiLog.AppendNV per lane touched instead of one append
+// per record. Only the small record headers are staged (in one pooled
+// buffer; spec headers point into it) — data segments, when present, ride
+// through the vectored append straight from the caller's bytes. Batches
+// are pooled, and the per-lane spec slices keep their capacity across
+// recycling, so a steady-state commit phase allocates nothing.
 type walBatch struct {
 	s       *Store
 	servers []*server
+	lanes   []int // parallel to servers: the lane of each group
 	specs   [][]wal.AppendVSpec
 	extents [][][2]int // staged header extents, parallel to specs
 	buf     *[]byte
@@ -693,33 +725,36 @@ func (b *walBatch) release() {
 		}
 	}
 	b.servers = b.servers[:0]
+	b.lanes = b.lanes[:0]
 	b.s = nil
 	walBatchPool.Put(b)
 }
 
-// addChunk stages one chunk record for sv. data (may be nil for the marker
-// records) is carried by reference into the vectored append; the caller
-// must keep it unchanged until the batch flushes.
-func (b *walBatch) addChunk(sv *server, t wal.RecordType, id chunkID, within int64, data []byte) {
+// addChunk stages one chunk record for sv, grouped under the chunk's log
+// lane (h is its placement hash). data (may be nil for the marker records)
+// is carried by reference into the vectored append; the caller must keep
+// it unchanged until the batch flushes.
+func (b *walBatch) addChunk(sv *server, t wal.RecordType, h uint64, id chunkID, within int64, data []byte) {
 	start := len(*b.buf)
 	*b.buf = appendChunkHeader(*b.buf, id, within)
-	b.add(sv, t, start, len(*b.buf), data)
+	b.add(sv, sv.chunkLane(h), t, start, len(*b.buf), data)
 }
 
-// addMeta stages one descriptor record for sv.
+// addMeta stages one descriptor record for sv on the descriptor's lane.
 func (b *walBatch) addMeta(sv *server, t wal.RecordType, key string, size int64) {
 	start := len(*b.buf)
 	*b.buf = appendMetaPayload(*b.buf, key, size)
-	b.add(sv, t, start, len(*b.buf), nil)
+	b.add(sv, sv.metaLane(key), t, start, len(*b.buf), nil)
 }
 
-// add records the spec under sv's group. Header extents are resolved into
-// slices only at flush time, because the staging buffer may still be
-// reallocated by later appends; the data segment is stable and stored now.
-func (b *walBatch) add(sv *server, t wal.RecordType, start, end int, data []byte) {
+// add records the spec under the (sv, lane) group. Header extents are
+// resolved into slices only at flush time, because the staging buffer may
+// still be reallocated by later appends; the data segment is stable and
+// stored now.
+func (b *walBatch) add(sv *server, lane int, t wal.RecordType, start, end int, data []byte) {
 	i := -1
 	for j, known := range b.servers {
-		if known == sv {
+		if known == sv && b.lanes[j] == lane {
 			i = j
 			break
 		}
@@ -727,6 +762,7 @@ func (b *walBatch) add(sv *server, t wal.RecordType, start, end int, data []byte
 	if i < 0 {
 		i = len(b.servers)
 		b.servers = append(b.servers, sv)
+		b.lanes = append(b.lanes, lane)
 		if len(b.specs) <= i {
 			b.specs = append(b.specs, nil)
 			b.extents = append(b.extents, nil)
@@ -751,41 +787,44 @@ func (b *walBatch) resolve() {
 	}
 }
 
-// walAppendBatch logs specs to sv with a single AppendNV and charges the
-// disk append through cg. Shared by walBatch.flush (direct charging) and
-// the dispatcher's taskWalFlush (ledger charging), so the append invariant
-// and the cost shape cannot diverge between the two.
-func (s *Store) walAppendBatch(cg *charge, sv *server, specs []wal.AppendVSpec) {
-	_, n, err := sv.log.AppendNV(specs)
+// walAppendBatch logs specs to one of sv's lanes with a single AppendNV
+// (atomic within the lane, group-committed with concurrent lane traffic)
+// and charges the disk append through cg. Shared by walBatch.flush (direct
+// charging) and the dispatcher's taskWalFlush (ledger charging), so the
+// append invariant and the cost shape cannot diverge between the two.
+func (s *Store) walAppendBatch(cg *charge, sv *server, lane int, specs []wal.AppendVSpec) {
+	_, n, err := sv.wal.AppendNV(lane, specs)
 	if err != nil {
 		panic(fmt.Sprintf("blob: wal batch append: %v", err))
 	}
 	cg.diskAppend(sv.node, n)
 }
 
-// flush logs every server's batch, charging the disk appends sequentially
-// on ctx's clock — the cost shape of a client walking replica sets one
-// record at a time (deletes, truncates, transaction commit markers).
+// flush logs every (server,lane) batch, charging the disk appends
+// sequentially on ctx's clock — the cost shape of a client walking replica
+// sets one record at a time (deletes, truncates, transaction commit
+// markers).
 func (b *walBatch) flush(ctx *storage.Context) {
 	b.resolve()
 	cg := b.s.directCharge(ctx)
 	for i := range b.servers {
-		b.s.walAppendBatch(&cg, b.servers[i], b.specs[i])
+		b.s.walAppendBatch(&cg, b.servers[i], b.lanes[i], b.specs[i])
 	}
 	b.release()
 }
 
-// flushParallel logs each server's batch as a worker-pool task on its own
-// forked clock and joins on the slowest — the cost shape of the 2PC commit
-// phase, where every participant persists its commit records concurrently.
-// metaPerRecord additionally charges one commit round trip per record on
-// the participant's clock before the append.
+// flushParallel logs each (server,lane) batch as a worker-pool task on its
+// own forked clock and joins on the slowest — the cost shape of the 2PC
+// commit phase, where every participant persists its commit records
+// concurrently. metaPerRecord additionally charges one commit round trip
+// per record on the participant's clock before the append.
 func (b *walBatch) flushParallel(ctx *storage.Context, metaPerRecord bool) {
 	b.resolve()
 	fan := b.s.newFan()
 	for i := range b.servers {
 		t := fan.task(taskWalFlush)
 		t.sv = b.servers[i]
+		t.lane = b.lanes[i]
 		t.specs = b.specs[i]
 		t.meta = metaPerRecord
 		fan.spawn(t)

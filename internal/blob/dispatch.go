@@ -15,8 +15,12 @@
 //
 //   - Real work — byte copies, chunk-table mutations, WAL appends — runs on
 //     the worker goroutine immediately. All touched structures are
-//     independently locked (chunk stripes, server descriptor maps, wal.Log,
-//     the placement cache), so this half is free to interleave.
+//     independently locked (chunk stripes, server descriptor maps, the
+//     per-server WAL lanes, the placement cache), so this half is free to
+//     interleave. A WAL append may briefly park as a group-commit follower
+//     (wal.MultiLog), waiting on a leader that holds only lane-local locks
+//     and never waits on the pool — the same bounded-wait class as a
+//     mutex, so the no-deadlock argument is unchanged.
 //   - Cost charging — RPC, DiskRead, DiskWrite, DiskAppend, MetaOp,
 //     LocalCompute — is recorded into the task's private ledger (a
 //     per-worker shard of the cluster accounting) and folded into the
@@ -279,6 +283,7 @@ type fanTask struct {
 	sv     *server
 	rec    wal.RecordType
 	key    string
+	lane   int  // taskWalFlush: the target log lane of the spec batch
 	meta   bool // taskWalFlush: charge one round trip per record; taskDescReplicate: upsert
 	specs  []wal.AppendVSpec
 	fn     func(cg *charge) error
@@ -318,7 +323,7 @@ func (t *fanTask) run() {
 		if t.meta {
 			cg.metaOp(t.sv.node, len(t.specs))
 		}
-		s.walAppendBatch(cg, t.sv, t.specs)
+		s.walAppendBatch(cg, t.sv, t.lane, t.specs)
 	case taskDescReplicate:
 		cg.metaOp(t.sv.node, 1)
 		t.sv.mu.Lock()
@@ -421,6 +426,7 @@ func (t *fanTask) release() {
 	t.sv = nil
 	t.rec = 0
 	t.key = ""
+	t.lane = 0
 	t.meta = false
 	t.specs = nil
 	t.fn = nil

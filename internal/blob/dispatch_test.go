@@ -330,18 +330,20 @@ func TestCrashMidTransactionDropsPrepares(t *testing.T) {
 	if _, err := s.WriteBlob(ctx, "torn", 0, first); err != nil {
 		t.Fatal(err)
 	}
-	// Record per-node log lengths, run a second multi-chunk write, then
-	// rewind one chunk owner's log to just after its prepare: everything
-	// from the commit on is torn away.
+	// Record the chunk-0 lane length on its primary, run a second
+	// multi-chunk write, then rewind that lane to just after chunk 0's
+	// prepare: everything logically after it — the commit records on this
+	// lane AND every later record on the other lanes, via the merged
+	// order-key prefix — is torn away, exactly a crash between the phases.
 	owners := s.chunkOwners(chunkID{"torn", 0})
 	sv := s.servers[owners[0]]
-	preLen := sv.logBuf.Len()
+	h0 := chunkID{"torn", 0}.ringHash()
+	lbuf := sv.wal.LaneBuffer(sv.chunkLane(h0))
+	preLen := lbuf.Len()
 	second := bytes.Repeat([]byte("Z"), 24)
 	if _, err := s.WriteBlob(ctx, "torn", 0, second); err != nil {
 		t.Fatal(err)
 	}
-	// The prepare record for chunk 0 is 8 bytes of data + header; keep the
-	// prepare but drop the commit by scanning replayed records.
 	recs, err := s.LogRecords(cluster.NodeID(owners[0]))
 	if err != nil {
 		t.Fatal(err)
@@ -355,29 +357,25 @@ func TestCrashMidTransactionDropsPrepares(t *testing.T) {
 	if !hasPrep {
 		t.Fatal("multi-chunk write logged no prepares")
 	}
-	// Truncate the log to preLen + one prepare record: replay the bytes
-	// appended by the second write and cut before the first commit.
-	tail := sv.logBuf.Len() - preLen
-	if tail <= 0 {
-		t.Fatal("second write appended nothing")
-	}
-	// Find the cut point: replay from scratch counting bytes; simplest is
-	// to truncate right after the first RecPrepWrite appended post-preLen.
-	// Record framing: 8-byte preamble + 9-byte header + payload.
-	cut := -1
-	off := 0
-	for _, r := range recs {
-		recLen := 8 + 9 + len(r.Payload)
-		off += recLen
-		if off > preLen && r.Type == wal.RecPrepWrite {
-			cut = off
-			break
+	// Find the cut point on the lane: walk its records counting framed
+	// bytes (8-byte preamble + 9-byte header + payload) and cut right
+	// after chunk 0's post-baseline RecPrepWrite.
+	cut, off := -1, 0
+	if err := wal.Replay(lbuf.Reader(), func(r wal.Record) error {
+		off += 8 + 9 + len(r.Payload)
+		if cut < 0 && off > preLen && r.Type == wal.RecPrepWrite {
+			if id, _, _, derr := decChunkPayload(r.Payload); derr == nil && id == (chunkID{"torn", 0}) {
+				cut = off
+			}
 		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 	if cut < 0 {
-		t.Fatal("no post-baseline prepare found")
+		t.Fatal("no post-baseline prepare found on the chunk-0 lane")
 	}
-	sv.logBuf.Truncate(cut)
+	lbuf.Truncate(cut)
 	s.Crash(cluster.NodeID(owners[0]))
 	if err := s.Recover(cluster.NodeID(owners[0])); err != nil {
 		t.Fatal(err)
@@ -409,28 +407,30 @@ func TestStalePrepareNotResurrectedByLaterCommit(t *testing.T) {
 	}
 	owner := s.chunkOwners(chunkID{"stale", 0})[0]
 	sv := s.servers[owner]
-	preLen := sv.logBuf.Len()
-	// Second multi-chunk write; then tear its log on chunk 0's owner
+	h0 := chunkID{"stale", 0}.ringHash()
+	lbuf := sv.wal.LaneBuffer(sv.chunkLane(h0))
+	preLen := lbuf.Len()
+	// Second multi-chunk write; then tear chunk 0's lane on its owner
 	// right after the prepare, leaving a dangling RecPrepWrite("ZZZZ...").
 	if _, err := s.WriteBlob(ctx, "stale", 0, bytes.Repeat([]byte("Z"), 24)); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := s.LogRecords(cluster.NodeID(owner))
-	if err != nil {
+	cut, off := -1, 0
+	if err := wal.Replay(lbuf.Reader(), func(r wal.Record) error {
+		off += 8 + 9 + len(r.Payload)
+		if cut < 0 && off > preLen && r.Type == wal.RecPrepWrite {
+			if id, _, _, derr := decChunkPayload(r.Payload); derr == nil && id == (chunkID{"stale", 0}) {
+				cut = off
+			}
+		}
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
-	cut, off := -1, 0
-	for _, r := range recs {
-		off += 8 + 9 + len(r.Payload)
-		if off > preLen && r.Type == wal.RecPrepWrite {
-			cut = off
-			break
-		}
-	}
 	if cut < 0 {
-		t.Fatal("no prepare found after the baseline")
+		t.Fatal("no prepare found after the baseline on the chunk-0 lane")
 	}
-	sv.logBuf.Truncate(cut)
+	lbuf.Truncate(cut)
 	s.Crash(cluster.NodeID(owner))
 	if err := s.Recover(cluster.NodeID(owner)); err != nil {
 		t.Fatal(err)
@@ -473,9 +473,9 @@ func TestTruncateNoopLeavesStateUntouched(t *testing.T) {
 		t.Fatal(err)
 	}
 	verBefore := d.version
-	logBefore := make([]int, 4)
+	logBefore := make([]int64, 4)
 	for i := range logBefore {
-		logBefore[i] = s.servers[i].logBuf.Len()
+		logBefore[i] = s.servers[i].wal.Size()
 	}
 	clockBefore := ctx.Clock.Now()
 
@@ -489,7 +489,7 @@ func TestTruncateNoopLeavesStateUntouched(t *testing.T) {
 		t.Fatalf("no-op truncate bumped version %d -> %d", verBefore, d.version)
 	}
 	for i := range logBefore {
-		if got := s.servers[i].logBuf.Len(); got != logBefore[i] {
+		if got := s.servers[i].wal.Size(); got != logBefore[i] {
 			t.Fatalf("no-op truncate appended to node %d's WAL (%d -> %d)", i, logBefore[i], got)
 		}
 	}

@@ -240,7 +240,7 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 		for i := range places {
 			pl := &places[i]
 			for _, o := range pl.owners {
-				batch.addChunk(s.servers[o], wal.RecChunkCommit, pl.id, 0, nil)
+				batch.addChunk(s.servers[o], wal.RecChunkCommit, pl.h, pl.id, 0, nil)
 			}
 		}
 		batch.flushParallel(ctx, true)
@@ -270,7 +270,7 @@ func (s *Store) abortPrepared(ctx *storage.Context, places []chunkPlace) {
 			if sv.isDown() {
 				continue
 			}
-			batch.addChunk(sv, wal.RecAbort, pl.id, 0, nil)
+			batch.addChunk(sv, wal.RecAbort, pl.h, pl.id, 0, nil)
 		}
 	}
 	batch.flushParallel(ctx, true)
@@ -311,7 +311,7 @@ func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte,
 	if apply {
 		applyChunk(primary, pl.h, pl.id, within, data)
 	}
-	s.walAppendChunk(cg, primary, rec, pl.id, within, data)
+	s.walAppendChunk(cg, primary, rec, pl.h, pl.id, within, data)
 	cg.diskWrite(primary.node, len(data))
 
 	// Primary -> replicas in parallel. With synchronous replication the
@@ -347,7 +347,7 @@ func (s *Store) replicaWrite(cg *charge, sv *server, pl chunkPlace, within int64
 	if rec == wal.RecWrite {
 		applyChunk(sv, pl.h, pl.id, within, data)
 	}
-	s.walAppendChunk(cg, sv, rec, pl.id, within, data)
+	s.walAppendChunk(cg, sv, rec, pl.h, pl.id, within, data)
 	cg.diskWrite(sv.node, len(data))
 	return nil
 }
@@ -427,7 +427,7 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 				t.sv = sv
 				t.pl = chunkPlace{id: id, h: h}
 				fan.spawn(t)
-				batch.addChunk(sv, wal.RecChunkDelete, id, 0, nil)
+				batch.addChunk(sv, wal.RecChunkDelete, h, id, 0, nil)
 			}
 		}
 		// Trim the boundary chunk.
@@ -443,7 +443,7 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 				t.pl = chunkPlace{id: id, h: h}
 				t.size = keep
 				fan.spawn(t)
-				batch.addChunk(sv, wal.RecChunkTruncate, id, keep, nil)
+				batch.addChunk(sv, wal.RecChunkTruncate, h, id, keep, nil)
 			}
 		}
 		fan.join(ctx)

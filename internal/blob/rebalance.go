@@ -214,12 +214,12 @@ func (s *Store) migrateChunk(cg *charge, id chunkID, oldOwners []int) {
 			cg.diskWrite(sv.node, len(data))
 		}
 		sv.setChunk(h, id, append([]byte(nil), data...))
-		s.walAppendChunk(cg, sv, wal.RecWrite, id, 0, data)
+		s.walAppendChunk(cg, sv, wal.RecWrite, h, id, 0, data)
 	}
 	for _, l := range lost {
 		sv := s.servers[l]
 		sv.deleteChunk(h, id)
-		s.walAppendChunk(cg, sv, wal.RecChunkDelete, id, 0, nil)
+		s.walAppendChunk(cg, sv, wal.RecChunkDelete, h, id, 0, nil)
 	}
 }
 

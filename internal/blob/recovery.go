@@ -7,12 +7,20 @@ import (
 	"repro/internal/wal"
 )
 
-// LogRecords replays a server's write-ahead log and returns its records.
-// Tests use this to assert that every namespace mutation was made durable
-// before being acknowledged.
+// LogRecords replays a server's write-ahead log — all lanes, merged into
+// logical append order by the records' order keys — and returns its
+// records. Tests use this to assert that every namespace mutation was made
+// durable before being acknowledged.
 func (s *Store) LogRecords(node cluster.NodeID) ([]wal.Record, error) {
 	sv := s.servers[int(node)]
-	recs, err := wal.ReplayAll(sv.logBuf.Reader())
+	var recs []wal.Record
+	err := sv.wal.ReplayMerged(func(rec wal.Record) error {
+		p := make([]byte, len(rec.Payload))
+		copy(p, rec.Payload)
+		rec.Payload = p
+		recs = append(recs, rec)
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("blob: replay node %d: %w", node, err)
 	}
@@ -67,17 +75,27 @@ func applyRecovered(chunks map[chunkID][]byte, id chunkID, within int64, data []
 // arrives; a RecAbort discards them, and prepares still pending when the
 // log ends (a crash mid-transaction) are dropped.
 //
-// Recovery also repairs the medium: a torn final record left by the crash
-// is truncated away (wal.ReplayValid reports the valid prefix length), so
-// appends accepted after recovery follow the last valid record instead of
-// hiding behind torn garbage a later replay would trip over.
+// The log is a sharded lane log (wal.MultiLog): replay merges the lanes by
+// the server-scoped order key stamped into every record, yielding exactly
+// the logical append order — and exactly an order-key PREFIX of it. A torn
+// lane tail creates a key gap, and every record logically after the gap,
+// on any lane, is discarded with it; since the key order respects the
+// order mutations were issued, the recovered state is always a state the
+// live server actually passed through (a delete can never survive the
+// chunk drops that preceded it, a commit never its prepares).
+//
+// Recovery also repairs the media: wal.MultiLog.RecoverMerged truncates
+// each lane past its last record inside the merged prefix — torn garbage
+// AND clean-but-after-gap records — and re-bases the order-key counter, so
+// appends accepted after recovery extend the prefix instead of hiding
+// behind bytes a later replay would trip over or stop before.
 func (s *Store) Recover(node cluster.NodeID) error {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
 	blobs := make(map[string]*descriptor)
 	chunks := make(map[chunkID][]byte)
 	var pending map[chunkID]prepWrite
-	valid, err := wal.ReplayValid(sv.logBuf.Reader(), func(rec wal.Record) error {
+	err := sv.wal.RecoverMerged(func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecCreate, wal.RecMeta:
 			key, size, err := decMeta(rec.Payload)
@@ -170,16 +188,6 @@ func (s *Store) Recover(node cluster.NodeID) error {
 		sv.mu.Unlock()
 		return fmt.Errorf("blob: recover node %d: %w", node, err)
 	}
-	// Crash repair: a torn final record (the append the crash interrupted)
-	// stays on the medium as garbage the replay skipped. Truncate it away
-	// before the server accepts new appends — otherwise the next record
-	// lands behind the torn one, whose stale length prefix would make the
-	// NEXT replay swallow the new record's bytes into the torn record's
-	// checksum window: ErrCorrupt and silent loss of everything after.
-	if int64(sv.logBuf.Len()) > valid {
-		sv.logBuf.Truncate(int(valid))
-		sv.log.SetSize(valid)
-	}
 	sv.blobs = blobs
 	sv.mu.Unlock()
 	// Scatter the rebuilt chunks across the worker pool; insertions into
@@ -218,27 +226,32 @@ func (s *Store) Checkpoint(node cluster.NodeID) {
 		// discard that source — silent data loss. Skip until recovered.
 		return
 	}
-	sv.logBuf.Reset()
-	sv.log.ResetSize()
-	// Records are re-encoded one at a time through the vectored append:
-	// only the few-dozen-byte header is staged, and each chunk's bytes
-	// stream from the live chunk slice (stable under the stripe read lock
-	// forEachChunk holds) to the compacted log in one copy. The log's
-	// slab-backed Buffer reuses the slabs the Reset above just freed, so a
-	// steady checkpoint cycle allocates nothing.
+	// Drop every lane and restart the order keys at 1: the snapshot below
+	// is a fresh logical history (merged replay requires keys consecutive
+	// from 1, which is also what detects a wholly-torn lane).
+	sv.wal.ResetAll()
+	// Records are re-encoded one at a time through the vectored append,
+	// each routed to its natural lane (chunk records by placement hash,
+	// descriptors by ring hash) so the compacted log keeps the lane
+	// balance live traffic will extend: only the few-dozen-byte header is
+	// staged, and each chunk's bytes stream from the live chunk slice
+	// (stable under the stripe read lock forEachChunk holds) to the
+	// compacted lane in one copy. The lanes' slab-backed Buffers reuse the
+	// slabs the Reset above just freed, so a steady checkpoint cycle
+	// allocates nothing.
 	bp := hdrPool.Get().(*[]byte)
-	appendOne := func(t wal.RecordType, data []byte) {
-		if _, _, err := sv.log.AppendV(t, *bp, data); err != nil {
+	appendOne := func(lane int, t wal.RecordType, data []byte) {
+		if _, _, err := sv.wal.AppendV(lane, t, *bp, data); err != nil {
 			panic(fmt.Sprintf("blob: checkpoint node %d: %v", node, err))
 		}
 	}
 	for key, d := range sv.blobs {
 		*bp = appendMetaPayload((*bp)[:0], key, d.size)
-		appendOne(wal.RecCreate, nil)
+		appendOne(sv.metaLane(key), wal.RecCreate, nil)
 	}
 	sv.forEachChunk(func(id chunkID, data []byte) {
 		*bp = appendChunkHeader((*bp)[:0], id, 0)
-		appendOne(wal.RecWrite, data)
+		appendOne(sv.chunkLane(id.ringHash()), wal.RecWrite, data)
 	})
 	hdrPool.Put(bp)
 }

@@ -160,9 +160,9 @@ func TestCheckpointPreservesRecovery(t *testing.T) {
 		}
 	}
 	copy(expect["obj-0"], "overwrite-cycle")
-	grown := s.servers[0].logBuf.Len()
+	grown := s.servers[0].wal.Size()
 	s.CheckpointAll()
-	if after := s.servers[0].logBuf.Len(); after >= grown {
+	if after := s.servers[0].wal.Size(); after >= grown {
 		t.Fatalf("checkpoint did not shrink the log: %d -> %d", grown, after)
 	}
 
@@ -217,12 +217,15 @@ func TestRecoveryAfterTornTail(t *testing.T) {
 	if _, err := s.WriteBlob(ctx, "durable", 0, []byte("first-write")); err != nil {
 		t.Fatal(err)
 	}
-	// Tear the tail of every log (a crash mid-append); recovery must stop
-	// cleanly at the torn record rather than fail.
+	// Tear the tail of every non-empty log lane (a crash mid-append on
+	// several lanes at once); recovery must stop cleanly at the merged
+	// order-key prefix rather than fail.
 	for node := 0; node < 3; node++ {
 		sv := s.servers[node]
-		if n := sv.logBuf.Len(); n > 3 {
-			sv.logBuf.Truncate(n - 3)
+		for lane := 0; lane < sv.wal.Lanes(); lane++ {
+			if buf := sv.wal.LaneBuffer(lane); buf.Len() > 3 {
+				buf.Truncate(buf.Len() - 3)
+			}
 		}
 		s.Crash(cluster.NodeID(node))
 		if err := s.Recover(cluster.NodeID(node)); err != nil {
@@ -250,11 +253,14 @@ func TestCheckpointThenCrashMidAppendTornSlab(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Compact everywhere: every log restarts at a snapshot (ResetSize).
+	// Compact everywhere: every log restarts at a snapshot (ResetAll).
 	s.CheckpointAll()
 	for node := 0; node < 4; node++ {
-		if got, want := s.servers[node].log.Size(), int64(s.servers[node].logBuf.Len()); got != want {
-			t.Fatalf("node %d: Log.Size %d != buffer length %d after checkpoint", node, got, want)
+		sv := s.servers[node]
+		for lane := 0; lane < sv.wal.Lanes(); lane++ {
+			if got, want := sv.wal.LaneSize(lane), int64(sv.wal.LaneBuffer(lane).Len()); got != want {
+				t.Fatalf("node %d lane %d: size %d != buffer length %d after checkpoint", node, lane, got, want)
+			}
 		}
 	}
 
@@ -274,17 +280,21 @@ func TestCheckpointThenCrashMidAppendTornSlab(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// All 200 overwrites address chunk 0, so they all land on its log lane.
+	h0 := chunkID{key, 0}.ringHash()
 	owners := s.chunkOwners(chunkID{key, 0})
 	for _, o := range owners {
-		if slabs := s.servers[o].logBuf.Slabs(); slabs < 2 {
-			t.Fatalf("node %d: log holds %d slab(s); the test needs multi-slab growth", o, slabs)
+		sv := s.servers[o]
+		if slabs := sv.wal.LaneBuffer(sv.chunkLane(h0)).Slabs(); slabs < 2 {
+			t.Fatalf("node %d: chunk-0 lane holds %d slab(s); the test needs multi-slab growth", o, slabs)
 		}
 	}
 
-	// Crash mid-append: tear the final slab of every replica's log a few
-	// bytes short, cutting into the last (round-199) record.
+	// Crash mid-append: tear the final slab of every replica's chunk-0
+	// lane a few bytes short, cutting into the last (round-199) record.
 	for _, o := range owners {
-		buf := s.servers[o].logBuf
+		sv := s.servers[o]
+		buf := sv.wal.LaneBuffer(sv.chunkLane(h0))
 		buf.Truncate(buf.Len() - 3)
 	}
 	for _, o := range owners {
@@ -327,6 +337,150 @@ func TestCheckpointThenCrashMidAppendTornSlab(t *testing.T) {
 	if !bytes.Equal(got[:1024], pattern(1000)) {
 		t.Fatal("write after torn-tail recovery did not survive the next crash")
 	}
+}
+
+// TestRecoverTwoLaneCrashConverges extends the torn-slab test to the
+// sharded log: checkpoint, refill two DIFFERENT lanes (two blobs whose
+// chunk-0 placement hashes select distinct lanes), then crash mid-append
+// on both lanes at once on every replica. Recovery must converge every
+// replica to the same consistent prefix — the merged order-key prefix
+// stops at the earlier torn record, so the later lane's clean records
+// past it are discarded everywhere identically — and post-recovery
+// appends must survive the next crash cycle.
+func TestRecoverTwoLaneCrashConverges(t *testing.T) {
+	// Replication == nodes: every server logs the same record sequence, so
+	// identical tears recover to identical prefixes on every replica.
+	s := New(cluster.New(cluster.Config{Nodes: 3, Seed: 33}), Config{ChunkSize: 1024, Replication: 3})
+	ctx := storage.NewContext()
+
+	// Two keys whose chunk 0 lands on different log lanes.
+	sv0 := s.servers[0]
+	keyA := ""
+	keyB := ""
+	laneOf := func(key string) int { return sv0.chunkLane(chunkID{key, 0}.ringHash()) }
+	for i := 0; keyB == ""; i++ {
+		key := fmt.Sprintf("lane-blob-%d", i)
+		switch {
+		case keyA == "":
+			keyA = key
+		case laneOf(key) != laneOf(keyA):
+			keyB = key
+		}
+	}
+	hA, hB := chunkID{keyA, 0}.ringHash(), chunkID{keyB, 0}.ringHash()
+
+	pattern := func(seed int) []byte {
+		p := make([]byte, 1024)
+		for j := range p {
+			p[j] = byte(seed + j*11)
+		}
+		return p
+	}
+	for _, key := range []string{keyA, keyB} {
+		if err := s.CreateBlob(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteBlob(ctx, key, 0, pattern(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CheckpointAll()
+
+	// Interleave single-chunk overwrites: lane(A) and lane(B) fill in
+	// lockstep, A's round-i record always logically before B's.
+	const rounds = 10
+	for i := 1; i <= rounds; i++ {
+		if _, err := s.WriteBlob(ctx, keyA, 0, pattern(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteBlob(ctx, keyB, 0, pattern(i+100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash mid-append on BOTH lanes of every server: each lane's final
+	// record (A's and B's round-10 write) is torn a few bytes short.
+	for _, sv := range s.servers {
+		for _, h := range []uint64{hA, hB} {
+			buf := sv.wal.LaneBuffer(sv.chunkLane(h))
+			buf.Truncate(buf.Len() - 3)
+		}
+	}
+	for node := 0; node < 3; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("recover node %d: %v", node, err)
+		}
+	}
+
+	// The consistent prefix: A's torn round-10 write creates the earlier
+	// key gap, so both blobs recover to round 9 — B's round-10 record is
+	// discarded by the prefix rule (and torn) — on every replica alike.
+	got := make([]byte, 1024)
+	if _, err := s.ReadBlob(ctx, keyA, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(rounds-1)) {
+		t.Fatalf("%s after two-lane torn recovery is not the last fully-merged write", keyA)
+	}
+	if _, err := s.ReadBlob(ctx, keyB, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(rounds-1+100)) {
+		t.Fatalf("%s after two-lane torn recovery is not the last fully-merged write", keyB)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("replicas diverged after two-lane crash recovery: %s", msg)
+	}
+
+	// Post-recovery appends extend the repaired lanes and survive the next
+	// full crash cycle.
+	if _, err := s.WriteBlob(ctx, keyA, 0, pattern(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteBlob(ctx, keyB, 0, pattern(43)); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 3; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("second recover node %d: %v", node, err)
+		}
+	}
+	if _, err := s.ReadBlob(ctx, keyA, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(42)) {
+		t.Fatal("write after two-lane recovery did not survive the next crash")
+	}
+	if _, err := s.ReadBlob(ctx, keyB, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(43)) {
+		t.Fatal("write after two-lane recovery did not survive the next crash")
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants after post-recovery crash cycle: %s", msg)
+	}
+}
+
+// TestRecoverySingleLaneConfig pins the WALLanes=1 degenerate case: the
+// lane plumbing must behave exactly like the historical single log across
+// a full mutation history and crash cycle.
+func TestRecoverySingleLaneConfig(t *testing.T) {
+	s := New(cluster.New(cluster.Config{Nodes: 5, Seed: 7}), Config{ChunkSize: 64, Replication: 2, WALLanes: 1})
+	ctx := storage.NewContext()
+	expect := populate(t, s, ctx, sim.NewRNG(55))
+	if got := s.servers[0].wal.Lanes(); got != 1 {
+		t.Fatalf("WALLanes=1 built %d lanes", got)
+	}
+	for node := 0; node < 5; node++ {
+		s.Crash(cluster.NodeID(node))
+		if err := s.Recover(cluster.NodeID(node)); err != nil {
+			t.Fatalf("recover node %d: %v", node, err)
+		}
+	}
+	verifyAll(t, s, ctx, expect)
 }
 
 func TestWritesFailWhileCrashed(t *testing.T) {

@@ -1,0 +1,381 @@
+// multilog.go implements the sharded lane log: the per-server replacement
+// for a single mutex-serialized Log, built so that parallel writers whose
+// chunks already live behind independent lock stripes also append to
+// independent log lanes.
+//
+// # Lane format and order keys
+//
+// A MultiLog is N lanes, each a private Log over its own Buffer medium.
+// The on-medium lane format is exactly the single-log record format — a
+// MultiLog with one lane produces a byte stream identical to a plain Log
+// fed the same appends — with one semantic shift: the u64 LSN field of
+// every record carries a server-scoped order key drawn from one atomic
+// counter shared by all lanes. Keys are assigned in append order (the
+// counter increments under the appending lane's flush ownership), so:
+//
+//   - keys are unique and total-ordered across the whole MultiLog;
+//   - within one lane, keys on the medium are strictly increasing;
+//   - the key sequence 1,2,3,… enumerates the logical append order the
+//     server observed, interleaved across lanes.
+//
+// ReplayMerged inverts the sharding at recovery: it decodes all lanes in
+// lockstep and yields records in ascending key order, requiring the keys
+// to be exactly consecutive from 1. The merged output is therefore always
+// an exact order-key prefix of the logical append sequence: a torn lane
+// tail creates a key gap, and everything logically after the gap — on any
+// lane — is not yielded, so replay can never reorder records, resurrect a
+// record whose causal predecessors were lost, or observe a state the live
+// server never passed through. RecoverMerged additionally repairs the
+// media to that prefix (truncating each lane past its last merged record)
+// and re-bases the key counter, so post-recovery appends extend the prefix
+// seamlessly.
+//
+// ResetAll (checkpoint compaction) resets the key counter along with the
+// lane media: unlike a single Log's ResetSize, keys restart at 1 after a
+// checkpoint, because the start-at-1 invariant is what lets merged replay
+// detect a lane whose entire content was torn away.
+//
+// # Group commit
+//
+// Each lane admits one flush leader at a time. An appender that finds the
+// lane idle becomes leader immediately and appends directly — at
+// concurrency 1 this is the whole protocol, a handful of uncontended
+// atomic/mutex operations more than a bare Log append. Appenders that
+// arrive while a flush is in progress enqueue their vectored segments in
+// the lane's staging ring and block on a pooled wakeup channel; the
+// current leader drains the ring after its own write and flushes the
+// coalesced batch as ONE vectored append — one lane-log lock acquisition,
+// one medium write, consecutive order keys — then signals each follower
+// with its assigned key and encoded size. The leader loops until the ring
+// is empty before releasing flush ownership, so every staged request is
+// flushed by construction.
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// MultiLog is a sharded, group-committed write-ahead log: N lanes with
+// independent mutexes and media, totally ordered by a shared order-key
+// counter stamped into each record's LSN field. Safe for concurrent
+// appends; replay and recovery require quiescence (no in-flight appends),
+// the same discipline Log's readers already assume.
+type MultiLog struct {
+	seq   atomic.Uint64 // order-key source shared by every lane
+	lanes []mlane
+}
+
+// mlane is one lane: a private Log over a private Buffer plus the
+// group-commit staging ring.
+type mlane struct {
+	log *Log
+	buf *Buffer
+
+	mu       sync.Mutex // guards queue and flushing
+	queue    []*laneReq // staged appends awaiting the flush leader
+	spare    []*laneReq // recycled backing for the next queue swap
+	flushing bool       // a leader currently owns the lane's flush
+
+	// specs is the leader's scratch for the coalesced batch; the backing
+	// survives across flushes, entries are zeroed after each write so the
+	// lane does not pin caller payload buffers between batches.
+	specs []AppendVSpec
+}
+
+// laneReq is one staged append awaiting a lane's flush leader. Requests
+// are pooled; the wakeup channel is allocated once per pooled object.
+type laneReq struct {
+	// Single-record form (AppendV): type plus the two payload segments.
+	typ     RecordType
+	header  []byte
+	payload []byte
+	// Batch form (AppendNV); non-nil takes precedence over the single-
+	// record fields. The slice is the caller's and must stay unchanged
+	// until the request completes.
+	batch []AppendVSpec
+
+	key  uint64 // order key of the (first) record, set by the leader
+	n    int    // encoded bytes of this request's records
+	err  error
+	done chan struct{} // leader -> follower wakeup, capacity 1
+}
+
+var laneReqPool = sync.Pool{
+	New: func() any { return &laneReq{done: make(chan struct{}, 1)} },
+}
+
+// release drops the request's payload references and recycles it.
+func (r *laneReq) release() {
+	r.typ, r.header, r.payload, r.batch = 0, nil, nil, nil
+	r.key, r.n, r.err = 0, 0, nil
+	laneReqPool.Put(r)
+}
+
+// NewMultiLog returns a lane log with the given lane count (minimum 1).
+// Any lane count works; power-of-two counts make LaneFor a pure mask of
+// the hash bits callers already use for lock striping.
+func NewMultiLog(lanes int) *MultiLog {
+	if lanes < 1 {
+		lanes = 1
+	}
+	m := &MultiLog{lanes: make([]mlane, lanes)}
+	for i := range m.lanes {
+		buf := &Buffer{}
+		l := New(buf)
+		l.src = &m.seq
+		m.lanes[i].log = l
+		m.lanes[i].buf = buf
+	}
+	return m
+}
+
+// Lanes reports the lane count.
+func (m *MultiLog) Lanes() int { return len(m.lanes) }
+
+// LaneFor maps a placement hash to its lane. It reads the same upper hash
+// bits the blob server's chunk-table lock striping uses, so with matching
+// counts a chunk's log lane and its lock stripe coincide.
+func (m *MultiLog) LaneFor(h uint64) int {
+	return int((h >> 32) % uint64(len(m.lanes)))
+}
+
+// LaneBuffer exposes a lane's medium. Recovery truncation and the crash
+// tests' torn-write injection go through it; appenders never should.
+func (m *MultiLog) LaneBuffer(lane int) *Buffer { return m.lanes[lane].buf }
+
+// LaneSize reports the encoded bytes appended to one lane since creation
+// or its last reset/repair.
+func (m *MultiLog) LaneSize(lane int) int64 { return m.lanes[lane].log.Size() }
+
+// Size sums the lane sizes. The sum is exact only when the log is
+// quiescent; concurrent appenders can move individual lanes mid-sum.
+func (m *MultiLog) Size() int64 {
+	var total int64
+	for i := range m.lanes {
+		total += m.lanes[i].log.Size()
+	}
+	return total
+}
+
+// NextKey returns the order key the next append will receive. Exact only
+// when quiescent.
+func (m *MultiLog) NextKey() uint64 { return m.seq.Load() + 1 }
+
+// AppendV appends one record to the lane, group-committed, and returns its
+// order key and encoded size. The header/payload split follows Log.AppendV;
+// both segments must stay unchanged until the call returns.
+func (m *MultiLog) AppendV(lane int, t RecordType, header, payload []byte) (key uint64, n int, err error) {
+	ln := &m.lanes[lane]
+	ln.mu.Lock()
+	if !ln.flushing {
+		// Idle lane: become leader and append directly — the concurrency-1
+		// fast path, nothing staged. (flushing==false implies the ring is
+		// empty: a leader only clears the flag once it has drained.)
+		ln.flushing = true
+		ln.mu.Unlock()
+		key, n, err = ln.log.AppendV(t, header, payload)
+		ln.drain()
+		return key, n, err
+	}
+	r := laneReqPool.Get().(*laneReq)
+	r.typ, r.header, r.payload = t, header, payload
+	ln.queue = append(ln.queue, r)
+	ln.mu.Unlock()
+	<-r.done
+	key, n, err = r.key, r.n, r.err
+	r.release()
+	return key, n, err
+}
+
+// AppendNV appends a batch of records to the lane atomically (contiguous
+// on the medium, consecutive order keys), group-committed alongside any
+// concurrent appends to the same lane. Returns the first record's key and
+// the total encoded size. specs and the segments they reference must stay
+// unchanged until the call returns.
+func (m *MultiLog) AppendNV(lane int, specs []AppendVSpec) (firstKey uint64, n int, err error) {
+	if len(specs) == 0 {
+		return 0, 0, nil
+	}
+	ln := &m.lanes[lane]
+	ln.mu.Lock()
+	if !ln.flushing {
+		ln.flushing = true
+		ln.mu.Unlock()
+		firstKey, n, err = ln.log.AppendNV(specs)
+		ln.drain()
+		return firstKey, n, err
+	}
+	r := laneReqPool.Get().(*laneReq)
+	r.batch = specs
+	ln.queue = append(ln.queue, r)
+	ln.mu.Unlock()
+	<-r.done
+	firstKey, n, err = r.key, r.n, r.err
+	r.release()
+	return firstKey, n, err
+}
+
+// drain is the group-commit flush loop, run only by the lane's current
+// leader (whose own record was already appended directly on the fast
+// path): flush coalesced batches until the staging ring is empty, then
+// release flush ownership.
+func (ln *mlane) drain() {
+	for {
+		ln.mu.Lock()
+		if len(ln.queue) == 0 {
+			ln.flushing = false
+			ln.mu.Unlock()
+			return
+		}
+		batch := ln.queue
+		ln.queue = ln.spare[:0]
+		ln.spare = batch
+		ln.mu.Unlock()
+
+		// Coalesce every staged request into one vectored batch append:
+		// one lane-log lock acquisition, one medium write, consecutive
+		// order keys.
+		specs := ln.specs[:0]
+		for _, r := range batch {
+			if r.batch != nil {
+				specs = append(specs, r.batch...)
+			} else {
+				specs = append(specs, AppendVSpec{Type: r.typ, Header: r.header, Payload: r.payload})
+			}
+		}
+		first, _, err := ln.log.AppendNV(specs)
+		for i := range specs {
+			specs[i] = AppendVSpec{} // drop payload refs before the scratch parks
+		}
+		ln.specs = specs[:0]
+
+		key := first
+		for i, r := range batch {
+			recs := 1
+			n := recPrefixLen + len(r.header) + len(r.payload)
+			if r.batch != nil {
+				recs = len(r.batch)
+				n = 0
+				for _, sp := range r.batch {
+					n += recPrefixLen + len(sp.Header) + len(sp.Payload)
+				}
+			}
+			r.key, r.n, r.err = key, n, err
+			key += uint64(recs)
+			r.done <- struct{}{} // after this send, r belongs to the follower
+			batch[i] = nil       // spare must not pin recycled requests
+		}
+	}
+}
+
+// ReplayMerged decodes every lane and yields records in logical append
+// order — ascending order key, required to be exactly consecutive from 1.
+// It stops cleanly at the first missing key (a torn lane tail tears away
+// everything logically after it, on every lane) and returns ErrCorrupt if
+// any lane's decode hit a checksum failure while the merge still wanted
+// records from it. If fn returns an error, replay stops and returns it.
+// Requires quiescence.
+func (m *MultiLog) ReplayMerged(fn func(Record) error) error {
+	_, _, err := m.replayMerged(fn)
+	return err
+}
+
+// replayMerged is the merge engine: it additionally returns, per lane, the
+// byte length of the lane's prefix that lies within the merged order-key
+// prefix (the repair truncation point), and the last key yielded.
+func (m *MultiLog) replayMerged(fn func(Record) error) (consumed []int64, last uint64, err error) {
+	k := len(m.lanes)
+	consumed = make([]int64, k)
+	decs := make([]decoder, k)
+	heads := make([]Record, k)
+	frames := make([]int64, k)
+	live := make([]bool, k)
+	corrupt := false
+	load := func(i int) error {
+		rec, frame, done, derr := decs[i].next()
+		if derr != nil {
+			if errors.Is(derr, ErrCorrupt) {
+				// The lane is unreadable from here on; the merge stops at
+				// this lane's next key and reports the corruption.
+				corrupt = true
+				live[i] = false
+				return nil
+			}
+			return derr
+		}
+		if done {
+			live[i] = false
+			return nil
+		}
+		heads[i], frames[i], live[i] = rec, frame, true
+		return nil
+	}
+	for i := range m.lanes {
+		decs[i] = decoder{r: m.lanes[i].buf.Reader()}
+		if err := load(i); err != nil {
+			return consumed, last, err
+		}
+	}
+	for next := uint64(1); ; next++ {
+		found := -1
+		for i := 0; i < k; i++ {
+			if live[i] && heads[i].LSN == next {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break // key gap or all lanes exhausted: end of the merged prefix
+		}
+		if err := fn(heads[found]); err != nil {
+			return consumed, last, err
+		}
+		consumed[found] += frames[found]
+		last = next
+		if err := load(found); err != nil {
+			return consumed, last, err
+		}
+	}
+	if corrupt {
+		return consumed, last, ErrCorrupt
+	}
+	return consumed, last, nil
+}
+
+// RecoverMerged is ReplayMerged plus crash repair: after a clean merge it
+// truncates every lane to its last record inside the merged prefix —
+// discarding torn tails AND records that decoded clean but lie logically
+// after a gap, which are unrecoverable under the prefix contract — resets
+// each lane's size accounting, and re-bases the order-key counter so the
+// next append extends the recovered prefix. On error (ErrCorrupt, a
+// handler error) nothing is repaired. Requires quiescence.
+func (m *MultiLog) RecoverMerged(fn func(Record) error) error {
+	consumed, last, err := m.replayMerged(fn)
+	if err != nil {
+		return err
+	}
+	for i := range m.lanes {
+		ln := &m.lanes[i]
+		if int64(ln.buf.Len()) > consumed[i] {
+			ln.buf.Truncate(int(consumed[i]))
+		}
+		ln.log.SetSize(consumed[i])
+	}
+	m.seq.Store(last)
+	return nil
+}
+
+// ResetAll discards every lane's content and restarts the order keys at 1
+// (checkpoint compaction: the snapshot that follows is a fresh logical
+// history). Unlike Log.ResetSize, keys deliberately do NOT stay monotonic
+// across a reset — merged replay's start-at-1 invariant is what detects a
+// lane whose entire content was torn away. Requires quiescence.
+func (m *MultiLog) ResetAll() {
+	for i := range m.lanes {
+		m.lanes[i].buf.Reset()
+		m.lanes[i].log.ResetSize()
+	}
+	m.seq.Store(0)
+}

@@ -20,6 +20,22 @@
 // get the same byte stream via a staging buffer. Either way the encoding is
 // bit-identical to the single-buffer appendRecord form, so logs written by
 // any mix of Append/AppendV/AppendNV replay interchangeably.
+//
+// # Sharded lanes and group commit
+//
+// A single Log serializes every appender on one mutex — the write-scaling
+// wall of a server whose chunks are otherwise independently locked.
+// MultiLog (multilog.go) removes it: N lanes per server, each lane a
+// private Log over its own medium, with a server-scoped atomic order key
+// stamped into the records' LSN field so replay can interleave the lanes
+// back into the exact logical append order. The lane format is exactly the
+// single-log format — a MultiLog with one lane is byte-identical to a Log —
+// and appends within a lane coalesce through a group-commit staging ring:
+// concurrent appenders enqueue their vectored segments, one leader flushes
+// the whole batch under a single lane-lock acquisition and a single medium
+// write, and followers are woken over per-request channels. See multilog.go
+// for the order-key semantics, the merged-replay prefix contract, and the
+// group-commit protocol in detail.
 package wal
 
 import (
@@ -30,6 +46,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // RecordType tags the semantic kind of a log record. The WAL itself treats
@@ -128,6 +145,15 @@ type Log struct {
 	hdrs []byte
 	// segs is the reusable segment list handed to rw.WriteV.
 	segs [][]byte
+	// src, when non-nil, overrides LSN assignment: each record draws its
+	// LSN from this shared counter instead of the log's private nextLSN.
+	// MultiLog sets it on its lane logs so every record carries a
+	// server-scoped order key; because one flush leader at a time appends
+	// to a lane, the keys on each lane's medium are strictly increasing.
+	// With src set, a failed medium write burns the drawn keys — callers
+	// must use an infallible medium (Buffer is; the blob store panics on
+	// any append error regardless), or merged replay would stop at the gap.
+	src *atomic.Uint64
 }
 
 // recPrefixLen is the encoded size of the per-record framing: u32 length,
@@ -157,6 +183,9 @@ func (l *Log) AppendV(t RecordType, header, payload []byte) (lsn uint64, n int, 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lsn = l.nextLSN
+	if l.src != nil {
+		lsn = l.src.Add(1)
+	}
 	if cap(l.hdrs) < recPrefixLen {
 		l.hdrs = make([]byte, 0, 16*recPrefixLen)
 	}
@@ -175,7 +204,7 @@ func (l *Log) AppendV(t RecordType, header, payload []byte) (lsn uint64, n int, 
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
-	l.nextLSN++
+	l.nextLSN = lsn + 1
 	l.bytes += int64(n)
 	return lsn, n, nil
 }
@@ -202,6 +231,9 @@ func (l *Log) AppendNV(specs []AppendVSpec) (firstLSN uint64, n int, err error) 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	firstLSN = l.nextLSN
+	if l.src != nil {
+		firstLSN = l.src.Add(uint64(k)) - uint64(k) + 1
+	}
 	if need := k * recPrefixLen; cap(l.hdrs) < need {
 		l.hdrs = make([]byte, 0, need)
 	}
@@ -228,7 +260,7 @@ func (l *Log) AppendNV(specs []AppendVSpec) (firstLSN uint64, n int, err error) 
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: append batch: %w", err)
 	}
-	l.nextLSN += uint64(k)
+	l.nextLSN = firstLSN + uint64(k)
 	l.bytes += int64(n)
 	return firstLSN, n, nil
 }
@@ -338,6 +370,66 @@ func Replay(r io.Reader, fn func(Record) error) error {
 // allocation for bytes the medium does not hold.
 const replayBodyStep = 1 << 20
 
+// decoder incrementally decodes records from one log medium. It is the
+// engine shared by ReplayValid (a single stream walked to its end) and
+// MultiLog's merged replay, which holds one decoded head record per lane
+// and advances lanes one record at a time as the order-key merge consumes
+// them. Each record's body is a fresh allocation, so a held head stays
+// valid while other lanes advance.
+type decoder struct {
+	r io.Reader
+}
+
+// next decodes one record. done=true reports a clean stop — EOF or a torn
+// tail (truncated framing or body). err is ErrCorrupt on a checksum or
+// framing failure, or a wrapped reader error; rec and frame are valid only
+// when done==false and err==nil. frame is the record's full on-medium
+// length (framing prefix plus body), the datum valid-prefix accounting and
+// crash repair sum up.
+func (d *decoder) next() (rec Record, frame int64, done bool, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Record{}, 0, true, nil // torn header: clean stop
+		}
+		return Record{}, 0, false, fmt.Errorf("wal: replay header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length < 9 || length > 1<<30 {
+		return Record{}, 0, false, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
+	}
+	// Read the body in bounded steps: the length field is untrusted
+	// (corruption, torn prefix), so the buffer grows only as bytes
+	// actually arrive instead of eagerly allocating up to 1 GiB for a
+	// record the medium cannot deliver.
+	body := make([]byte, 0, min(int(length), replayBodyStep))
+	for len(body) < int(length) {
+		grow := min(int(length)-len(body), replayBodyStep)
+		off := len(body)
+		if off+grow <= cap(body) {
+			body = body[:off+grow] // records <= one step extend in place
+		} else {
+			body = append(body, make([]byte, grow)...)
+		}
+		if _, err := io.ReadFull(d.r, body[off:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Record{}, 0, true, nil // torn body: clean stop
+			}
+			return Record{}, 0, false, fmt.Errorf("wal: replay body: %w", err)
+		}
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return Record{}, 0, false, ErrCorrupt
+	}
+	rec = Record{
+		Type:    RecordType(body[0]),
+		LSN:     binary.LittleEndian.Uint64(body[1:9]),
+		Payload: body[9:],
+	}
+	return rec, int64(len(hdr)) + int64(length), false, nil
+}
+
 // ReplayValid is Replay plus the medium-repair datum crash recovery needs:
 // it additionally returns the length in bytes of the valid record prefix —
 // the offset just past the last record that decoded and checksummed clean.
@@ -347,56 +439,16 @@ const replayBodyStep = 1 << 20
 // replay swallow the new record's first bytes and fail the torn record's
 // checksum — ErrCorrupt and silent loss of everything appended since.
 func ReplayValid(r io.Reader, fn func(Record) error) (valid int64, err error) {
-	var hdr [8]byte
+	d := decoder{r: r}
 	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return valid, nil // torn header: clean stop
-			}
-			return valid, fmt.Errorf("wal: replay header: %w", err)
-		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length < 9 || length > 1<<30 {
-			return valid, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
-		}
-		// Read the body in bounded steps: the length field is untrusted
-		// (corruption, torn prefix), so the buffer grows only as bytes
-		// actually arrive instead of eagerly allocating up to 1 GiB for a
-		// record the medium cannot deliver.
-		body := make([]byte, 0, min(int(length), replayBodyStep))
-		torn := false
-		for len(body) < int(length) {
-			grow := min(int(length)-len(body), replayBodyStep)
-			off := len(body)
-			if off+grow <= cap(body) {
-				body = body[:off+grow] // records <= one step extend in place
-			} else {
-				body = append(body, make([]byte, grow)...)
-			}
-			if _, err := io.ReadFull(r, body[off:]); err != nil {
-				if err == io.EOF || err == io.ErrUnexpectedEOF {
-					torn = true
-					break
-				}
-				return valid, fmt.Errorf("wal: replay body: %w", err)
-			}
-		}
-		if torn {
-			return valid, nil // torn body: clean stop
-		}
-		if crc32.Checksum(body, castagnoli) != sum {
-			return valid, ErrCorrupt
-		}
-		rec := Record{
-			Type:    RecordType(body[0]),
-			LSN:     binary.LittleEndian.Uint64(body[1:9]),
-			Payload: body[9:],
+		rec, frame, done, err := d.next()
+		if done || err != nil {
+			return valid, err
 		}
 		if err := fn(rec); err != nil {
 			return valid, err
 		}
-		valid += int64(len(hdr)) + int64(length)
+		valid += frame
 	}
 }
 
@@ -432,10 +484,11 @@ type Buffer struct {
 	// Must not change once the buffer holds data.
 	SlabSize int
 
-	mu    sync.Mutex
-	slabs [][]byte // each of slabSize() capacity; bytes [0,n) are live
-	n     int      // total content length
-	free  [][]byte // slabs retained by Reset for reuse
+	mu     sync.Mutex
+	slabs  [][]byte // each of slabSize() capacity; bytes [0,n) are live
+	n      int      // total content length
+	free   [][]byte // slabs retained by Reset for reuse
+	writes int      // Write/WriteV calls since creation (not reset by Reset)
 }
 
 func (b *Buffer) slabSize() int {
@@ -469,6 +522,7 @@ func (b *Buffer) writeLocked(p []byte) {
 func (b *Buffer) Write(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.writes++
 	b.writeLocked(p)
 	return len(p), nil
 }
@@ -479,6 +533,7 @@ func (b *Buffer) Write(p []byte) (int, error) {
 func (b *Buffer) WriteV(segs [][]byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.writes++
 	n := 0
 	for _, p := range segs {
 		b.writeLocked(p)
@@ -504,6 +559,15 @@ func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.n
+}
+
+// Writes reports how many Write/WriteV calls have landed since creation
+// (Reset does not zero it). Tests use it to prove group commit actually
+// coalesced a staged batch into one medium write.
+func (b *Buffer) Writes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.writes
 }
 
 // Slabs reports how many backing slabs currently hold content. Tests use

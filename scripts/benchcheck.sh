@@ -5,23 +5,30 @@
 # before the numbers are worth recording — a racy dispatcher or a log
 # format that breaks crash replay produces fast garbage. The race scope
 # covers the packages the goroutine fan-out touches: the blob data plane,
-# the WAL it appends to, and the virtual-time substrate it folds costs
-# into. Each wal fuzz target then runs for a short fixed budget, so framing
-# or replay regressions in the record encoding are caught here, not in a
-# later crash.
+# the sharded WAL lanes it appends to, and the virtual-time substrate it
+# folds costs into; -shuffle=on randomizes test order so accidental
+# inter-test state dependencies cannot hide a regression. Each wal fuzz
+# target then runs for a short fixed budget — FuzzReplayMerged covers lane
+# interleavings and per-lane torn tails on top of the single-stream
+# battery — so framing, merge, or replay regressions in the record
+# encoding are caught here, not in a later crash.
 #
 # The hot-path micro-benchmarks then run with allocation accounting and the
-# results land in BENCH_hotpath.json, giving future PRs a perf trajectory
-# to compare against. The committed BENCH_hotpath.json doubles as the
-# regression baseline: benchsuite reads it before overwriting and fails if
-# the write path's alloc_bytes_per_op (or allocs_per_op) regressed.
+# results (including the WAL lane-count sweep) land in BENCH_hotpath.json,
+# giving future PRs a perf trajectory to compare against. Two gates guard
+# the committed numbers, both evaluated BEFORE the file is overwritten:
+# the committed BENCH_hotpath.json is the allocation-regression baseline
+# (write-path alloc_bytes_per_op / allocs_per_op must not grow), and the
+# parallel/serial write ns-per-op ratio must stay under a GOMAXPROCS-aware
+# bound (bench.CheckWriteScaling) so the sharded-lane WAL keeps delivering
+# real multi-writer scaling where the hardware has cores to scale on.
 #
 # Usage: scripts/benchcheck.sh [output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 go vet ./...
-go test -race ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/...
+go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/...
 for fz in $(go test -run '^$' -list '^Fuzz' ./internal/wal | grep '^Fuzz'); do
 	go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s ./internal/wal
 done
