@@ -513,6 +513,30 @@ func BenchmarkHotPathWriteParallelLanes1(b *testing.B) {
 	h.DriveParallelWrites(b)
 }
 
+// BenchmarkRecover measures crash recovery of the fullest server of a
+// cold 9-node store — merged lane decode, 2PC prepare buffering, and the
+// chunk-table scatter — serial (the single-threaded oracle) against the
+// parallel lane-decode pipeline, across the WAL lane sweep. ns/op is one
+// full crash+recover cycle; MB/s is log bytes replayed. benchsuite's
+// `recovery` experiment records the fuller sweep (including cold-store
+// sizes) in BENCH_recovery.json, gated by bench.CheckRecoveryScaling.
+func BenchmarkRecover(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"parallel", false}} {
+		for _, lanes := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/lanes=%d", mode.name, lanes), func(b *testing.B) {
+				f, err := bench.NewRecoveryFixture(lanes, 32, mode.serial)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Drive(b)
+			})
+		}
+	}
+}
+
 // reportVirtual attaches the simulated-cluster time per operation.
 func reportVirtual(b *testing.B, total time.Duration) {
 	if b.N > 0 {

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath]
+//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery]
 //	           [-factor N] [-chunk N] [-ranks N] [-executors N]
 //	           [-hotpath-out FILE] [-hotpath-baseline FILE]
+//	           [-recovery-out FILE] [-recovery-ratio R]
 //
 // The default factor 1024 scales the paper's GB volumes to MB; the chunk
 // scales the per-call I/O unit accordingly (see internal/workloads).
@@ -29,6 +30,14 @@
 //     sharded-lane WAL stops delivering parallel write scaling.
 //
 //     go run ./cmd/benchsuite -exp hotpath -hotpath-baseline BENCH_hotpath.json
+//
+// The recovery experiment is the other benchcheck target: the
+// serial-vs-parallel crash-recovery sweep (WAL lane counts x cold-store
+// sizes) written to -recovery-out (default BENCH_recovery.json), gated by
+// -recovery-ratio (default: a GOMAXPROCS-aware bound, see
+// bench.CheckRecoveryScaling; 0 disables) BEFORE the file is written.
+//
+//	go run ./cmd/benchsuite -exp recovery
 package main
 
 import (
@@ -41,7 +50,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery")
 	factor := flag.Int64("factor", 1024, "divide the paper's byte volumes by this factor")
 	chunk := flag.Int("chunk", 4096, "per-call I/O unit in bytes")
 	ranks := flag.Int("ranks", 8, "MPI ranks for HPC applications")
@@ -50,6 +59,9 @@ func main() {
 	hotpathBaseline := flag.String("hotpath-baseline", "", "committed BENCH_hotpath.json to gate write-path allocation regressions against")
 	hotpathRatio := flag.Float64("hotpath-ratio", -1,
 		"max parallel/serial write ns-per-op ratio gate: <0 picks a GOMAXPROCS-aware default, 0 disables the gate")
+	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json", "output file for the recovery experiment")
+	recoveryRatio := flag.Float64("recovery-ratio", -1,
+		"max parallel/serial recovery ns-per-op ratio gate: <0 picks a GOMAXPROCS-aware default, 0 disables the gate")
 	flag.Parse()
 
 	// Read the baseline up front: -hotpath-out usually names the same file,
@@ -172,5 +184,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *hotpathOut)
+	}
+	// The recovery experiment is the second benchcheck target: the
+	// serial-vs-parallel crash-recovery sweep across WAL lane counts and
+	// cold-store sizes, gated on the parallel pipeline actually beating
+	// (or, without parallel hardware, staying within bounded overhead of)
+	// the single-threaded oracle before BENCH_recovery.json is written.
+	if *exp == "recovery" {
+		results, err := bench.RunRecovery()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-45s %10d ns/op %8d B/op %6d allocs/op %10.1f MB/s\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
+		}
+		if *recoveryRatio != 0 {
+			if err := bench.CheckRecoveryScaling(results, *recoveryRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: recovery: %v (output left untouched)\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("parallel/serial recovery-scaling gate: ok")
+		}
+		out, err := bench.RenderRecovery(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*recoveryOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *recoveryOut)
 	}
 }

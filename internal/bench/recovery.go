@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// RecoveryFixture is the fixture behind BenchmarkRecover and the benchsuite
+// `recovery` experiment: a 9-node store with 64 KiB chunks and 3-way
+// replication whose write-ahead logs hold a cold, never-checkpointed
+// history of `blobs` 256 KiB blobs (each a 4-chunk 2PC write). One
+// iteration crashes the fullest server and replays its merged lanes back
+// into volatile state — the recovery path whose lane-decode stage the
+// parallel pipeline (blob recoverfeed.go) parallelizes, measured against
+// the Config.SerialRecovery oracle.
+type RecoveryFixture struct {
+	store *blob.Store
+	node  cluster.NodeID
+	bytes int64 // WAL bytes on the measured node
+}
+
+// NewRecoveryFixture builds the cold store. lanes selects Config.WALLanes
+// (0 = store default); serial selects the single-threaded decode oracle.
+func NewRecoveryFixture(lanes, blobs int, serial bool) (*RecoveryFixture, error) {
+	st := blob.New(cluster.New(cluster.Config{Nodes: 9, Seed: 1}),
+		blob.Config{ChunkSize: 64 << 10, Replication: 3, WALLanes: lanes, SerialRecovery: serial})
+	ctx := storage.NewContext()
+	buf := make([]byte, 256<<10)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for i := 0; i < blobs; i++ {
+		key := fmt.Sprintf("cold-%d", i)
+		if err := st.CreateBlob(ctx, key); err != nil {
+			return nil, err
+		}
+		if _, err := st.WriteBlob(ctx, key, 0, buf); err != nil {
+			return nil, err
+		}
+	}
+	// Measure the server carrying the most log: the worst-case recovery.
+	f := &RecoveryFixture{store: st}
+	for n := 0; n < 9; n++ {
+		if sz := st.WALSize(cluster.NodeID(n)); sz > f.bytes {
+			f.node, f.bytes = cluster.NodeID(n), sz
+		}
+	}
+	if f.bytes == 0 {
+		return nil, fmt.Errorf("bench: recovery fixture built an empty WAL")
+	}
+	return f, nil
+}
+
+// WALBytes is the log volume one Run decodes (the b.SetBytes datum, so
+// MB/s reads as recovery throughput over the measured node's log).
+func (f *RecoveryFixture) WALBytes() int64 { return f.bytes }
+
+// Run performs one crash + recovery cycle of the measured node. The cycle
+// is repeatable: recovery repairs nothing on clean media and rebuilds the
+// same state from the same bytes every iteration.
+func (f *RecoveryFixture) Run() error {
+	f.store.Crash(f.node)
+	return f.store.Recover(f.node)
+}
+
+// Drive is the standard benchmark body over a recovery fixture.
+func (f *RecoveryFixture) Drive(b *testing.B) {
+	b.SetBytes(f.WALBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// recoverySweepSizes are the cold-store sizes (blob count; each blob adds
+// ~768 KiB of replicated chunk log per cluster) the benchsuite records.
+var recoverySweepSizes = []int{8, 32}
+
+// recoverySweepLanes is the lane sweep mirrored from BENCH_hotpath.json.
+var recoverySweepLanes = []int{1, 4, 16}
+
+// RunRecovery runs the serial-vs-parallel recovery sweep via
+// testing.Benchmark (numbers match `go test -bench Recover -benchmem`) and
+// returns the results for BENCH_recovery.json. Result names encode the
+// parameters: BenchmarkRecover/<mode>/lanes=<n>/blobs=<m>.
+func RunRecovery() ([]HotPathResult, error) {
+	var out []HotPathResult
+	var firstErr error
+	for _, blobs := range recoverySweepSizes {
+		for _, lanes := range recoverySweepLanes {
+			for _, mode := range []struct {
+				name   string
+				serial bool
+			}{{"serial", true}, {"parallel", false}} {
+				f, err := NewRecoveryFixture(lanes, blobs, mode.serial)
+				if err != nil {
+					return nil, err
+				}
+				name := fmt.Sprintf("BenchmarkRecover/%s/lanes=%d/blobs=%d", mode.name, lanes, blobs)
+				r := testing.Benchmark(f.Drive)
+				if r.N == 0 && firstErr == nil {
+					firstErr = fmt.Errorf("benchmark %s failed", name)
+				}
+				mbps := 0.0
+				if r.T > 0 {
+					mbps = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+				}
+				out = append(out, HotPathResult{
+					Name:        name,
+					NsPerOp:     r.NsPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					MBPerSec:    mbps,
+				})
+			}
+		}
+	}
+	return out, firstErr
+}
+
+// CheckRecoveryScaling gates the parallel/serial recovery ratio, the
+// recovery twin of CheckWriteScaling: at the largest recorded lane count
+// and cold-store size, the parallel lane-decode pipeline
+// must recover in at most maxRatio of the serial oracle's ns/op.
+// maxRatio <= 0 selects a hardware-aware default — recovery is dominated
+// by per-record CRC + copy work that parallelizes across lanes, but only
+// real cores can run lanes concurrently:
+//
+//	>= 4 procs: 0.75 (the acceptance bar: >= 25% faster than serial)
+//	2-3 procs:  0.90
+//	1 proc:     1.15 (no parallel hardware: the pipeline's staging can
+//	            only add overhead here; the gate bounds that overhead so
+//	            the parallel path never quietly becomes a regression on
+//	            single-core hosts)
+//
+// Pairs absent from results are not gated, so older or partial result
+// sets pass vacuously.
+func CheckRecoveryScaling(results []HotPathResult, maxRatio float64) error {
+	if maxRatio <= 0 {
+		switch procs := runtime.GOMAXPROCS(0); {
+		case procs >= 4:
+			maxRatio = 0.75
+		case procs >= 2:
+			maxRatio = 0.90
+		default:
+			maxRatio = 1.15
+		}
+	}
+	blobs := recoverySweepSizes[len(recoverySweepSizes)-1]
+	lanes := recoverySweepLanes[len(recoverySweepLanes)-1]
+	serialName := fmt.Sprintf("BenchmarkRecover/serial/lanes=%d/blobs=%d", lanes, blobs)
+	parallelName := fmt.Sprintf("BenchmarkRecover/parallel/lanes=%d/blobs=%d", lanes, blobs)
+	var serial, parallel *HotPathResult
+	for i := range results {
+		switch results[i].Name {
+		case serialName:
+			serial = &results[i]
+		case parallelName:
+			parallel = &results[i]
+		}
+	}
+	if serial == nil || parallel == nil || serial.NsPerOp <= 0 {
+		return nil
+	}
+	if ratio := float64(parallel.NsPerOp) / float64(serial.NsPerOp); ratio > maxRatio {
+		return fmt.Errorf("bench: parallel recovery does not scale: %s %d ns/op is %.2fx serial %d ns/op (gate %.2fx at GOMAXPROCS=%d)",
+			parallel.Name, parallel.NsPerOp, ratio, serial.NsPerOp, maxRatio, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+// RenderRecovery formats results as the JSON written to BENCH_recovery.json.
+func RenderRecovery(results []HotPathResult) ([]byte, error) {
+	return json.MarshalIndent(results, "", "  ")
+}

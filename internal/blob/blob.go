@@ -109,6 +109,13 @@ type Config struct {
 	// lane the on-medium layout is byte-identical to the single-log
 	// implementation.
 	WALLanes int
+	// SerialRecovery makes Store.Recover decode the WAL lanes with the
+	// single-threaded merge instead of the parallel lane-decode pipeline
+	// (recoverfeed.go). Recovered state is identical by construction — the
+	// merge engine is shared and only the decode staging differs — which
+	// the equivalence property tests pin byte-for-byte; the knob exists as
+	// that oracle and for debugging.
+	SerialRecovery bool
 }
 
 func (c Config) withDefaults() Config {

@@ -53,6 +53,31 @@
 //     server maps, the WAL, the placement cache — are fine; their holders
 //     never wait on the pool.
 //
+// # Recovery and checkpoint stages
+//
+// The crash-recovery pipeline (recoverfeed.go) and the per-lane
+// checkpoint (recovery.go) ride this same pool, under the same rules,
+// with three stage-specific latch obligations:
+//
+//   - Lane-decode jobs are one-shot and non-blocking: each decodes a
+//     bounded batch from a private medium snapshot and signals a
+//     capacity-1 channel that is empty by protocol (one job in flight per
+//     lane). Only the merge — the recovery caller, never a worker — waits
+//     on those channels, and it must therefore hold no latch-class lock
+//     while merging: Recover builds into local maps and takes sv.mu only
+//     to install them (and, as before, never holds sv.mu across the
+//     chunk-scatter parallelDo).
+//   - Per-lane checkpoint jobs append only to their own lane's private
+//     Log/Buffer through the pooled header staging; they take no
+//     latch-class lock and never wait on the pool. The state snapshot
+//     (descriptor sizes under sv.mu, chunk slices under the stripe locks)
+//     is taken by the caller BEFORE the jobs are spawned.
+//   - parallelDo must not be called from a worker, so multi-stage sweeps
+//     fan out FLAT: CheckpointAll expands to (server, lane) jobs at the
+//     caller instead of nesting a per-server parallelDo inside a pool
+//     task, which on a saturated pool would deadlock (every worker
+//     blocked in a nested wait, every nested job stuck in the queue).
+//
 // The pool is package-global, lazily started, and bounded by GOMAXPROCS
 // (capped at maxDispatchWorkers). Workers never block: a task that fans out
 // further (replica writes) records the sub-fan and returns, and a spawn

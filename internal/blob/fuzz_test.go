@@ -1,0 +1,110 @@
+package blob
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// FuzzRecoverParallel is the end-to-end crash battery for the parallel
+// recovery pipeline: a store workload derived deterministically from the
+// fuzz input (creates, single- and multi-chunk 2PC writes, truncates,
+// deletes, checkpoints), arbitrary lane tears on fuzzer-chosen servers,
+// and an optional byte flip — then every node is crashed and recovered
+// twice from identical media, once through the pool-prefetched lane-decode
+// pipeline and once through the serial oracle (Config.SerialRecovery).
+// The contract is total equivalence: same error class (nil or ErrCorrupt,
+// never a panic), same descriptors, same chunk bytes, same repaired lane
+// media. The merge engine is shared between the paths, so any divergence
+// the fuzzer finds is a real bug in the decode staging (batch boundaries,
+// feed termination, frame accounting).
+func FuzzRecoverParallel(f *testing.F) {
+	// Script grammar (see below): each op consumes 3 bytes — op selector,
+	// key selector, size/offset argument.
+	f.Add([]byte{}, uint32(0), uint32(0), false, uint32(0))
+	// Create + multi-chunk write + checkpoint + more writes, tear mid-log.
+	f.Add([]byte{0, 0, 0, 1, 0, 100, 5, 0, 0, 1, 0, 40, 2, 0, 9}, uint32(37), uint32(11), false, uint32(0))
+	// 2PC-heavy: interleaved multi-chunk writes on two blobs, two tears.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 0, 200, 1, 1, 150, 1, 0, 90, 1, 1, 60}, uint32(101), uint32(53), false, uint32(0))
+	// Truncate + delete + corruption flip.
+	f.Add([]byte{0, 2, 0, 1, 2, 120, 3, 2, 33, 4, 2, 0, 0, 2, 0, 1, 2, 80}, uint32(0), uint32(0), true, uint32(77))
+	// Checkpoint-then-append with a tear landing in the appended suffix.
+	f.Add([]byte{0, 3, 0, 1, 3, 64, 5, 0, 0, 1, 3, 32, 1, 3, 96}, uint32(29), uint32(0), false, uint32(0))
+
+	keys := []string{"f0", "f1", "f2", "f3"}
+	f.Fuzz(func(t *testing.T, script []byte, tearA, tearB uint32, flip bool, flipAt uint32) {
+		const lanes = 4
+		s := New(cluster.New(cluster.Config{Nodes: 3, Seed: 5}),
+			Config{ChunkSize: 32, Replication: 2, WALLanes: lanes, InlineFanout: true})
+		ctx := storage.NewContext()
+		live := make(map[string]bool)
+		for i := 0; i+3 <= len(script); i += 3 {
+			key := keys[int(script[i+1])%len(keys)]
+			arg := int(script[i+2])
+			switch script[i] % 6 {
+			case 0:
+				if !live[key] {
+					if err := s.CreateBlob(ctx, key); err != nil {
+						t.Fatal(err)
+					}
+					live[key] = true
+				}
+			case 1: // write: sizes up to 256 bytes span up to 9 chunks (2PC)
+				if live[key] {
+					data := make([]byte, arg+1)
+					for j := range data {
+						data[j] = byte(i + 7*j)
+					}
+					if _, err := s.WriteBlob(ctx, key, int64(arg%64), data); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // small single-chunk overwrite
+				if live[key] {
+					if _, err := s.WriteBlob(ctx, key, 0, []byte{byte(i), byte(arg)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3:
+				if live[key] {
+					if err := s.TruncateBlob(ctx, key, int64(arg)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 4:
+				if live[key] {
+					if err := s.DeleteBlob(ctx, key); err != nil {
+						t.Fatal(err)
+					}
+					live[key] = false
+				}
+			case 5:
+				s.CheckpointAll()
+			}
+		}
+
+		// Crash damage: two fuzzer-positioned lane tears and an optional
+		// byte flip, each on a fuzzer-chosen server.
+		for _, tear := range []uint32{tearA, tearB} {
+			sv := s.servers[int(tear)%len(s.servers)]
+			lb := sv.wal.LaneBuffer(int(tear/3) % lanes)
+			if lb.Len() > 0 {
+				lb.Truncate(int(tear/12) % (lb.Len() + 1))
+			}
+		}
+		if flip {
+			sv := s.servers[int(flipAt)%len(s.servers)]
+			lb := sv.wal.LaneBuffer(int(flipAt/3) % lanes)
+			if lb.Len() > 0 {
+				if err := lb.Corrupt(int(flipAt/12) % lb.Len()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		for node := range s.servers {
+			compareRecoveryModes(t, s, node)
+		}
+	})
+}

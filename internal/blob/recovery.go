@@ -89,13 +89,30 @@ func applyRecovered(chunks map[chunkID][]byte, id chunkID, within int64, data []
 // AND clean-but-after-gap records — and re-bases the order-key counter, so
 // appends accepted after recovery extend the prefix instead of hiding
 // behind bytes a later replay would trip over or stop before.
+//
+// By default the lanes are DECODED in parallel: one prefetching feed per
+// lane rides the worker pool (recoverfeed.go) while this goroutine runs
+// the order-key merge over the pre-decoded heads. The merge engine, the
+// prefix contract, and the media repair are the same code either way —
+// Config.SerialRecovery selects the single-threaded decode as the oracle
+// the equivalence tests pin the pipeline against, byte for byte.
 func (s *Store) Recover(node cluster.NodeID) error {
 	sv := s.servers[int(node)]
-	sv.mu.Lock()
+	// The replay below builds into local maps and — on the parallel path —
+	// waits on pool-executed decode jobs, so no latch-class lock may be
+	// held across it (dispatch.go contract); recovery's quiescence
+	// requirement is what makes the lock-free read of the lane media safe.
+	// sv.mu is taken only to install the rebuilt tables.
 	blobs := make(map[string]*descriptor)
 	chunks := make(map[chunkID][]byte)
 	var pending map[chunkID]prepWrite
-	err := sv.wal.RecoverMerged(func(rec wal.Record) error {
+	replay := func(fn func(wal.Record) error) error {
+		if s.cfg.SerialRecovery {
+			return sv.wal.RecoverMerged(fn)
+		}
+		return sv.wal.RecoverMergedFeeds(newRecoveryFeeds(sv.wal), fn)
+	}
+	err := replay(func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecCreate, wal.RecMeta:
 			key, size, err := decMeta(rec.Payload)
@@ -185,9 +202,9 @@ func (s *Store) Recover(node cluster.NodeID) error {
 		}
 	})
 	if err != nil {
-		sv.mu.Unlock()
 		return fmt.Errorf("blob: recover node %d: %w", node, err)
 	}
+	sv.mu.Lock()
 	sv.blobs = blobs
 	sv.mu.Unlock()
 	// Scatter the rebuilt chunks across the worker pool; insertions into
@@ -210,58 +227,134 @@ func (s *Store) Recover(node cluster.NodeID) error {
 	return nil
 }
 
+// ckptLane is one lane's share of a checkpoint snapshot: the descriptor
+// and chunk records whose natural lane (descriptor ring hash, chunk
+// placement hash) is this lane, collected so the lane can be re-encoded
+// against its own medium independently of every other lane.
+type ckptLane struct {
+	metas  []ckptMeta
+	chunks []ckptChunk
+}
+
+type ckptMeta struct {
+	key  string
+	size int64
+}
+
+type ckptChunk struct {
+	id   chunkID
+	data []byte
+}
+
+// checkpointPlan snapshots sv's volatile state into per-lane record lists
+// and resets the lane log (content dropped, order keys restarted at 1 —
+// the snapshot is a fresh logical history, and merged replay's
+// consecutive-from-1 invariant is what detects a wholly-torn lane).
+// Returns nil for a down server: its volatile state is empty and its WAL
+// is the only recovery source — checkpointing it would snapshot nothing
+// and discard that source, silent data loss.
+//
+// The plan holds live chunk slices by reference; the quiescence the
+// checkpoint requires (no concurrent mutations, the Crash/Recover
+// discipline) is what keeps them stable until the lane writers have
+// streamed them out.
+func (sv *server) checkpointPlan() []ckptLane {
+	sv.mu.Lock()
+	if sv.down {
+		sv.mu.Unlock()
+		return nil
+	}
+	plan := make([]ckptLane, sv.wal.Lanes())
+	for key, d := range sv.blobs {
+		lane := sv.metaLane(key)
+		plan[lane].metas = append(plan[lane].metas, ckptMeta{key, d.size})
+	}
+	sv.mu.Unlock()
+	sv.forEachChunk(func(id chunkID, data []byte) {
+		lane := sv.chunkLane(id.ringHash())
+		plan[lane].chunks = append(plan[lane].chunks, ckptChunk{id, data})
+	})
+	sv.wal.ResetAll()
+	return plan
+}
+
+// checkpointLane re-encodes one lane's surviving records against that
+// lane's own medium. Records go through the vectored append: only the
+// few-dozen-byte header is staged (in a pooled buffer private to this
+// lane job), and each chunk's bytes stream from the live chunk slice to
+// the compacted lane in one copy. The lane's slab-backed Buffer reuses
+// the slabs ResetAll just freed, so a steady checkpoint cycle allocates
+// nothing — and because every lane appends to a private Log/Buffer, lane
+// jobs run concurrently without sharing a single lock or medium
+// (dispatch contract: the job takes no latch-class lock and never waits
+// on the pool).
+func (sv *server) checkpointLane(lane int, plan *ckptLane) {
+	if len(plan.metas) == 0 && len(plan.chunks) == 0 {
+		return
+	}
+	bp := hdrPool.Get().(*[]byte)
+	appendOne := func(t wal.RecordType, data []byte) {
+		if _, _, err := sv.wal.AppendV(lane, t, *bp, data); err != nil {
+			panic(fmt.Sprintf("blob: checkpoint node %d: %v", sv.node, err))
+		}
+	}
+	for _, m := range plan.metas {
+		*bp = appendMetaPayload((*bp)[:0], m.key, m.size)
+		appendOne(wal.RecCreate, nil)
+	}
+	for _, c := range plan.chunks {
+		*bp = appendChunkHeader((*bp)[:0], c.id, 0)
+		appendOne(wal.RecWrite, c.data)
+	}
+	hdrPool.Put(bp)
+}
+
 // Checkpoint rewrites a server's write-ahead log as a snapshot of its
 // current volatile state — one record per descriptor and chunk replica —
 // and drops the old log content, bounding log growth the way real object
 // stores compact their journals. Recovery after a checkpoint replays the
-// snapshot exactly. The server must be quiescent (no concurrent mutations)
-// for the duration, the same discipline Crash and Recover require.
+// snapshot exactly. The snapshot streams per-lane: each lane's surviving
+// records are re-encoded against that lane's own medium as an independent
+// worker-pool job, so the compaction write-back scales with the lane
+// sharding exactly like recovery's decode does. The server must be
+// quiescent (no concurrent mutations) for the duration, the same
+// discipline Crash and Recover require; like every parallelDo caller,
+// Checkpoint must not run on a pool worker.
 func (s *Store) Checkpoint(node cluster.NodeID) {
 	sv := s.servers[int(node)]
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	if sv.down {
-		// A crashed server's volatile state is empty; its WAL is the only
-		// recovery source. Checkpointing it would snapshot nothing and
-		// discard that source — silent data loss. Skip until recovered.
+	plan := sv.checkpointPlan()
+	if plan == nil {
 		return
 	}
-	// Drop every lane and restart the order keys at 1: the snapshot below
-	// is a fresh logical history (merged replay requires keys consecutive
-	// from 1, which is also what detects a wholly-torn lane).
-	sv.wal.ResetAll()
-	// Records are re-encoded one at a time through the vectored append,
-	// each routed to its natural lane (chunk records by placement hash,
-	// descriptors by ring hash) so the compacted log keeps the lane
-	// balance live traffic will extend: only the few-dozen-byte header is
-	// staged, and each chunk's bytes stream from the live chunk slice
-	// (stable under the stripe read lock forEachChunk holds) to the
-	// compacted lane in one copy. The lanes' slab-backed Buffers reuse the
-	// slabs the Reset above just freed, so a steady checkpoint cycle
-	// allocates nothing.
-	bp := hdrPool.Get().(*[]byte)
-	appendOne := func(lane int, t wal.RecordType, data []byte) {
-		if _, _, err := sv.wal.AppendV(lane, t, *bp, data); err != nil {
-			panic(fmt.Sprintf("blob: checkpoint node %d: %v", node, err))
-		}
-	}
-	for key, d := range sv.blobs {
-		*bp = appendMetaPayload((*bp)[:0], key, d.size)
-		appendOne(sv.metaLane(key), wal.RecCreate, nil)
-	}
-	sv.forEachChunk(func(id chunkID, data []byte) {
-		*bp = appendChunkHeader((*bp)[:0], id, 0)
-		appendOne(sv.chunkLane(id.ringHash()), wal.RecWrite, data)
+	parallelDo(len(plan), func(lane int) {
+		sv.checkpointLane(lane, &plan[lane])
 	})
-	hdrPool.Put(bp)
 }
 
-// CheckpointAll checkpoints every live server in parallel across the
-// worker pool; the store must be quiescent. Down servers are skipped
-// (their WAL is their only state).
+// CheckpointAll checkpoints every live server; the store must be
+// quiescent. Down servers are skipped (their WAL is their only state).
+// The fan-out is flat — every (server, lane) pair becomes one pool job —
+// rather than nesting per-server parallelDo calls inside pool workers,
+// which the dispatch contract forbids (a worker blocking on a nested
+// pool wait can deadlock a saturated pool).
 func (s *Store) CheckpointAll() {
-	parallelDo(len(s.servers), func(i int) {
-		s.Checkpoint(cluster.NodeID(i))
+	type laneJob struct {
+		sv   *server
+		plan *ckptLane
+		lane int
+	}
+	var jobs []laneJob
+	for _, sv := range s.servers {
+		plan := sv.checkpointPlan()
+		for lane := range plan {
+			if len(plan[lane].metas) == 0 && len(plan[lane].chunks) == 0 {
+				continue
+			}
+			jobs = append(jobs, laneJob{sv, &plan[lane], lane})
+		}
+	}
+	parallelDo(len(jobs), func(i int) {
+		jobs[i].sv.checkpointLane(jobs[i].lane, jobs[i].plan)
 	})
 }
 
@@ -277,6 +370,13 @@ func (s *Store) DescriptorCount(node cluster.NodeID) int {
 // ChunkCount reports how many chunk replicas the server currently holds.
 func (s *Store) ChunkCount(node cluster.NodeID) int {
 	return s.servers[int(node)].chunkCount()
+}
+
+// WALSize reports the encoded bytes currently held across all of the
+// server's log lanes — the volume a crash recovery of that server decodes.
+// Exact only while the server is quiescent.
+func (s *Store) WALSize(node cluster.NodeID) int64 {
+	return s.servers[int(node)].wal.Size()
 }
 
 // CheckInvariants validates cross-server consistency:

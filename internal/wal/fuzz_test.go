@@ -204,11 +204,20 @@ func readerRaw(b *Buffer) []byte {
 //     the next key and replays with the prefix.
 func FuzzReplayMerged(f *testing.F) {
 	// Spec grammar (see buildMultiLog): each record consumes 4 spec bytes —
-	// lane selector, type, encode-path selector, payload length.
+	// lane selector, type, encode-path selector, payload length; a lane
+	// byte of 255 is a checkpoint (ResetAll: lanes dropped, keys restarted).
 	f.Add([]byte{}, uint16(0), uint16(0), false, uint16(0))                                                         // empty log
 	f.Add([]byte{0, 1, 0, 8, 1, 2, 1, 8, 2, 3, 2, 8, 3, 4, 3, 8}, uint16(0xffff), uint16(0xffff), false, uint16(0)) // all lanes, untouched
 	f.Add([]byte{0, 1, 0, 200, 0, 2, 0, 200}, uint16(30), uint16(0xffff), false, uint16(0))                         // one lane torn mid-record
 	f.Add([]byte{1, 1, 2, 9, 2, 2, 2, 9, 1, 3, 3, 9}, uint16(0xffff), uint16(12), true, uint16(40))                 // batch + tear + flip
+	// Checkpoint-then-append: history, a reset, a fresh history, torn tail.
+	f.Add([]byte{0, 1, 0, 8, 1, 2, 1, 8, 255, 0, 0, 0, 2, 3, 0, 8, 3, 4, 1, 8}, uint16(20), uint16(0xffff), false, uint16(0))
+	// Checkpoint between appends on the SAME lane plus a flip after it.
+	f.Add([]byte{1, 1, 0, 50, 255, 0, 0, 0, 1, 2, 0, 50}, uint16(0xffff), uint16(0xffff), true, uint16(9))
+	// Mid-group-commit tears: multi-record AppendNV batches (one medium
+	// write each) cut so the tear lands between and inside batch records.
+	f.Add([]byte{1, 1, 2, 210, 1, 4, 2, 210}, uint16(40), uint16(0xffff), false, uint16(0))
+	f.Add([]byte{2, 5, 2, 100, 2, 6, 2, 100, 2, 7, 2, 100}, uint16(90), uint16(300), false, uint16(0))
 	f.Fuzz(func(t *testing.T, spec []byte, cutA, cutB uint16, flip bool, flipAt uint16) {
 		const lanes = 4
 		m := NewMultiLog(lanes)
@@ -287,7 +296,11 @@ func FuzzReplayMerged(f *testing.F) {
 // returns them in logical (order-key) order. Each record consumes 4 spec
 // bytes: (lane, type, path, length); the path byte routes through AppendV,
 // a single-spec AppendNV, or a two-record AppendNV batch that also
-// consumes the next record's spec for the same lane.
+// consumes the next record's spec for the same lane. A lane byte of 255 is
+// a checkpoint instead of a record: ResetAll drops every lane and restarts
+// the order keys at 1, and the expected sequence restarts with them — the
+// checkpoint-then-append shape whose replay must see ONLY the fresh
+// history.
 func buildMultiLog(t *testing.T, m *MultiLog, spec []byte) []Record {
 	t.Helper()
 	var appended []Record
@@ -302,6 +315,11 @@ func buildMultiLog(t *testing.T, m *MultiLog, spec []byte) []Record {
 		return p
 	}
 	for i := 0; i+4 <= len(spec); i += 4 {
+		if spec[i] == 0xff {
+			m.ResetAll()
+			appended = appended[:0]
+			continue
+		}
 		lane := int(spec[i]) % m.Lanes()
 		rt := RecordType(spec[i+1]%12 + 1)
 		path := spec[i+2] % 3

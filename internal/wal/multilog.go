@@ -53,6 +53,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -270,6 +271,24 @@ func (ln *mlane) drain() {
 	}
 }
 
+// LaneFeed supplies one lane's records, in medium order, to a merged
+// replay. Next mirrors Decoder.Next: it yields the record, its full
+// on-medium frame length, done=true at a clean end (EOF or torn tail), or
+// an error (ErrCorrupt for checksum/framing failures). The merge consumes
+// feeds one record at a time in exact order-key sequence, holding at most
+// one head record per lane, so a feed's records must stay valid after it
+// advances (Decoder's fresh-allocation contract).
+//
+// Feed i must stream exactly what lane i's medium holds — the frame
+// lengths are summed into the lane's repair truncation point, so a feed
+// that skips, reorders, or re-frames records would make RecoverMergedFeeds
+// corrupt the medium. Decoder over LaneBuffer(i).Reader() is the canonical
+// implementation; concurrent pre-decoding pipelines (the blob store's
+// parallel recovery) batch that same decode stream ahead of the merge.
+type LaneFeed interface {
+	Next() (rec Record, frame int64, done bool, err error)
+}
+
 // ReplayMerged decodes every lane and yields records in logical append
 // order — ascending order key, required to be exactly consecutive from 1.
 // It stops cleanly at the first missing key (a torn lane tail tears away
@@ -278,23 +297,53 @@ func (ln *mlane) drain() {
 // records from it. If fn returns an error, replay stops and returns it.
 // Requires quiescence.
 func (m *MultiLog) ReplayMerged(fn func(Record) error) error {
-	_, _, err := m.replayMerged(fn)
+	_, _, err := replayMergedFeeds(m.laneFeeds(), fn)
 	return err
 }
 
-// replayMerged is the merge engine: it additionally returns, per lane, the
-// byte length of the lane's prefix that lies within the merged order-key
-// prefix (the repair truncation point), and the last key yielded.
-func (m *MultiLog) replayMerged(fn func(Record) error) (consumed []int64, last uint64, err error) {
-	k := len(m.lanes)
+// ReplayMergedFeeds is ReplayMerged over caller-supplied lane feeds — one
+// per lane, in lane order. It exists so recovery can pre-decode lanes
+// concurrently while the merge itself (and therefore the prefix contract)
+// stays this package's single implementation. Requires quiescence.
+func (m *MultiLog) ReplayMergedFeeds(feeds []LaneFeed, fn func(Record) error) error {
+	_, _, err := replayMergedFeeds(m.checkFeeds(feeds), fn)
+	return err
+}
+
+// laneFeeds returns the serial decode feeds: one Decoder per lane over a
+// snapshot of that lane's medium.
+func (m *MultiLog) laneFeeds() []LaneFeed {
+	feeds := make([]LaneFeed, len(m.lanes))
+	for i := range m.lanes {
+		feeds[i] = NewDecoder(m.lanes[i].buf.Reader())
+	}
+	return feeds
+}
+
+// checkFeeds validates a caller-supplied feed set against the lane count.
+func (m *MultiLog) checkFeeds(feeds []LaneFeed) []LaneFeed {
+	if len(feeds) != len(m.lanes) {
+		panic(fmt.Sprintf("wal: %d lane feeds for a %d-lane log", len(feeds), len(m.lanes)))
+	}
+	return feeds
+}
+
+// replayMergedFeeds is the merge engine: it yields records across the
+// feeds in exact order-key sequence and additionally returns, per lane,
+// the byte length of the lane's prefix that lies within the merged
+// order-key prefix (the repair truncation point), and the last key
+// yielded. It is the ONLY merge implementation — serial decode and
+// concurrent pre-decode differ solely in the feed, so the prefix contract
+// cannot fork between them.
+func replayMergedFeeds(feeds []LaneFeed, fn func(Record) error) (consumed []int64, last uint64, err error) {
+	k := len(feeds)
 	consumed = make([]int64, k)
-	decs := make([]decoder, k)
 	heads := make([]Record, k)
 	frames := make([]int64, k)
 	live := make([]bool, k)
 	corrupt := false
 	load := func(i int) error {
-		rec, frame, done, derr := decs[i].next()
+		rec, frame, done, derr := feeds[i].Next()
 		if derr != nil {
 			if errors.Is(derr, ErrCorrupt) {
 				// The lane is unreadable from here on; the merge stops at
@@ -312,8 +361,7 @@ func (m *MultiLog) replayMerged(fn func(Record) error) (consumed []int64, last u
 		heads[i], frames[i], live[i] = rec, frame, true
 		return nil
 	}
-	for i := range m.lanes {
-		decs[i] = decoder{r: m.lanes[i].buf.Reader()}
+	for i := range feeds {
 		if err := load(i); err != nil {
 			return consumed, last, err
 		}
@@ -352,7 +400,19 @@ func (m *MultiLog) replayMerged(fn func(Record) error) (consumed []int64, last u
 // next append extends the recovered prefix. On error (ErrCorrupt, a
 // handler error) nothing is repaired. Requires quiescence.
 func (m *MultiLog) RecoverMerged(fn func(Record) error) error {
-	consumed, last, err := m.replayMerged(fn)
+	return m.recoverFeeds(m.laneFeeds(), fn)
+}
+
+// RecoverMergedFeeds is RecoverMerged over caller-supplied lane feeds (see
+// ReplayMergedFeeds). The repair truncation points are the frame sums of
+// the merged records as the feeds reported them, so the feeds must stream
+// the lane media bit-for-bit. Requires quiescence.
+func (m *MultiLog) RecoverMergedFeeds(feeds []LaneFeed, fn func(Record) error) error {
+	return m.recoverFeeds(m.checkFeeds(feeds), fn)
+}
+
+func (m *MultiLog) recoverFeeds(feeds []LaneFeed, fn func(Record) error) error {
+	consumed, last, err := replayMergedFeeds(feeds, fn)
 	if err != nil {
 		return err
 	}

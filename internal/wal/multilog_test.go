@@ -313,3 +313,155 @@ func TestMultiLogResetAllRestartsKeys(t *testing.T) {
 		t.Fatalf("replayed %d records after reset+append, want 1", count)
 	}
 }
+
+// batchedFeed serves a lane's pre-decoded records from memory — the
+// staged-decode shape the blob store's parallel recovery pipeline hands
+// the merge, terminal state included. Unlike a live Decoder it exposes the
+// already-materialized transitions (batch exhaustion, done/err after a
+// partial run) the feed contract has to define precisely.
+type batchedFeed struct {
+	recs   []Record
+	frames []int64
+	i      int
+	done   bool
+	err    error
+}
+
+func (f *batchedFeed) Next() (Record, int64, bool, error) {
+	if f.i < len(f.recs) {
+		rec, frame := f.recs[f.i], f.frames[f.i]
+		f.i++
+		return rec, frame, false, nil
+	}
+	return Record{}, 0, f.done, f.err
+}
+
+// preDecode drains one lane through the exported Decoder into a
+// batchedFeed, exactly what a concurrent pre-decoding stage produces.
+func preDecode(m *MultiLog, lane int) *batchedFeed {
+	f := &batchedFeed{}
+	dec := NewDecoder(m.LaneBuffer(lane).Reader())
+	for {
+		rec, frame, done, err := dec.Next()
+		if done || err != nil {
+			f.done, f.err = done, err
+			return f
+		}
+		f.recs = append(f.recs, rec)
+		f.frames = append(f.frames, frame)
+	}
+}
+
+func preDecodeAll(m *MultiLog) []LaneFeed {
+	feeds := make([]LaneFeed, m.Lanes())
+	for lane := range feeds {
+		feeds[lane] = preDecode(m, lane)
+	}
+	return feeds
+}
+
+// fillMergedFixture drives a deterministic interleaved history across 3
+// lanes (singles and batches), so two calls produce byte-identical logs.
+func fillMergedFixture(t *testing.T, m *MultiLog) {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		lane := (i * 7) % 3
+		payload := make([]byte, 5+(i*11)%90)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		if i%5 == 4 {
+			specs := []AppendVSpec{
+				{Type: RecWrite, Header: payload[:2], Payload: payload[2:]},
+				{Type: RecCommit, Payload: payload[:3]},
+			}
+			if _, _, err := m.AppendNV(lane, specs); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, _, err := m.AppendV(lane, RecWrite, payload[:1], payload[1:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMergedFeedsMatchSerial pins ReplayMergedFeeds/RecoverMergedFeeds
+// against the serial decode path on the same torn media: identical record
+// sequences, identical error, and — after recovery through feeds on one
+// log and through the serial path on a byte-identical twin — identical
+// repaired media and size accounting.
+func TestMergedFeedsMatchSerial(t *testing.T) {
+	for _, tear := range []struct {
+		name string
+		cut  func(m *MultiLog)
+	}{
+		{"untouched", func(m *MultiLog) {}},
+		{"one-lane-torn", func(m *MultiLog) { m.LaneBuffer(1).Truncate(m.LaneBuffer(1).Len() - 4) }},
+		{"two-lanes-torn", func(m *MultiLog) {
+			m.LaneBuffer(0).Truncate(m.LaneBuffer(0).Len() / 2)
+			m.LaneBuffer(2).Truncate(m.LaneBuffer(2).Len() - 1)
+		}},
+		{"lane-cleared", func(m *MultiLog) { m.LaneBuffer(2).Truncate(0) }},
+		{"corrupt", func(m *MultiLog) {
+			if err := m.LaneBuffer(0).Corrupt(10); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			m := NewMultiLog(3)
+			twin := NewMultiLog(3)
+			fillMergedFixture(t, m)
+			fillMergedFixture(t, twin)
+			tear.cut(m)
+			tear.cut(twin)
+
+			collect := func(dst *[]Record) func(Record) error {
+				return func(rec Record) error {
+					p := append([]byte(nil), rec.Payload...)
+					*dst = append(*dst, Record{Type: rec.Type, LSN: rec.LSN, Payload: p})
+					return nil
+				}
+			}
+			var serial, fed []Record
+			errSerial := m.ReplayMerged(collect(&serial))
+			errFed := m.ReplayMergedFeeds(preDecodeAll(m), collect(&fed))
+			if !errors.Is(errSerial, errFed) && !errors.Is(errFed, errSerial) {
+				t.Fatalf("replay errors diverge: serial %v, feeds %v", errSerial, errFed)
+			}
+			if len(serial) != len(fed) {
+				t.Fatalf("feeds merged %d records, serial %d", len(fed), len(serial))
+			}
+			for i := range serial {
+				if serial[i].Type != fed[i].Type || serial[i].LSN != fed[i].LSN ||
+					!bytes.Equal(serial[i].Payload, fed[i].Payload) {
+					t.Fatalf("record %d diverges between serial and feed merge", i)
+				}
+			}
+			if errSerial != nil {
+				return // corrupt media: no repair to compare
+			}
+
+			// Recovery through feeds on m, through serial decode on the twin:
+			// repaired media and accounting must be byte-identical.
+			if err := m.RecoverMergedFeeds(preDecodeAll(m), func(Record) error { return nil }); err != nil {
+				t.Fatalf("feed recovery: %v", err)
+			}
+			if err := twin.RecoverMerged(func(Record) error { return nil }); err != nil {
+				t.Fatalf("serial recovery: %v", err)
+			}
+			for lane := 0; lane < 3; lane++ {
+				got := readerBytes(t, m.LaneBuffer(lane))
+				want := readerBytes(t, twin.LaneBuffer(lane))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("lane %d repaired media diverge: %d vs %d bytes", lane, len(got), len(want))
+				}
+				if m.LaneSize(lane) != twin.LaneSize(lane) {
+					t.Fatalf("lane %d size accounting diverges: %d vs %d", lane, m.LaneSize(lane), twin.LaneSize(lane))
+				}
+			}
+			if m.NextKey() != twin.NextKey() {
+				t.Fatalf("re-based keys diverge: %d vs %d", m.NextKey(), twin.NextKey())
+			}
+		})
+	}
+}

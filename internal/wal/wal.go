@@ -430,6 +430,37 @@ func (d *decoder) next() (rec Record, frame int64, done bool, err error) {
 	return rec, int64(len(hdr)) + int64(length), false, nil
 }
 
+// Decoder is the exported face of the streaming record decoder: it walks
+// one log medium record by record, yielding each record's full on-medium
+// frame length alongside it. MultiLog's merged recovery accepts per-lane
+// record streams through the LaneFeed interface (multilog.go), and Decoder
+// is the canonical feed — callers that pre-decode lanes concurrently
+// (the blob store's parallel recovery pipeline) wrap one Decoder per lane
+// and batch its output, and the merge cannot tell the difference because
+// both shapes produce exactly this decode sequence. Each yielded record's
+// payload is a fresh allocation, so records stay valid after the decoder
+// advances.
+type Decoder struct {
+	d decoder
+}
+
+// NewDecoder returns a decoder streaming records from r, which must read a
+// single log medium from its start (Buffer.Reader provides a stable
+// snapshot).
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{d: decoder{r: r}}
+}
+
+// Next decodes one record. done=true reports a clean stop — EOF or a torn
+// tail. err is ErrCorrupt on a checksum or framing failure; rec and frame
+// are valid only when done==false and err==nil. frame is the record's full
+// on-medium length (framing prefix plus body) — the datum merged recovery
+// sums into each lane's repair truncation point, so a feed wrapping this
+// decoder must pass it through unchanged.
+func (d *Decoder) Next() (rec Record, frame int64, done bool, err error) {
+	return d.d.next()
+}
+
 // ReplayValid is Replay plus the medium-repair datum crash recovery needs:
 // it additionally returns the length in bytes of the valid record prefix —
 // the offset just past the last record that decoded and checksummed clean.

@@ -7,30 +7,41 @@
 # covers the packages the goroutine fan-out touches: the blob data plane,
 # the sharded WAL lanes it appends to, and the virtual-time substrate it
 # folds costs into; -shuffle=on randomizes test order so accidental
-# inter-test state dependencies cannot hide a regression. Each wal fuzz
-# target then runs for a short fixed budget — FuzzReplayMerged covers lane
-# interleavings and per-lane torn tails on top of the single-stream
-# battery — so framing, merge, or replay regressions in the record
-# encoding are caught here, not in a later crash.
+# inter-test state dependencies cannot hide a regression. Each wal and
+# blob fuzz target then runs for a short fixed budget — FuzzReplayMerged
+# covers lane interleavings, per-lane torn tails, and checkpoint-then-
+# append resets on top of the single-stream battery, and the blob-side
+# FuzzRecoverParallel pits the parallel lane-decode recovery pipeline
+# against the serial oracle on fuzzed workloads and tears — so framing,
+# merge, replay, or recovery-equivalence regressions are caught here, not
+# in a later crash.
 #
-# The hot-path micro-benchmarks then run with allocation accounting and the
-# results (including the WAL lane-count sweep) land in BENCH_hotpath.json,
-# giving future PRs a perf trajectory to compare against. Two gates guard
-# the committed numbers, both evaluated BEFORE the file is overwritten:
-# the committed BENCH_hotpath.json is the allocation-regression baseline
-# (write-path alloc_bytes_per_op / allocs_per_op must not grow), and the
-# parallel/serial write ns-per-op ratio must stay under a GOMAXPROCS-aware
-# bound (bench.CheckWriteScaling) so the sharded-lane WAL keeps delivering
-# real multi-writer scaling where the hardware has cores to scale on.
+# The hot-path and recovery micro-benchmarks then run with allocation
+# accounting and the results (including the WAL lane-count sweeps) land in
+# BENCH_hotpath.json and BENCH_recovery.json, giving future PRs a perf
+# trajectory to compare against. Three gates guard the committed numbers,
+# each evaluated BEFORE its file is overwritten: the committed
+# BENCH_hotpath.json is the allocation-regression baseline (write-path
+# alloc_bytes_per_op / allocs_per_op must not grow), the parallel/serial
+# write ns-per-op ratio must stay under a GOMAXPROCS-aware bound
+# (bench.CheckWriteScaling), and the parallel/serial crash-recovery ratio
+# must stay under its own GOMAXPROCS-aware bound
+# (bench.CheckRecoveryScaling) so the parallel lane-decode pipeline keeps
+# beating — or at minimum never quietly regresses against — the
+# single-threaded recovery oracle.
 #
-# Usage: scripts/benchcheck.sh [output-file]
+# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
+rout="${2:-BENCH_recovery.json}"
 go vet ./...
 go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/...
-for fz in $(go test -run '^$' -list '^Fuzz' ./internal/wal | grep '^Fuzz'); do
-	go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s ./internal/wal
+for pkg in ./internal/wal ./internal/blob; do
+	for fz in $(go test -run '^$' -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
+		go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s "$pkg"
+	done
 done
-go test -run '^$' -bench 'HotPath' -benchmem -benchtime=1s .
+go test -run '^$' -bench 'HotPath|Recover' -benchmem -benchtime=1s .
 go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out" -hotpath-baseline BENCH_hotpath.json
+go run ./cmd/benchsuite -exp recovery -recovery-out "$rout"
