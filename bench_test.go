@@ -657,3 +657,29 @@ func BenchmarkAblationIndexedScan(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultWrite profiles the failure-domain write paths behind the
+// benchsuite `faults` experiment: the healthy replicated overwrite against
+// the degraded path that excludes a down owner and logs repair debt.
+func BenchmarkFaultWrite(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		degraded bool
+	}{{"healthy", false}, {"degraded", true}} {
+		f, err := bench.NewFaultsFixture()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, f.DriveWrite(mode.degraded))
+	}
+}
+
+// BenchmarkFaultResync measures the rejoin path: a node misses a full-blob
+// overwrite and SetDown(..., false) drains the debt back onto it.
+func BenchmarkFaultResync(b *testing.B) {
+	f, err := bench.NewFaultsFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.DriveResync(b)
+}

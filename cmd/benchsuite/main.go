@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery]
+//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery|faults]
 //	           [-factor N] [-chunk N] [-ranks N] [-executors N]
 //	           [-hotpath-out FILE] [-hotpath-baseline FILE]
 //	           [-recovery-out FILE] [-recovery-ratio R]
+//	           [-faults-out FILE] [-faults-ratio R]
 //
 // The default factor 1024 scales the paper's GB volumes to MB; the chunk
 // scales the per-call I/O unit accordingly (see internal/workloads).
@@ -38,6 +39,16 @@
 // bench.CheckRecoveryScaling; 0 disables) BEFORE the file is written.
 //
 //	go run ./cmd/benchsuite -exp recovery
+//
+// The faults experiment is the failure-domain benchcheck target: healthy vs
+// degraded full-blob overwrites and the rejoin-resync cycle, written to
+// -faults-out (default BENCH_faults.json). The gate reads the deterministic
+// /virtual result pair (simulated cost, identical on every host) rather
+// than wall-clock ns/op, bounding the degraded/healthy write cost ratio by
+// -faults-ratio (default 1.25, see bench.CheckFaults; 0 disables) BEFORE
+// the file is written.
+//
+//	go run ./cmd/benchsuite -exp faults
 package main
 
 import (
@@ -50,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery, faults")
 	factor := flag.Int64("factor", 1024, "divide the paper's byte volumes by this factor")
 	chunk := flag.Int("chunk", 4096, "per-call I/O unit in bytes")
 	ranks := flag.Int("ranks", 8, "MPI ranks for HPC applications")
@@ -62,6 +73,9 @@ func main() {
 	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json", "output file for the recovery experiment")
 	recoveryRatio := flag.Float64("recovery-ratio", -1,
 		"max parallel/serial recovery ns-per-op ratio gate: <0 picks a GOMAXPROCS-aware default, 0 disables the gate")
+	faultsOut := flag.String("faults-out", "BENCH_faults.json", "output file for the faults experiment")
+	faultsRatio := flag.Float64("faults-ratio", -1,
+		"max degraded/healthy write ns-per-op ratio gate: <0 picks a GOMAXPROCS-aware default, 0 disables the gate")
 	flag.Parse()
 
 	// Read the baseline up front: -hotpath-out usually names the same file,
@@ -217,5 +231,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *recoveryOut)
+	}
+	// The faults experiment is the third benchcheck target: the cost profile
+	// of writing through a failure domain (degraded writes on the live
+	// replica subset) and of the rejoin-resync drain, gated on degraded
+	// writes never costing more than bounded bookkeeping over healthy ones
+	// before BENCH_faults.json is written.
+	if *exp == "faults" {
+		results, err := bench.RunFaults()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: faults: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-35s %10d ns/op %8d B/op %6d allocs/op %10.1f MB/s\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
+		}
+		if *faultsRatio != 0 {
+			if err := bench.CheckFaults(results, *faultsRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: faults: %v (output left untouched)\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("degraded/healthy write-cost gate: ok")
+		}
+		out, err := bench.RenderFaults(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: faults: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*faultsOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *faultsOut)
 	}
 }

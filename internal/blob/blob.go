@@ -59,6 +59,54 @@
 //     parallel execution keeps the sequential implementation's virtual
 //     clock semantics bit-for-bit. See dispatch.go for the concurrency
 //     contract.
+//
+// # Failure semantics
+//
+// The store keeps serving through node failures and heals on rejoin; the
+// rules below are what the seeded chaos battery (chaos_test.go) pins.
+//
+// Degraded writes. A write whose replica set contains down owners proceeds
+// on the live subset as long as Config.MinLiveOwners (default 1) replicas
+// remain; a down chunk primary is promoted past. A down owner is EXCLUDED
+// from the write, never partially applied to: its chunk version stays
+// frozen below the excluding write, which is what makes version comparison
+// meaningful later. Every surviving replica durably logs a RecRepairNeeded
+// record naming the excluded owners (full-mask overwrite semantics in the
+// record's version slot; mask 0 deletes the entry) — the debt that repair
+// drains. Debt is recorded only AFTER the holder applies the write
+// (direct writes on the data path, 2PC exclusions at commit apply), so a
+// debt bit always lives on a holder strictly newer than the peer it names;
+// clearDebt's version guard leans on that invariant. If an excluded owner
+// flaps back up mid-write, the writer's epilogue drains the freshly logged
+// debt immediately (io.go writeLocked) — between that and the rejoin
+// drain, one of the two always runs after the debt lands.
+//
+// Reads never observe stale replicas. While any repair is pending, reads
+// union the chunk's debt masks across ALL owners (down servers keep their
+// memory — the stand-in for monitor-layer peering metadata) and serve from
+// the highest-versioned live owner not named stale; a replica that missed
+// a write is unreachable until its debt clears. Paths that find no usable
+// replica fail with storage.ErrUnavailable.
+//
+// Rejoin resync. SetDown(node, false) and Recover both drain the node's
+// debt (repair.go). Recover additionally version-syncs the replayed state
+// against live peers BEFORE rejoining (resyncNode): a torn lane tail can
+// discard acknowledged writes together with the very debt records that
+// named them, so version comparison is the only witness left. The sweep is
+// bidirectional (pull what peers hold newer, re-record debt for peers
+// behind the replayed log), trusts a debt bit only when some holder
+// asserting it is strictly newer than the named peer (a resurrected old
+// mask is vacuous and must not block resync), and drops replayed chunks
+// that live desc-owner peers say were deleted or truncated away rather
+// than spreading the resurrection back. All installs are version-guarded
+// under stripe locks and epoch-checked against rebalance.
+//
+// Fault injection enters at two layers: wal.FaultMedium injects clean
+// errors, torn writes, and slow writes under the log (WAL-layer tests),
+// and the cluster layer injects seeded transient per-op faults that the
+// data plane absorbs with bounded retry and virtual-clock backoff
+// (fault.go); crashes are simulated by dropping volatile state and
+// replaying the (possibly torn) log.
 package blob
 
 import (
@@ -66,9 +114,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chash"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -116,6 +166,12 @@ type Config struct {
 	// the equivalence property tests pin byte-for-byte; the knob exists as
 	// that oracle and for debugging.
 	SerialRecovery bool
+	// MinLiveOwners is the minimum number of live replicas a chunk write
+	// needs before it proceeds degraded (the down owners' copies become
+	// repair debt). Defaults to 1: a write survives as long as any owner
+	// is up, with the first live owner promoted to primary. Setting it to
+	// Replication restores the strict all-replicas-or-fail behavior.
+	MinLiveOwners int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +186,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WALLanes <= 0 {
 		c.WALLanes = chunkStripes
+	}
+	if c.MinLiveOwners <= 0 {
+		c.MinLiveOwners = 1
 	}
 	return c
 }
@@ -238,6 +297,14 @@ type Store struct {
 	ring      *chash.Ring
 	servers   []*server
 	placement placementCache
+	// repairPending counts debt entries (chunks owing repair to at least
+	// one replica) across every server. While it is zero — the steady
+	// state — reads take the fast path with no freshness probing.
+	repairPending atomic.Int64
+	// metrics counts failure-domain events: degraded writes, transient
+	// retries, repaired chunks/bytes. Only event paths touch it, so the
+	// healthy hot path pays nothing.
+	metrics *metrics.Registry
 }
 
 // chunkStripes is the lock-striping factor of each server's chunk table.
@@ -248,6 +315,17 @@ const chunkStripes = 16
 type chunkStripe struct {
 	mu sync.RWMutex
 	m  map[chunkID][]byte
+	// ver holds the replica-comparable version of each chunk this server
+	// stores: assigned by the writer as one more than the highest version
+	// any owner held, installed identically on every replica that applied
+	// the write, and persisted in the chunk's WAL records. Rejoin resync
+	// and degraded-read freshness compare these versions across replicas.
+	ver map[chunkID]uint64
+	// debt maps a chunk to the bitmask of node IDs that missed one of its
+	// writes (degraded write while those owners were down, or an injected
+	// replica fault). Every mutation is mirrored by a RecRepairNeeded
+	// record carrying the full new mask, so debt survives crashes.
+	debt map[chunkID]uint64
 }
 
 // server is the per-node state: the descriptors this node owns as primary
@@ -267,6 +345,15 @@ type server struct {
 	// This is the ONLY append path — there is no per-server single log.
 	wal  *wal.MultiLog
 	down bool
+	// wiped marks a crashed-but-not-yet-recovered server: its volatile
+	// state is gone, so — unlike a soft-down (SetDown) server, whose
+	// retained memory stays authoritative — its chunk versions and debt
+	// masks must not be consulted. Crash sets it, Recover clears it once
+	// the replayed tables are installed.
+	wiped bool
+	// repairPending points at the store-wide debt-entry counter so stripe
+	// helpers can maintain it without a back-pointer to the Store.
+	repairPending *atomic.Int64
 }
 
 // chunkLane selects the log lane for a chunk placement hash.
@@ -290,31 +377,58 @@ func (sv *server) getChunk(h uint64, id chunkID) ([]byte, bool) {
 	return data, ok
 }
 
-// copyChunk returns a copy of the chunk's bytes, made while holding the
-// stripe lock, so callers can use it without racing concurrent writers
-// that mutate the live slice in place.
-func (sv *server) copyChunk(h uint64, id chunkID) ([]byte, bool) {
+// copyChunk returns a copy of the chunk's bytes and its version, made
+// while holding the stripe lock, so callers can use them without racing
+// concurrent writers that mutate the live slice in place.
+func (sv *server) copyChunk(h uint64, id chunkID) ([]byte, uint64, bool) {
 	st := sv.stripe(h)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	data, ok := st.m[id]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
-	return append([]byte(nil), data...), true
+	return append([]byte(nil), data...), st.ver[id], true
 }
 
-func (sv *server) setChunk(h uint64, id chunkID, data []byte) {
+// chunkVer reads the chunk's version (0 when the server does not hold it).
+func (sv *server) chunkVer(h uint64, id chunkID) uint64 {
+	st := sv.stripe(h)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.ver[id]
+}
+
+func (sv *server) setChunk(h uint64, id chunkID, data []byte, ver uint64) {
 	st := sv.stripe(h)
 	st.mu.Lock()
 	st.m[id] = data
+	st.ver[id] = ver
 	st.mu.Unlock()
+}
+
+// setDebtLocked installs the debt mask for id, maintaining the store-wide
+// pending counter. The caller must hold st's write lock.
+func (sv *server) setDebtLocked(st *chunkStripe, id chunkID, mask uint64) {
+	if mask == 0 {
+		if _, ok := st.debt[id]; ok {
+			delete(st.debt, id)
+			sv.repairPending.Add(-1)
+		}
+		return
+	}
+	if _, ok := st.debt[id]; !ok {
+		sv.repairPending.Add(1)
+	}
+	st.debt[id] = mask
 }
 
 func (sv *server) deleteChunk(h uint64, id chunkID) {
 	st := sv.stripe(h)
 	st.mu.Lock()
 	delete(st.m, id)
+	delete(st.ver, id)
+	sv.setDebtLocked(st, id, 0)
 	st.mu.Unlock()
 }
 
@@ -343,23 +457,50 @@ func (sv *server) chunkCount() int {
 // forEachChunk calls fn for every chunk replica on the server, holding each
 // stripe's read lock for the duration of its visits; fn must not mutate the
 // data or call back into the stripe.
-func (sv *server) forEachChunk(fn func(id chunkID, data []byte)) {
+func (sv *server) forEachChunk(fn func(id chunkID, data []byte, ver uint64)) {
 	for i := range sv.stripes {
 		st := &sv.stripes[i]
 		st.mu.RLock()
 		for id, data := range st.m {
-			fn(id, data)
+			fn(id, data, st.ver[id])
 		}
 		st.mu.RUnlock()
 	}
 }
 
-// resetChunks drops every chunk replica (crash / drain).
+// debtMask reads the chunk's repair-debt mask (0 when none is recorded).
+func (sv *server) debtMask(h uint64, id chunkID) uint64 {
+	st := sv.stripe(h)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.debt[id]
+}
+
+// forEachDebt calls fn for every debt entry on the server, under each
+// stripe's read lock; fn must not call back into the stripe.
+func (sv *server) forEachDebt(fn func(id chunkID, mask uint64)) {
+	for i := range sv.stripes {
+		st := &sv.stripes[i]
+		st.mu.RLock()
+		for id, mask := range st.debt {
+			fn(id, mask)
+		}
+		st.mu.RUnlock()
+	}
+}
+
+// resetChunks drops every chunk replica and the version/debt tables
+// (crash / drain), releasing the dropped debt from the pending counter.
 func (sv *server) resetChunks() {
 	for i := range sv.stripes {
 		st := &sv.stripes[i]
 		st.mu.Lock()
 		st.m = make(map[chunkID][]byte)
+		st.ver = make(map[chunkID]uint64)
+		if n := len(st.debt); n > 0 {
+			sv.repairPending.Add(-int64(n))
+			st.debt = make(map[chunkID]uint64)
+		}
 		st.mu.Unlock()
 	}
 }
@@ -397,15 +538,18 @@ func NewOnNodes(c *cluster.Cluster, cfg Config, serving []cluster.NodeID) *Store
 			inRing[id] = true
 		}
 	}
-	s := &Store{cfg: cfg, cluster: c, ring: chash.New(cfg.VNodes)}
+	s := &Store{cfg: cfg, cluster: c, ring: chash.New(cfg.VNodes), metrics: metrics.NewRegistry()}
 	for _, n := range c.Nodes() {
 		sv := &server{
-			node:  n.ID,
-			blobs: make(map[string]*descriptor),
-			wal:   wal.NewMultiLog(cfg.WALLanes),
+			node:          n.ID,
+			blobs:         make(map[string]*descriptor),
+			wal:           wal.NewMultiLog(cfg.WALLanes),
+			repairPending: &s.repairPending,
 		}
 		for i := range sv.stripes {
 			sv.stripes[i].m = make(map[chunkID][]byte)
+			sv.stripes[i].ver = make(map[chunkID]uint64)
+			sv.stripes[i].debt = make(map[chunkID]uint64)
 		}
 		s.servers = append(s.servers, sv)
 		if inRing[n.ID] {
@@ -421,19 +565,46 @@ func (s *Store) Config() Config { return s.cfg }
 // Cluster returns the underlying simulated cluster.
 func (s *Store) Cluster() *cluster.Cluster { return s.cluster }
 
+// Metrics returns the store's failure-domain event counters (degraded
+// writes, transient retries, repair traffic).
+func (s *Store) Metrics() *metrics.Registry { return s.metrics }
+
+// RepairPending reports how many chunk debt entries currently await repair
+// across the store (0 in the healthy steady state).
+func (s *Store) RepairPending() int64 { return s.repairPending.Load() }
+
 // SetDown marks a server as failed (true) or recovered (false). Reads fall
-// back to replicas of a down server; writes involving it fail.
+// back to replicas of a down server; writes whose replica sets contain it
+// proceed degraded on the live subset (Config.MinLiveOwners). Flipping a
+// server back up kicks a repair pass that drains the replication debt the
+// node accumulated while it was down; until a chunk's debt clears, reads
+// keep avoiding the stale replica (version-checked fallback in readChunk),
+// so rejoin never serves stale bytes.
 func (s *Store) SetDown(node cluster.NodeID, down bool) {
 	sv := s.servers[int(node)]
 	sv.mu.Lock()
+	was := sv.down
 	sv.down = down
 	sv.mu.Unlock()
+	tracef("setDown node=%d down=%v was=%v", node, down, was)
+	if was && !down {
+		// Mark up first so racing writes stop creating new debt for this
+		// node, then drain what accumulated. The drain also terminates
+		// early if a concurrent flap takes the node back down.
+		s.repairNode(storage.NewContext(), node)
+	}
 }
 
 func (sv *server) isDown() bool {
 	sv.mu.RLock()
 	defer sv.mu.RUnlock()
 	return sv.down
+}
+
+func (sv *server) isWiped() bool {
+	sv.mu.RLock()
+	defer sv.mu.RUnlock()
+	return sv.wiped
 }
 
 // descOwners returns the descriptor replica set for key, primary first.
@@ -497,9 +668,9 @@ func (s *Store) walAppendLane(cg *charge, sv *server, lane int, t wal.RecordType
 // vectored append. h is the chunk's placement hash, which callers on the
 // hot path have already computed — it selects the lane exactly as it
 // selects the lock stripe.
-func (s *Store) walAppendChunk(cg *charge, sv *server, t wal.RecordType, h uint64, id chunkID, within int64, data []byte) {
+func (s *Store) walAppendChunk(cg *charge, sv *server, t wal.RecordType, h uint64, id chunkID, within int64, ver uint64, data []byte) {
 	bp := hdrPool.Get().(*[]byte)
-	*bp = appendChunkHeader((*bp)[:0], id, within)
+	*bp = appendChunkHeader((*bp)[:0], id, within, ver)
 	s.walAppendLane(cg, sv, sv.chunkLane(h), t, *bp, data)
 	hdrPool.Put(bp)
 }
@@ -522,7 +693,7 @@ func (s *Store) CreateBlob(ctx *storage.Context, key string) error {
 	owners := s.descOwners(key)
 	primary := s.servers[owners[0]]
 	if primary.isDown() {
-		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrStaleHandle)
+		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrUnavailable)
 	}
 	// One metadata RPC to the primary: flat-namespace single lookup — this
 	// is the cost asymmetry against hierarchical path resolution.
@@ -572,7 +743,7 @@ func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 		return err
 	}
 	if primary.isDown() {
-		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrStaleHandle)
+		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrUnavailable)
 	}
 	d.latch.Lock()
 	defer d.latch.Unlock()
@@ -594,7 +765,7 @@ func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 		for _, o := range s.ownersForHash(h) {
 			sv := s.servers[o]
 			sv.deleteChunk(h, id)
-			batch.addChunk(sv, wal.RecChunkDelete, h, id, 0, nil)
+			batch.addChunk(sv, wal.RecChunkDelete, h, id, 0, 0, nil)
 		}
 	}
 	batch.flush(ctx)
@@ -741,9 +912,9 @@ func (b *walBatch) release() {
 // lane (h is its placement hash). data (may be nil for the marker records)
 // is carried by reference into the vectored append; the caller must keep
 // it unchanged until the batch flushes.
-func (b *walBatch) addChunk(sv *server, t wal.RecordType, h uint64, id chunkID, within int64, data []byte) {
+func (b *walBatch) addChunk(sv *server, t wal.RecordType, h uint64, id chunkID, within int64, ver uint64, data []byte) {
 	start := len(*b.buf)
-	*b.buf = appendChunkHeader(*b.buf, id, within)
+	*b.buf = appendChunkHeader(*b.buf, id, within, ver)
 	b.add(sv, sv.chunkLane(h), t, start, len(*b.buf), data)
 }
 

@@ -296,21 +296,73 @@ func TestReadFallbackWhenPrimaryDown(t *testing.T) {
 	for _, o := range owners {
 		s.SetDown(cluster.NodeID(o), true)
 	}
-	if _, err := s.ReadBlob(ctx, "f", 0, got); !errors.Is(err, storage.ErrStaleHandle) {
+	if _, err := s.ReadBlob(ctx, "f", 0, got); !errors.Is(err, storage.ErrUnavailable) {
 		t.Fatalf("read with all replicas down: %v", err)
 	}
 }
 
-func TestWriteFailsWhenChunkPrimaryDown(t *testing.T) {
+// TestDegradedWriteWhenReplicaDown: a write whose chunk replica set has a
+// down node succeeds on the live subset (primary promotion included),
+// records the miss as repair debt, and converges byte-identical after the
+// node rejoins.
+func TestDegradedWriteWhenReplicaDown(t *testing.T) {
 	s := newStore(t, 4, Config{ChunkSize: 4, Replication: 2})
 	ctx := storage.NewContext()
 	s.CreateBlob(ctx, "w")
+	id := chunkID{"w", 0}
+	owners := s.chunkOwners(id)
+	// Keep the descriptor primary up — with it down the write fails before
+	// ever reaching the chunk layer, which is not the path under test.
+	down := owners[0]
+	if down == s.descOwners("w")[0] {
+		down = owners[1]
+	}
+	s.SetDown(cluster.NodeID(down), true)
+	if _, err := s.WriteBlob(ctx, "w", 0, []byte("data")); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	if s.RepairPending() == 0 {
+		t.Fatal("degraded write recorded no repair debt")
+	}
+	// Reads in degraded state serve the fresh live copy, never the stale one.
+	got := make([]byte, 4)
+	if _, err := s.ReadBlob(ctx, "w", 0, got); err != nil || !bytes.Equal(got, []byte("data")) {
+		t.Fatalf("degraded read = (%v, %q)", err, got)
+	}
+	// Rejoin kicks repair; the debt drains and the copies converge.
+	s.SetDown(cluster.NodeID(down), false)
+	if n := s.RepairPending(); n != 0 {
+		t.Fatalf("repair debt outstanding after rejoin: %d", n)
+	}
+	h := id.ringHash()
+	a, av, _ := s.servers[owners[0]].copyChunk(h, id)
+	b, bv, _ := s.servers[owners[1]].copyChunk(h, id)
+	if !bytes.Equal(a, b) || av != bv {
+		t.Fatalf("replicas diverge after repair: %q(v%d) vs %q(v%d)", a, av, b, bv)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+// TestStrictWriteRefusedBelowMinLiveOwners restores the historical strict
+// behavior: MinLiveOwners == Replication means any down replica refuses the
+// write with ErrUnavailable before anything durable lands.
+func TestStrictWriteRefusedBelowMinLiveOwners(t *testing.T) {
+	s := newStore(t, 4, Config{ChunkSize: 4, Replication: 2, MinLiveOwners: 2})
+	ctx := storage.NewContext()
+	s.CreateBlob(ctx, "w")
 	owners := s.chunkOwners(chunkID{"w", 0})
-	s.SetDown(cluster.NodeID(owners[0]), true)
-	// Skip if the descriptor primary happens to be the downed node; that
-	// path errors even earlier, which is also correct.
-	if _, err := s.WriteBlob(ctx, "w", 0, []byte("data")); !errors.Is(err, storage.ErrStaleHandle) {
-		t.Fatalf("write with chunk primary down: %v", err)
+	down := owners[0]
+	if down == s.descOwners("w")[0] {
+		down = owners[1]
+	}
+	s.SetDown(cluster.NodeID(down), true)
+	if _, err := s.WriteBlob(ctx, "w", 0, []byte("data")); !errors.Is(err, storage.ErrUnavailable) {
+		t.Fatalf("strict-mode write with a replica down: %v", err)
+	}
+	if s.RepairPending() != 0 {
+		t.Fatal("refused write left repair debt behind")
 	}
 }
 

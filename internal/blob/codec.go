@@ -9,7 +9,7 @@ import (
 // state on replay:
 //
 //	meta  record: u16 keyLen | key | i64 size               (descriptor state)
-//	chunk record: u16 keyLen | key | i64 idx | i64 within | data (chunk mutation)
+//	chunk record: u16 keyLen | key | i64 idx | i64 within | u64 ver | data
 //
 // Meta and chunk payloads are distinguished by record type (RecCreate /
 // RecDelete / RecTruncate / RecMeta carry meta payloads; RecWrite /
@@ -51,29 +51,32 @@ func decMeta(p []byte) (key string, size int64, err error) {
 
 // appendChunkHeader encodes the addressing header of a chunk record: the
 // whole payload minus the chunk data, which the vectored WAL append carries
-// as its own segment.
-func appendChunkHeader(dst []byte, id chunkID, within int64) []byte {
+// as its own segment. ver is the replica-comparable chunk version installed
+// by the mutation (RecRepairNeeded reuses the slot for its debt mask).
+func appendChunkHeader(dst []byte, id chunkID, within int64, ver uint64) []byte {
 	var u16 [2]byte
 	binary.LittleEndian.PutUint16(u16[:], uint16(len(id.key)))
 	dst = append(dst, u16[:]...)
 	dst = append(dst, id.key...)
-	var u64 [16]byte
+	var u64 [24]byte
 	binary.LittleEndian.PutUint64(u64[0:8], uint64(id.idx))
 	binary.LittleEndian.PutUint64(u64[8:16], uint64(within))
+	binary.LittleEndian.PutUint64(u64[16:24], ver)
 	return append(dst, u64[:]...)
 }
 
-func decChunkPayload(p []byte) (id chunkID, within int64, data []byte, err error) {
+func decChunkPayload(p []byte) (id chunkID, within int64, ver uint64, data []byte, err error) {
 	if len(p) < 2 {
-		return chunkID{}, 0, nil, fmt.Errorf("blob: chunk record too short (%d bytes)", len(p))
+		return chunkID{}, 0, 0, nil, fmt.Errorf("blob: chunk record too short (%d bytes)", len(p))
 	}
 	kl := int(binary.LittleEndian.Uint16(p[0:2]))
-	if len(p) < 2+kl+16 {
-		return chunkID{}, 0, nil, fmt.Errorf("blob: chunk record truncated (%d bytes, key %d)", len(p), kl)
+	if len(p) < 2+kl+24 {
+		return chunkID{}, 0, 0, nil, fmt.Errorf("blob: chunk record truncated (%d bytes, key %d)", len(p), kl)
 	}
 	id.key = string(p[2 : 2+kl])
 	id.idx = int64(binary.LittleEndian.Uint64(p[2+kl : 2+kl+8]))
 	within = int64(binary.LittleEndian.Uint64(p[2+kl+8 : 2+kl+16]))
-	data = p[2+kl+16:]
-	return id, within, data, nil
+	ver = binary.LittleEndian.Uint64(p[2+kl+16 : 2+kl+24])
+	data = p[2+kl+24:]
+	return id, within, ver, data, nil
 }

@@ -78,6 +78,32 @@
 //     task, which on a saturated pool would deadlock (every worker
 //     blocked in a nested wait, every nested job stuck in the queue).
 //
+// # Repair and resync stages
+//
+// Debt-driven repair (repair.go) fans per-chunk repairChunk tasks through
+// this pool round by round, and rejoin resync (resyncNode) runs inline on
+// the Recover/SetDown caller; both obey additional lock rules:
+//
+//   - Repair tasks touch only short-hold locks: a source chunk is copied
+//     out under its stripe RLock, the install takes the TARGET's stripe
+//     lock, and the two are never held together (the copy is a snapshot;
+//     the version guard at install, not lock coverage, is what keeps a
+//     racing writer's newer data from being clobbered). Debt clears are
+//     version-guarded under the holder's stripe lock the same way.
+//   - Repair never acquires the per-blob descriptor latch. That is what
+//     makes the degraded-write epilogue sound: writeLocked invokes
+//     repairNode WHILE holding the written blob's latch (the writer is a
+//     caller, allowed to hold it across its own join), and a repair task
+//     that took latches would deadlock right there.
+//   - repairDrain performs a fan join per round, so it is caller-only —
+//     never callable from inside a pool task (the nested-wait rule above).
+//     Its rounds require progress (a chunk actually installed or a bit
+//     actually cleared) to continue, so an unserviceable target (sole
+//     fresh source down) terminates the loop instead of spinning it.
+//   - Repair and rebalance coordinate through the ring epoch: each round
+//     snapshots it and every task re-checks before mutating, bailing out
+//     when membership changed underneath.
+//
 // The pool is package-global, lazily started, and bounded by GOMAXPROCS
 // (capped at maxDispatchWorkers). Workers never block: a task that fans out
 // further (replica writes) records the sub-fan and returns, and a spawn
@@ -302,8 +328,10 @@ type fanTask struct {
 
 	// operands (union across kinds)
 	pl     chunkPlace
+	plp    *chunkPlace // taskWriteChunk: write-back slot for the computed excl mask
 	within int64
 	size   int64
+	mask   uint64 // taskReplicaWrite: debt mask owed by the write's down owners
 	data   []byte
 	sv     *server
 	rec    wal.RecordType
@@ -328,22 +356,60 @@ func (t *fanTask) run() {
 	case taskWriteChunk:
 		t.err = s.writeChunk(t, t.pl, t.within, t.data, t.rec)
 	case taskReplicaWrite:
-		t.err = s.replicaWrite(cg, t.sv, t.pl, t.within, t.data, t.rec)
+		t.err = s.replicaWrite(cg, t.sv, t.pl, t.within, t.data, t.rec, t.mask)
 	case taskApplyChunk:
 		// Commit-phase memory materialization of a prepared multi-chunk
-		// write: every replica's copy, in parallel across chunks. Pure
-		// memory work — no resource charge; the 2PC round trips are
-		// accounted by the prepare and commit log phases.
+		// write: every replica the data phase reached, in parallel across
+		// chunks. Pure memory work — no resource charge; the 2PC round
+		// trips are accounted by the prepare and commit log phases. An
+		// owner that flapped down after the data phase is NOT skipped:
+		// its retained memory stays consistent with the prepare and
+		// commit markers its log received. An owner the data phase
+		// excluded (t.pl.excl) IS skipped: it holds no prepare, the debt
+		// recorded below covers the gap, and a partial apply here would
+		// raise its chunk version past bytes it never received.
+		//
+		// The exclusion debt is recorded HERE, after each included owner's
+		// apply, not in the prepare phase: clearDebt's version guard reads
+		// "the holder has seen nothing newer than what the repair
+		// installed", which is only sound when every holder applies a
+		// write BEFORE recording its debt. A prepare-time record sits in
+		// the window where the holder's applied version still predates the
+		// transaction, so a racing repair of the excluded owner would pass
+		// the guard and erase the debt the commit is about to depend on.
+		// (Aborted transactions also stop leaving spurious debt behind.)
 		for _, o := range t.pl.owners {
-			applyChunk(s.servers[o], t.pl.h, t.pl.id, t.within, t.data)
+			if t.pl.excl&(1<<uint(o)) != 0 {
+				continue
+			}
+			applyChunk(s.servers[o], t.pl.h, t.pl.id, t.within, t.data, t.pl.ver)
+			if t.pl.excl != 0 {
+				s.recordDebt(cg, s.servers[o], t.pl.h, t.pl.id, t.pl.excl)
+			}
 		}
 	case taskPrepare:
-		// One prepare round trip on the participant chunk's primary.
-		if t.sv.isDown() {
-			t.err = fmt.Errorf("chunk %d of %q: primary down: %w", t.pl.id.idx, t.pl.id.key, storage.ErrStaleHandle)
+		// One prepare round trip on the participant chunk's primary — or,
+		// with the primary down, on the first live owner (the same
+		// promotion the degraded data phase applies).
+		sv := t.sv
+		if sv.isDown() {
+			sv = nil
+			for _, o := range t.pl.owners {
+				if cand := s.servers[o]; !cand.isDown() {
+					sv = cand
+					break
+				}
+			}
+		}
+		if sv == nil {
+			t.err = fmt.Errorf("chunk %d of %q: all replicas down: %w", t.pl.id.idx, t.pl.id.key, storage.ErrUnavailable)
 			return
 		}
-		cg.metaOp(t.sv.node, 1)
+		if err := s.faultCheck(cg, sv.node, cluster.FaultMetaOp); err != nil {
+			t.err = fmt.Errorf("chunk %d of %q: prepare: %w", t.pl.id.idx, t.pl.id.key, err)
+			return
+		}
+		cg.metaOp(sv.node, 1)
 	case taskWalFlush:
 		if t.meta {
 			cg.metaOp(t.sv.node, len(t.specs))
@@ -447,6 +513,8 @@ func (t *fanTask) release() {
 	t.pl = chunkPlace{}
 	t.within = 0
 	t.size = 0
+	t.mask = 0
+	t.plp = nil
 	t.data = nil
 	t.sv = nil
 	t.rec = 0

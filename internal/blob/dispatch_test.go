@@ -182,30 +182,15 @@ func TestFanoutRaceStress(t *testing.T) {
 // TestMultiChunkAbortNotReplayed is the write-atomicity regression test: a
 // multi-chunk write that dies in the data phase must append RecAbort
 // markers so crash replay discards the prepared chunk writes instead of
-// resurrecting a half-committed transaction.
+// resurrecting a half-committed transaction. A down replica no longer
+// fails the data phase (degraded writes absorb it), so the failure is an
+// injected permanent disk-write fault at a participant chunk's primary —
+// writeChunk fail-atomically refuses before anything durable lands there.
 func TestMultiChunkAbortNotReplayed(t *testing.T) {
 	s := mkStore(8, Config{ChunkSize: 8, Replication: 2}, false)
 	ctx := storage.NewContext()
-
-	// Find a key whose placement lets the data phase — not the prepare
-	// phase — fail: some chunk replica that is neither the descriptor
-	// primary nor any participant chunk's primary.
-	key, victim := "", -1
-	for k := 0; k < 64 && victim < 0; k++ {
-		cand := fmt.Sprintf("atomic-%d", k)
-		primaries := map[int]bool{s.descOwners(cand)[0]: true}
-		for idx := int64(0); idx < 3; idx++ {
-			primaries[s.chunkOwners(chunkID{cand, idx})[0]] = true
-		}
-		for idx := int64(0); idx < 3 && victim < 0; idx++ {
-			if r := s.chunkOwners(chunkID{cand, idx})[1]; !primaries[r] {
-				key, victim = cand, r
-			}
-		}
-	}
-	if victim < 0 {
-		t.Fatal("no placement with a pure-replica victim found")
-	}
+	key := "atomic"
+	victim := s.chunkOwners(chunkID{key, 1})[0]
 
 	if err := s.CreateBlob(ctx, key); err != nil {
 		t.Fatal(err)
@@ -215,14 +200,20 @@ func TestMultiChunkAbortNotReplayed(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Kill the replica: the prepare phase (primaries only) passes, the
-	// data phase fails on that replica.
-	s.SetDown(cluster.NodeID(victim), true)
+	// The prepare phase (meta ops) passes; chunk 1's data phase hits the
+	// permanent write fault on its primary and the transaction aborts.
+	errDisk := errors.New("injected: disk write refused")
+	s.cluster.SetFaultInjector(cluster.NewFaultPlan(1, []cluster.FaultRule{
+		{Node: cluster.NodeID(victim), Kind: cluster.FaultDiskWrite, Prob: 1, Fault: cluster.Fault{Err: errDisk}},
+	}))
 	after := bytes.Repeat([]byte("X"), 24)
-	if _, err := s.WriteBlob(ctx, key, 0, after); !errors.Is(err, storage.ErrStaleHandle) {
-		t.Fatalf("overwrite with a replica down: err = %v, want ErrStaleHandle", err)
+	if _, err := s.WriteBlob(ctx, key, 0, after); !errors.Is(err, errDisk) {
+		t.Fatalf("overwrite with a faulted chunk primary: err = %v, want the injected fault", err)
 	}
-	s.SetDown(cluster.NodeID(victim), false)
+	s.cluster.SetFaultInjector(nil)
+	// Replica writes that hit the faulted node degraded instead of failing;
+	// drain any debt they recorded so the invariant check below is strict.
+	s.Repair(ctx)
 
 	// The abort must be durable on the live participants.
 	aborts := 0
@@ -279,11 +270,12 @@ func TestMultiChunkAbortNotReplayed(t *testing.T) {
 	}
 }
 
-// TestSingleChunkWriteAtomicOnReplicaFailure: the single-chunk direct
-// path has no 2PC log protocol, so it must validate the whole replica set
-// before mutating — a replica-down failure may not leave a durable
-// RecWrite on the primary that crash replay would apply one-sidedly.
-func TestSingleChunkWriteAtomicOnReplicaFailure(t *testing.T) {
+// TestSingleChunkWriteDegradedOnReplicaDown: the single-chunk direct path
+// with a down replica succeeds degraded — the live primary applies and logs
+// the write plus a RecRepairNeeded debt record, the acknowledged bytes
+// survive a primary crash, reads never observe the stale rejoined replica,
+// and repair converges the set byte-identical.
+func TestSingleChunkWriteDegradedOnReplicaDown(t *testing.T) {
 	s := mkStore(6, Config{ChunkSize: 64, Replication: 2}, false)
 	ctx := storage.NewContext()
 	if err := s.CreateBlob(ctx, "single"); err != nil {
@@ -295,24 +287,41 @@ func TestSingleChunkWriteAtomicOnReplicaFailure(t *testing.T) {
 	}
 	owners := s.chunkOwners(chunkID{"single", 0})
 	s.SetDown(cluster.NodeID(owners[1]), true)
-	if _, err := s.WriteBlob(ctx, "single", 0, bytes.Repeat([]byte("Y"), len(before))); !errors.Is(err, storage.ErrStaleHandle) {
-		t.Fatalf("single-chunk write with replica down: err = %v", err)
+	after := bytes.Repeat([]byte("Y"), len(before))
+	if _, err := s.WriteBlob(ctx, "single", 0, after); err != nil {
+		t.Fatalf("single-chunk degraded write: err = %v", err)
 	}
-	s.SetDown(cluster.NodeID(owners[1]), false)
-	// The primary must not have applied or logged the failed write.
+	// The debt record is durable on the primary: both the write and the
+	// RecRepairNeeded mask survive its crash.
 	s.Crash(cluster.NodeID(owners[0]))
 	if err := s.Recover(cluster.NodeID(owners[0])); err != nil {
 		t.Fatal(err)
+	}
+	if s.RepairPending() == 0 {
+		t.Fatal("repair debt did not survive the primary's crash")
 	}
 	got := make([]byte, len(before))
 	if n, err := s.ReadBlob(ctx, "single", 0, got); err != nil || n != len(before) {
 		t.Fatalf("read after recovery: (%d, %v)", n, err)
 	}
-	if !bytes.Equal(got, before) {
-		t.Fatalf("failed single-chunk write leaked to the primary: %q", got)
+	if !bytes.Equal(got, after) {
+		t.Fatalf("acknowledged degraded write lost: %q", got)
+	}
+	// Rejoin: the stale replica must not serve before repair, and repair
+	// must leave the set byte-identical.
+	s.SetDown(cluster.NodeID(owners[1]), false)
+	if n := s.RepairPending(); n != 0 {
+		t.Fatalf("repair debt outstanding after rejoin: %d", n)
+	}
+	id := chunkID{"single", 0}
+	h := id.ringHash()
+	a, av, _ := s.servers[owners[0]].copyChunk(h, id)
+	b, bv, _ := s.servers[owners[1]].copyChunk(h, id)
+	if !bytes.Equal(a, b) || av != bv {
+		t.Fatalf("replicas diverge after repair: v%d vs v%d", av, bv)
 	}
 	if msg := s.CheckInvariants(); msg != "" {
-		t.Fatalf("replica divergence after failed single-chunk write: %s", msg)
+		t.Fatalf("replica divergence after degraded single-chunk write: %s", msg)
 	}
 }
 
@@ -364,7 +373,7 @@ func TestCrashMidTransactionDropsPrepares(t *testing.T) {
 	if err := wal.Replay(lbuf.Reader(), func(r wal.Record) error {
 		off += 8 + 9 + len(r.Payload)
 		if cut < 0 && off > preLen && r.Type == wal.RecPrepWrite {
-			if id, _, _, derr := decChunkPayload(r.Payload); derr == nil && id == (chunkID{"torn", 0}) {
+			if id, _, _, _, derr := decChunkPayload(r.Payload); derr == nil && id == (chunkID{"torn", 0}) {
 				cut = off
 			}
 		}
@@ -419,7 +428,7 @@ func TestStalePrepareNotResurrectedByLaterCommit(t *testing.T) {
 	if err := wal.Replay(lbuf.Reader(), func(r wal.Record) error {
 		off += 8 + 9 + len(r.Payload)
 		if cut < 0 && off > preLen && r.Type == wal.RecPrepWrite {
-			if id, _, _, derr := decChunkPayload(r.Payload); derr == nil && id == (chunkID{"stale", 0}) {
+			if id, _, _, _, derr := decChunkPayload(r.Payload); derr == nil && id == (chunkID{"stale", 0}) {
 				cut = off
 			}
 		}
@@ -527,7 +536,7 @@ func TestErrorPathsJoinFanAndCharge(t *testing.T) {
 	before := ctx.Clock.Now()
 	got := make([]byte, 24)
 	n, err := s.ReadBlob(ctx, "leak", 0, got)
-	if !errors.Is(err, storage.ErrStaleHandle) {
+	if !errors.Is(err, storage.ErrUnavailable) {
 		t.Fatalf("read with chunk 1 down: err = %v", err)
 	}
 	if n != 8 {
@@ -540,10 +549,11 @@ func TestErrorPathsJoinFanAndCharge(t *testing.T) {
 		t.Fatal("failed read charged no virtual time: completed chunk work was lost")
 	}
 
-	// A failing multi-chunk write (prepare phase) must also charge and
+	// A failing multi-chunk write (prepare phase: chunk 1's ONLY replica is
+	// down, so not even degraded mode can place it) must also charge and
 	// leave the pools reusable.
 	before = ctx.Clock.Now()
-	if _, err := s.WriteBlob(ctx, "leak", 0, content); !errors.Is(err, storage.ErrStaleHandle) {
+	if _, err := s.WriteBlob(ctx, "leak", 0, content); !errors.Is(err, storage.ErrUnavailable) {
 		t.Fatalf("write with chunk primary down: err = %v", err)
 	}
 	if ctx.Clock.Now() <= before {

@@ -1,0 +1,44 @@
+package blob
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// faultCheck consults the cluster's fault injector (cluster.SetFaultInjector)
+// before an operation of the given kind runs against node. With no injector
+// installed it is a single atomic load.
+//
+// Policy: injected latency is charged to the caller's ledger as local
+// compute (virtual time — no wall-clock sleeping). Transient errors are
+// retried up to faultRetries times with exponential virtual-clock backoff;
+// a retry that keeps failing, or any non-transient error, is returned
+// wrapped and the caller decides whether that degrades the operation
+// (replica write), promotes (primary write), or falls through to another
+// replica (read).
+const (
+	faultRetries = 3
+	faultBackoff = 100 * time.Microsecond
+)
+
+func (s *Store) faultCheck(cg *charge, node cluster.NodeID, kind cluster.FaultKind) error {
+	for attempt := 0; ; attempt++ {
+		f, ok := s.cluster.FaultFor(node, kind)
+		if !ok {
+			return nil
+		}
+		if f.Slow > 0 {
+			cg.localCompute(f.Slow)
+		}
+		if f.Err == nil {
+			return nil
+		}
+		if !f.Transient || attempt+1 >= faultRetries {
+			return fmt.Errorf("node %d %s: %w", node, kind, f.Err)
+		}
+		s.metrics.Counter("blob.fault.retry").Inc()
+		cg.localCompute(faultBackoff << uint(attempt))
+	}
+}

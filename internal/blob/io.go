@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -64,29 +65,91 @@ func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) 
 // data within the blob's size reads as zeros (sparse blob semantics). The
 // placement hash is computed once and reused for both the owner lookup and
 // the lock-stripe selection — the whole dispatch is allocation-free.
+//
+// While any repair debt is outstanding anywhere in the store, the read
+// takes a freshness-checked slow path instead: replicas named stale by a
+// debt mask are skipped, and among the fresh live owners the one with the
+// highest chunk version serves — so a rejoined-but-unrepaired replica can
+// never satisfy a read with stale bytes.
 func (s *Store) readChunk(cg *charge, id chunkID, within int64, dst []byte) error {
 	h := id.ringHash()
 	owners := s.ownersForHash(h)
+	if s.repairPending.Load() != 0 {
+		return s.readChunkChecked(cg, h, id, owners, within, dst)
+	}
 	for _, o := range owners {
 		sv := s.servers[o]
 		if sv.isDown() {
 			continue
 		}
-		var copied int
-		st := sv.stripe(h)
-		st.mu.RLock()
-		if data, ok := st.m[id]; ok && within < int64(len(data)) {
-			copied = copy(dst, data[within:])
+		if s.faultCheck(cg, sv.node, cluster.FaultDiskRead) != nil {
+			continue // a faulted replica reads like a down one: fall back
 		}
-		st.mu.RUnlock()
-		// Sparse tail: anything the replica did not cover reads as zeros.
-		clear(dst[copied:])
-		// Cost: RPC carrying the chunk payload back, plus the disk read.
-		cg.diskRead(sv.node, len(dst))
-		cg.rpc(sv.node, 64, len(dst), 0)
+		s.readReplica(cg, sv, h, id, within, dst)
 		return nil
 	}
-	return fmt.Errorf("chunk %d of %q: all replicas down: %w", id.idx, id.key, storage.ErrStaleHandle)
+	return fmt.Errorf("chunk %d of %q: all replicas down: %w", id.idx, id.key, storage.ErrUnavailable)
+}
+
+// readReplica copies the chunk's bytes out of one replica and charges the
+// transfer. Only the bytes the replica actually held are charged as disk
+// read; the sparse zero-filled tail costs nothing on the disk (the RPC
+// still carries the full response).
+func (s *Store) readReplica(cg *charge, sv *server, h uint64, id chunkID, within int64, dst []byte) {
+	var copied int
+	st := sv.stripe(h)
+	st.mu.RLock()
+	if data, ok := st.m[id]; ok && within < int64(len(data)) {
+		copied = copy(dst, data[within:])
+	}
+	st.mu.RUnlock()
+	// Sparse tail: anything the replica did not cover reads as zeros.
+	clear(dst[copied:])
+	cg.diskRead(sv.node, copied)
+	cg.rpc(sv.node, 64, len(dst), 0)
+}
+
+// readChunkChecked is the degraded-mode read path: it unions the chunk's
+// debt masks across every owner (down servers keep their memory, so their
+// debt records still count — the stand-in for the monitor-layer peering
+// metadata a real RADOS cluster consults), then serves from the
+// highest-versioned live owner not named stale. A replica that missed a
+// write is therefore unreachable until repair clears its debt bit.
+func (s *Store) readChunkChecked(cg *charge, h uint64, id chunkID, owners []int, within int64, dst []byte) error {
+	var stale uint64
+	for _, o := range owners {
+		st := s.servers[o].stripe(h)
+		st.mu.RLock()
+		stale |= st.debt[id]
+		st.mu.RUnlock()
+	}
+	// Highest version among the fresh live owners.
+	var maxVer uint64
+	found := false
+	for _, o := range owners {
+		sv := s.servers[o]
+		if sv.isDown() || (o < 64 && stale&(1<<uint(o)) != 0) {
+			continue
+		}
+		if v := sv.chunkVer(h, id); !found || v > maxVer {
+			maxVer = v
+			found = true
+		}
+	}
+	if found {
+		for _, o := range owners {
+			sv := s.servers[o]
+			if sv.isDown() || (o < 64 && stale&(1<<uint(o)) != 0) || sv.chunkVer(h, id) != maxVer {
+				continue
+			}
+			if s.faultCheck(cg, sv.node, cluster.FaultDiskRead) != nil {
+				continue
+			}
+			s.readReplica(cg, sv, h, id, within, dst)
+			return nil
+		}
+	}
+	return fmt.Errorf("chunk %d of %q: no fresh live replica: %w", id.idx, id.key, storage.ErrUnavailable)
 }
 
 // WriteBlob writes p at off, extending the blob as needed. A write that
@@ -103,7 +166,7 @@ func (s *Store) WriteBlob(ctx *storage.Context, key string, off int64, p []byte)
 		return 0, err
 	}
 	if primary.isDown() {
-		return 0, fmt.Errorf("blob %q: primary down: %w", key, storage.ErrStaleHandle)
+		return 0, fmt.Errorf("blob %q: primary down: %w", key, storage.ErrUnavailable)
 	}
 	if len(p) == 0 {
 		return 0, nil
@@ -119,11 +182,22 @@ func (s *Store) WriteBlob(ctx *storage.Context, key string, off int64, p []byte)
 }
 
 // chunkPlace is one participant chunk's resolved placement, computed once
-// per write and shared by the prepare, data, and commit phases.
+// per write and shared by the prepare, data, and commit phases. ver is the
+// version this write installs on every replica it reaches: assigned by the
+// caller under the descriptor latch (one more than the highest version any
+// owner holds), so all replicas of the chunk stay version-comparable.
 type chunkPlace struct {
 	id     chunkID
 	h      uint64
+	ver    uint64
 	owners []int
+	// excl is the owner set the data phase excluded from this write (down,
+	// or already named stale by a debt mask), written back by writeChunk.
+	// The commit phases consult it so apply and commit cover EXACTLY the
+	// replicas that received the data — the version invariant (a replica at
+	// version V holds every write ≤ V it was not excluded-with-debt from)
+	// breaks if a later phase touches an excluded replica.
+	excl uint64
 }
 
 // placePool recycles the per-write placement scratch.
@@ -160,7 +234,8 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 	for idx := firstChunk; idx <= lastChunk; idx++ {
 		id := chunkID{key, idx}
 		h := id.ringHash()
-		places = append(places, chunkPlace{id: id, h: h, owners: s.ownersForHash(h)})
+		owners := s.ownersForHash(h)
+		places = append(places, chunkPlace{id: id, h: h, ver: s.nextChunkVer(h, id, owners), owners: owners})
 	}
 
 	recType := wal.RecWrite
@@ -195,6 +270,7 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 	forEachSpan(off, int64(len(p)), cs, func(idx, within, start, take int64) {
 		t := fan.task(taskWriteChunk)
 		t.pl = places[idx-firstChunk]
+		t.plp = &places[idx-firstChunk] // writeChunk reports its excl mask here
 		t.within = within
 		t.data = p[start : start+take]
 		t.rec = recType
@@ -216,14 +292,17 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 
 	if multi {
 		// Commit phase, step 1: materialize the prepared writes in memory,
-		// one task per chunk covering its whole replica set. Pure memory
+		// one task per chunk covering exactly the replicas the data phase
+		// reached (the excl mask writeChunk reported: excluded replicas
+		// hold no prepare, and a partial apply would corrupt their version
+		// history — repair re-installs them whole instead). Pure memory
 		// work (no charges fold), deferred to here so an aborted data
 		// phase leaves live replicas untouched. Readers cannot observe the
 		// window: the descriptor latch is held until the write returns.
 		applyFan := s.newFan()
 		forEachSpan(off, int64(len(p)), cs, func(idx, within, start, take int64) {
 			t := applyFan.task(taskApplyChunk)
-			t.pl = places[idx-firstChunk]
+			t.pl = places[idx-firstChunk] // copies excl from the data phase
 			t.within = within
 			t.data = p[start : start+take]
 			applyFan.spawn(t)
@@ -235,12 +314,16 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 		// across the participant servers; records bound for the same
 		// server's log are batched into one append. Every replica that
 		// holds a prepare must also log the commit, or its own crash
-		// replay would discard the data.
+		// replay would discard the data; a replica the data phase excluded
+		// holds none, so it gets no commit marker either.
 		batch := newWalBatch(s)
 		for i := range places {
 			pl := &places[i]
 			for _, o := range pl.owners {
-				batch.addChunk(s.servers[o], wal.RecChunkCommit, pl.h, pl.id, 0, nil)
+				if pl.excl&(1<<uint(o)) != 0 {
+					continue
+				}
+				batch.addChunk(s.servers[o], wal.RecChunkCommit, pl.h, pl.id, 0, 0, nil)
 			}
 		}
 		batch.flushParallel(ctx, true)
@@ -255,78 +338,184 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 		s.walAppendMeta(&cg, primary, wal.RecMeta, key, d.size)
 		s.replicateDescSize(ctx, key, d.size)
 	}
+
+	// Degraded-write epilogue: drain the debt owed to any excluded owner
+	// that rejoined while this write was in flight. The rejoin-triggered
+	// drain (SetDown) runs when a node comes up, but an owner excluded at
+	// the partition snapshot can come back BEFORE the write records its
+	// debt — that drain finds nothing, and nothing else ever services debt
+	// that names an already-live node. The window is real and dangerous: a
+	// sole-surviving holder can then lose both the data and its debt record
+	// to one torn lane tail. The handoff is race-free because the debt is
+	// durably recorded before this check: a rejoin before it is seen here,
+	// a rejoin after it sees the debt.
+	var excl uint64
+	for i := range places {
+		excl |= places[i].excl
+	}
+	for node := 0; node < len(s.servers) && excl != 0; node++ {
+		if excl&(1<<uint(node)) != 0 && !s.servers[node].isDown() {
+			s.repairNode(ctx, cluster.NodeID(node))
+		}
+	}
 	return len(p), nil
 }
 
-// abortPrepared logs RecAbort markers on every live replica of every
-// participant chunk, batched per server. Down servers are skipped: their
-// logs are unreachable, and their uncommitted prepares die at replay anyway.
+// nextChunkVer assigns the version a write will install: one more than the
+// highest version any owner currently holds for the chunk. Called under
+// the blob's descriptor latch, which serializes the chunk's mutation
+// history, so the assignment is deterministic and every replica that
+// applies the write installs the same, strictly increasing version.
+func (s *Store) nextChunkVer(h uint64, id chunkID, owners []int) uint64 {
+	var max uint64
+	for _, o := range owners {
+		if v := s.servers[o].chunkVer(h, id); v > max {
+			max = v
+		}
+	}
+	return max + 1
+}
+
+// abortPrepared logs RecAbort markers on every replica the data phase
+// reached (the excl mask says which it did not), batched per server. An
+// excluded replica holds no prepare, so it needs no abort; uncommitted
+// prepares die at replay anyway, the marker just keeps logs tidy. A chunk
+// whose data task never ran reports excl 0 and aborts everywhere — the
+// markers are no-ops at replay.
 func (s *Store) abortPrepared(ctx *storage.Context, places []chunkPlace) {
 	batch := newWalBatch(s)
 	for i := range places {
 		pl := &places[i]
 		for _, o := range pl.owners {
-			sv := s.servers[o]
-			if sv.isDown() {
+			if pl.excl&(1<<uint(o)) != 0 {
 				continue
 			}
-			batch.addChunk(sv, wal.RecAbort, pl.h, pl.id, 0, nil)
+			batch.addChunk(s.servers[o], wal.RecAbort, pl.h, pl.id, 0, 0, nil)
 		}
 	}
 	batch.flushParallel(ctx, true)
 }
 
 // writeChunk applies data to the chunk at the given intra-chunk offset on
-// every replica, primary first then replicas in parallel (primary-copy
-// replication). It runs as a fan task: the replica copies are a nested fan
-// recorded into this task's ledger, so simulated time keeps the
-// primary-then-parallel-replicas shape while the actual copies run on the
-// worker pool.
+// the live subset of its replica set, first live owner first (primary
+// promotion) then the other live owners in parallel. It runs as a fan
+// task: the replica copies are a nested fan recorded into this task's
+// ledger, so simulated time keeps the primary-then-parallel-replicas shape
+// while the actual copies run on the worker pool.
+//
+// Down owners do not fail the write (degraded mode): as long as
+// Config.MinLiveOwners replicas are up, every live owner applies the write
+// and records the down owners as repair debt — a RecRepairNeeded record
+// carrying the full debt mask, logged under the stripe lock so the mask
+// history in the log matches memory. An injected permanent fault at the
+// promoted primary fails the write before anything durable lands
+// (fail-atomic); the same fault at a non-primary live replica degrades
+// instead, with the failed replica added to the debt the survivors record.
 func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte, rec wal.RecordType) error {
 	cg := &t.cg
-	// Validate the whole replica set before mutating anything: down-ness
-	// is the failure model here, so checking up front makes the
-	// single-chunk direct-commit path failure-atomic — no durable RecWrite
-	// on the primary for a write that then dies on a replica, which crash
-	// replay would resurrect one-sidedly. (A server going down between
-	// this check and the copies is still caught by the per-replica check
-	// below; the multi-chunk path additionally has the RecAbort protocol.)
-	primary := s.servers[pl.owners[0]]
-	if primary.isDown() {
-		return fmt.Errorf("chunk %d of %q: primary down: %w", pl.id.idx, pl.id.key, storage.ErrStaleHandle)
+	// Partition the replica set: the first live fresh owner is the
+	// (possibly promoted) primary; down owners AND owners already named
+	// stale by an unserviced debt mask become the write's debt mask. A
+	// stale-but-live owner must not receive this partial write: applying
+	// it would raise the owner's chunk version past bytes it never got,
+	// and repair — which trusts versions — would then clear its debt
+	// without re-installing anything. Excluding it keeps the version
+	// invariant (ver V ⇒ every non-excluded write ≤ V applied) and repair
+	// installs the full chunk later.
+	//
+	// The partition is a snapshot — an owner flapping down after this
+	// point still gets the write (its memory is retained while down, and
+	// its WAL gets the record, so it stays consistent), which is
+	// equivalent to the write having been delivered just before the flap.
+	var stale uint64
+	for _, o := range pl.owners {
+		stale |= s.servers[o].debtMask(pl.h, pl.id)
 	}
-	for _, o := range pl.owners[1:] {
+	var downMask uint64
+	live, promoted := 0, -1
+	for _, o := range pl.owners {
 		if s.servers[o].isDown() {
-			return fmt.Errorf("chunk %d of %q: replica down: %w", pl.id.idx, pl.id.key, storage.ErrStaleHandle)
+			if o >= 64 {
+				// Debt masks address nodes by bit; no simulated cluster
+				// here is near that wide, but refuse rather than corrupt.
+				return fmt.Errorf("chunk %d of %q: down replica %d exceeds debt mask width: %w",
+					pl.id.idx, pl.id.key, o, storage.ErrUnavailable)
+			}
+			downMask |= 1 << uint(o)
+			continue
+		}
+		if o < 64 && stale&(1<<uint(o)) != 0 {
+			downMask |= 1 << uint(o)
+			continue
+		}
+		live++
+		if promoted < 0 {
+			promoted = o
 		}
 	}
-	// Client -> primary carries the payload. A prepared (multi-chunk)
-	// write logs now but materializes in memory only at the commit phase,
-	// so a transaction that dies mid-data-phase leaves live replicas
-	// exactly as consistent as crash-recovered ones. The log append is
-	// vectored: data streams from the caller's buffer to the log medium in
-	// one copy, with only the chunk-addressing header staged.
+	if t.plp != nil {
+		t.plp.excl = downMask
+	}
+	if downMask != 0 {
+		tracef("writeChunk id=%s/%d ver=%d excl=%x stale=%x promoted=%d rec=%d", pl.id.key, pl.id.idx, pl.ver, downMask, stale, promoted, rec)
+	}
+	if promoted < 0 || live < s.cfg.MinLiveOwners {
+		return fmt.Errorf("chunk %d of %q: %d of %d replicas down (need %d live): %w",
+			pl.id.idx, pl.id.key, len(pl.owners)-live, len(pl.owners), s.cfg.MinLiveOwners, storage.ErrUnavailable)
+	}
+	primary := s.servers[promoted]
+	// A permanent fault on the primary's write path fails the chunk write
+	// before anything lands — nothing durable, nothing applied, so the
+	// single-chunk direct-commit path stays failure-atomic and the
+	// multi-chunk path rolls back via RecAbort.
+	if err := s.faultCheck(cg, primary.node, cluster.FaultDiskWrite); err != nil {
+		return fmt.Errorf("chunk %d of %q: %w", pl.id.idx, pl.id.key, err)
+	}
+	// Client -> promoted primary carries the payload. A prepared
+	// (multi-chunk) write logs now but materializes in memory only at the
+	// commit phase, so a transaction that dies mid-data-phase leaves live
+	// replicas exactly as consistent as crash-recovered ones. The log
+	// append is vectored: data streams from the caller's buffer to the log
+	// medium in one copy, with only the chunk-addressing header staged.
 	apply := rec == wal.RecWrite
 	cg.rpc(primary.node, len(data), 64, 0)
 	if apply {
-		applyChunk(primary, pl.h, pl.id, within, data)
+		applyChunk(primary, pl.h, pl.id, within, data, pl.ver)
 	}
-	s.walAppendChunk(cg, primary, rec, pl.h, pl.id, within, data)
+	s.walAppendChunk(cg, primary, rec, pl.h, pl.id, within, pl.ver, data)
 	cg.diskWrite(primary.node, len(data))
+	// Exclusion debt rides with the APPLY, never ahead of it: the direct
+	// path records it here, the prepared path at commit materialization
+	// (taskApplyChunk), where the holder's version has already advanced —
+	// the ordering clearDebt's version guard is built on.
+	if downMask != 0 && apply {
+		s.recordDebt(cg, primary, pl.h, pl.id, downMask)
+	}
 
-	// Primary -> replicas in parallel. With synchronous replication the
-	// client waits for every copy; with AsyncReplication the copies are
-	// applied (and their resource time reserved) but the client clock does
-	// not wait on them.
-	if len(pl.owners) > 1 {
+	// Primary -> the other live owners in parallel. With synchronous
+	// replication the client waits for every copy; with AsyncReplication
+	// the copies are applied (and their resource time reserved) but the
+	// client clock does not wait on them.
+	rest := live - 1
+	if rest > 0 {
 		sf := t.subFan()
-		for _, o := range pl.owners[1:] {
+		for _, o := range pl.owners {
+			// The partition snapshot decides, NOT a fresh isDown probe: an
+			// owner that flapped down after the partition was counted live
+			// and owes nobody a debt record, so it must still receive the
+			// write (retained memory + log keep it consistent). Re-probing
+			// here would skip it silently — a stale replica no debt mask
+			// names, invisible to the checked read path.
+			if o == promoted || downMask&(1<<uint(o)) != 0 {
+				continue
+			}
 			rt := sf.task(taskReplicaWrite)
 			rt.sv = s.servers[o]
 			rt.pl = pl
 			rt.within = within
 			rt.data = data
 			rt.rec = rec
+			rt.mask = downMask
 			sf.spawn(rt)
 		}
 		if s.cfg.AsyncReplication {
@@ -335,27 +524,83 @@ func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte,
 			t.joinSubs(&sf)
 		}
 	}
+	if downMask != 0 {
+		s.metrics.Counter("blob.write.degraded").Inc()
+	}
 	return nil
 }
 
-// replicaWrite is the per-replica body of writeChunk's nested fan.
-func (s *Store) replicaWrite(cg *charge, sv *server, pl chunkPlace, within int64, data []byte, rec wal.RecordType) error {
-	if sv.isDown() {
-		return fmt.Errorf("chunk %d of %q: replica down: %w", pl.id.idx, pl.id.key, storage.ErrStaleHandle)
+// replicaWrite is the per-replica body of writeChunk's nested fan. owed is
+// the debt mask of the write's down owners, recorded by every live owner
+// alongside its copy. A permanent injected fault here does NOT fail the
+// write: the primary already holds the bytes durably, so the failed
+// replica is simply added to the debt mask on the owners that did apply —
+// RADOS-style "primary acks, marks the peer missing, recovery backfills" —
+// keeping the single-chunk path free of one-sided durable divergence.
+func (s *Store) replicaWrite(cg *charge, sv *server, pl chunkPlace, within int64, data []byte, rec wal.RecordType, owed uint64) error {
+	if err := s.faultCheck(cg, sv.node, cluster.FaultDiskWrite); err != nil {
+		if int(sv.node) >= 64 {
+			return fmt.Errorf("chunk %d of %q: faulted replica %d exceeds debt mask width: %w",
+				pl.id.idx, pl.id.key, sv.node, storage.ErrUnavailable)
+		}
+		bit := uint64(1) << uint(sv.node)
+		for _, o := range pl.owners {
+			// Every other owner records the fault — including ones that
+			// flapped down meanwhile (retained memory and log stay
+			// mutable) — so the debt union names the faulted replica no
+			// matter which holders survive to be consulted.
+			if o == int(sv.node) {
+				continue
+			}
+			s.recordDebt(cg, s.servers[o], pl.h, pl.id, bit)
+		}
+		s.metrics.Counter("blob.write.replica-faulted").Inc()
+		return nil
 	}
 	cg.rpc(sv.node, len(data), 64, 0)
 	if rec == wal.RecWrite {
-		applyChunk(sv, pl.h, pl.id, within, data)
+		applyChunk(sv, pl.h, pl.id, within, data, pl.ver)
 	}
-	s.walAppendChunk(cg, sv, rec, pl.h, pl.id, within, data)
+	s.walAppendChunk(cg, sv, rec, pl.h, pl.id, within, pl.ver, data)
 	cg.diskWrite(sv.node, len(data))
+	// Same apply-before-record rule as the primary: prepared writes defer
+	// the exclusion debt to the commit apply.
+	if owed != 0 && rec == wal.RecWrite {
+		s.recordDebt(cg, sv, pl.h, pl.id, owed)
+	}
 	return nil
 }
 
+// recordDebt merges owed into the chunk's debt mask on sv and logs the
+// updated mask durably (RecRepairNeeded, full-mask overwrite semantics).
+// Mask update and log append happen under the stripe lock so the mask
+// history in the log matches the in-memory ordering; the lane append may
+// park as a group-commit follower, but a lane leader never takes stripe
+// locks, so the lock order is acyclic (see the dispatch.go contract).
+func (s *Store) recordDebt(cg *charge, sv *server, h uint64, id chunkID, owed uint64) {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	mask := st.debt[id] | owed
+	sv.setDebtLocked(st, id, mask)
+	s.walAppendChunk(cg, sv, wal.RecRepairNeeded, h, id, 0, mask, nil)
+	tracef("recordDebt node=%d id=%s/%d owed=%x mask=%x ver=%d", sv.node, id.key, id.idx, owed, mask, st.ver[id])
+	st.mu.Unlock()
+}
+
+// tracef feeds the chaos battery's event trace when a test installs one;
+// production runs leave chaosTrace nil and pay only a nil check.
+var chaosTrace func(format string, args ...any)
+
+func tracef(format string, args ...any) {
+	if chaosTrace != nil {
+		chaosTrace(format, args...)
+	}
+}
+
 // applyChunk writes data into sv's copy of the chunk, growing it as
-// needed. Growth doubles capacity so sequential small appends stay
-// amortized O(1) instead of quadratic.
-func applyChunk(sv *server, h uint64, id chunkID, within int64, data []byte) {
+// needed, and installs the write's version. Growth doubles capacity so
+// sequential small appends stay amortized O(1) instead of quadratic.
+func applyChunk(sv *server, h uint64, id chunkID, within int64, data []byte, ver uint64) {
 	st := sv.stripe(h)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -386,6 +631,9 @@ func applyChunk(sv *server, h uint64, id chunkID, within int64, data []byte) {
 	}
 	copy(chunk[within:], data)
 	st.m[id] = chunk
+	if ver > st.ver[id] {
+		st.ver[id] = ver
+	}
 }
 
 // TruncateBlob sets the blob's size. Shrinking drops whole chunks past the
@@ -402,7 +650,7 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 		return err
 	}
 	if primary.isDown() {
-		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrStaleHandle)
+		return fmt.Errorf("blob %q: primary down: %w", key, storage.ErrUnavailable)
 	}
 	s.cluster.MetaOp(ctx.Clock, primary.node, 1)
 
@@ -427,7 +675,7 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 				t.sv = sv
 				t.pl = chunkPlace{id: id, h: h}
 				fan.spawn(t)
-				batch.addChunk(sv, wal.RecChunkDelete, h, id, 0, nil)
+				batch.addChunk(sv, wal.RecChunkDelete, h, id, 0, 0, nil)
 			}
 		}
 		// Trim the boundary chunk.
@@ -443,7 +691,7 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 				t.pl = chunkPlace{id: id, h: h}
 				t.size = keep
 				fan.spawn(t)
-				batch.addChunk(sv, wal.RecChunkTruncate, h, id, keep, nil)
+				batch.addChunk(sv, wal.RecChunkTruncate, h, id, keep, 0, nil)
 			}
 		}
 		fan.join(ctx)

@@ -111,7 +111,7 @@ func (s *Store) ownershipSnapshot() *ownership {
 			}
 		}
 		sv.mu.RUnlock()
-		sv.forEachChunk(func(id chunkID, _ []byte) {
+		sv.forEachChunk(func(id chunkID, _ []byte, _ uint64) {
 			if _, seen := o.chunkOwners[id]; !seen {
 				o.chunkOwners[id] = s.ownersUncachedForHash(id.ringHash())
 			}
@@ -194,16 +194,38 @@ func (s *Store) migrateChunk(cg *charge, id chunkID, oldOwners []int) {
 	if len(gained) == 0 && len(lost) == 0 {
 		return
 	}
-	// Source: the first old owner still holding the bytes. The copy is
-	// made under the stripe lock so a concurrent writer cannot tear it.
+	// Outstanding repair debt follows the chunk across the move: union the
+	// masks the old owners hold, then drop bits of nodes that are no longer
+	// owners — a node outside the replica set serves nothing, so nothing is
+	// owed to it anymore.
+	var owed uint64
+	for _, o := range oldOwners {
+		owed |= s.servers[o].debtMask(h, id)
+	}
+	var ownerBits uint64
+	for _, o := range newOwners {
+		if o < 64 {
+			ownerBits |= 1 << uint(o)
+		}
+	}
+	owed &= ownerBits
+	// Source: prefer a fresh old owner (debt bit clear) with the highest
+	// version; fall back to a stale copy only when nothing fresh survives.
+	// The copy is made under the stripe lock so a concurrent writer cannot
+	// tear it.
 	var data []byte
 	var src *server
+	var srcVer uint64
+	srcStale := true
 	for _, o := range oldOwners {
 		sv := s.servers[o]
-		if c, ok := sv.copyChunk(h, id); ok {
-			data = c
-			src = sv
-			break
+		c, ver, ok := sv.copyChunk(h, id)
+		if !ok {
+			continue
+		}
+		stale := o < 64 && owed&(1<<uint(o)) != 0
+		if src == nil || (!stale && srcStale) || (stale == srcStale && ver > srcVer) {
+			data, src, srcVer, srcStale = c, sv, ver, stale
 		}
 	}
 	for _, g := range gained {
@@ -213,13 +235,27 @@ func (s *Store) migrateChunk(cg *charge, id chunkID, oldOwners []int) {
 			cg.rpc(sv.node, len(data), 64, 0)
 			cg.diskWrite(sv.node, len(data))
 		}
-		sv.setChunk(h, id, append([]byte(nil), data...))
-		s.walAppendChunk(cg, sv, wal.RecWrite, h, id, 0, data)
+		// A copy taken from a stale source misses the same writes the
+		// source does; the gained owner inherits the debt.
+		if srcStale && src != nil && g < 64 {
+			owed |= 1 << uint(g)
+		}
+		sv.setChunk(h, id, append([]byte(nil), data...), srcVer)
+		s.walAppendChunk(cg, sv, wal.RecWrite, h, id, 0, srcVer, data)
 	}
 	for _, l := range lost {
 		sv := s.servers[l]
 		sv.deleteChunk(h, id)
-		s.walAppendChunk(cg, sv, wal.RecChunkDelete, h, id, 0, nil)
+		s.walAppendChunk(cg, sv, wal.RecChunkDelete, h, id, 0, 0, nil)
+	}
+	if owed != 0 {
+		for _, o := range newOwners {
+			sv := s.servers[o]
+			if sv.isDown() {
+				continue
+			}
+			s.recordDebt(cg, sv, h, id, owed)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -35,8 +36,10 @@ func (s *Store) Crash(node cluster.NodeID) {
 	sv.mu.Lock()
 	sv.blobs = make(map[string]*descriptor)
 	sv.down = true
+	sv.wiped = true
 	sv.mu.Unlock()
 	sv.resetChunks()
+	tracef("crash node=%d", node)
 }
 
 // prepWrite is the buffered 2PC chunk write awaiting its commit record
@@ -47,11 +50,13 @@ func (s *Store) Crash(node cluster.NodeID) {
 // stale prepared bytes.
 type prepWrite struct {
 	within int64
+	ver    uint64
 	data   []byte
 }
 
-// applyRecovered merges one chunk write into the replayed chunk table.
-func applyRecovered(chunks map[chunkID][]byte, id chunkID, within int64, data []byte) {
+// applyRecovered merges one chunk write into the replayed chunk table and
+// installs the write's persisted version.
+func applyRecovered(chunks map[chunkID][]byte, vers map[chunkID]uint64, id chunkID, within int64, ver uint64, data []byte) {
 	chunk := chunks[id]
 	need := within + int64(len(data))
 	if int64(len(chunk)) < need {
@@ -61,6 +66,9 @@ func applyRecovered(chunks map[chunkID][]byte, id chunkID, within int64, data []
 	}
 	copy(chunk[within:], data)
 	chunks[id] = chunk
+	if ver > vers[id] {
+		vers[id] = ver
+	}
 }
 
 // Recover rebuilds a server's volatile state by replaying its write-ahead
@@ -105,6 +113,8 @@ func (s *Store) Recover(node cluster.NodeID) error {
 	// sv.mu is taken only to install the rebuilt tables.
 	blobs := make(map[string]*descriptor)
 	chunks := make(map[chunkID][]byte)
+	vers := make(map[chunkID]uint64)
+	debt := make(map[chunkID]uint64)
 	var pending map[chunkID]prepWrite
 	replay := func(fn func(wal.Record) error) error {
 		if s.cfg.SerialRecovery {
@@ -127,14 +137,14 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			d.size = size
 			return nil
 		case wal.RecWrite:
-			id, within, data, err := decChunkPayload(rec.Payload)
+			id, within, ver, data, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
-			applyRecovered(chunks, id, within, data)
+			applyRecovered(chunks, vers, id, within, ver, data)
 			return nil
 		case wal.RecPrepWrite:
-			id, within, data, err := decChunkPayload(rec.Payload)
+			id, within, ver, data, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
@@ -144,24 +154,38 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			// rec.Payload is a fresh per-record buffer; retaining data is
 			// safe. Overwrite, never accumulate: only the latest prepare
 			// belongs to the transaction whose commit may follow.
-			pending[id] = prepWrite{within: within, data: data}
+			pending[id] = prepWrite{within: within, ver: ver, data: data}
 			return nil
 		case wal.RecChunkCommit:
-			id, _, _, err := decChunkPayload(rec.Payload)
+			id, _, _, _, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
 			if p, ok := pending[id]; ok {
-				applyRecovered(chunks, id, p.within, p.data)
+				applyRecovered(chunks, vers, id, p.within, p.ver, p.data)
 				delete(pending, id)
 			}
 			return nil
 		case wal.RecAbort:
-			id, _, _, err := decChunkPayload(rec.Payload)
+			id, _, _, _, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
 			delete(pending, id)
+			return nil
+		case wal.RecRepairNeeded:
+			// Overwrite semantics: the record carries the chunk's full debt
+			// mask (in the version slot) as of its append, so the last
+			// record in logical order wins — a zero mask clears the entry.
+			id, _, mask, _, err := decChunkPayload(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if mask == 0 {
+				delete(debt, id)
+			} else {
+				debt[id] = mask
+			}
 			return nil
 		case wal.RecDelete:
 			key, _, err := decMeta(rec.Payload)
@@ -171,11 +195,13 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			delete(blobs, key)
 			return nil
 		case wal.RecChunkDelete:
-			id, _, _, err := decChunkPayload(rec.Payload)
+			id, _, _, _, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
 			delete(chunks, id)
+			delete(vers, id)
+			delete(debt, id)
 			return nil
 		case wal.RecTruncate:
 			key, size, err := decMeta(rec.Payload)
@@ -187,7 +213,7 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			}
 			return nil
 		case wal.RecChunkTruncate:
-			id, keep, _, err := decChunkPayload(rec.Payload)
+			id, keep, _, _, err := decChunkPayload(rec.Payload)
 			if err != nil {
 				return err
 			}
@@ -219,11 +245,38 @@ func (s *Store) Recover(node cluster.NodeID) error {
 	}
 	parallelDo(len(ids), func(i int) {
 		id := ids[i]
-		sv.setChunk(id.ringHash(), id, chunks[id])
+		sv.setChunk(id.ringHash(), id, chunks[id], vers[id])
 	})
+	// Install surviving repair debt serially: a crash leaves a handful of
+	// debt entries at most, not a chunk table's worth.
+	for id, mask := range debt {
+		st := sv.stripe(id.ringHash())
+		st.mu.Lock()
+		sv.setDebtLocked(st, id, mask)
+		st.mu.Unlock()
+	}
+	// The replayed tables are in place: sv's memory is authoritative again
+	// (though possibly behind), so the resync below may consult it — and
+	// peers' resyncs may consult sv — even while sv is still marked down.
+	sv.mu.Lock()
+	sv.wiped = false
+	sv.mu.Unlock()
+	tracef("recover node=%d replayed chunks=%d debts=%d", node, len(chunks), len(debt))
+	// Resync from live peers BEFORE serving: the merged-replay prefix
+	// contract can drop acknowledged writes behind a torn lane tail, and
+	// this node's own debt records only cover what its log survived. A
+	// version sweep against the peers catches both that loss and every
+	// write the node missed while down.
+	s.resyncNode(sv)
 	sv.mu.Lock()
 	sv.down = false
 	sv.mu.Unlock()
+	// Now that the node serves again, drain the debt peers accumulated
+	// against it (and any stale debt record naming an already-fresh copy).
+	// The full drain, not the node-scoped one: the bidirectional resync
+	// sweep may just have recorded debt naming LIVE peers that missed
+	// writes this node's replayed log proves were acknowledged.
+	s.Repair(storage.NewContext())
 	return nil
 }
 
@@ -234,6 +287,11 @@ func (s *Store) Recover(node cluster.NodeID) error {
 type ckptLane struct {
 	metas  []ckptMeta
 	chunks []ckptChunk
+	debts  []ckptDebt
+}
+
+func (l *ckptLane) empty() bool {
+	return len(l.metas) == 0 && len(l.chunks) == 0 && len(l.debts) == 0
 }
 
 type ckptMeta struct {
@@ -243,7 +301,13 @@ type ckptMeta struct {
 
 type ckptChunk struct {
 	id   chunkID
+	ver  uint64
 	data []byte
+}
+
+type ckptDebt struct {
+	id   chunkID
+	mask uint64
 }
 
 // checkpointPlan snapshots sv's volatile state into per-lane record lists
@@ -270,9 +334,16 @@ func (sv *server) checkpointPlan() []ckptLane {
 		plan[lane].metas = append(plan[lane].metas, ckptMeta{key, d.size})
 	}
 	sv.mu.Unlock()
-	sv.forEachChunk(func(id chunkID, data []byte) {
+	sv.forEachChunk(func(id chunkID, data []byte, ver uint64) {
 		lane := sv.chunkLane(id.ringHash())
-		plan[lane].chunks = append(plan[lane].chunks, ckptChunk{id, data})
+		plan[lane].chunks = append(plan[lane].chunks, ckptChunk{id, ver, data})
+	})
+	// Outstanding repair debt must survive the compaction: re-log each
+	// chunk's current mask so a crash between checkpoint and repair still
+	// recovers knowing which replicas owe copies.
+	sv.forEachDebt(func(id chunkID, mask uint64) {
+		lane := sv.chunkLane(id.ringHash())
+		plan[lane].debts = append(plan[lane].debts, ckptDebt{id, mask})
 	})
 	sv.wal.ResetAll()
 	return plan
@@ -289,7 +360,7 @@ func (sv *server) checkpointPlan() []ckptLane {
 // (dispatch contract: the job takes no latch-class lock and never waits
 // on the pool).
 func (sv *server) checkpointLane(lane int, plan *ckptLane) {
-	if len(plan.metas) == 0 && len(plan.chunks) == 0 {
+	if plan.empty() {
 		return
 	}
 	bp := hdrPool.Get().(*[]byte)
@@ -303,8 +374,15 @@ func (sv *server) checkpointLane(lane int, plan *ckptLane) {
 		appendOne(wal.RecCreate, nil)
 	}
 	for _, c := range plan.chunks {
-		*bp = appendChunkHeader((*bp)[:0], c.id, 0)
+		*bp = appendChunkHeader((*bp)[:0], c.id, 0, c.ver)
 		appendOne(wal.RecWrite, c.data)
+	}
+	for _, d := range plan.debts {
+		// RecRepairNeeded reuses the chunk header with the mask in the
+		// version slot (codec.go); overwrite-replay makes one record per
+		// chunk sufficient.
+		*bp = appendChunkHeader((*bp)[:0], d.id, 0, d.mask)
+		appendOne(wal.RecRepairNeeded, nil)
 	}
 	hdrPool.Put(bp)
 }
@@ -347,7 +425,7 @@ func (s *Store) CheckpointAll() {
 	for _, sv := range s.servers {
 		plan := sv.checkpointPlan()
 		for lane := range plan {
-			if len(plan[lane].metas) == 0 && len(plan[lane].chunks) == 0 {
+			if plan[lane].empty() {
 				continue
 			}
 			jobs = append(jobs, laneJob{sv, &plan[lane], lane})
@@ -384,9 +462,13 @@ func (s *Store) WALSize(node cluster.NodeID) int64 {
 //  1. every descriptor on a primary is present on all of its replicas with
 //     the same size;
 //  2. every chunk replica belongs to a live blob and lies within its size;
-//  3. replicas of one chunk hold identical bytes.
+//  3. replicas of one chunk hold identical bytes — except replicas named in
+//     the chunk's repair-debt mask (unioned across owners), which a
+//     degraded write is allowed to leave behind until repair clears them.
 //
-// It returns a description of the first violation found, or "".
+// It returns a description of the first violation found, or "". After every
+// node has rejoined and repair drained (RepairPending() == 0), the debt
+// exemption is vacuous and the full strict check applies.
 func (s *Store) CheckInvariants() string {
 	for i, sv := range s.servers {
 		sv.mu.RLock()
@@ -425,7 +507,7 @@ func (s *Store) CheckInvariants() string {
 	// Chunk-level checks from each chunk primary's view.
 	for i, sv := range s.servers {
 		var ids []chunkID
-		sv.forEachChunk(func(id chunkID, _ []byte) {
+		sv.forEachChunk(func(id chunkID, _ []byte, _ uint64) {
 			ids = append(ids, id)
 		})
 		for _, id := range ids {
@@ -444,11 +526,30 @@ func (s *Store) CheckInvariants() string {
 			if id.idx*int64(s.cfg.ChunkSize) >= size {
 				return fmt.Sprintf("chunk %d of %q lies beyond blob size %d", id.idx, id.key, size)
 			}
-			primaryData, _ := sv.copyChunk(h, id)
-			for _, o := range owners[1:] {
-				replicaData, _ := s.servers[o].copyChunk(h, id)
-				if string(replicaData) != string(primaryData) {
-					return fmt.Sprintf("chunk %d of %q diverges between node %d and node %d", id.idx, id.key, i, o)
+			// Union the debt mask across owners; replicas it names missed
+			// degraded writes and legitimately diverge until repaired.
+			var stale uint64
+			for _, o := range owners {
+				stale |= s.servers[o].debtMask(h, id)
+			}
+			refNode := -1
+			var refData []byte
+			var refVer uint64
+			for _, o := range owners {
+				if o < 64 && stale&(1<<uint(o)) != 0 {
+					continue
+				}
+				data, ver, _ := s.servers[o].copyChunk(h, id)
+				if refNode < 0 {
+					refNode, refData, refVer = o, data, ver
+					continue
+				}
+				if ver != refVer {
+					return fmt.Sprintf("chunk %d of %q version diverges between node %d (v%d) and node %d (v%d)",
+						id.idx, id.key, refNode, refVer, o, ver)
+				}
+				if string(data) != string(refData) {
+					return fmt.Sprintf("chunk %d of %q diverges between node %d and node %d", id.idx, id.key, refNode, o)
 				}
 			}
 		}

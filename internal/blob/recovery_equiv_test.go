@@ -24,6 +24,7 @@ package blob
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -76,7 +77,7 @@ func captureNode(sv *server) nodeState {
 		st.descs[k] = d.size
 	}
 	sv.mu.RUnlock()
-	sv.forEachChunk(func(id chunkID, data []byte) {
+	sv.forEachChunk(func(id chunkID, data []byte, _ uint64) {
 		st.chunks[id] = string(data)
 	})
 	for _, raw := range captureLanes(sv) {
@@ -127,6 +128,26 @@ func compareRecoveryModes(t *testing.T, s *Store, node int) {
 		t.Fatalf("node %d: chunk tables diverge between parallel and serial recovery", node)
 	}
 	if !reflect.DeepEqual(stP.lanes, stS.lanes) {
+		dump := func(raw string) []string {
+			var out []string
+			dec := wal.NewDecoder(bytes.NewReader([]byte(raw)))
+			for {
+				rec, _, done, err := dec.Next()
+				if err != nil || done {
+					if err != nil {
+						out = append(out, fmt.Sprintf("ERR:%v", err))
+					}
+					return out
+				}
+				out = append(out, fmt.Sprintf("%v/lsn%d/%dB", rec.Type, rec.LSN, len(rec.Payload)))
+			}
+		}
+		for i := range stP.lanes {
+			if stP.lanes[i] != stS.lanes[i] {
+				t.Logf("lane %d parallel: %v", i, dump(stP.lanes[i]))
+				t.Logf("lane %d serial:   %v", i, dump(stS.lanes[i]))
+			}
+		}
 		t.Fatalf("node %d: repaired lane media diverge between parallel and serial recovery", node)
 	}
 }

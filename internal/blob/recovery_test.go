@@ -114,7 +114,7 @@ func TestRecoveredStateIdenticalToLive(t *testing.T) {
 	}
 	sv.mu.RUnlock()
 	liveChunks := make(map[chunkID]string)
-	sv.forEachChunk(func(id chunkID, c []byte) {
+	sv.forEachChunk(func(id chunkID, c []byte, _ uint64) {
 		liveChunks[id] = string(c)
 	})
 
@@ -297,8 +297,15 @@ func TestCheckpointThenCrashMidAppendTornSlab(t *testing.T) {
 		buf := sv.wal.LaneBuffer(sv.chunkLane(h0))
 		buf.Truncate(buf.Len() - 3)
 	}
+	// Correlated crash: every replica goes down BEFORE any recovers, so
+	// rejoin resync finds no live peer holding the torn round-199 write.
+	// (Sequential crash/recover would let the surviving replicas' retained
+	// memory legitimately re-supply it — that is resync working, not a torn
+	// prefix.)
 	for _, o := range owners {
 		s.Crash(cluster.NodeID(o))
+	}
+	for _, o := range owners {
 		if err := s.Recover(cluster.NodeID(o)); err != nil {
 			t.Fatalf("recover node %d: %v", o, err)
 		}
@@ -327,6 +334,8 @@ func TestCheckpointThenCrashMidAppendTornSlab(t *testing.T) {
 	}
 	for _, o := range owners {
 		s.Crash(cluster.NodeID(o))
+	}
+	for _, o := range owners {
 		if err := s.Recover(cluster.NodeID(o)); err != nil {
 			t.Fatal(err)
 		}
@@ -406,8 +415,13 @@ func TestRecoverTwoLaneCrashConverges(t *testing.T) {
 			buf.Truncate(buf.Len() - 3)
 		}
 	}
+	// Correlated crash: all replicas down before any recovers (see the
+	// torn-slab test above — live peers' retained memory would otherwise
+	// resync the torn write back in).
 	for node := 0; node < 3; node++ {
 		s.Crash(cluster.NodeID(node))
+	}
+	for node := 0; node < 3; node++ {
 		if err := s.Recover(cluster.NodeID(node)); err != nil {
 			t.Fatalf("recover node %d: %v", node, err)
 		}

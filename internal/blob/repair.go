@@ -1,0 +1,572 @@
+package blob
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// repair.go — rejoin resync: the background pass that pays down the repair
+// debt degraded writes accumulate (io.go) so a node that was down converges
+// back to byte-identical replicas before its copies are ever served.
+//
+// Two mechanisms cooperate:
+//
+//   - Debt-driven repair (Repair / repairNode): degraded writes record, on
+//     every surviving owner, a per-chunk bitmask of the owners that missed
+//     the write (RecRepairNeeded). Repair copies the freshest fresh-owner
+//     version onto each owed live node and clears its bit, guarded by the
+//     chunk version so a racing degraded write's fresh debt is never erased.
+//   - Version resync (resyncNode): a crash can tear a WAL lane tail and
+//     silently drop acknowledged writes that NO debt record names (every
+//     replica applied them; only this node's log lost them). Recover
+//     therefore sweeps the live peers' chunk tables, compares per-chunk
+//     versions, and pulls anything newer BEFORE marking the node up.
+//
+// Both run on the dispatch pool as ordinary fan tasks and obey the
+// dispatch.go contract: stripe locks and WAL appends only (short-hold /
+// bounded-wait), never the per-blob descriptor latch, never a nested pool
+// wait. Repair and rebalance coordinate through the ring epoch: a repair
+// round snapshots the epoch and every per-chunk task re-checks it, bailing
+// out when membership changed underneath (migrate re-records surviving debt
+// against the new owner set, so nothing is lost by bailing).
+
+// repairItem is one chunk's outstanding debt restricted to the targets a
+// repair round will actually service.
+type repairItem struct {
+	id   chunkID
+	mask uint64
+}
+
+// Repair drains every outstanding repair-debt entry whose owed node is
+// currently live, returning the number of per-chunk repair tasks that made
+// progress. Debt owed to still-down nodes remains until they rejoin
+// (SetDown / Recover trigger the node-scoped drain automatically).
+func (s *Store) Repair(ctx *storage.Context) int {
+	return s.repairDrain(ctx, cluster.NodeID(-1))
+}
+
+// repairNode drains the debt owed to one node, looping until no entry names
+// it or no progress can be made (node re-downed, no fresh live source yet).
+// Called by SetDown(node, false) and Recover after the node is serving.
+func (s *Store) repairNode(ctx *storage.Context, node cluster.NodeID) int {
+	return s.repairDrain(ctx, node)
+}
+
+// repairDrain is the shared drain loop. only < 0 targets every live owed
+// node; otherwise only that node's bit is serviced. Each round fans the
+// collected items across the worker pool and re-collects; it terminates
+// when a round finds no debt or clears nothing (progress is required so an
+// unreachable target cannot spin the loop).
+func (s *Store) repairDrain(ctx *storage.Context, only cluster.NodeID) int {
+	total := 0
+	for {
+		if only >= 0 && s.servers[int(only)].isDown() {
+			return total
+		}
+		work := s.collectDebt(only)
+		if len(work) == 0 {
+			return total
+		}
+		epoch := s.ring.Epoch()
+		var progressed atomic.Int64
+		fan := s.newFan()
+		for _, w := range work {
+			w := w
+			t := fan.task(taskFunc)
+			t.fn = func(cg *charge) error {
+				if s.repairChunk(cg, w.id, w.mask, epoch) {
+					progressed.Add(1)
+				}
+				return nil
+			}
+			fan.spawn(t)
+		}
+		fan.join(ctx)
+		if progressed.Load() == 0 {
+			return total
+		}
+		total += int(progressed.Load())
+	}
+}
+
+// collectDebt unions the per-chunk debt masks across every server, restricts
+// them to serviceable targets (the one node asked for, or every live owed
+// node), and returns the items sorted for deterministic fan submission.
+func (s *Store) collectDebt(only cluster.NodeID) []repairItem {
+	union := make(map[chunkID]uint64)
+	for _, sv := range s.servers {
+		sv.forEachDebt(func(id chunkID, mask uint64) {
+			union[id] |= mask
+		})
+	}
+	items := make([]repairItem, 0, len(union))
+	for id, mask := range union {
+		if only >= 0 {
+			bit := uint64(1) << uint(only)
+			if mask&bit == 0 {
+				continue
+			}
+			mask = bit
+		} else {
+			var live uint64
+			for o := 0; o < len(s.servers) && o < 64; o++ {
+				if mask&(1<<uint(o)) != 0 && !s.servers[o].isDown() {
+					live |= 1 << uint(o)
+				}
+			}
+			if live == 0 {
+				continue
+			}
+			mask = live
+		}
+		items = append(items, repairItem{id: id, mask: mask})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].id.key != items[j].id.key {
+			return items[i].id.key < items[j].id.key
+		}
+		return items[i].id.idx < items[j].id.idx
+	})
+	return items
+}
+
+// repairChunk services one chunk's owed targets. It re-checks the ring
+// epoch (membership moved: bail, migrate carried the debt to the new owner
+// set) and the live debt union (a racing repair may already have cleared
+// bits). Reports whether any target made progress.
+func (s *Store) repairChunk(cg *charge, id chunkID, owed uint64, epoch uint64) bool {
+	if s.ring.Epoch() != epoch {
+		return false
+	}
+	h := id.ringHash()
+	owners := s.ownersForHash(h)
+	var stale uint64
+	for _, o := range owners {
+		stale |= s.servers[o].debtMask(h, id)
+	}
+	owed &= stale
+	progress := false
+	for _, o := range owners {
+		if o >= 64 || owed&(1<<uint(o)) == 0 {
+			continue
+		}
+		target := s.servers[o]
+		if target.isDown() {
+			continue
+		}
+		if s.repairReplica(cg, h, id, owners, target, stale) {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// repairReplica copies the freshest fresh-owner version of the chunk onto
+// target (only if strictly newer than what target holds — a concurrent
+// writer may already have covered it) and clears target's debt bit on every
+// holder. The install and the clear are both guarded by version: the
+// install never moves target backwards, and the clear is capped at the
+// version repaired to (clearDebt's upTo), so a degraded write that lands a
+// NEWER version concurrently keeps its debt. Never holds two stripe locks
+// at once.
+func (s *Store) repairReplica(cg *charge, h uint64, id chunkID, owners []int, target *server, stale uint64) bool {
+	var src *server
+	var srcData []byte
+	var srcVer uint64
+	for _, o := range owners {
+		sv := s.servers[o]
+		if sv == target || sv.isDown() {
+			continue
+		}
+		if o < 64 && stale&(1<<uint(o)) != 0 {
+			continue // a stale replica must never seed a repair
+		}
+		if data, ver, ok := sv.copyChunk(h, id); ok && (src == nil || ver > srcVer) {
+			src, srcData, srcVer = sv, data, ver
+		}
+	}
+	if src == nil {
+		return false // no fresh live source right now; a later round retries
+	}
+	if s.faultCheck(cg, src.node, cluster.FaultDiskRead) != nil ||
+		s.faultCheck(cg, target.node, cluster.FaultDiskWrite) != nil {
+		return false
+	}
+	cg.diskRead(src.node, len(srcData))
+	cg.rpc(target.node, len(srcData), 64, 0)
+	st := target.stripe(h)
+	st.mu.Lock()
+	upTo := st.ver[id]
+	installed := false
+	if srcVer > upTo {
+		st.m[id] = srcData
+		st.ver[id] = srcVer
+		upTo = srcVer
+		installed = true
+		// Durable on the target too: a crash after repair must not resurrect
+		// the stale bytes. Append-under-stripe-lock is the recordDebt
+		// pattern — acyclic, a lane leader never takes stripe locks.
+		s.walAppendChunk(cg, target, wal.RecWrite, h, id, 0, srcVer, srcData)
+		cg.diskWrite(target.node, len(srcData))
+		s.metrics.Counter("blob.repair.chunks").Inc()
+		s.metrics.Counter("blob.repair.bytes").Add(int64(len(srcData)))
+	}
+	tracef("repairReplica target=%d id=%s/%d src=%d srcVer=%d upTo=%d installed=%v", target.node, id.key, id.idx, src.node, srcVer, upTo, installed)
+	st.mu.Unlock()
+	bit := uint64(1) << uint(target.node)
+	cleared := false
+	for _, o := range owners {
+		if s.clearDebt(cg, s.servers[o], h, id, bit, upTo) {
+			cleared = true
+		}
+	}
+	// Progress only if something actually changed. A debt bit held solely
+	// by a holder NEWER than any live source (e.g. the sole fresh copy is
+	// on a down node) is unserviceable this round: the install is a no-op
+	// and the version guard rightly refuses the clear. Reporting progress
+	// there would spin the drain loop.
+	return installed || cleared
+}
+
+// clearDebt removes bit from the chunk's debt mask on sv and logs the
+// reduced mask, but only while sv has not seen a write newer than upTo —
+// a holder at a newer version recorded (or is about to record, under this
+// same stripe lock's ordering) debt the repair pass has not serviced yet.
+func (s *Store) clearDebt(cg *charge, sv *server, h uint64, id chunkID, bit, upTo uint64) bool {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	cleared := false
+	if mask, ok := st.debt[id]; ok && mask&bit != 0 && st.ver[id] <= upTo {
+		mask &^= bit
+		sv.setDebtLocked(st, id, mask)
+		s.walAppendChunk(cg, sv, wal.RecRepairNeeded, h, id, 0, mask, nil)
+		cleared = true
+		tracef("clearDebt node=%d id=%s/%d bit=%x upTo=%d mask=%x ver=%d", sv.node, id.key, id.idx, bit, upTo, mask, st.ver[id])
+	}
+	st.mu.Unlock()
+	return cleared
+}
+
+// resyncNode pulls, onto the still-down sv, every chunk version a live peer
+// holds newer than sv's own copy. Recover runs this after replaying sv's
+// log and BEFORE marking sv up: the merged-replay prefix contract discards
+// everything behind a torn lane tail, including acknowledged writes that no
+// surviving debt record names (all replicas applied them — only sv's log
+// lost them), and version comparison against the peers is the only way to
+// find those. Chunks whose debt mask names sv are skipped here; the
+// post-rejoin repairNode pass services them with full debt bookkeeping.
+//
+// Quiescence is NOT required: sv is still down, so writers neither read nor
+// update its copies beyond the retained-memory applies, and those only move
+// versions forward — the same monotonic guard the install uses.
+func (s *Store) resyncNode(sv *server) {
+	// Candidates: everything the live peers hold (what sv might have to
+	// pull) plus everything sv itself replayed (chunks the peers might be
+	// missing outright — the bidirectional check below needs those too).
+	candidates := make(map[chunkID]bool)
+	for _, peer := range s.servers {
+		if peer != sv && peer.isDown() {
+			continue
+		}
+		peer.forEachChunk(func(id chunkID, _ []byte, _ uint64) {
+			candidates[id] = true
+		})
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	ids := make([]chunkID, 0, len(candidates))
+	for id := range candidates {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].key != ids[j].key {
+			return ids[i].key < ids[j].key
+		}
+		return ids[i].idx < ids[j].idx
+	})
+	ctx := storage.NewContext()
+	cg := s.directCharge(ctx)
+	mine := int(sv.node)
+
+	// Descriptors resync FIRST: the chunk sweep below uses the adopted
+	// blob extents to tell a resurrected chunk (sv replayed a write whose
+	// later delete/truncate fell behind the torn tail) from a chunk the
+	// peers are genuinely missing.
+	s.resyncDescriptors(sv, &cg)
+	extents := make(map[string]blobExtent)
+
+	for _, id := range ids {
+		h := id.ringHash()
+		owners := s.ownersForHash(h)
+		member := false
+		for _, o := range owners {
+			if o == mine {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		// Deletion gating: a torn tail loses a delete or truncate record as
+		// easily as a write record, and replay then resurrects the chunk.
+		// The live desc-owner peers' descriptors are the authority on the
+		// blob's extent (size changes replicate synchronously to every desc
+		// owner): a chunk wholly beyond that extent — or of a blob no live
+		// desc owner knows — is a resurrection. Drop it from memory instead
+		// of sweeping versions; sweeping would read the peers' deletion as
+		// "everyone is behind me" and spread the corpse back across the
+		// replica set. The drop is deliberately NOT logged: a crash mid-write
+		// can legitimately replay a chunk ahead of its size record (the data
+		// append precedes the meta append), and logging a delete there would
+		// change the recovered record stream. An in-memory drop is re-derived
+		// from the peers on every recovery, which is just as permanent.
+		ext, seen := extents[id.key]
+		if !seen {
+			ext = s.peerBlobExtent(sv, id.key)
+			extents[id.key] = ext
+		}
+		if ext.known && (!ext.exists || id.idx*int64(s.cfg.ChunkSize) >= ext.size) {
+			st := sv.stripe(h)
+			st.mu.Lock()
+			if _, have := st.m[id]; have {
+				delete(st.m, id)
+				delete(st.ver, id)
+				sv.setDebtLocked(st, id, 0)
+				tracef("resyncDrop node=%d id=%s/%d beyond extent (size=%d exists=%v)", sv.node, id.key, id.idx, ext.size, ext.exists)
+			}
+			st.mu.Unlock()
+			continue
+		}
+		// Staleness here is the REFINED claim, not the raw debt union: a
+		// debt bit for peer p only proves p missed a write if some holder
+		// asserting it has a HIGHER chunk version than p (exclusion freezes
+		// a genuinely stale replica's version below the excluding write, so
+		// a real claim always has such a holder). sv's own replayed mask
+		// can be a resurrected OLD record — the tear that dropped sv's tail
+		// also dropped the clearDebt records logged after its peers were
+		// repaired — and trusting it raw would make resync distrust exactly
+		// the fresh peers it must pull from. A vacuous bit is left for the
+		// post-rejoin repair pass to clear (version-guarded, same rule).
+		var stale uint64
+		for _, o := range owners {
+			if o >= 64 {
+				continue
+			}
+			m := s.servers[o].debtMask(h, id)
+			if m == 0 {
+				continue
+			}
+			hv := s.servers[o].chunkVer(h, id)
+			for _, p := range owners {
+				if p >= 64 || p == o {
+					continue
+				}
+				if m&(1<<uint(p)) != 0 && hv > s.servers[p].chunkVer(h, id) {
+					stale |= 1 << uint(p)
+				}
+			}
+		}
+		if mine < 64 && stale&(1<<uint(mine)) != 0 {
+			continue // owed by real debt: repairNode handles it after rejoin
+		}
+		var src *server
+		var srcData []byte
+		var srcVer uint64
+		for _, o := range owners {
+			peer := s.servers[o]
+			if peer == sv || peer.isDown() {
+				continue
+			}
+			if o < 64 && stale&(1<<uint(o)) != 0 {
+				continue
+			}
+			if data, ver, ok := peer.copyChunk(h, id); ok && (src == nil || ver > srcVer) {
+				src, srcData, srcVer = peer, data, ver
+			}
+		}
+		var myVer uint64
+		if src != nil {
+			cg.diskRead(src.node, len(srcData))
+			cg.rpc(sv.node, len(srcData), 64, 0)
+		}
+		st := sv.stripe(h)
+		st.mu.Lock()
+		if src != nil && srcVer > st.ver[id] {
+			tracef("resyncPull node=%d id=%s/%d src=%d srcVer=%d had=%d", sv.node, id.key, id.idx, src.node, srcVer, st.ver[id])
+			st.m[id] = srcData
+			st.ver[id] = srcVer
+			s.walAppendChunk(&cg, sv, wal.RecWrite, h, id, 0, srcVer, srcData)
+			cg.diskWrite(sv.node, len(srcData))
+			s.metrics.Counter("blob.resync.chunks").Inc()
+			s.metrics.Counter("blob.resync.bytes").Add(int64(len(srcData)))
+		}
+		myVer = st.ver[id]
+		st.mu.Unlock()
+
+		// The sweep is bidirectional. A degraded write acked by a single
+		// included owner leaves that owner holding both the only copy of
+		// the data AND the only RecRepairNeeded naming the peers that
+		// missed it; if that owner is the one crashing, a torn lane tail
+		// can keep the data record yet drop the debt record — replay then
+		// knows the bytes but has forgotten the peers are stale. sv's
+		// replayed version is authoritative for what it holds (RecWrite is
+		// only logged for applied, acknowledged writes, and deletes and
+		// truncates replicate to every owner's log including down ones),
+		// so any owner behind it that no surviving debt record names must
+		// have missed writes: re-record the debt and let repair
+		// re-install. Concurrent writers can make a peer look transiently
+		// behind; the spurious bit that records is cleared by the next
+		// repair pass after a full-chunk install, never by a stale one.
+		var behind uint64
+		for _, o := range owners {
+			if o == mine || o >= 64 {
+				continue
+			}
+			if stale&(1<<uint(o)) != 0 {
+				continue
+			}
+			// Soft-down peers count on both sides of the comparison: their
+			// retained memory still answers version probes. Crash-wiped
+			// peers do NOT — their memory is gone until their own Recover
+			// replays it, so any comparison against them is noise (a full
+			// cluster recovery would otherwise record spurious debt naming
+			// every not-yet-recovered node).
+			if s.servers[o].isWiped() {
+				continue
+			}
+			v := s.servers[o].chunkVer(h, id)
+			if v != myVer {
+				tracef("resyncSweep node=%d id=%s/%d peer=%d peerVer=%d myVer=%d", sv.node, id.key, id.idx, o, v, myVer)
+			}
+			if v < myVer {
+				behind |= 1 << uint(o)
+			} else if v > myVer && mine < 64 {
+				// A fresh peer is ahead of sv and the pull above could not
+				// service it (the peer is down, or a fault blocked the
+				// copy). The classic shape: sv was repaired, its installed
+				// write record was torn off with the crash, and the repair
+				// had already cleared sv's debt bit everywhere — replay
+				// legitimately shows no debt, yet sv is behind. Record
+				// sv's bit ON THE AHEAD PEER: the debt-on-fresh-holder
+				// invariant is what keeps clearDebt's version guard sound
+				// (the bit only clears once a repair reaches the peer's
+				// version), and the read path unions debt across all
+				// owners, so sv is skipped until the re-install lands.
+				s.recordDebt(&cg, s.servers[o], h, id, 1<<uint(mine))
+			}
+		}
+		if behind != 0 {
+			s.recordDebt(&cg, sv, h, id, behind)
+		}
+	}
+}
+
+// blobExtent is the cluster view of a blob's existence and size as held by
+// the recovering node's live desc-owner peers. known is false when no such
+// peer is reachable — then nothing may be dropped on its authority.
+type blobExtent struct {
+	size   int64
+	exists bool
+	known  bool
+}
+
+// peerBlobExtent polls sv's desc-owner peers for key. Soft-down peers count
+// (retained memory stays authoritative — SetDown keeps descriptors current);
+// crash-wiped peers do not (their memory is garbage until their own Recover).
+// Sizes replicate synchronously so peers agree; max papers over a peer probed
+// mid-extend.
+func (s *Store) peerBlobExtent(sv *server, key string) blobExtent {
+	var ext blobExtent
+	for _, o := range s.descOwners(key) {
+		peer := s.servers[o]
+		if peer == sv || peer.isWiped() {
+			continue
+		}
+		ext.known = true
+		peer.mu.RLock()
+		d, ok := peer.blobs[key]
+		peer.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		ext.exists = true
+		d.latch.RLock()
+		if d.size > ext.size {
+			ext.size = d.size
+		}
+		d.latch.RUnlock()
+	}
+	return ext
+}
+
+// resyncDescriptors adopts, onto the still-down sv, the descriptor sizes its
+// live desc-owner peers hold. Size changes flow through the descriptor
+// primary and replicate synchronously to EVERY owner (down owners keep their
+// retained memory current), so all live peers agree on a blob's size; the
+// only way sv's copy can lag is a torn meta-lane tail discarding RecMeta
+// records at replay. Version comparison cannot find those (descriptor
+// versions are per-copy), but agreement among the peers makes any live
+// desc-owner peer authoritative. The adopted size is re-logged (RecMeta
+// upserts at replay) so a later crash rebuilds it from sv's own log.
+func (s *Store) resyncDescriptors(sv *server, cg *charge) {
+	keys := make(map[string]bool)
+	for _, peer := range s.servers {
+		if peer == sv || peer.isDown() {
+			continue
+		}
+		peer.mu.RLock()
+		for key := range peer.blobs {
+			keys[key] = true
+		}
+		peer.mu.RUnlock()
+	}
+	sorted := make([]string, 0, len(keys))
+	for key := range keys {
+		sorted = append(sorted, key)
+	}
+	sort.Strings(sorted)
+	mine := int(sv.node)
+	for _, key := range sorted {
+		owners := s.descOwners(key)
+		member := false
+		var peer *server
+		for _, o := range owners {
+			if o == mine {
+				member = true
+			} else if peer == nil && !s.servers[o].isDown() {
+				peer = s.servers[o]
+			}
+		}
+		if !member || peer == nil {
+			continue
+		}
+		peer.mu.RLock()
+		pd, ok := peer.blobs[key]
+		peer.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		pd.latch.RLock()
+		size := pd.size
+		pd.latch.RUnlock()
+		sv.mu.Lock()
+		d, have := sv.blobs[key]
+		if !have {
+			d = &descriptor{}
+			sv.blobs[key] = d
+		}
+		changed := !have || d.size != size
+		d.size = size
+		sv.mu.Unlock()
+		if changed {
+			cg.metaOp(sv.node, 1)
+			s.walAppendMeta(cg, sv, wal.RecMeta, key, size)
+		}
+	}
+}

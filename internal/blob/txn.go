@@ -127,7 +127,7 @@ func (t *Txn) Commit() error {
 		}
 		if primary.isDown() {
 			unlock()
-			return fmt.Errorf("txn commit %q: primary down: %w", key, storage.ErrStaleHandle)
+			return fmt.Errorf("txn commit %q: primary down: %w", key, storage.ErrUnavailable)
 		}
 		d.latch.Lock()
 		parts = append(parts, participant{key, primary, d})

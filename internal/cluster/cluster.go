@@ -21,6 +21,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -63,6 +64,9 @@ type Cluster struct {
 	nodes []*Node
 	cost  sim.CostModel
 	rng   *sim.RNG
+	// faults holds the optional fault injector (fault.go); nil when no
+	// injection is active, which is the hot-path case.
+	faults atomic.Pointer[faultHolder]
 }
 
 // New builds a cluster from cfg. It panics if cfg.Nodes < 1; cluster sizing

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Fault injection: an optional hook on the cluster's charging endpoints that
+// lets tests make individual operations fail, stall, or both. The cluster
+// itself never consults the hook — injection is opt-in at the storage layer
+// (internal/blob asks FaultFor before charging an operation and decides how
+// to react), which keeps the charge endpoints' accounting guarantees intact
+// and lets a storage system define its own retry/degrade policy.
+
+// FaultKind names the class of operation a fault applies to. The values
+// mirror the cluster's charging endpoints.
+type FaultKind int
+
+const (
+	// FaultAny matches every kind in a FaultRule.
+	FaultAny FaultKind = iota - 1
+	// FaultRPC covers plain RPC round trips.
+	FaultRPC
+	// FaultDiskRead covers random disk reads.
+	FaultDiskRead
+	// FaultDiskWrite covers random disk writes.
+	FaultDiskWrite
+	// FaultDiskAppend covers sequential journal appends.
+	FaultDiskAppend
+	// FaultMetaOp covers metadata-service operations.
+	FaultMetaOp
+)
+
+// String returns the kind's name for diagnostics.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultAny:
+		return "any"
+	case FaultRPC:
+		return "rpc"
+	case FaultDiskRead:
+		return "disk-read"
+	case FaultDiskWrite:
+		return "disk-write"
+	case FaultDiskAppend:
+		return "disk-append"
+	case FaultMetaOp:
+		return "meta-op"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault describes one injected outcome. Slow adds virtual-clock latency to
+// the operation; Err, when non-nil, makes it fail. A fault can carry both
+// (slow then fail). Transient marks an error worth retrying — the storage
+// layer retries those with backoff and treats everything else as a hard
+// fault of the node.
+type Fault struct {
+	Err       error
+	Transient bool
+	Slow      time.Duration
+}
+
+// FaultInjector decides, per operation, whether a fault fires. Implementations
+// must tolerate concurrent callers.
+type FaultInjector interface {
+	FaultFor(node NodeID, kind FaultKind) (Fault, bool)
+}
+
+// faultHolder boxes the interface so it can live in an atomic.Pointer.
+type faultHolder struct{ fi FaultInjector }
+
+// SetFaultInjector installs (or, with nil, removes) the cluster's fault
+// injector. Safe to call concurrently with operations in flight; operations
+// already past their FaultFor check complete unaffected.
+func (c *Cluster) SetFaultInjector(fi FaultInjector) {
+	if fi == nil {
+		c.faults.Store(nil)
+		return
+	}
+	c.faults.Store(&faultHolder{fi: fi})
+}
+
+// FaultFor consults the installed injector. With none installed it is a
+// single atomic load — effectively free on the hot path.
+func (c *Cluster) FaultFor(node NodeID, kind FaultKind) (Fault, bool) {
+	h := c.faults.Load()
+	if h == nil {
+		return Fault{}, false
+	}
+	return h.fi.FaultFor(node, kind)
+}
+
+// FaultRule is one probabilistic match clause of a FaultPlan. Node -1
+// matches any node; Kind FaultAny matches any kind. Rules are evaluated in
+// order and the first whose coin flip lands yields its Fault.
+type FaultRule struct {
+	Node  NodeID
+	Kind  FaultKind
+	Prob  float64
+	Fault Fault
+}
+
+// FaultPlan is a seeded probabilistic FaultInjector: deterministic given its
+// seed AND the sequence of FaultFor queries. Concurrent callers serialize on
+// the plan's RNG, so the query order — and therefore which operations fault —
+// is scheduler-dependent under concurrency; chaos tests must assert
+// schedule-independent invariants, not specific fault placements.
+type FaultPlan struct {
+	rng   *sim.RNG
+	rules []FaultRule
+}
+
+// NewFaultPlan builds a plan from a seed and its rules (evaluated in order).
+func NewFaultPlan(seed uint64, rules []FaultRule) *FaultPlan {
+	return &FaultPlan{rng: sim.NewRNG(seed), rules: rules}
+}
+
+// FaultFor implements FaultInjector.
+func (p *FaultPlan) FaultFor(node NodeID, kind FaultKind) (Fault, bool) {
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Node >= 0 && r.Node != node {
+			continue
+		}
+		if r.Kind != FaultAny && r.Kind != kind {
+			continue
+		}
+		if r.Prob >= 1 || p.rng.Float64() < r.Prob {
+			return r.Fault, true
+		}
+	}
+	return Fault{}, false
+}
+
+var _ FaultInjector = (*FaultPlan)(nil)

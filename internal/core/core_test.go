@@ -172,7 +172,8 @@ func TestFailureInjectionThroughFacade(t *testing.T) {
 	// Reads still work unless node 0 held every replica.
 	buf := make([]byte, 4)
 	if _, err := p.Blob().ReadBlob(ctx, "resilient", 0, buf); err != nil &&
-		!errors.Is(err, storage.ErrStaleHandle) && !errors.Is(err, storage.ErrNotFound) {
+		!errors.Is(err, storage.ErrStaleHandle) && !errors.Is(err, storage.ErrUnavailable) &&
+		!errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("unexpected error class: %v", err)
 	}
 	if msg := p.BlobStore().CheckInvariants(); msg != "" {

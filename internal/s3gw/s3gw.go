@@ -223,7 +223,7 @@ func httpStoreError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, storage.ErrInvalidArg):
 		http.Error(w, err.Error(), http.StatusBadRequest)
-	case errors.Is(err, storage.ErrStaleHandle):
+	case errors.Is(err, storage.ErrStaleHandle), errors.Is(err, storage.ErrUnavailable):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -56,6 +56,7 @@ var (
 	ErrUnsupported   = errors.New("storage: operation not supported by this backend")
 	ErrClosed        = errors.New("storage: handle closed")
 	ErrStaleHandle   = errors.New("storage: stale handle")
+	ErrUnavailable   = errors.New("storage: unavailable")
 	ErrTxnConflict   = errors.New("storage: transaction conflict")
 	ErrQuotaExceeded = errors.New("storage: quota exceeded")
 )

@@ -101,7 +101,8 @@ func TestMapsToBlobPrimitive(t *testing.T) {
 func TestSentinelErrorsDistinct(t *testing.T) {
 	errs := []error{ErrNotFound, ErrExists, ErrNotEmpty, ErrIsDirectory,
 		ErrNotDirectory, ErrPermission, ErrReadOnly, ErrInvalidArg,
-		ErrUnsupported, ErrClosed, ErrStaleHandle, ErrTxnConflict, ErrQuotaExceeded}
+		ErrUnsupported, ErrClosed, ErrStaleHandle, ErrUnavailable,
+		ErrTxnConflict, ErrQuotaExceeded}
 	seen := map[string]bool{}
 	for _, e := range errs {
 		if e == nil {

@@ -73,6 +73,14 @@ const (
 	// (RecCommit remains the transaction-level marker with a meta payload;
 	// replay skips it.)
 	RecChunkCommit
+	// RecRepairNeeded records replication debt for one chunk: a degraded
+	// write succeeded on this replica while peers named in the payload's
+	// mask missed it. The payload reuses the chunk header layout with the
+	// debt mask in the version field and no data. Replay uses overwrite
+	// semantics — the latest record's mask wins — so clearing debt is
+	// logged as a mask with the repaired bits dropped (0 deletes the
+	// entry).
+	RecRepairNeeded
 )
 
 // String names the record type.
@@ -100,6 +108,8 @@ func (t RecordType) String() string {
 		return "prep-write"
 	case RecChunkCommit:
 		return "chunk-commit"
+	case RecRepairNeeded:
+		return "repair-needed"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}

@@ -16,25 +16,36 @@
 # merge, replay, or recovery-equivalence regressions are caught here, not
 # in a later crash.
 #
-# The hot-path and recovery micro-benchmarks then run with allocation
-# accounting and the results (including the WAL lane-count sweeps) land in
-# BENCH_hotpath.json and BENCH_recovery.json, giving future PRs a perf
-# trajectory to compare against. Three gates guard the committed numbers,
-# each evaluated BEFORE its file is overwritten: the committed
-# BENCH_hotpath.json is the allocation-regression baseline (write-path
-# alloc_bytes_per_op / allocs_per_op must not grow), the parallel/serial
-# write ns-per-op ratio must stay under a GOMAXPROCS-aware bound
-# (bench.CheckWriteScaling), and the parallel/serial crash-recovery ratio
-# must stay under its own GOMAXPROCS-aware bound
-# (bench.CheckRecoveryScaling) so the parallel lane-decode pipeline keeps
-# beating — or at minimum never quietly regresses against — the
-# single-threaded recovery oracle.
+# The -race suite includes the full seeded chaos battery (TestChaosBattery:
+# 200 fault schedules of crash/tear/flap/transient-error under concurrent
+# 2PC load) plus the SetDown flap race test, and the fuzz loop picks up the
+# wal FaultMedium schedule fuzzer (FuzzFaultSchedule) alongside the replay
+# batteries, so failure-domain regressions fail here before any number is
+# recorded.
 #
-# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file]
+# The hot-path, recovery, and faults micro-benchmarks then run with
+# allocation accounting and the results (including the WAL lane-count
+# sweeps) land in BENCH_hotpath.json, BENCH_recovery.json, and
+# BENCH_faults.json, giving future PRs a perf trajectory to compare
+# against. Four gates guard the committed numbers, each evaluated BEFORE
+# its file is overwritten: the committed BENCH_hotpath.json is the
+# allocation-regression baseline (write-path alloc_bytes_per_op /
+# allocs_per_op must not grow), the parallel/serial write ns-per-op ratio
+# must stay under a GOMAXPROCS-aware bound (bench.CheckWriteScaling), the
+# parallel/serial crash-recovery ratio must stay under its own
+# GOMAXPROCS-aware bound (bench.CheckRecoveryScaling) so the parallel
+# lane-decode pipeline keeps beating — or at minimum never quietly
+# regresses against — the single-threaded recovery oracle, and the
+# degraded/healthy write cost ratio must stay under a deterministic
+# virtual-cost bound (bench.CheckFaults) so losing a replica never makes
+# the write path do pathological extra work.
+#
+# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file] [faults-output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 rout="${2:-BENCH_recovery.json}"
+fout="${3:-BENCH_faults.json}"
 go vet ./...
 go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/...
 for pkg in ./internal/wal ./internal/blob; do
@@ -42,6 +53,7 @@ for pkg in ./internal/wal ./internal/blob; do
 		go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s "$pkg"
 	done
 done
-go test -run '^$' -bench 'HotPath|Recover' -benchmem -benchtime=1s .
+go test -run '^$' -bench 'HotPath|Recover|Fault' -benchmem -benchtime=1s .
 go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out" -hotpath-baseline BENCH_hotpath.json
 go run ./cmd/benchsuite -exp recovery -recovery-out "$rout"
+go run ./cmd/benchsuite -exp faults -faults-out "$fout"
