@@ -1,0 +1,140 @@
+// Blobvet runs the internal/lint analyzer suite, which mechanically
+// enforces the data plane's prose contracts (dispatch pool nested-wait
+// rules, single WAL append path, virtual-time determinism, errors.Is
+// sentinel discipline, stripe-lock pairing).
+//
+// Standalone:
+//
+//	go run ./cmd/blobvet ./...
+//	blobvet -c workerlatch,stripelock ./internal/blob/...
+//
+// As a vet tool (unitchecker protocol):
+//
+//	go vet -vettool=$(pwd)/bin/blobvet ./...
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// go vet probes its -vettool with -V=full (for the build cache
+	// key) and -flags (for supported flag names) before handing over
+	// per-package .cfg files.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(vetUnit(args[0]))
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+func printVersion() {
+	// Mirrors the cmd/go tool version handshake: the last field must
+	// be a buildID derived from the executable so vet results cache
+	// correctly across tool rebuilds.
+	name := filepath.Base(os.Args[0])
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, string(h[:12]))
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("blobvet", flag.ExitOnError)
+	only := fs.String("c", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: blobvet [-c analyzers] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "blobvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blobvet:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blobvet:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func vetUnit(cfgPath string) int {
+	pkg, vetxOutput, skip, err := lint.LoadVetUnit(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blobvet:", err)
+		return 2
+	}
+	// cmd/go requires the facts file to exist even though blobvet
+	// exports no facts.
+	if vetxOutput != "" {
+		if err := os.WriteFile(vetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "blobvet:", err)
+			return 2
+		}
+	}
+	if skip || pkg == nil {
+		return 0
+	}
+	diags := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

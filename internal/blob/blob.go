@@ -201,6 +201,12 @@ type chunkID struct {
 	idx int64
 }
 
+// less orders chunk IDs by (key, idx) — the total order checkpoint
+// streaming uses so one seed always writes one log.
+func (c chunkID) less(o chunkID) bool {
+	return c.key < o.key || (c.key == o.key && c.idx < o.idx)
+}
+
 // ringHash returns the chunk's placement hash, streamed through the ring's
 // key hasher. It is bit-identical to hashing the historical string form
 // "c:" + key + "\x00" + decimal(idx), so placement is unchanged from the
@@ -824,6 +830,7 @@ func (s *Store) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, e
 				matches++
 				// Only the primary's answer is authoritative for size.
 				if owners := s.descOwners(key); len(owners) > 0 && owners[0] == i {
+					//blobvet:allow virtualtime per-server hit slices are disjoint scratch; the merged result is sorted by key after the join
 					results[i] = append(results[i], hit{key, d})
 				}
 			}

@@ -21,10 +21,14 @@
 //     (wal.MultiLog), waiting on a leader that holds only lane-local locks
 //     and never waits on the pool — the same bounded-wait class as a
 //     mutex, so the no-deadlock argument is unchanged.
+//     (enforced: blobvet/stripelock for the stripe half; blobvet/walappend
+//     keeps appends on the accounted path)
 //   - Cost charging — RPC, DiskRead, DiskWrite, DiskAppend, MetaOp,
 //     LocalCompute — is recorded into the task's private ledger (a
 //     per-worker shard of the cluster accounting) and folded into the
 //     shared resources only at ctxFan.join, in task submission order.
+//     (enforced: manual: fold-order equivalence is pinned by
+//     TestFanoutDeterministicVirtualTime, not statically checkable)
 //
 // Folding at join replays exactly the charge sequence the sequential
 // implementation would have issued: every top-level task's clock forks at
@@ -38,13 +42,18 @@
 //
 //   - A forked child clock (ledger) is owned by exactly one task between
 //     spawn and join; nothing else may observe it.
+//     (enforced: manual: ownership aliasing is not statically checkable;
+//     the race detector covers it under -race)
 //   - Between creating a fan and joining it the caller must not charge its
 //     own clock; all fork times are taken at join.
+//     (enforced: manual: pinned by the fan-out virtual-time equivalence
+//     tests)
 //   - ctxFan.join is the only place ledgers touch shared resources, so
 //     costs fold deterministically no matter where tasks physically ran
 //     (worker goroutine, saturated-pool inline fallback, or
 //     Config.InlineFanout sequential mode — all three are virtual-time
 //     identical, which TestFanoutDeterministicVirtualTime pins).
+//     (enforced: manual: pinned by TestFanoutDeterministicVirtualTime)
 //   - A task must never block on a lock that can be held across a pool
 //     wait (ctxFan.join, parallelDo). Concretely: the per-blob descriptor
 //     latch is held across writers' joins, so tasks may not acquire it —
@@ -52,6 +61,8 @@
 //     latch after join (see Scan). The short-hold locks — chunk stripes,
 //     server maps, the WAL, the placement cache — are fine; their holders
 //     never wait on the pool.
+//     (enforced: blobvet/workerlatch — latch takes and pool waits are
+//     flagged in the whole call graph reachable from task bodies)
 //
 // # Recovery and checkpoint stages
 //
@@ -67,16 +78,22 @@
 //     while merging: Recover builds into local maps and takes sv.mu only
 //     to install them (and, as before, never holds sv.mu across the
 //     chunk-scatter parallelDo).
+//     (enforced: blobvet/workerlatch — laneFeed.run is a task root and
+//     laneFeed.Next is a pool wait)
 //   - Per-lane checkpoint jobs append only to their own lane's private
 //     Log/Buffer through the pooled header staging; they take no
 //     latch-class lock and never wait on the pool. The state snapshot
 //     (descriptor sizes under sv.mu, chunk slices under the stripe locks)
 //     is taken by the caller BEFORE the jobs are spawned.
+//     (enforced: blobvet/workerlatch for the latch and wait half;
+//     blobvet/walappend keeps checkpointLane the only direct lane writer)
 //   - parallelDo must not be called from a worker, so multi-stage sweeps
 //     fan out FLAT: CheckpointAll expands to (server, lane) jobs at the
 //     caller instead of nesting a per-server parallelDo inside a pool
 //     task, which on a saturated pool would deadlock (every worker
 //     blocked in a nested wait, every nested job stuck in the queue).
+//     (enforced: blobvet/workerlatch — parallelDo is a flagged pool wait
+//     inside the task-reachable graph)
 //
 // # Repair and resync stages
 //
@@ -90,19 +107,27 @@
 //     the version guard at install, not lock coverage, is what keeps a
 //     racing writer's newer data from being clobbered). Debt clears are
 //     version-guarded under the holder's stripe lock the same way.
+//     (enforced: blobvet/stripelock — holding two chunk-stripe locks at
+//     once is flagged, including through callbacks run under a stripe)
 //   - Repair never acquires the per-blob descriptor latch. That is what
 //     makes the degraded-write epilogue sound: writeLocked invokes
 //     repairNode WHILE holding the written blob's latch (the writer is a
 //     caller, allowed to hold it across its own join), and a repair task
 //     that took latches would deadlock right there.
+//     (enforced: blobvet/workerlatch — repairChunk runs in the
+//     task-reachable graph, where latch takes are flagged)
 //   - repairDrain performs a fan join per round, so it is caller-only —
 //     never callable from inside a pool task (the nested-wait rule above).
 //     Its rounds require progress (a chunk actually installed or a bit
 //     actually cleared) to continue, so an unserviceable target (sole
 //     fresh source down) terminates the loop instead of spinning it.
+//     (enforced: blobvet/workerlatch — repairDrain is itself a flagged
+//     pool wait)
 //   - Repair and rebalance coordinate through the ring epoch: each round
 //     snapshots it and every task re-checks before mutating, bailing out
 //     when membership changed underneath.
+//     (enforced: manual: epoch re-check is a liveness protocol, pinned by
+//     the rebalance/repair chaos tests)
 //
 // The pool is package-global, lazily started, and bounded by GOMAXPROCS
 // (capped at maxDispatchWorkers). Workers never block: a task that fans out

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/storage"
@@ -241,6 +242,7 @@ func (s *Store) Recover(node cluster.NodeID) error {
 	sv.resetChunks()
 	ids := make([]chunkID, 0, len(chunks))
 	for id := range chunks {
+		//blobvet:allow virtualtime chunk installs commute: distinct stripes, read-only source map, no observable order after the join
 		ids = append(ids, id)
 	}
 	parallelDo(len(ids), func(i int) {
@@ -329,9 +331,17 @@ func (sv *server) checkpointPlan() []ckptLane {
 		return nil
 	}
 	plan := make([]ckptLane, sv.wal.Lanes())
-	for key, d := range sv.blobs {
+	// Iterate descriptors in sorted key order: checkpoint records are an
+	// ordered WAL history, so letting map order pick the record sequence
+	// would make two runs of one seed write different logs.
+	keys := make([]string, 0, len(sv.blobs))
+	for key := range sv.blobs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
 		lane := sv.metaLane(key)
-		plan[lane].metas = append(plan[lane].metas, ckptMeta{key, d.size})
+		plan[lane].metas = append(plan[lane].metas, ckptMeta{key, sv.blobs[key].size})
 	}
 	sv.mu.Unlock()
 	sv.forEachChunk(func(id chunkID, data []byte, ver uint64) {
@@ -345,6 +355,13 @@ func (sv *server) checkpointPlan() []ckptLane {
 		lane := sv.chunkLane(id.ringHash())
 		plan[lane].debts = append(plan[lane].debts, ckptDebt{id, mask})
 	})
+	// The stripe walks above run in map order; restore a total order so
+	// the streamed lane records are byte-identical across runs.
+	for i := range plan {
+		l := &plan[i]
+		sort.Slice(l.chunks, func(a, b int) bool { return l.chunks[a].id.less(l.chunks[b].id) })
+		sort.Slice(l.debts, func(a, b int) bool { return l.debts[a].id.less(l.debts[b].id) })
+	}
 	sv.wal.ResetAll()
 	return plan
 }
@@ -479,6 +496,9 @@ func (s *Store) CheckInvariants() string {
 			sizes[k] = d.size
 		}
 		sv.mu.RUnlock()
+		// "First violation found" should name the same violation on
+		// every run of one seed.
+		sort.Strings(keys)
 		for _, key := range keys {
 			owners := s.descOwners(key)
 			if owners[0] != i {

@@ -1,0 +1,22 @@
+package lint
+
+// Analyzers returns the full blobvet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		workerLatchAnalyzer,
+		walAppendAnalyzer,
+		virtualTimeAnalyzer,
+		sentinelErrAnalyzer,
+		stripeLockAnalyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package lint
+
+// callgraph.go: a lightweight per-package static call graph over
+// function declarations and function literals. It resolves only
+// same-package calls — enough for the dispatch-pool and stripe-lock
+// analyzers, whose contracts are package-local by design.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// a funcNode is one analyzable body: a FuncDecl or a FuncLit.
+type funcNode struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	obj  *types.Func   // nil for literals
+}
+
+func (n *funcNode) body() *ast.BlockStmt {
+	if n.decl != nil {
+		return n.decl.Body
+	}
+	return n.lit.Body
+}
+
+func (n *funcNode) name() string {
+	if n.decl != nil {
+		return n.decl.Name.Name
+	}
+	return "func literal"
+}
+
+// callGraph indexes every function body in a package.
+type callGraph struct {
+	pkg     *Package
+	nodes   []*funcNode
+	byObj   map[*types.Func]*funcNode
+	byLit   map[*ast.FuncLit]*funcNode
+	callees map[*funcNode][]*funcNode // static same-package calls + nested literals
+}
+
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{
+		pkg:     pkg,
+		byObj:   make(map[*types.Func]*funcNode),
+		byLit:   make(map[*ast.FuncLit]*funcNode),
+		callees: make(map[*funcNode][]*funcNode),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			n := &funcNode{decl: fd, obj: obj}
+			g.nodes = append(g.nodes, n)
+			if obj != nil {
+				g.byObj[obj] = n
+			}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				if lit, ok := x.(*ast.FuncLit); ok {
+					ln := &funcNode{lit: lit}
+					g.nodes = append(g.nodes, ln)
+					g.byLit[lit] = ln
+				}
+				return true
+			})
+		}
+	}
+	for _, n := range g.nodes {
+		g.callees[n] = g.directCallees(n)
+	}
+	return g
+}
+
+// directCallees returns same-package functions statically called from
+// n's body, plus any function literals defined directly inside it
+// (literals are conservatively assumed to run where they are defined,
+// unless treated as task roots by the analyzer).
+func (g *callGraph) directCallees(n *funcNode) []*funcNode {
+	var out []*funcNode
+	inspectShallow(n, func(x ast.Node) {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			out = append(out, g.byLit[x])
+		case *ast.CallExpr:
+			if callee := g.calleeNode(x); callee != nil {
+				out = append(out, callee)
+			}
+		}
+	})
+	return out
+}
+
+// calleeNode resolves a call to a same-package declared function or
+// method, or to a function literal invoked in place.
+func (g *callGraph) calleeNode(call *ast.CallExpr) *funcNode {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := g.pkg.TypesInfo.Uses[fn].(*types.Func); ok {
+			return g.byObj[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := g.pkg.TypesInfo.Uses[fn.Sel].(*types.Func); ok {
+			return g.byObj[obj]
+		}
+	case *ast.FuncLit:
+		return g.byLit[fn]
+	}
+	return nil
+}
+
+// inspectShallow walks n's body but does not descend into nested
+// function literals (they are separate nodes, linked as callees).
+func inspectShallow(n *funcNode, visit func(ast.Node)) {
+	var root ast.Node = n.body()
+	ast.Inspect(root, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.lit {
+			visit(lit)
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}
+
+// reach computes the transitive closure from roots over the call graph.
+func (g *callGraph) reach(roots []*funcNode) map[*funcNode]bool {
+	seen := make(map[*funcNode]bool)
+	var walk func(*funcNode)
+	walk = func(n *funcNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range g.callees[n] {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}
+
+// reverseClosure marks every node from which some seed predicate node
+// is reachable (i.e. "calls, possibly transitively, a seed").
+func (g *callGraph) reverseClosure(isSeed func(*funcNode) bool) map[*funcNode]bool {
+	marked := make(map[*funcNode]bool)
+	for _, n := range g.nodes {
+		if isSeed(n) {
+			marked[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if marked[n] {
+				continue
+			}
+			for _, c := range g.callees[n] {
+				if marked[c] {
+					marked[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// namedRecv reports the receiver's named-type name for a method call
+// selector like x.Sel(...), following pointers.
+func namedRecv(pkg *Package, sel *ast.SelectorExpr) (typeName, pkgPath string) {
+	tv, ok := pkg.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return obj.Name(), path
+}

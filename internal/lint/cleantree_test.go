@@ -1,0 +1,22 @@
+package lint
+
+// cleantree_test pins the acceptance bar for the suite itself: the real
+// module tree — every package, test variants included — passes all
+// analyzers with zero diagnostics. A future change that violates a
+// contract fails this test (and scripts/lint.sh, and the blobvet stage
+// of benchcheck.sh) instead of deadlocking a chaos run.
+
+import "testing"
+
+func TestRealTreeClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is dropping targets", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,166 @@
+// Package lint implements blobvet, a custom static-analysis suite that
+// mechanically enforces the data plane's prose contracts: the dispatch
+// pool's nested-wait rules, the single WAL append path, virtual-time
+// determinism, errors.Is sentinel discipline, and the chunk-stripe
+// snapshot-then-install locking rule. See README.md for the rule map.
+//
+// The suite is self-contained: it loads and type-checks packages with
+// the standard library only (go/parser + go/types over `go list
+// -export` data), so it needs no vendored dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one contract rule across a type-checked package.
+type Analyzer struct {
+	Name string // short kebab-free name used in directives, e.g. "workerlatch"
+	Doc  string // one-line description
+	Run  func(pass *Pass)
+}
+
+// A Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer    *Analyzer
+	Pkg         *Package
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Violations suppressed by a
+// well-formed //blobvet:allow directive are dropped; malformed
+// directives (no reason, unknown analyzer) are themselves reported so
+// suppressions can't rot silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, bad := collectDirectives(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diagnostics {
+				if !allows.suppresses(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowSet maps "file\x00analyzer" to the set of suppressed lines.
+type allowSet map[string]map[int]bool
+
+func (s allowSet) add(file, analyzer string, line int) {
+	key := file + "\x00" + analyzer
+	if s[key] == nil {
+		s[key] = make(map[int]bool)
+	}
+	s[key][line] = true
+}
+
+func (s allowSet) suppresses(analyzer string, pos token.Position) bool {
+	return s[pos.Filename+"\x00"+analyzer][pos.Line]
+}
+
+// collectDirectives scans a package for //blobvet:allow directives.
+// Syntax: //blobvet:allow <analyzer> <reason...>. The reason is
+// mandatory. A directive suppresses its own line and the next line;
+// placed in a function's doc comment it suppresses the whole function.
+func collectDirectives(pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		file := pkg.Fset.Position(f.Pos()).Filename
+
+		// Directives inside function doc comments cover the body.
+		funcRange := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			funcRange[fd.Doc] = [2]int{
+				pkg.Fset.Position(fd.Pos()).Line,
+				pkg.Fset.Position(fd.End()).Line,
+			}
+		}
+
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//blobvet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 || !known[fields[0]] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "blobvet",
+						Pos:      pos,
+						Message:  "malformed //blobvet:allow: first word must name an analyzer",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "blobvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//blobvet:allow %s needs a reason", fields[0]),
+					})
+					continue
+				}
+				if r, ok := funcRange[cg]; ok {
+					for line := r[0]; line <= r[1]; line++ {
+						allows.add(file, fields[0], line)
+					}
+					continue
+				}
+				allows.add(file, fields[0], pos.Line)
+				allows.add(file, fields[0], pos.Line+1)
+			}
+		}
+	}
+	return allows, bad
+}

@@ -1,0 +1,189 @@
+package lint
+
+// load.go builds fully type-checked packages for the analyzers without
+// depending on golang.org/x/tools. It shells out to `go list -deps -test
+// -export` for dependency export data, then parses and type-checks the
+// target packages from source with the stdlib gc importer. Test variants
+// ("p [p.test]") are analyzed in place of their base package so _test.go
+// files are covered; synthesized ".test" mains are skipped.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+}
+
+// Package is one type-checked unit handed to each analyzer.
+type Package struct {
+	ImportPath string // as reported by go list, e.g. "repro/internal/blob [repro/internal/blob.test]"
+	BasePath   string // variant suffix stripped
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	Stdlib     map[string]bool // import paths of standard-library packages in the dep graph
+}
+
+// Load type-checks the packages matching patterns under dir (a module
+// root or subdirectory). It returns one Package per analysis target:
+// every non-standard, in-module package, with test variants replacing
+// their base compilation when present.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listPkg, len(pkgs))
+	stdlib := make(map[string]bool)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Standard {
+			stdlib[p.ImportPath] = true
+		}
+	}
+
+	// Pick analysis targets: roots only, skip synthesized test mains,
+	// and prefer the "p [p.test]" variant over plain "p".
+	hasVariant := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+			hasVariant[p.ForTest] = true
+		}
+	}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		switch {
+		case p.DepOnly || p.Standard || p.Module == nil:
+			continue
+		case p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthesized test binary
+		case p.ForTest == "" && hasVariant[p.ImportPath]:
+			continue // the [p.test] variant supersedes the base build
+		case len(p.GoFiles) == 0:
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, t, byPath)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+		}
+		pkg.Stdlib = stdlib
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := []string{
+		"list", "-deps", "-test", "-export",
+		"-json=ImportPath,Export,Dir,GoFiles,ImportMap,Standard,DepOnly,ForTest,Name,Module",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func checkPackage(fset *token.FileSet, t *listPkg, byPath map[string]*listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// The gc importer resolves each import through the target's
+	// ImportMap (so test variants land on their rebuilt deps), then
+	// reads the export data `go list -export` produced.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := t.ImportMap[path]; ok {
+			path = mapped
+		}
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	pkg, err := conf.Check(strings.TrimSuffix(t.ImportPath, " ["+t.ForTest+".test]"), fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	base := t.ImportPath
+	if i := strings.Index(base, " ["); i >= 0 {
+		base = base[:i]
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		BasePath:   base,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package lint
+
+// sentinelerr enforces errors.Is discipline for the module's error
+// sentinels (storage.ErrUnavailable, storage.ErrStaleHandle,
+// wal.ErrCorrupt, blob.ErrLastServer, ...). The data plane wraps these
+// with %w to attach node and lane context, so a raw == or != against
+// the sentinel silently stops matching the moment a wrap is added on
+// some path. Stdlib sentinels (io.EOF and friends) keep their
+// documented ==-comparability and stay allowed.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var sentinelErrAnalyzer = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "module error sentinels must be matched with errors.Is, not == / !=",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if v := moduleSentinel(pkg, side); v != nil {
+						pass.Reportf(x.Pos(),
+							"%s compared with %s: module sentinels may arrive wrapped, use errors.Is", sentinelName(v), x.Op)
+					}
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				tv, ok := pkg.TypesInfo.Types[x.Tag]
+				if !ok || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := moduleSentinel(pkg, e); v != nil {
+							pass.Reportf(e.Pos(),
+								"switch on err matches %s by identity: module sentinels may arrive wrapped, use errors.Is", sentinelName(v))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// moduleSentinel reports whether e references a package-level error
+// variable declared outside the standard library.
+func moduleSentinel(pkg *Package, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pkg.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || !isErrorType(v.Type()) {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // local variable, e.g. the err being tested
+	}
+	if pkg.Stdlib[v.Pkg().Path()] {
+		return nil // io.EOF-class sentinels are documented ==-comparable
+	}
+	return v
+}
+
+func sentinelName(v *types.Var) string {
+	if v.Pkg() != nil {
+		return lastElem(v.Pkg().Path()) + "." + v.Name()
+	}
+	return v.Name()
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

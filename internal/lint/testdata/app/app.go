@@ -1,0 +1,49 @@
+// Package app exercises the sentinelerr analyzer: raw ==/!= against
+// module sentinels (imported or local) is flagged, while errors.Is,
+// nil checks, and stdlib io sentinels stay allowed.
+package app
+
+import (
+	"errors"
+	"io"
+
+	"fixture/storage"
+)
+
+var errLocal = errors.New("app: local sentinel")
+
+func rawEq(err error) bool {
+	return err == storage.ErrClosed // want `storage\.ErrClosed compared with ==`
+}
+
+func rawNeq(err error) bool {
+	return err != storage.ErrUnavailable // want `storage\.ErrUnavailable compared with !=`
+}
+
+func rawLocal(err error) bool {
+	return err == errLocal // want `app\.errLocal compared with ==`
+}
+
+func rawSwitch(err error) string {
+	switch err {
+	case storage.ErrClosed: // want `switch on err matches storage\.ErrClosed by identity`
+		return "closed"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+// viaErrorsIs is the required idiom — silent.
+func viaErrorsIs(err error) bool {
+	return errors.Is(err, storage.ErrClosed)
+}
+
+// stdlibEOF: io.EOF is documented ==-comparable — silent.
+func stdlibEOF(err error) bool {
+	return err == io.EOF || err == io.ErrUnexpectedEOF
+}
+
+func nilCheck(err error) bool {
+	return err != nil
+}

@@ -1,0 +1,67 @@
+// Package cluster exercises the virtualtime analyzer in a governed
+// package (the final path element selects enforcement): wall-clock
+// reads, the global rand source, and map order leaking into ordered
+// output are all flagged; duration constants and sorted iteration are
+// not.
+package cluster
+
+import (
+	"math/rand" // want `math/rand in a virtual-time package`
+	"sort"
+	"time"
+)
+
+// heartbeatEvery is a unit, not a clock read — allowed.
+const heartbeatEvery = 50 * time.Millisecond
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func realSleep() {
+	time.Sleep(heartbeatEvery) // want `time\.Sleep reads the wall clock`
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func parallelDo(n int, fn func(int)) {}
+
+// leakOrder: the returned slice's order is the map's iteration order.
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range with no later sort`
+	}
+	return keys
+}
+
+// sortedOrder restores a total order before the slice escapes — silent.
+func sortedOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// spawnInOrder: spawn order is charge-replay order; map order must not
+// pick it.
+func spawnInOrder(m map[string]int) {
+	for k := range m {
+		k := k
+		parallelDo(1, func(int) { _ = k }) // want `parallelDo inside a map range`
+	}
+}
+
+// freshPerIteration: building a fresh value per iteration into an
+// unordered sink (another map) observes no order — silent.
+func freshPerIteration(m map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package notvirtual is outside the virtual-time-governed set: the
+// same constructs that are violations in blob/wal/sim/cluster are fine
+// here, and the analyzer must stay silent.
+package notvirtual
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func order(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,21 @@
+// Package sim exercises the //blobvet:allow directive mechanism in a
+// governed package: a well-formed directive (analyzer + reason)
+// suppresses its function; a reasonless one suppresses nothing and is
+// itself reported.
+package sim
+
+import "time"
+
+//blobvet:allow virtualtime
+func reasonlessDirective() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+//blobvet:allow virtualtime the warm-up spin is real time by design; the sim clock is not running yet
+func justifiedDirective() {
+	time.Sleep(time.Millisecond)
+}
+
+func plainViolation() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}

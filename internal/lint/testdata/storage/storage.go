@@ -1,0 +1,10 @@
+// Package storage is a stub declaring module error sentinels for the
+// sentinelerr fixture.
+package storage
+
+import "errors"
+
+var (
+	ErrClosed      = errors.New("storage: closed")
+	ErrUnavailable = errors.New("storage: unavailable")
+)

@@ -1,0 +1,97 @@
+// Package stripe exercises the stripelock analyzer: the
+// snapshot-then-install rule forbids holding two chunk-stripe locks at
+// once, directly, through a callee, or inside a callback run under a
+// stripe lock.
+package stripe
+
+import "sync"
+
+type chunkStripe struct {
+	mu sync.Mutex
+	m  map[int][]byte
+}
+
+type server struct{ stripes [4]chunkStripe }
+
+func (sv *server) stripe(i int) *chunkStripe { return &sv.stripes[i] }
+
+// moveGood is snapshot-then-install: copy under the source stripe,
+// release, then take the target — silent.
+func moveGood(sv *server, from, to int) {
+	src := sv.stripe(from)
+	src.mu.Lock()
+	data := append([]byte(nil), src.m[1]...)
+	src.mu.Unlock()
+	dst := sv.stripe(to)
+	dst.mu.Lock()
+	dst.m[1] = data
+	dst.mu.Unlock()
+}
+
+// moveBad holds both stripes: two of these crossing opposite directions
+// deadlock.
+func moveBad(sv *server, from, to int) {
+	src := sv.stripe(from)
+	dst := sv.stripe(to)
+	src.mu.Lock()
+	dst.mu.Lock() // want `second chunk-stripe lock acquired`
+	dst.m[1] = src.m[1]
+	dst.mu.Unlock()
+	src.mu.Unlock()
+}
+
+func lockHelper(sv *server, i int) {
+	st := sv.stripe(i)
+	st.mu.Lock()
+	st.m[0] = nil
+	st.mu.Unlock()
+}
+
+// callWhileHeld reaches a second stripe through a callee.
+func callWhileHeld(sv *server, i, j int) {
+	st := sv.stripe(i)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lockHelper(sv, j) // want `call into a stripe-acquiring function`
+}
+
+// forEachChunk runs cb under the stripe lock (the real tree's
+// callback-under-lock pattern).
+func forEachChunk(sv *server, i int, cb func(k int, v []byte)) {
+	st := sv.stripe(i)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, v := range st.m {
+		cb(k, v)
+	}
+}
+
+// callbackBad: the literal runs with stripe i held, so taking stripe 1
+// inside it holds two at once.
+func callbackBad(sv *server) {
+	forEachChunk(sv, 0, func(k int, v []byte) {
+		sv.stripe(1).mu.Lock() // want `second chunk-stripe lock acquired`
+		sv.stripe(1).mu.Unlock()
+	})
+}
+
+// callbackGood only collects — silent.
+func callbackGood(sv *server) [][]byte {
+	var out [][]byte
+	forEachChunk(sv, 0, func(k int, v []byte) {
+		out = append(out, v)
+	})
+	return out
+}
+
+// sequentialStripes locks every stripe in turn, one at a time — silent.
+func sequentialStripes(sv *server) int {
+	total := 0
+	for i := range sv.stripes {
+		st := &sv.stripes[i]
+		st.mu.Lock()
+		total += len(st.m)
+		st.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+package lint
+
+// vetmode.go implements the cmd/go vettool side of the loader: `go vet
+// -vettool=blobvet` hands the tool one JSON .cfg file per package with
+// pre-resolved export data, so no `go list` child process is needed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the subset of cmd/go's vet config blobvet consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetUnit parses and type-checks the single package described by a
+// cmd/go vet .cfg file. skip is true when the unit needs no analysis
+// (fact-generation-only invocations, or tolerated typecheck failures).
+func LoadVetUnit(cfgPath string) (pkg *Package, vetxOutput string, skip bool, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, "", false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, "", false, fmt.Errorf("%s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly {
+		return nil, cfg.VetxOutput, true, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if perr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, cfg.VetxOutput, true, nil
+			}
+			return nil, cfg.VetxOutput, false, perr
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		export, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(export)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, cfg.VetxOutput, true, nil
+		}
+		return nil, cfg.VetxOutput, false, err
+	}
+
+	base := cfg.ImportPath
+	if i := strings.Index(base, " ["); i >= 0 {
+		base = base[:i]
+	}
+	return &Package{
+		ImportPath: cfg.ImportPath,
+		BasePath:   base,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		Stdlib:     cfg.Standard,
+	}, cfg.VetxOutput, false, nil
+}

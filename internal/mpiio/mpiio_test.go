@@ -2,6 +2,7 @@ package mpiio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -333,16 +334,16 @@ func TestClosedFileRejectsOps(t *testing.T) {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		if _, err := f.WriteAt(0, []byte("x")); err != storage.ErrClosed {
+		if _, err := f.WriteAt(0, []byte("x")); !errors.Is(err, storage.ErrClosed) {
 			return fmt.Errorf("write after close: %v", err)
 		}
-		if _, err := f.ReadAt(0, make([]byte, 1)); err != storage.ErrClosed {
+		if _, err := f.ReadAt(0, make([]byte, 1)); !errors.Is(err, storage.ErrClosed) {
 			return fmt.Errorf("read after close: %v", err)
 		}
-		if err := f.Sync(); err != storage.ErrClosed {
+		if err := f.Sync(); !errors.Is(err, storage.ErrClosed) {
 			return fmt.Errorf("sync after close: %v", err)
 		}
-		if err := f.Close(); err != storage.ErrClosed {
+		if err := f.Close(); !errors.Is(err, storage.ErrClosed) {
 			return fmt.Errorf("double close: %v", err)
 		}
 		return nil
@@ -461,7 +462,7 @@ func TestSetAtomicityOnClosedFile(t *testing.T) {
 			return err
 		}
 		f.Close()
-		if err := f.SetAtomicity(true); err != storage.ErrClosed {
+		if err := f.SetAtomicity(true); !errors.Is(err, storage.ErrClosed) {
 			return fmt.Errorf("SetAtomicity after close: %v", err)
 		}
 		return nil

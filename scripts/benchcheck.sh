@@ -1,12 +1,19 @@
 #!/bin/sh
 # benchcheck: gate the data plane, then record its perf trajectory.
 #
-# Order matters: vet, the -race suites, and the WAL fuzz battery must pass
-# before the numbers are worth recording — a racy dispatcher or a log
-# format that breaks crash replay produces fast garbage. The race scope
-# covers the packages the goroutine fan-out touches: the blob data plane,
-# the sharded WAL lanes it appends to, and the virtual-time substrate it
-# folds costs into; -shuffle=on randomizes test order so accidental
+# Order matters: blobvet, vet, the -race suites, and the WAL fuzz battery
+# must pass before the numbers are worth recording — a racy dispatcher or
+# a log format that breaks crash replay produces fast garbage. blobvet
+# runs FIRST: it enforces the dispatch.go concurrency contract, the
+# single WAL append path, virtual-time determinism, errors.Is sentinel
+# discipline, and stripe-lock pairing (see internal/lint/README.md), and
+# numbers measured on a tree that violates those contracts are worthless
+# however fast. The race scope covers the packages the goroutine fan-out
+# touches — the blob data plane, the sharded WAL lanes it appends to, the
+# virtual-time substrate it folds costs into, plus the remaining
+# concurrent packages (core, storage, kvstore) so the analyzers' static
+# guarantees and the dynamic race detector cover the same tree;
+# -shuffle=on randomizes test order so accidental
 # inter-test state dependencies cannot hide a regression. Each wal and
 # blob fuzz target then runs for a short fixed budget — FuzzReplayMerged
 # covers lane interleavings, per-lane torn tails, and checkpoint-then-
@@ -46,8 +53,9 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 rout="${2:-BENCH_recovery.json}"
 fout="${3:-BENCH_faults.json}"
+go run ./cmd/blobvet ./...
 go vet ./...
-go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/...
+go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/... ./internal/core/... ./internal/storage/... ./internal/kvstore/...
 for pkg in ./internal/wal ./internal/blob; do
 	for fz in $(go test -run '^$' -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
 		go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s "$pkg"

@@ -1,0 +1,11 @@
+#!/bin/sh
+# lint: run the blobvet contract analyzers (plus go vet) without the
+# full bench pipeline. This is the cheap pre-commit gate; benchcheck.sh
+# runs the same blobvet stage before recording any number.
+#
+# Usage: scripts/lint.sh [packages...]   (default ./...)
+set -e
+cd "$(dirname "$0")/.."
+pkgs="${@:-./...}"
+go run ./cmd/blobvet $pkgs
+go vet $pkgs
