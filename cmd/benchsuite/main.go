@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery|faults]
+//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery|faults|frontends]
 //	           [-factor N] [-chunk N] [-ranks N] [-executors N]
 //	           [-hotpath-out FILE] [-hotpath-baseline FILE]
 //	           [-recovery-out FILE] [-recovery-ratio R]
 //	           [-faults-out FILE] [-faults-ratio R]
+//	           [-frontends-out FILE] [-frontends-ratio R]
 //
 // The default factor 1024 scales the paper's GB volumes to MB; the chunk
 // scales the per-call I/O unit accordingly (see internal/workloads).
@@ -49,6 +50,17 @@
 // the file is written.
 //
 //	go run ./cmd/benchsuite -exp faults
+//
+// The frontends experiment is the converged-access-layer benchcheck
+// target: the IOR-style HPC pattern, the Sort shuffle, and the S3 put/get
+// cycle, each over one blob data plane with a deterministic /virtual twin,
+// written to -frontends-out (default BENCH_frontends.json). The gate reads
+// the BenchmarkFrontendRename virtual pair, requiring the server-side
+// rename fast path to cost at most -frontends-ratio of the client-side
+// copy loop (default 0.95, see bench.CheckFrontends; 0 disables) BEFORE
+// the file is written.
+//
+//	go run ./cmd/benchsuite -exp frontends
 package main
 
 import (
@@ -61,7 +73,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery, faults")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery, faults, frontends")
 	factor := flag.Int64("factor", 1024, "divide the paper's byte volumes by this factor")
 	chunk := flag.Int("chunk", 4096, "per-call I/O unit in bytes")
 	ranks := flag.Int("ranks", 8, "MPI ranks for HPC applications")
@@ -76,6 +88,9 @@ func main() {
 	faultsOut := flag.String("faults-out", "BENCH_faults.json", "output file for the faults experiment")
 	faultsRatio := flag.Float64("faults-ratio", -1,
 		"max degraded/healthy write ns-per-op ratio gate: <0 picks a GOMAXPROCS-aware default, 0 disables the gate")
+	frontendsOut := flag.String("frontends-out", "BENCH_frontends.json", "output file for the frontends experiment")
+	frontendsRatio := flag.Float64("frontends-ratio", -1,
+		"max fastpath/copy rename ns-per-op ratio gate: <0 picks the default (0.95), 0 disables the gate")
 	flag.Parse()
 
 	// Read the baseline up front: -hotpath-out usually names the same file,
@@ -264,5 +279,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *faultsOut)
+	}
+	// The frontends experiment is the fourth benchcheck target: the three
+	// converged access layers (IOR pattern, Sort shuffle, S3 put/get) over
+	// one blob data plane, gated on the blobfs rename fast path still
+	// beating the client-side copy loop before BENCH_frontends.json is
+	// written.
+	if *exp == "frontends" {
+		results, err := bench.RunFrontends()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: frontends: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-40s %12d ns/op %8d B/op %6d allocs/op %10.1f MB/s\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MBPerSec)
+		}
+		if *frontendsRatio != 0 {
+			if err := bench.CheckFrontends(results, *frontendsRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: frontends: %v (output left untouched)\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("rename fastpath/copy gate: ok")
+		}
+		out, err := bench.RenderFrontends(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: frontends: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*frontendsOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: frontends: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *frontendsOut)
 	}
 }

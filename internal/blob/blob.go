@@ -568,6 +568,11 @@ func NewOnNodes(c *cluster.Cluster, cfg Config, serving []cluster.NodeID) *Store
 // Config returns the effective configuration after defaulting.
 func (s *Store) Config() Config { return s.cfg }
 
+// ChunkSize reports the store's placement granularity, implementing the
+// storage.ChunkSizer extension so front-ends (mpiio collective writes,
+// blobfs) can align their accesses to whole chunks.
+func (s *Store) ChunkSize() int { return s.cfg.ChunkSize }
+
 // Cluster returns the underlying simulated cluster.
 func (s *Store) Cluster() *cluster.Cluster { return s.cluster }
 
@@ -753,7 +758,13 @@ func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
 	}
 	d.latch.Lock()
 	defer d.latch.Unlock()
+	return s.deleteLocked(ctx, key, primary, d)
+}
 
+// deleteLocked performs the deletion with the descriptor latch already held.
+// RenameBlob (rename.go) calls it while additionally holding the target
+// blob's latch, matching the multi-latch discipline of txn.go.
+func (s *Store) deleteLocked(ctx *storage.Context, key string, primary *server, d *descriptor) error {
 	s.cluster.MetaOp(ctx.Clock, primary.node, 1)
 	if s.cfg.IndexedScan {
 		// Prefix-index removal mirrors the insert cost.

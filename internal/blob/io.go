@@ -217,10 +217,26 @@ var placePool = sync.Pool{
 // markers — so crash replay applies a multi-chunk write all-or-nothing
 // (recovery.go buffers prepares and materializes them only on commit).
 func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d *descriptor, off int64, p []byte) (int, error) {
+	return s.writeLockedRec(ctx, key, primary, d, off, p, false)
+}
+
+// writeLockedRec is writeLocked with the commit protocol selectable.
+// direct=true commits every chunk with RecWrite and skips the prepare and
+// commit phases even for a multi-chunk span. That is sound ONLY when the
+// caller needs no write-level crash atomicity: RenameBlob's copy-in
+// qualifies — the target key is freshly created and both descriptor
+// latches are held (no reader or writer can observe a partial span), and
+// the rename's own crash story is "never acked, source intact until the
+// final logged delete", not chunk-transactionality (a sparse rename
+// flushes multiple spans, so 2PC per span never provided rename-level
+// atomicity anyway). Per-chunk RecWrite records replay independently,
+// exactly like ordinary single-chunk writes.
+func (s *Store) writeLockedRec(ctx *storage.Context, key string, primary *server, d *descriptor, off int64, p []byte, direct bool) (int, error) {
 	cs := int64(s.cfg.ChunkSize)
 	firstChunk := off / cs
 	lastChunk := (off + int64(len(p)) - 1) / cs
-	multi := lastChunk > firstChunk
+	multi := (lastChunk > firstChunk) && !direct
+	spanFan := lastChunk > firstChunk
 
 	// Resolve every participant chunk's placement once; the prepare, data,
 	// and commit phases all dispatch from this scratch instead of
@@ -262,9 +278,9 @@ func (s *Store) writeLocked(ctx *storage.Context, key string, primary *server, d
 	// across chunks. A single-chunk write keeps the chunk task inline
 	// (PR 1's sequential shape); only its replica sub-fan, if any, can
 	// profit from the pool, and that profit is below dispatch cost at
-	// typical chunk sizes.
+	// typical chunk sizes. A direct multi-chunk span still fans out.
 	fan := s.newFan()
-	if !multi {
+	if !spanFan {
 		fan.inline = true
 	}
 	forEachSpan(off, int64(len(p)), cs, func(idx, within, start, take int64) {

@@ -1,0 +1,310 @@
+package blobfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// The tests in this file pin behaviour found or rewired by the front-end
+// conformance PR: the server-side rename fast path (storage.BlobRenamer)
+// and the error-class fixes flushed out by fstest.FuzzFSOps.
+
+// TestRenameMultiChunkFile pins byte-for-byte survival of a file spanning
+// many chunks across Rename, now routed through blob.RenameBlob instead of
+// the client-side copy loop.
+func TestRenameMultiChunkFile(t *testing.T) {
+	fs := newFS(t) // 64-byte chunks
+	ctx := storage.NewContext()
+	if err := fs.Mkdir(ctx, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64*5+17)
+	for i := range data {
+		data[i] = byte(i*31 + 3)
+	}
+	h, err := fs.Create(ctx, "/a/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetXattr(ctx, "/a/big", "user.origin", "hpc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/a/big", "/a/moved"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/a/big"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("source survived rename: %v", err)
+	}
+	fi, err := fs.Stat(ctx, "/a/moved")
+	if err != nil || fi.Size != int64(len(data)) {
+		t.Fatalf("stat moved = (%+v, %v)", fi, err)
+	}
+	h2, err := fs.Open(ctx, "/a/moved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close(ctx)
+	got := make([]byte, len(data))
+	if n, err := h2.ReadAt(ctx, 0, got); err != nil || n != len(data) {
+		t.Fatalf("read moved = (%d, %v)", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("moved bytes differ from written bytes")
+	}
+	// Client-side metadata rides along.
+	if v, err := fs.GetXattr(ctx, "/a/moved", "user.origin"); err != nil || v != "hpc" {
+		t.Fatalf("xattr after rename = (%q, %v)", v, err)
+	}
+}
+
+// TestRenameSparseFile pins hole preservation through Rename: the old copy
+// loop read zero-filled spans and wrote them back densely; the fast path
+// must keep the holes.
+func TestRenameSparseFile(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tailOff = 64 * 9
+	if _, err := h.WriteAt(ctx, 0, []byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, tailOff, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/sparse", "/dense-not"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	fi, err := fs.Stat(ctx, "/dense-not")
+	if err != nil || fi.Size != tailOff+4 {
+		t.Fatalf("stat = (%+v, %v)", fi, err)
+	}
+	h2, err := fs.Open(ctx, "/dense-not")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close(ctx)
+	got := make([]byte, tailOff+4)
+	if n, err := h2.ReadAt(ctx, 0, got); err != nil || n != len(got) {
+		t.Fatalf("read = (%d, %v)", n, err)
+	}
+	want := make([]byte, tailOff+4)
+	copy(want, "head")
+	copy(want[tailOff:], "tail")
+	if !bytes.Equal(got, want) {
+		t.Fatal("sparse content mangled by rename")
+	}
+}
+
+// TestRenameFallbackWithoutBlobRenamer pins the copy-then-delete fallback
+// for stores that do not implement storage.BlobRenamer: same observable
+// result, bytes moved through the client.
+func TestRenameFallbackWithoutBlobRenamer(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 1})
+	inner := blob.New(c, blob.Config{ChunkSize: 64, Replication: 2})
+	fs := New(plainStore{inner})
+	ctx := storage.NewContext()
+	data := make([]byte, 64*3+9)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	h, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	h.Close(ctx)
+	if err := fs.Rename(ctx, "/f", "/g"); err != nil {
+		t.Fatalf("fallback rename: %v", err)
+	}
+	h2, err := fs.Open(ctx, "/g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close(ctx)
+	got := make([]byte, len(data))
+	if n, err := h2.ReadAt(ctx, 0, got); err != nil || n != len(data) || !bytes.Equal(got, data) {
+		t.Fatalf("fallback read = (%d, %v)", n, err)
+	}
+}
+
+// plainStore hides blob.Store's BlobRenamer (and ChunkSizer) so the
+// fallback path stays exercised.
+type plainStore struct {
+	inner *blob.Store
+}
+
+func (p plainStore) CreateBlob(ctx *storage.Context, key string) error {
+	return p.inner.CreateBlob(ctx, key)
+}
+func (p plainStore) DeleteBlob(ctx *storage.Context, key string) error {
+	return p.inner.DeleteBlob(ctx, key)
+}
+func (p plainStore) WriteBlob(ctx *storage.Context, key string, off int64, data []byte) (int, error) {
+	return p.inner.WriteBlob(ctx, key, off, data)
+}
+func (p plainStore) ReadBlob(ctx *storage.Context, key string, off int64, out []byte) (int, error) {
+	return p.inner.ReadBlob(ctx, key, off, out)
+}
+func (p plainStore) BlobSize(ctx *storage.Context, key string) (int64, error) {
+	return p.inner.BlobSize(ctx, key)
+}
+func (p plainStore) TruncateBlob(ctx *storage.Context, key string, size int64) error {
+	return p.inner.TruncateBlob(ctx, key, size)
+}
+func (p plainStore) Scan(ctx *storage.Context, prefix string) ([]storage.BlobInfo, error) {
+	return p.inner.Scan(ctx, prefix)
+}
+
+// TestMkdirOverFileRejected pins the FuzzFSOps find: a directory marker
+// must not be created where a file already lives.
+func TestMkdirOverFileRejected(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/occupied")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close(ctx)
+	if err := fs.Mkdir(ctx, "/occupied"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("mkdir over file: %v", err)
+	}
+	// The file is untouched and still a file.
+	fi, err := fs.Stat(ctx, "/occupied")
+	if err != nil || fi.IsDir {
+		t.Fatalf("stat after rejected mkdir = (%+v, %v)", fi, err)
+	}
+}
+
+// TestRenameOntoExistingRejected pins the non-replacing rename contract,
+// including the FuzzFSOps find that a file could previously be renamed on
+// top of an existing directory.
+func TestRenameOntoExistingRejected(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/dir")
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+	h, _ = fs.Create(ctx, "/g")
+	h.Close(ctx)
+
+	if err := fs.Rename(ctx, "/f", "/g"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("rename onto file: %v", err)
+	}
+	if err := fs.Rename(ctx, "/f", "/dir"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("rename onto directory: %v", err)
+	}
+	if err := fs.Rename(ctx, "/f", "/missing/parent"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rename into missing parent: %v", err)
+	}
+	if err := fs.Rename(ctx, "/dir", "/dir/inside"); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("rename dir into own subtree: %v", err)
+	}
+	for _, p := range []string{"/f", "/g", "/dir"} {
+		if _, err := fs.Stat(ctx, p); err != nil {
+			t.Fatalf("%s damaged by rejected rename: %v", p, err)
+		}
+	}
+}
+
+// TestErrorClassesMatchPOSIX pins the remaining FuzzFSOps error-taxonomy
+// finds: truncate of a directory and rmdir of a file must return the same
+// sentinel classes posixfs does.
+func TestErrorClassesMatchPOSIX(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	h, _ := fs.Create(ctx, "/f")
+	h.Close(ctx)
+
+	if err := fs.Truncate(ctx, "/d", 0); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("truncate dir: %v", err)
+	}
+	if err := fs.Rmdir(ctx, "/f"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+	if err := fs.Rmdir(ctx, "/nope"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("rmdir missing: %v", err)
+	}
+}
+
+// TestFileAncestorIsNotDirectory pins the FuzzFSOps find from corpus input
+// 8a2bf18e51115f46: after a directory is removed and a FILE created at the
+// same path, every lookup under it must fail with ErrNotDirectory (POSIX
+// ENOTDIR — resolution died at a file component), not ErrNotFound. posixfs
+// discovers this in its component walk; blobfs's flat namespace has to
+// reconstruct it via classifyMiss.
+func TestFileAncestorIsNotDirectory(t *testing.T) {
+	fs := newFS(t)
+	ctx := storage.NewContext()
+	fs.Mkdir(ctx, "/d")
+	if err := fs.Rmdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Create(ctx, "/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close(ctx)
+
+	if _, err := fs.Stat(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("stat under file: %v", err)
+	}
+	if _, err := fs.Open(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("open under file: %v", err)
+	}
+	if _, err := fs.Create(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("create under file: %v", err)
+	}
+	if err := fs.Unlink(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("unlink under file: %v", err)
+	}
+	if err := fs.Truncate(ctx, "/d/x", 0); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("truncate under file: %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("mkdir under file: %v", err)
+	}
+	if err := fs.Rmdir(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("rmdir under file: %v", err)
+	}
+	if _, err := fs.ReadDir(ctx, "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("readdir under file: %v", err)
+	}
+	if _, err := fs.ReadDir(ctx, "/d"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("readdir of file: %v", err)
+	}
+	if err := fs.Rename(ctx, "/d/x", "/y"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("rename from under file: %v", err)
+	}
+	if h, err := fs.Create(ctx, "/src"); err != nil {
+		t.Fatal(err)
+	} else {
+		h.Close(ctx)
+	}
+	if err := fs.Rename(ctx, "/src", "/d/x"); !errors.Is(err, storage.ErrNotDirectory) {
+		t.Fatalf("rename to under file: %v", err)
+	}
+	// A genuinely absent path stays ENOENT.
+	if _, err := fs.Stat(ctx, "/nope/x"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("stat under missing dir: %v", err)
+	}
+}

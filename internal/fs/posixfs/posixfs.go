@@ -385,9 +385,32 @@ func (fs *FS) Unlink(ctx *storage.Context, path string) error {
 	return nil
 }
 
-// Rename moves a file or directory. Both parents are resolved; the target
-// must not exist (sufficient for the traced applications' usage).
+// Rename moves a file or directory with full POSIX replace semantics: an
+// existing target file is atomically replaced, a directory may replace only
+// an empty directory (ENOTEMPTY otherwise), and the source and target kinds
+// must agree (EISDIR / ENOTDIR). Renaming a path onto itself is a no-op
+// success; moving a directory into its own subtree is rejected (EINVAL).
 func (fs *FS) Rename(ctx *storage.Context, oldPath, newPath string) error {
+	oldParts, err := splitPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newParts, err := splitPath(newPath)
+	if err != nil {
+		return err
+	}
+	if len(newParts) > len(oldParts) {
+		sub := true
+		for i := range oldParts {
+			if newParts[i] != oldParts[i] {
+				sub = false
+				break
+			}
+		}
+		if sub {
+			return fmt.Errorf("rename %q into its own subtree %q: %w", oldPath, newPath, storage.ErrInvalidArg)
+		}
+	}
 	oldDir, oldName, err := fs.resolveParent(ctx, oldPath)
 	if err != nil {
 		return err
@@ -402,11 +425,24 @@ func (fs *FS) Rename(ctx *storage.Context, oldPath, newPath string) error {
 	if !ok {
 		return fmt.Errorf("rename %q: %w", oldPath, storage.ErrNotFound)
 	}
-	if _, exists := newDir.children[newName]; exists {
-		return fmt.Errorf("rename to %q: %w", newPath, storage.ErrExists)
-	}
 	if !canAccess(ctx, oldDir, permW) || !canAccess(ctx, newDir, permW) {
 		return fmt.Errorf("rename %q -> %q: %w", oldPath, newPath, storage.ErrPermission)
+	}
+	if target, exists := newDir.children[newName]; exists {
+		if target == child {
+			// Same entry (hard-link-free tree: same path): POSIX no-op.
+			fs.cluster.MetaOp(ctx.Clock, fs.cfg.MDS, 1)
+			return nil
+		}
+		switch {
+		case target.isDir && !child.isDir:
+			return fmt.Errorf("rename %q onto directory %q: %w", oldPath, newPath, storage.ErrIsDirectory)
+		case !target.isDir && child.isDir:
+			return fmt.Errorf("rename directory %q onto %q: %w", oldPath, newPath, storage.ErrNotDirectory)
+		case target.isDir && len(target.children) > 0:
+			return fmt.Errorf("rename onto %q: %w", newPath, storage.ErrNotEmpty)
+		}
+		// Replace: the target entry is atomically unlinked by the swap below.
 	}
 	delete(oldDir.children, oldName)
 	newDir.children[newName] = child

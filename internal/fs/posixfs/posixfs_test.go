@@ -240,9 +240,30 @@ func TestRename(t *testing.T) {
 	if err := fs.Rename(ctx, "/missing", "/dst/x"); !errors.Is(err, storage.ErrNotFound) {
 		t.Fatalf("rename missing: %v", err)
 	}
-	fs.Create(ctx, "/dst/h")
-	if err := fs.Rename(ctx, "/dst/g", "/dst/h"); !errors.Is(err, storage.ErrExists) {
-		t.Fatalf("rename over existing: %v", err)
+	// POSIX rename(2) replaces an existing target atomically.
+	hh, _ := fs.Create(ctx, "/dst/h")
+	hh.WriteAt(ctx, 0, []byte("old"))
+	hh.Close(ctx)
+	if err := fs.Rename(ctx, "/dst/g", "/dst/h"); err != nil {
+		t.Fatalf("rename over existing file: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/dst/g"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("source survived replacing rename")
+	}
+	h3, err := fs.Open(ctx, "/dst/h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h3.ReadAt(ctx, 0, buf); n != 7 || string(buf) != "content" {
+		t.Fatalf("replaced content = %q", buf[:n])
+	}
+	h3.Close(ctx)
+	// But a directory can never be clobbered into, nor moved into itself.
+	if err := fs.Rename(ctx, "/dst/h", "/src"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("rename file onto dir: %v", err)
+	}
+	if err := fs.Rename(ctx, "/dst", "/dst/inside"); !errors.Is(err, storage.ErrInvalidArg) {
+		t.Fatalf("rename dir into own subtree: %v", err)
 	}
 }
 

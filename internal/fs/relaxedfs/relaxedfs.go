@@ -257,6 +257,9 @@ func (fs *FS) Truncate(ctx *storage.Context, path string, size int64) error {
 	if err != nil {
 		return err
 	}
+	if n.isDir {
+		return fmt.Errorf("truncate %q: %w", path, storage.ErrIsDirectory)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.data = nil

@@ -180,6 +180,14 @@ func TestTruncateOnlyToZero(t *testing.T) {
 	if info, _ := fs.Stat(ctx, "/f"); info.Size != 0 {
 		t.Fatalf("size after truncate = %d", info.Size)
 	}
+	// FuzzFSOps find: truncate-to-zero of a directory silently succeeded
+	// (clearing nothing); POSIX error class is ErrIsDirectory.
+	if err := fs.Mkdir(ctx, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(ctx, "/dir", 0); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("truncate dir: %v", err)
+	}
 }
 
 func TestXattrAndChmod(t *testing.T) {

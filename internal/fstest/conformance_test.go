@@ -8,56 +8,107 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fs/posixfs"
 	"repro/internal/fs/relaxedfs"
+	"repro/internal/mpiio"
+	"repro/internal/sim"
 	"repro/internal/storage"
 )
 
-// The conformance matrix: one suite, three backends, each with the
-// capability envelope the paper attributes to it.
+// The conformance matrix: every storage.FileSystem backend and FS-backed
+// front-end registered in one place, each declaring the capability envelope
+// the paper attributes to it. TestConformanceMatrix asserts exactly that
+// envelope per backend; FuzzFSOps (fuzz_test.go) reuses the same registry
+// to constrain differential script generation. Keep this table in sync with
+// the capability-matrix table in the package doc (fstest.go).
 
-func TestPosixFSConformance(t *testing.T) {
-	Run(t, func() storage.FileSystem {
-		return posixfs.NewStrict(cluster.New(cluster.Config{Nodes: 5, Seed: 1}))
-	}, Capabilities{
+// Backend is one registered implementation under test.
+type Backend struct {
+	Name string
+	Mk   New
+	Caps Capabilities
+}
+
+func newCluster() *cluster.Cluster {
+	return cluster.New(cluster.Config{Nodes: 5, Seed: 1})
+}
+
+func newBlobFS(chunk, replication int) storage.FileSystem {
+	c := newCluster()
+	return blobfs.New(blob.New(c, blob.Config{ChunkSize: chunk, Replication: replication}))
+}
+
+// Backends returns the full registry. Each Mk builds a fresh, empty system.
+func Backends() []Backend {
+	posixCaps := Capabilities{
 		RandomWrites:        true,
 		ImmediateVisibility: true,
 		PartialTruncate:     true,
 		Permissions:         true,
-	})
-}
-
-func TestRelaxedFSConformance(t *testing.T) {
-	Run(t, func() storage.FileSystem {
-		return relaxedfs.New(cluster.New(cluster.Config{Nodes: 5, Seed: 1}), relaxedfs.Config{})
-	}, Capabilities{
-		RandomWrites:        false,
-		ImmediateVisibility: false,
-		PartialTruncate:     false,
-		Permissions:         false,
-	})
-}
-
-func TestBlobFSConformance(t *testing.T) {
-	Run(t, func() storage.FileSystem {
-		c := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
-		return blobfs.New(blob.New(c, blob.Config{ChunkSize: 64, Replication: 2}))
-	}, Capabilities{
+		AtomicRename:        true,
+		SparseFiles:         true,
+		LargeFiles:          true,
+		ConcurrentHandles:   true,
+	}
+	blobCaps := Capabilities{
 		RandomWrites:        true,
 		ImmediateVisibility: true,
 		PartialTruncate:     true,
 		Permissions:         false, // client-side modes don't gate access
-	})
+		AtomicRename:        false, // rename refuses an existing target
+		SparseFiles:         true,
+		LargeFiles:          true,
+		ConcurrentHandles:   true,
+	}
+	mpiioCaps := func(inner Capabilities) Capabilities {
+		inner.ImmediateVisibility = false // visible on sync/close, Section II-A
+		return inner
+	}
+	return []Backend{
+		{
+			Name: "posixfs",
+			Mk:   func() storage.FileSystem { return posixfs.NewStrict(newCluster()) },
+			Caps: posixCaps,
+		},
+		{
+			Name: "relaxedfs",
+			Mk: func() storage.FileSystem {
+				return relaxedfs.New(newCluster(), relaxedfs.Config{})
+			},
+			Caps: Capabilities{LargeFiles: true},
+		},
+		{
+			Name: "blobfs",
+			Mk:   func() storage.FileSystem { return newBlobFS(64, 2) },
+			Caps: blobCaps,
+		},
+		// The same adapter with a large chunk size (chunk boundaries never
+		// hit), guarding blobfs behaviour against chunk-size coupling.
+		{
+			Name: "blobfs-largechunk",
+			Mk:   func() storage.FileSystem { return newBlobFS(8<<20, 3) },
+			Caps: blobCaps,
+		},
+		{
+			Name: "mpiio-posixfs",
+			Mk: func() storage.FileSystem {
+				return mpiio.NewFS(posixfs.NewStrict(newCluster()), sim.DefaultCostModel(), mpiio.Options{})
+			},
+			Caps: mpiioCaps(posixCaps),
+		},
+		{
+			Name: "mpiio-blobfs",
+			Mk: func() storage.FileSystem {
+				return mpiio.NewFS(newBlobFS(64, 2), sim.DefaultCostModel(), mpiio.Options{})
+			},
+			Caps: mpiioCaps(blobCaps),
+		},
+	}
 }
 
-// The same matrix with a large chunk size (chunk boundaries never hit),
-// guarding blobfs behaviour against chunk-size coupling.
-func TestBlobFSConformanceLargeChunks(t *testing.T) {
-	Run(t, func() storage.FileSystem {
-		c := cluster.New(cluster.Config{Nodes: 5, Seed: 1})
-		return blobfs.New(blob.New(c, blob.Config{ChunkSize: 8 << 20, Replication: 3}))
-	}, Capabilities{
-		RandomWrites:        true,
-		ImmediateVisibility: true,
-		PartialTruncate:     true,
-		Permissions:         false,
-	})
+// TestConformanceMatrix runs the full capability-gated battery over every
+// registered backend.
+func TestConformanceMatrix(t *testing.T) {
+	for _, b := range Backends() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) { Run(t, b.Mk, b.Caps) })
+	}
 }

@@ -1,15 +1,36 @@
 // Package fstest is a reusable conformance suite for storage.FileSystem
-// implementations. The three backends (posixfs, relaxedfs, blobfs) differ
-// deliberately — that is the paper's subject — so the suite is
-// capability-driven: each backend declares which optional semantics it
-// provides and the suite asserts exactly those, plus the common core every
-// backend must share.
+// implementations. The backends differ deliberately — that is the paper's
+// subject — so the suite is capability-driven: each backend declares which
+// optional semantics it provides and the suite asserts exactly that
+// envelope (each capability has a positive test AND a negative test, so a
+// backend cannot silently over- or under-deliver), plus the common core
+// every backend must share.
+//
+// Capability matrix — every registered backend × its declared envelope,
+// asserted by TestConformanceMatrix (conformance_test.go) and used by the
+// FuzzFSOps differential fuzzer to constrain script generation:
+//
+//	backend                RandW ImmVis PTrunc Perms ARen Sparse Large ConcH
+//	posixfs (strict)         ✓     ✓      ✓      ✓     ✓    ✓      ✓     ✓
+//	relaxedfs (HDFS-like)    –     –      –      –     –    –      ✓     –
+//	blobfs (64 B chunks)     ✓     ✓      ✓      –     –    ✓      ✓     ✓
+//	blobfs (8 MiB chunks)    ✓     ✓      ✓      –     –    ✓      ✓     ✓
+//	mpiio over posixfs       ✓     –      ✓      ✓     ✓    ✓      ✓     ✓
+//	mpiio over blobfs        ✓     –      ✓      –     –    ✓      ✓     ✓
+//
+// (RandW = RandomWrites, ImmVis = ImmediateVisibility, PTrunc =
+// PartialTruncate, Perms = Permissions, ARen = AtomicRename, Sparse =
+// SparseFiles, Large = LargeFiles, ConcH = ConcurrentHandles. The mpiio
+// rows are the MPI-IO write-behind library driven through its
+// storage.FileSystem adapter: deferred visibility is the MPI-IO standard's
+// contract, everything else passes through to the inner backend.)
 package fstest
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/storage"
@@ -21,17 +42,34 @@ type Capabilities struct {
 	// relaxedfs no — append only).
 	RandomWrites bool
 	// ImmediateVisibility: a write is readable through other handles
-	// before any sync/close (posixfs yes; relaxedfs no; blobfs yes).
+	// before any sync/close (posixfs yes; relaxedfs no — visible on
+	// hflush/close; blobfs yes; mpiio no — visible on sync/close, the
+	// Section II-A semantics).
 	ImmediateVisibility bool
 	// PartialTruncate: truncation to arbitrary sizes (relaxedfs only
 	// supports 0).
 	PartialTruncate bool
-	// Permissions: chmod actually gates access (posixfs only).
+	// Permissions: chmod actually gates access (posixfs only; blobfs keeps
+	// modes client-side without enforcement).
 	Permissions bool
-	// ImplicitParents: files may be created without a pre-existing parent
-	// directory entry for root-level paths only; all backends require the
-	// parent for nested paths.
-	_ struct{}
+	// AtomicRename: rename onto an existing file atomically replaces it
+	// (POSIX). Backends without it reject an existing target with
+	// ErrExists (HDFS-style rename, blobfs copy emulation).
+	AtomicRename bool
+	// SparseFiles: a write past EOF leaves a hole that reads as zeros and
+	// counts toward the file size. Append-only backends reject the gap
+	// write instead.
+	SparseFiles bool
+	// LargeFiles: a file spanning many placement units (chunks, blocks,
+	// write-behind buffers) round-trips byte-for-byte through close and
+	// reopen. Every current backend declares it; the gate exists so a
+	// future size-capped backend can opt out explicitly.
+	LargeFiles bool
+	// ConcurrentHandles: several writable handles may be open on one file
+	// at once (opens return writable handles). Backends without it hold a
+	// single-writer lease: a second concurrent create is rejected and
+	// opened handles are read-only.
+	ConcurrentHandles bool
 }
 
 // New constructs a fresh, empty file system for one subtest.
@@ -72,6 +110,24 @@ func Run(t *testing.T, mk New, caps Capabilities) {
 	}
 	if caps.Permissions {
 		t.Run("PermissionsEnforced", func(t *testing.T) { testPermissions(t, mk) })
+	}
+	if caps.AtomicRename {
+		t.Run("AtomicRenameReplaces", func(t *testing.T) { testAtomicRename(t, mk, caps) })
+	} else {
+		t.Run("RenameTargetRejected", func(t *testing.T) { testRenameTargetRejected(t, mk) })
+	}
+	if caps.SparseFiles {
+		t.Run("SparseHoles", func(t *testing.T) { testSparseHoles(t, mk) })
+	} else {
+		t.Run("SparseGapRejected", func(t *testing.T) { testSparseGapRejected(t, mk) })
+	}
+	if caps.LargeFiles {
+		t.Run("LargeFileRoundTrip", func(t *testing.T) { testLargeFile(t, mk) })
+	}
+	if caps.ConcurrentHandles {
+		t.Run("ConcurrentHandles", func(t *testing.T) { testConcurrentHandles(t, mk) })
+	} else {
+		t.Run("SingleWriterLease", func(t *testing.T) { testSingleWriterLease(t, mk) })
 	}
 }
 
@@ -487,6 +543,288 @@ func testPermissions(t *testing.T, mk New) {
 	}
 	if err := fs.Chmod(user, "/locked", 0o777); !errors.Is(err, storage.ErrPermission) {
 		t.Fatalf("non-owner chmod: %v", err)
+	}
+}
+
+// testAtomicRename: POSIX replace semantics — rename onto an existing file
+// swaps it out atomically; renaming a file onto a directory is rejected.
+func testAtomicRename(t *testing.T, mk New, caps Capabilities) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/dst", []byte("old destination"))
+	mustCreate(t, fs, ctx, "/src", []byte("new"))
+	if err := fs.Rename(ctx, "/src", "/dst"); err != nil {
+		t.Fatalf("replace rename: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/src"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("source survived replace: %v", err)
+	}
+	info, err := fs.Stat(ctx, "/dst")
+	if err != nil || info.Size != 3 {
+		t.Fatalf("replaced stat = (%+v, %v)", info, err)
+	}
+	h, err := fs.Open(ctx, "/dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	buf := make([]byte, 8)
+	if n, _ := h.ReadAt(ctx, 0, buf); string(buf[:n]) != "new" {
+		t.Fatalf("replaced content = %q", buf[:n])
+	}
+	// A directory target is not replaceable by a file.
+	fs.Mkdir(ctx, "/dir")
+	mustCreate(t, fs, ctx, "/f", []byte("x"))
+	if err := fs.Rename(ctx, "/f", "/dir"); !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("rename onto dir: %v", err)
+	}
+	// Self-rename is a no-op success, not a delete.
+	if err := fs.Rename(ctx, "/f", "/f"); err != nil {
+		t.Fatalf("self rename: %v", err)
+	}
+	if info, err := fs.Stat(ctx, "/f"); err != nil || info.Size != 1 {
+		t.Fatalf("after self rename: (%+v, %v)", info, err)
+	}
+}
+
+// testRenameTargetRejected: backends without atomic replace must refuse an
+// existing target (file or directory) and leave both paths intact.
+func testRenameTargetRejected(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/src", []byte("ss"))
+	mustCreate(t, fs, ctx, "/dst", []byte("ddd"))
+	if err := fs.Rename(ctx, "/src", "/dst"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("rename onto file: %v", err)
+	}
+	fs.Mkdir(ctx, "/dir")
+	if err := fs.Rename(ctx, "/src", "/dir"); !errors.Is(err, storage.ErrExists) && !errors.Is(err, storage.ErrIsDirectory) {
+		t.Fatalf("rename onto dir: %v", err)
+	}
+	if info, err := fs.Stat(ctx, "/src"); err != nil || info.Size != 2 {
+		t.Fatalf("source mutated: (%+v, %v)", info, err)
+	}
+	if info, err := fs.Stat(ctx, "/dst"); err != nil || info.Size != 3 {
+		t.Fatalf("target mutated: (%+v, %v)", info, err)
+	}
+}
+
+// testSparseHoles: a far write leaves a hole that reads as zeros, counts
+// toward the size, and survives close/reopen; backfilling part of the hole
+// later works. The hole offset is prime-ish so it straddles chunk and block
+// boundaries at every configured granularity.
+func testSparseHoles(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const holeEnd = 70003
+	if _, err := h.WriteAt(ctx, 0, []byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, holeEnd, []byte("tail")); err != nil {
+		t.Fatalf("sparse write: %v", err)
+	}
+	if _, err := h.WriteAt(ctx, 35000, []byte("mid")); err != nil {
+		t.Fatalf("backfill write: %v", err)
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := fs.Stat(ctx, "/s"); err != nil || info.Size != holeEnd+4 {
+		t.Fatalf("sparse stat = (%+v, %v)", info, err)
+	}
+	r, err := fs.Open(ctx, "/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(ctx)
+	buf := make([]byte, 4)
+	if n, _ := r.ReadAt(ctx, holeEnd, buf); string(buf[:n]) != "tail" {
+		t.Fatalf("tail = %q", buf[:n])
+	}
+	if n, _ := r.ReadAt(ctx, 35000, buf[:3]); string(buf[:n]) != "mid" {
+		t.Fatalf("mid = %q", buf[:n])
+	}
+	hole := make([]byte, 64)
+	n, err := r.ReadAt(ctx, 12345, hole)
+	if err != nil || n != len(hole) {
+		t.Fatalf("hole read = (%d, %v)", n, err)
+	}
+	for i, b := range hole {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d", 12345+i, b)
+		}
+	}
+}
+
+// testSparseGapRejected: append-only backends must reject the gap write
+// rather than silently fabricate a hole.
+func testSparseGapRejected(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	h, err := fs.Create(ctx, "/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close(ctx)
+	if _, err := h.WriteAt(ctx, 0, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(ctx, 70003, []byte("tail")); !errors.Is(err, storage.ErrUnsupported) {
+		t.Fatalf("gap write accepted: %v", err)
+	}
+	if info, err := fs.Stat(ctx, "/s"); err != nil || info.Size > 4 {
+		t.Fatalf("gap write grew the file: (%+v, %v)", info, err)
+	}
+}
+
+// largePattern fills p with the deterministic byte pattern for file offset
+// off, so any slice of a large file is independently checkable.
+func largePattern(off int64, p []byte) {
+	for i := range p {
+		v := off + int64(i)
+		p[i] = byte(v ^ (v >> 7) ^ (v >> 13))
+	}
+}
+
+// testLargeFile: 128 KiB written in sequential 8 KiB strides (append-only
+// compatible) spans thousands of 64-byte blobfs chunks and many write-
+// behind buffers, and must round-trip byte-for-byte through close/reopen.
+func testLargeFile(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	const stride, total = 8 << 10, 128 << 10
+	h, err := fs.Create(ctx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, stride)
+	for off := int64(0); off < total; off += stride {
+		largePattern(off, buf)
+		if n, err := h.WriteAt(ctx, off, buf); err != nil || n != stride {
+			t.Fatalf("write at %d: (%d, %v)", off, n, err)
+		}
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := fs.Stat(ctx, "/big"); err != nil || info.Size != total {
+		t.Fatalf("large stat = (%+v, %v)", info, err)
+	}
+	r, err := fs.Open(ctx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(ctx)
+	got := make([]byte, 32<<10)
+	want := make([]byte, 32<<10)
+	for off := int64(0); off < total; off += int64(len(got)) {
+		n, err := r.ReadAt(ctx, off, got)
+		if err != nil || n != len(got) {
+			t.Fatalf("read at %d: (%d, %v)", off, n, err)
+		}
+		largePattern(off, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("content diverges in [%d, %d)", off, off+int64(n))
+		}
+	}
+}
+
+// testConcurrentHandles: four writable handles (from Open) write disjoint
+// regions concurrently; after sync+close the union is intact.
+func testConcurrentHandles(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	mustCreate(t, fs, ctx, "/c", nil)
+	const workers, region = 4, 1024
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			child := ctx.Fork()
+			h, err := fs.Open(child, "/c")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			data := bytes.Repeat([]byte{byte('A' + i)}, region)
+			if _, err := h.WriteAt(child, int64(i)*region, data); err != nil {
+				errs[i] = err
+				h.Close(child)
+				return
+			}
+			if err := h.Sync(child); err != nil {
+				errs[i] = err
+				h.Close(child)
+				return
+			}
+			errs[i] = h.Close(child)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if info, err := fs.Stat(ctx, "/c"); err != nil || info.Size != workers*region {
+		t.Fatalf("stat = (%+v, %v)", info, err)
+	}
+	r, err := fs.Open(ctx, "/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(ctx)
+	got := make([]byte, workers*region)
+	if n, err := r.ReadAt(ctx, 0, got); err != nil || n != len(got) {
+		t.Fatalf("read = (%d, %v)", n, err)
+	}
+	for i := 0; i < workers; i++ {
+		for j := 0; j < region; j++ {
+			if got[i*region+j] != byte('A'+i) {
+				t.Fatalf("byte %d = %q, want %q", i*region+j, got[i*region+j], byte('A'+i))
+			}
+		}
+	}
+}
+
+// testSingleWriterLease: without concurrent handles the backend must hold a
+// single-writer lease — a second create conflicts while the writer is open,
+// opened handles are read-only, and closing the writer releases the lease.
+func testSingleWriterLease(t *testing.T, mk New) {
+	fs := mk()
+	ctx := storage.NewContext()
+	w, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(ctx, "/f"); !errors.Is(err, storage.ErrExists) {
+		t.Fatalf("concurrent create: %v", err)
+	}
+	r, err := fs.Open(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WriteAt(ctx, 0, []byte("x")); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("write through reader handle: %v", err)
+	}
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatalf("create after lease release: %v", err)
+	}
+	if err := w2.Close(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,281 @@
+package fstest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/adios"
+	"repro/internal/h5"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// The intermediate libraries (HDF5- and ADIOS-style, Section II-A) expose
+// dataset/step APIs rather than storage.FileSystem, so they join the
+// conformance matrix through scripted op sequences: a deterministic script
+// of library operations runs over every registered backend and is diffed
+// against a pure in-memory reference model. Both libraries need a
+// writable Open (h5 additionally rewrites its superblock in place), which
+// rules out the append-only single-writer backend — everything else in the
+// registry must agree with the model bit-for-bit.
+
+// lcg is a tiny deterministic generator for script operands.
+type lcg struct{ x uint64 }
+
+func (g *lcg) next() uint64 {
+	g.x = g.x*6364136223846793005 + 1442695040888963407
+	return g.x >> 33
+}
+
+func (g *lcg) intn(n int) int { return int(g.next() % uint64(n)) }
+
+func scriptedBackends(t *testing.T) []Backend {
+	t.Helper()
+	var out []Backend
+	for _, b := range Backends() {
+		if b.Caps.RandomWrites {
+			out = append(out, b)
+		}
+	}
+	if len(out) < 4 {
+		t.Fatalf("registry shrank: only %d random-write backends", len(out))
+	}
+	return out
+}
+
+// TestH5ScriptedDifferential replays a generated hyperslab script against
+// an in-memory dense-array model and the h5 library over each backend.
+func TestH5ScriptedDifferential(t *testing.T) {
+	const (
+		rows, cols = 8, 16
+		rawLen     = 64
+	)
+	for _, b := range scriptedBackends(t) {
+		t.Run(b.Name, func(t *testing.T) {
+			fs := b.Mk()
+			// Reference model: dense arrays and attribute maps.
+			temps := make([]float64, rows*cols)
+			raw := make([]byte, rawLen)
+			attrs := map[string]string{}
+
+			errs := mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+				f, err := h5.Create(r, fs, "/exp.h5")
+				if err != nil {
+					return err
+				}
+				ds, err := f.CreateDataset("temps", h5.Float64, []int64{rows, cols})
+				if err != nil {
+					return err
+				}
+				bs, err := f.CreateDataset("raw", h5.Bytes, []int64{rawLen})
+				if err != nil {
+					return err
+				}
+				if err := f.SetAttr("experiment", "matrix"); err != nil {
+					return err
+				}
+				attrs["experiment"] = "matrix"
+				if err := ds.SetAttr("units", "kelvin"); err != nil {
+					return err
+				}
+				attrs["temps/units"] = "kelvin"
+
+				g := &lcg{x: 42}
+				for op := 0; op < 40; op++ {
+					switch g.intn(3) {
+					case 0: // float64 hyperslab write
+						o0, o1 := int64(g.intn(rows)), int64(g.intn(cols))
+						c0 := int64(1 + g.intn(rows-int(o0)))
+						c1 := int64(1 + g.intn(cols-int(o1)))
+						data := make([]float64, c0*c1)
+						for i := range data {
+							data[i] = float64(op*1000+i) / 7
+						}
+						if err := ds.WriteFloat64([]int64{o0, o1}, []int64{c0, c1}, data); err != nil {
+							return fmt.Errorf("op %d write slab: %w", op, err)
+						}
+						for i := int64(0); i < c0; i++ {
+							for j := int64(0); j < c1; j++ {
+								temps[(o0+i)*cols+o1+j] = data[i*c1+j]
+							}
+						}
+					case 1: // float64 hyperslab read-back, diffed immediately
+						o0, o1 := int64(g.intn(rows)), int64(g.intn(cols))
+						c0 := int64(1 + g.intn(rows-int(o0)))
+						c1 := int64(1 + g.intn(cols-int(o1)))
+						got := make([]float64, c0*c1)
+						if err := ds.ReadFloat64([]int64{o0, o1}, []int64{c0, c1}, got); err != nil {
+							return fmt.Errorf("op %d read slab: %w", op, err)
+						}
+						for i := int64(0); i < c0; i++ {
+							for j := int64(0); j < c1; j++ {
+								if want := temps[(o0+i)*cols+o1+j]; got[i*c1+j] != want {
+									return fmt.Errorf("op %d slab[%d,%d] = %v, want %v", op, o0+i, o1+j, got[i*c1+j], want)
+								}
+							}
+						}
+					case 2: // byte-range write
+						off := int64(g.intn(rawLen))
+						n := int64(1 + g.intn(rawLen-int(off)))
+						data := make([]byte, n)
+						for i := range data {
+							data[i] = byte(op + i)
+						}
+						if err := bs.WriteBytes([]int64{off}, []int64{n}, data); err != nil {
+							return fmt.Errorf("op %d write bytes: %w", op, err)
+						}
+						copy(raw[off:off+n], data)
+					}
+				}
+				return f.Close()
+			})
+			if err := mpi.FirstError(errs); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen read-only and diff the full surviving state.
+			errs = mpi.Run(1, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+				f, err := h5.Open(r, fs, "/exp.h5")
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if v, ok := f.Attr("experiment"); !ok || v != attrs["experiment"] {
+					return fmt.Errorf("file attr = (%q, %v)", v, ok)
+				}
+				ds, err := f.Dataset("temps")
+				if err != nil {
+					return err
+				}
+				if v, ok := ds.Attr("units"); !ok || v != attrs["temps/units"] {
+					return fmt.Errorf("dataset attr = (%q, %v)", v, ok)
+				}
+				got := make([]float64, rows*cols)
+				if err := ds.ReadFloat64([]int64{0, 0}, []int64{rows, cols}, got); err != nil {
+					return err
+				}
+				for i := range got {
+					if got[i] != temps[i] || math.IsNaN(got[i]) {
+						return fmt.Errorf("temps[%d] = %v, want %v", i, got[i], temps[i])
+					}
+				}
+				bs, err := f.Dataset("raw")
+				if err != nil {
+					return err
+				}
+				gotRaw := make([]byte, rawLen)
+				if err := bs.ReadBytes([]int64{0}, []int64{rawLen}, gotRaw); err != nil {
+					return err
+				}
+				for i := range gotRaw {
+					if gotRaw[i] != raw[i] {
+						return fmt.Errorf("raw[%d] = %d, want %d", i, gotRaw[i], raw[i])
+					}
+				}
+				return nil
+			})
+			if err := mpi.FirstError(errs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestADIOSScriptedDifferential replays a multi-step, multi-rank output
+// script against an in-memory per-step model and the adios library over
+// each backend, then reads everything back through the index.
+func TestADIOSScriptedDifferential(t *testing.T) {
+	const (
+		ranks    = 4
+		aggs     = 2
+		steps    = 3
+		blockLen = 10
+	)
+	for _, b := range scriptedBackends(t) {
+		t.Run(b.Name, func(t *testing.T) {
+			fs := b.Mk()
+			// model[step][i] for the 1-D global variable.
+			model := make([][]float64, steps)
+			for s := range model {
+				model[s] = make([]float64, ranks*blockLen)
+				for i := range model[s] {
+					rank := i / blockLen
+					model[s][i] = float64(s*100+rank*10) + float64(i%blockLen)/8
+				}
+			}
+
+			errs := mpi.Run(ranks, sim.DefaultCostModel(), func(r *mpi.Rank) error {
+				w, err := adios.OpenWriter(r, fs, "/out.bp", aggs)
+				if err != nil {
+					return err
+				}
+				for s := 0; s < steps; s++ {
+					if err := w.BeginStep(); err != nil {
+						return err
+					}
+					data := make([]float64, blockLen)
+					for i := range data {
+						data[i] = model[s][r.ID*blockLen+i]
+					}
+					err := w.PutFloat64("field",
+						[]int64{blockLen},
+						[]int64{int64(r.ID * blockLen)}, data)
+					if err != nil {
+						return err
+					}
+					if err := w.EndStep(); err != nil {
+						return err
+					}
+				}
+				return w.Close()
+			})
+			if err := mpi.FirstError(errs); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := storage.NewContext()
+			rd, err := adios.OpenReader(ctx, fs, "/out.bp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd.Steps() != steps {
+				t.Fatalf("Steps = %d, want %d", rd.Steps(), steps)
+			}
+			vars := rd.Variables()
+			if len(vars) != 1 || vars[0] != "field" {
+				t.Fatalf("Variables = %v", vars)
+			}
+			for s := 0; s < steps; s++ {
+				got, err := rd.ReadGlobal1D(ctx, "field", s)
+				if err != nil {
+					t.Fatalf("step %d: %v", s, err)
+				}
+				if len(got) != len(model[s]) {
+					t.Fatalf("step %d: %d elems, want %d", s, len(got), len(model[s]))
+				}
+				for i := range got {
+					if got[i] != model[s][i] {
+						t.Fatalf("step %d elem %d = %v, want %v", s, i, got[i], model[s][i])
+					}
+				}
+				// Spot-check one block through the per-block interface.
+				blocks := rd.Blocks("field", s)
+				if len(blocks) != ranks {
+					t.Fatalf("step %d: %d blocks, want %d", s, len(blocks), ranks)
+				}
+				bd, err := rd.ReadBlock(ctx, blocks[s%ranks])
+				if err != nil {
+					t.Fatal(err)
+				}
+				off := blocks[s%ranks].Offsets[0]
+				for i := range bd {
+					if bd[i] != model[s][int(off)+i] {
+						t.Fatalf("step %d block elem %d = %v, want %v", s, i, bd[i], model[s][int(off)+i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -89,6 +89,16 @@ func Run(n int, cost sim.CostModel, fn func(r *Rank) error) []error {
 	return errs
 }
 
+// Self returns a single-rank communicator (MPI_COMM_SELF): collectives
+// complete immediately because the lone rank is always the last arriver.
+// It exists so MPI-IO file semantics (write-behind, visibility-on-sync)
+// can be embedded outside an mpi.Run world — mpiio's storage.FileSystem
+// adapter opens every handle on its own Self rank. The rank adopts ctx for
+// its storage calls so costs land on the caller's virtual clock.
+func Self(ctx *storage.Context, cost sim.CostModel) *Rank {
+	return &Rank{ID: 0, world: newWorld(1, cost), Ctx: ctx}
+}
+
 // FirstError returns the first non-nil error from a Run result, or nil.
 func FirstError(errs []error) error {
 	for _, e := range errs {

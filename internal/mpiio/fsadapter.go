@@ -1,0 +1,107 @@
+package mpiio
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// FS adapts the MPI-IO library itself to storage.FileSystem, so the
+// write-behind/visibility-on-sync semantics of Section II-A can sit in the
+// front-end conformance matrix next to the backends it runs over. Every
+// handle is an mpiio.File opened on its own single-rank communicator
+// (MPI_COMM_SELF): writes buffer per handle and become globally visible on
+// Sync or Close, reads overlay the handle's own pending writes (MPI-IO
+// local visibility), and everything else passes through to the inner file
+// system.
+type FS struct {
+	inner storage.FileSystem
+	cost  sim.CostModel
+	opts  Options
+}
+
+// NewFS wraps inner with MPI-IO handle semantics. cost prices the (here
+// trivial, single-rank) collective synchronization.
+func NewFS(inner storage.FileSystem, cost sim.CostModel, opts Options) *FS {
+	return &FS{inner: inner, cost: cost, opts: opts}
+}
+
+// Inner returns the wrapped file system.
+func (fs *FS) Inner() storage.FileSystem { return fs.inner }
+
+// ChunkSize forwards the inner backend's placement granularity
+// (storage.ChunkSizer) so collective writes align through the adapter too.
+func (fs *FS) ChunkSize() int {
+	if cs, ok := fs.inner.(storage.ChunkSizer); ok {
+		return cs.ChunkSize()
+	}
+	return 0
+}
+
+// Create opens a new (or truncated) file with MPI-IO write-behind.
+func (fs *FS) Create(ctx *storage.Context, path string) (storage.Handle, error) {
+	f, err := Open(mpi.Self(ctx, fs.cost), fs.inner, path, true, fs.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &fsHandle{f: f}, nil
+}
+
+// Open opens an existing file with MPI-IO write-behind.
+func (fs *FS) Open(ctx *storage.Context, path string) (storage.Handle, error) {
+	f, err := Open(mpi.Self(ctx, fs.cost), fs.inner, path, false, fs.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &fsHandle{f: f}, nil
+}
+
+// The metadata surface passes through: MPI-IO adds semantics only to open
+// file handles, and HPC applications issue no directory traffic anyway
+// (Figure 1) — the pass-through keeps the matrix honest about that.
+
+func (fs *FS) Unlink(ctx *storage.Context, path string) error { return fs.inner.Unlink(ctx, path) }
+func (fs *FS) Stat(ctx *storage.Context, path string) (storage.FileInfo, error) {
+	return fs.inner.Stat(ctx, path)
+}
+func (fs *FS) Truncate(ctx *storage.Context, path string, size int64) error {
+	return fs.inner.Truncate(ctx, path, size)
+}
+func (fs *FS) Rename(ctx *storage.Context, oldPath, newPath string) error {
+	return fs.inner.Rename(ctx, oldPath, newPath)
+}
+func (fs *FS) Mkdir(ctx *storage.Context, path string) error { return fs.inner.Mkdir(ctx, path) }
+func (fs *FS) Rmdir(ctx *storage.Context, path string) error { return fs.inner.Rmdir(ctx, path) }
+func (fs *FS) ReadDir(ctx *storage.Context, path string) ([]storage.DirEntry, error) {
+	return fs.inner.ReadDir(ctx, path)
+}
+func (fs *FS) Chmod(ctx *storage.Context, path string, mode uint32) error {
+	return fs.inner.Chmod(ctx, path, mode)
+}
+func (fs *FS) GetXattr(ctx *storage.Context, path, name string) (string, error) {
+	return fs.inner.GetXattr(ctx, path, name)
+}
+func (fs *FS) SetXattr(ctx *storage.Context, path, name, value string) error {
+	return fs.inner.SetXattr(ctx, path, name, value)
+}
+
+// fsHandle bridges storage.Handle's ctx-carrying signatures onto an
+// mpiio.File, whose rank was pinned to the opening context.
+type fsHandle struct {
+	f *File
+}
+
+func (h *fsHandle) ReadAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	if off < 0 {
+		return 0, storage.ErrInvalidArg
+	}
+	return h.f.ReadAt(off, p)
+}
+
+func (h *fsHandle) WriteAt(ctx *storage.Context, off int64, p []byte) (int, error) {
+	return h.f.WriteAt(off, p)
+}
+
+func (h *fsHandle) Sync(ctx *storage.Context) error { return h.f.Sync() }
+
+func (h *fsHandle) Close(ctx *storage.Context) error { return h.f.Close() }

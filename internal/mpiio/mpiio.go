@@ -335,15 +335,17 @@ func (f *File) WriteAtAllv(pieces []Piece) (int64, error) {
 		return contributed, nil
 	}
 	// Partition [lo, hi) into size contiguous shares; this rank assembles
-	// and writes share #ID.
+	// and writes share #ID. Interior share boundaries are aligned to the
+	// backend's chunk size (storage.ChunkSizer) so each aggregated write
+	// covers whole chunks: on the blob store that sends every chunk to
+	// exactly one writer — no two ranks contend for one chunk's replica
+	// set, and a multi-chunk share commits through the 2PC batched write
+	// path instead of splitting chunks across ranks.
 	size := int64(f.rank.Size())
 	span := hi - lo
 	share := (span + size - 1) / size
-	myLo := lo + int64(f.rank.ID)*share
-	myHi := myLo + share
-	if myHi > hi {
-		myHi = hi
-	}
+	myLo := shareBound(lo, hi, share, f.chunkAlign(), int64(f.rank.ID))
+	myHi := shareBound(lo, hi, share, f.chunkAlign(), int64(f.rank.ID)+1)
 	if myLo < myHi {
 		buf := make([]byte, myHi-myLo)
 		filled := false
@@ -373,6 +375,41 @@ func (f *File) WriteAtAllv(pieces []Piece) (int64, error) {
 	}
 	f.rank.Barrier() // collective completion
 	return contributed, nil
+}
+
+// chunkAlign reports the backend's chunk granularity for collective share
+// partitioning (0 = no alignment).
+func (f *File) chunkAlign() int64 {
+	if cs, ok := f.fs.(storage.ChunkSizer); ok {
+		return int64(cs.ChunkSize())
+	}
+	return 0
+}
+
+// shareBound returns the k-th boundary of the collective share partition of
+// [lo, hi): the nominal boundary lo + k*share, rounded up to the next chunk
+// multiple when the backend has one. Rounding each absolute boundary (not
+// the share width) keeps the partition exact — boundaries stay monotone,
+// the first is lo, the last is hi, and every interior one lands on a chunk
+// edge even when lo itself is unaligned. Shares may end up empty; their
+// ranks simply skip the write and meet the others at the barrier.
+func shareBound(lo, hi, share, align, k int64) int64 {
+	b := lo + k*share
+	if b >= hi {
+		return hi
+	}
+	if b <= lo {
+		return lo
+	}
+	if align > 1 {
+		if rem := b % align; rem != 0 {
+			b += align - rem
+		}
+		if b > hi {
+			b = hi
+		}
+	}
+	return b
 }
 
 // ReadAtAll is the collective read: every rank reads its extent and the

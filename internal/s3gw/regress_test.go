@@ -1,0 +1,112 @@
+package s3gw
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestPutOverwriteShorterBody pins the truncate-then-write overwrite path:
+// replacing a long object with a shorter body must not leave a stale tail
+// from the previous version (the PUT truncates to zero before writing).
+func TestPutOverwriteShorterBody(t *testing.T) {
+	srv, _, _ := newServer(t)
+	long := "a-rather-long-first-version-spanning-multiple-chunks-" +
+		"0123456789012345678901234567890123456789012345678901234567890123"
+	if resp := do(t, http.MethodPut, srv.URL+"/obj", long); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first PUT status = %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodPut, srv.URL+"/obj", "tiny"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("overwrite PUT status = %d", resp.StatusCode)
+	}
+	resp := do(t, http.MethodGet, srv.URL+"/obj", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "tiny" {
+		t.Fatalf("overwritten object = %q, want %q", body, "tiny")
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "4" {
+		t.Fatalf("Content-Length = %q, want 4", cl)
+	}
+	// Overwrite with an empty body must yield an empty object too.
+	if resp := do(t, http.MethodPut, srv.URL+"/obj", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty PUT status = %d", resp.StatusCode)
+	}
+	resp = do(t, http.MethodGet, srv.URL+"/obj", "")
+	if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
+		t.Fatalf("object after empty overwrite = %q, want empty", body)
+	}
+}
+
+// TestParseRangeEdgeCases pins the single-range parser against the corner
+// specs S3 clients actually send.
+func TestParseRangeEdgeCases(t *testing.T) {
+	const size = 100
+	cases := []struct {
+		header string
+		off    int64
+		length int64
+		ok     bool
+	}{
+		{"bytes=0-99", 0, 100, true},
+		{"bytes=0-", 0, 100, true},       // open-ended from start
+		{"bytes=99-", 99, 1, true},       // open-ended at last byte
+		{"bytes=100-", 0, 0, false},      // open-ended at EOF: unsatisfiable
+		{"bytes=40-39", 0, 0, false},     // end before start
+		{"bytes=90-200", 90, 10, true},   // end clamped to size-1
+		{"bytes=0-0", 0, 1, true},        // single byte
+		{"bytes=100-110", 0, 0, false},   // wholly beyond size
+		{"bytes=-10", 0, 0, false},       // suffix form unsupported here
+		{"bytes=a-b", 0, 0, false},       // garbage
+		{"bytes=0-9,20-29", 0, 0, false}, // multi-range unsupported
+		{"bites=0-9", 0, 0, false},       // wrong unit
+		{"bytes=0", 0, 0, false},         // no dash
+		{"", 0, 0, false},                // absent header
+	}
+	for _, c := range cases {
+		off, length, ok := parseRange(c.header, size)
+		if ok != c.ok || off != c.off || length != c.length {
+			t.Errorf("parseRange(%q, %d) = (%d, %d, %v), want (%d, %d, %v)",
+				c.header, size, off, length, ok, c.off, c.length, c.ok)
+		}
+	}
+}
+
+// TestRangeAtEOFOverHTTP drives range corner cases through the gateway:
+// "bytes=<size>-" is unsatisfiable (416, the S3 answer), while an
+// in-bounds open-ended range serves the 206 suffix.
+func TestRangeAtEOFOverHTTP(t *testing.T) {
+	srv, _, _ := newServer(t)
+	if resp := do(t, http.MethodPut, srv.URL+"/r", "0123456789"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	getRange := func(spec string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/r", nil)
+		req.Header.Set("Range", spec)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := getRange("bytes=10-"); resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("GET with EOF range: status %d, want 416", resp.StatusCode)
+	}
+	if resp := getRange("bytes=5-999"); resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("GET with clamped range: status %d, want 206", resp.StatusCode)
+	} else {
+		if body, _ := io.ReadAll(resp.Body); string(body) != "56789" {
+			t.Fatalf("clamped range body = %q, want %q", body, "56789")
+		}
+		if cr := resp.Header.Get("Content-Range"); cr != "bytes 5-9/10" {
+			t.Fatalf("Content-Range = %q", cr)
+		}
+	}
+	if resp := getRange("bytes=junk"); resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("GET with malformed range: status %d, want 416", resp.StatusCode)
+	}
+}

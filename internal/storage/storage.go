@@ -86,6 +86,24 @@ type BlobStore interface {
 	Scan(ctx *Context, prefix string) ([]BlobInfo, error)
 }
 
+// BlobRenamer is an optional BlobStore extension: a server-side rename that
+// moves a blob to a new key without streaming its bytes through the client.
+// Adapters discover it by type assertion and fall back to the honest
+// copy-then-delete emulation when the store does not provide it.
+type BlobRenamer interface {
+	// RenameBlob moves the blob at oldKey to newKey. The target key must
+	// not exist (ErrExists otherwise); the source must (ErrNotFound).
+	RenameBlob(ctx *Context, oldKey, newKey string) error
+}
+
+// ChunkSizer is an optional extension reporting the backend's natural
+// placement granularity in bytes. Clients that partition collective writes
+// (mpiio two-phase I/O) align their shares to it so each aggregated write
+// maps onto whole chunks. A return of 0 means "no natural granularity".
+type ChunkSizer interface {
+	ChunkSize() int
+}
+
 // FileInfo describes a file or directory.
 type FileInfo struct {
 	Name  string

@@ -12,16 +12,21 @@
 # touches — the blob data plane, the sharded WAL lanes it appends to, the
 # virtual-time substrate it folds costs into, plus the remaining
 # concurrent packages (core, storage, kvstore) so the analyzers' static
-# guarantees and the dynamic race detector cover the same tree;
+# guarantees and the dynamic race detector cover the same tree, plus
+# every front-end the conformance matrix registers (fstest, blobfs,
+# posixfs, relaxedfs, mpiio, h5, adios, s3gw, sparksim) so the converged
+# surface runs under the detector too;
 # -shuffle=on randomizes test order so accidental
-# inter-test state dependencies cannot hide a regression. Each wal and
-# blob fuzz target then runs for a short fixed budget — FuzzReplayMerged
-# covers lane interleavings, per-lane torn tails, and checkpoint-then-
-# append resets on top of the single-stream battery, and the blob-side
-# FuzzRecoverParallel pits the parallel lane-decode recovery pipeline
-# against the serial oracle on fuzzed workloads and tears — so framing,
-# merge, replay, or recovery-equivalence regressions are caught here, not
-# in a later crash.
+# inter-test state dependencies cannot hide a regression. Each wal,
+# blob, and fstest fuzz target then runs for a short fixed budget —
+# FuzzReplayMerged covers lane interleavings, per-lane torn tails, and
+# checkpoint-then-append resets on top of the single-stream battery, the
+# blob-side FuzzRecoverParallel pits the parallel lane-decode recovery
+# pipeline against the serial oracle on fuzzed workloads and tears, and
+# fstest's FuzzFSOps replays randomized op scripts differentially against
+# the posixfs reference over every registered backend — so framing,
+# merge, replay, recovery-equivalence, or front-end-semantics regressions
+# are caught here, not in a later crash.
 #
 # The -race suite includes the full seeded chaos battery (TestChaosBattery:
 # 200 fault schedules of crash/tear/flap/transient-error under concurrent
@@ -47,21 +52,32 @@
 # virtual-cost bound (bench.CheckFaults) so losing a replica never makes
 # the write path do pathological extra work.
 #
-# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file] [faults-output-file]
+# The frontends experiment then measures the converged claim end-to-end
+# (IOR-style HPC pattern, sparksim shuffle, s3gw put/get) into
+# BENCH_frontends.json, gated on the rename fastpath/copy virtual ratio
+# (bench.CheckFrontends) before the file is overwritten, and
+# scripts/examples.sh smoke-runs every example program so the documented
+# entry points cannot rot unnoticed.
+#
+# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file] [faults-output-file] [frontends-output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 rout="${2:-BENCH_recovery.json}"
 fout="${3:-BENCH_faults.json}"
+feout="${4:-BENCH_frontends.json}"
 go run ./cmd/blobvet ./...
 go vet ./...
-go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/... ./internal/core/... ./internal/storage/... ./internal/kvstore/...
-for pkg in ./internal/wal ./internal/blob; do
+go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/... ./internal/core/... ./internal/storage/... ./internal/kvstore/... \
+	./internal/fstest/... ./internal/blobfs/... ./internal/fs/... ./internal/mpiio/... ./internal/h5/... ./internal/adios/... ./internal/s3gw/... ./internal/sparksim/...
+for pkg in ./internal/wal ./internal/blob ./internal/fstest; do
 	for fz in $(go test -run '^$' -list '^Fuzz' "$pkg" | grep '^Fuzz'); do
 		go test -run '^$' -fuzz "^${fz}\$" -fuzztime 10s "$pkg"
 	done
 done
+scripts/examples.sh
 go test -run '^$' -bench 'HotPath|Recover|Fault' -benchmem -benchtime=1s .
 go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out" -hotpath-baseline BENCH_hotpath.json
 go run ./cmd/benchsuite -exp recovery -recovery-out "$rout"
 go run ./cmd/benchsuite -exp faults -faults-out "$fout"
+go run ./cmd/benchsuite -exp frontends -frontends-out "$feout"
