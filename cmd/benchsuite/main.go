@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery|faults|frontends]
+//	benchsuite [-exp all|table1|fig1|fig2|table2|mapping|futurework|hotpath|recovery|faults|frontends|rebalance]
 //	           [-factor N] [-chunk N] [-ranks N] [-executors N]
 //	           [-hotpath-out FILE] [-hotpath-baseline FILE]
 //	           [-recovery-out FILE] [-recovery-ratio R]
 //	           [-faults-out FILE] [-faults-ratio R]
 //	           [-frontends-out FILE] [-frontends-ratio R]
+//	           [-rebalance-out FILE] [-rebalance-ratio R]
 //
 // The default factor 1024 scales the paper's GB volumes to MB; the chunk
 // scales the per-call I/O unit accordingly (see internal/workloads).
@@ -61,6 +62,16 @@
 // the file is written.
 //
 //	go run ./cmd/benchsuite -exp frontends
+//
+// The rebalance experiment is the elasticity benchcheck target: the
+// foreground p99 of a mixed read / 2PC-write workload during a live node
+// join and drain, against the same workload quiesced, written to
+// -rebalance-out (default BENCH_rebalance.json). The gate reads the three
+// deterministic /virtual rows, bounding the during-migration/quiesced p99
+// ratio by -rebalance-ratio (default 4, see bench.CheckRebalance; 0
+// disables) BEFORE the file is written.
+//
+//	go run ./cmd/benchsuite -exp rebalance
 package main
 
 import (
@@ -73,7 +84,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery, faults, frontends")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig1, fig2, table2, mapping, futurework, hotpath, recovery, faults, frontends, rebalance")
 	factor := flag.Int64("factor", 1024, "divide the paper's byte volumes by this factor")
 	chunk := flag.Int("chunk", 4096, "per-call I/O unit in bytes")
 	ranks := flag.Int("ranks", 8, "MPI ranks for HPC applications")
@@ -91,6 +102,9 @@ func main() {
 	frontendsOut := flag.String("frontends-out", "BENCH_frontends.json", "output file for the frontends experiment")
 	frontendsRatio := flag.Float64("frontends-ratio", -1,
 		"max fastpath/copy rename ns-per-op ratio gate: <0 picks the default (0.95), 0 disables the gate")
+	rebalanceOut := flag.String("rebalance-out", "BENCH_rebalance.json", "output file for the rebalance experiment")
+	rebalanceRatio := flag.Float64("rebalance-ratio", -1,
+		"max during-migration/quiesced foreground p99 ratio gate: <0 picks the default (4), 0 disables the gate")
 	flag.Parse()
 
 	// Read the baseline up front: -hotpath-out usually names the same file,
@@ -312,5 +326,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *frontendsOut)
+	}
+	// The rebalance experiment is the fifth benchcheck target: foreground
+	// p99 latency during a live join/drain against the quiesced baseline,
+	// gated on the throttled, batched migration sweep never costing the
+	// foreground more than bounded contention before BENCH_rebalance.json
+	// is written.
+	if *exp == "rebalance" {
+		results, err := bench.RunRebalance()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: rebalance: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-48s %12d ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		if *rebalanceRatio != 0 {
+			if err := bench.CheckRebalance(results, *rebalanceRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: rebalance: %v (output left untouched)\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("migration/quiesced foreground-p99 gate: ok")
+		}
+		out, err := bench.RenderRebalance(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: rebalance: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*rebalanceOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: rebalance: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *rebalanceOut)
 	}
 }

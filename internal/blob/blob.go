@@ -107,6 +107,66 @@
 // data plane absorbs with bounded retry and virtual-clock backoff
 // (fault.go); crashes are simulated by dropping volatile state and
 // replaying the (possibly torn) log.
+//
+// # Membership and elasticity semantics
+//
+// AddServer/RemoveServer change placement online: foreground reads and
+// writes keep succeeding — and stay stale-free — while chunks move
+// (rebalance.go). The protocol is ARIES-style intent logging over
+// RADOS-style epoch-versioned placement:
+//
+// Intent before mutation. The membership change appends a durable
+// RecMigrateBegin to every live server's log BEFORE the ring mutates, and
+// a RecMigrateEnd once the sweep completes. A crash anywhere between the
+// two recovers with the intent open; the last Recover that leaves no
+// server wiped rolls the migration forward (resumeMigration) by
+// reconciling every held chunk and descriptor against the current ring —
+// copy to owners missing a replica, delete from holders that lost
+// ownership — so recovery always lands on a placement the system could
+// have reached, never a half-remembered sweep position. Checkpoints re-log
+// an open intent before resetting the lanes, so compaction cannot lose it.
+//
+// The epoch flip is atomic with respect to foreground ops. Ops hold
+// Store.member shared for their duration; the ring mutation takes it
+// exclusively for an instant. An in-flight write therefore lands entirely
+// on the old owner sets (its chunks are picked up as holders by the sweep)
+// or entirely on the new ones — never a mix that could strand an
+// acknowledged write on a replica the sweep then deletes.
+//
+// Batches are crash-atomic and throttled. The sweep moves chunks in
+// bounded batches (Config.MigrationBatchChunks/MigrationBatchBytes), each
+// 2PC-logged: a prepare marker on the gained owners, buffered chunk-copy
+// and chunk-delete records, then a commit marker on every participant.
+// Replay materializes a batch only at its commit marker — version-guarded,
+// so copies never regress a chunk a concurrent write advanced — which
+// makes every batch fully applied or fully absent after a crash. A token
+// bucket (Config.MigrationRateBytes per virtual-time tick) debits each
+// batch's bytes before dispatch, charging deficits to the migration
+// caller's clock, and at most one batch is in flight on the pool.
+//
+// Live traffic during the sweep. While Store.migrating is nonzero, reads
+// take the version-checked path with the candidate set widened from the
+// current owners to every non-wiped server — a chunk's only fresh copy
+// (and the debt mask naming its stale peers) may still sit on the drained
+// node or a stray holder the sweep has not reached — serving the
+// highest-versioned fresh live holder, vetoed into unavailability by any
+// fresh down holder strictly ahead of it. Writes assign versions against
+// the same widened scan (nextChunkVer), so the version order stays globally
+// comparable mid-handover, and exclude owners whose chunk version is
+// behind that maximum, recording repair debt instead of writing a partial
+// update over a base the owner does not hold yet. A soft-down gained
+// owner receives its migration copy exactly as it receives a foreground
+// write after the partition snapshot (retained memory + log keep it
+// consistent); only a crash-wiped target becomes repair debt, converged
+// by resyncNode after its recovery.
+// Descriptors move by sharing the canonical *descriptor pointer with
+// gained owners under the blob's latch, so writers racing the handover
+// still serialize on a single latch and log sizes in a replayable order.
+//
+// Draining a node resets its logs. RemoveServer clears the drained node's
+// memory AND its WAL lanes (ResetAll) once the sweep completes, so a later
+// Crash/Recover of that node — or a rejoin via AddServer — cannot
+// resurrect pre-drain state from stale records.
 package blob
 
 import (
@@ -172,6 +232,32 @@ type Config struct {
 	// is up, with the first live owner promoted to primary. Setting it to
 	// Replication restores the strict all-replicas-or-fail behavior.
 	MinLiveOwners int
+	// MigrationBatchChunks caps how many chunks one rebalance batch moves:
+	// each AddServer/RemoveServer sweep is cut into batches of at most this
+	// many chunks, each batch 2PC-logged (RecMigrateBatch prepare / copies /
+	// deletes / commit) and individually crash-atomic. Defaults to 16.
+	MigrationBatchChunks int
+	// MigrationBatchBytes additionally bounds a batch by payload volume:
+	// a batch closes once its source bytes reach this cap (a single chunk
+	// larger than the cap still forms a one-chunk batch). This is the bound
+	// on in-flight migration bytes — at most one batch is in flight.
+	// Defaults to 1 MiB.
+	MigrationBatchBytes int
+	// MigrationRateBytes throttles the rebalance sweep against foreground
+	// traffic: a token bucket holding one migrationTick's worth of budget
+	// refills MigrationRateBytes per virtual-time tick, and a batch's bytes
+	// are debited before it dispatches — deficits charge idle ticks to the
+	// migration caller's virtual clock, never to foreground ops. Defaults
+	// to 8 MiB per tick. Set to a huge value to effectively disable
+	// throttling (tests do).
+	MigrationRateBytes int
+	// MigrationBatchHook, when set, is called on the migration caller's
+	// goroutine at every batch boundary of a rebalance sweep: once with -1
+	// after the intent is durable but before any batch dispatches, then
+	// once after each committed batch. Benchmarks and tests use it to
+	// interleave foreground work with a live migration at deterministic
+	// points; production configs leave it nil.
+	MigrationBatchHook func(batch int)
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +275,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinLiveOwners <= 0 {
 		c.MinLiveOwners = 1
+	}
+	if c.MigrationBatchChunks <= 0 {
+		c.MigrationBatchChunks = 16
+	}
+	if c.MigrationBatchBytes <= 0 {
+		c.MigrationBatchBytes = 1 << 20
+	}
+	if c.MigrationRateBytes <= 0 {
+		c.MigrationRateBytes = 8 << 20
 	}
 	return c
 }
@@ -285,16 +380,6 @@ func (s *Store) ownersForHash(h uint64) []int {
 	return owners
 }
 
-// ownersUncachedForHash computes a replica set straight from the ring,
-// bypassing the cache. Pre-migration snapshots use it: their lookups are
-// about to be invalidated by the epoch bump, so caching them is wasted
-// write-back churn.
-func (s *Store) ownersUncachedForHash(h uint64) []int {
-	dst := make([]int, s.cfg.Replication)
-	got := s.ring.LocateHashNInto(h, dst)
-	return dst[:got]
-}
-
 // Store is a blob store running on a simulated cluster. It implements
 // storage.BlobStore.
 type Store struct {
@@ -311,6 +396,47 @@ type Store struct {
 	// retries, repaired chunks/bytes. Only event paths touch it, so the
 	// healthy hot path pays nothing.
 	metrics *metrics.Registry
+
+	// member gates foreground ops against the instant the ring mutates:
+	// every placement-resolving op holds it shared for its whole duration,
+	// and AddServer/RemoveServer take it exclusively around the ring
+	// mutation alone. That makes the epoch flip atomic with respect to
+	// in-flight ops — a write either runs entirely against the old owner
+	// sets (and its chunks are then migrated as holders) or entirely
+	// against the new ones — without serializing foreground traffic behind
+	// the migration sweep itself.
+	member sync.RWMutex
+	// migrateMu serializes membership changes end to end: at most one
+	// migration sweep runs at a time, so the ring epoch is stable for the
+	// sweep's whole duration.
+	migrateMu sync.Mutex
+	// migSeq numbers migrations (under migrateMu) so intent records are
+	// totally ordered per store lifetime.
+	migSeq uint64
+	// migrating is nonzero while a migration sweep (or crash roll-forward)
+	// is in flight. Reads then take the version-checked path and writes
+	// exclude owners still awaiting their migration copy (io.go), which is
+	// what keeps live traffic stale-free while placement converges.
+	migrating atomic.Int64
+	// migIntent publishes the open migration intent (live, or replayed
+	// from a RecMigrateBegin without a matching End) so checkpoints can
+	// re-log it and Recover can roll the migration forward once no server
+	// is left wiped.
+	migIntent atomic.Pointer[migrationIntent]
+	// migBatchHook, when set, runs on the migration caller after each
+	// batch commits — the seam the crash sweep uses to capture
+	// batch-boundary media and to interleave foreground 2PC load. Seeded
+	// from Config.MigrationBatchHook; tests in this package assign it
+	// directly.
+	migBatchHook func(batch int)
+}
+
+// migrationIntent is the in-memory form of a RecMigrateBegin record: one
+// membership change that has been durably announced but not yet completed.
+type migrationIntent struct {
+	seq  uint64
+	op   uint8 // migOpAdd or migOpRemove
+	node int64
 }
 
 // chunkStripes is the lock-striping factor of each server's chunk table.
@@ -360,6 +486,10 @@ type server struct {
 	// repairPending points at the store-wide debt-entry counter so stripe
 	// helpers can maintain it without a back-pointer to the Store.
 	repairPending *atomic.Int64
+	// migIntent points at the store-wide open-migration pointer so the
+	// checkpoint planner (which only sees the server) can re-log an open
+	// RecMigrateBegin before ResetAll drops it from the lanes.
+	migIntent *atomic.Pointer[migrationIntent]
 }
 
 // chunkLane selects the log lane for a chunk placement hash.
@@ -544,13 +674,15 @@ func NewOnNodes(c *cluster.Cluster, cfg Config, serving []cluster.NodeID) *Store
 			inRing[id] = true
 		}
 	}
-	s := &Store{cfg: cfg, cluster: c, ring: chash.New(cfg.VNodes), metrics: metrics.NewRegistry()}
+	s := &Store{cfg: cfg, cluster: c, ring: chash.New(cfg.VNodes), metrics: metrics.NewRegistry(),
+		migBatchHook: cfg.MigrationBatchHook}
 	for _, n := range c.Nodes() {
 		sv := &server{
 			node:          n.ID,
 			blobs:         make(map[string]*descriptor),
 			wal:           wal.NewMultiLog(cfg.WALLanes),
 			repairPending: &s.repairPending,
+			migIntent:     &s.migIntent,
 		}
 		for i := range sv.stripes {
 			sv.stripes[i].m = make(map[chunkID][]byte)
@@ -634,6 +766,13 @@ func (s *Store) chunkOwners(id chunkID) []int {
 
 // primaryDesc returns the primary descriptor server and the live descriptor
 // for key, or storage.ErrNotFound.
+//
+// While a migration is in flight the new primary may not have received its
+// descriptor copy yet; the lookup then falls back to the canonical holder
+// (canonicalDesc) instead of failing, so foreground ops keep succeeding
+// throughout a live join/leave. The fallback resolves to the same
+// *descriptor object the migration sweep installs onto gained owners, so
+// every op serializes on one latch per blob even mid-handover.
 func (s *Store) primaryDesc(key string) (*server, *descriptor, error) {
 	owners := s.descOwners(key)
 	if len(owners) == 0 {
@@ -644,9 +783,44 @@ func (s *Store) primaryDesc(key string) (*server, *descriptor, error) {
 	d, ok := sv.blobs[key]
 	sv.mu.RUnlock()
 	if !ok {
+		if s.migrating.Load() != 0 {
+			if sv, d := s.canonicalDesc(key, owners); d != nil {
+				return sv, d, nil
+			}
+		}
 		return nil, nil, fmt.Errorf("blob %q: %w", key, storage.ErrNotFound)
 	}
 	return sv, d, nil
+}
+
+// canonicalDesc returns the canonical copy of a descriptor during a
+// migration: the first current owner holding it, else the first holder in
+// node order. Deterministic — concurrent callers resolve the same object,
+// and the migration desc sweep installs exactly this object's pointer onto
+// gained owners (install before delete, per key), so the canonical object
+// is stable across the whole handover.
+func (s *Store) canonicalDesc(key string, owners []int) (*server, *descriptor) {
+	for _, o := range owners {
+		sv := s.servers[o]
+		sv.mu.RLock()
+		d, ok := sv.blobs[key]
+		sv.mu.RUnlock()
+		if ok {
+			return sv, d
+		}
+	}
+	for _, sv := range s.servers {
+		if sv.isWiped() {
+			continue
+		}
+		sv.mu.RLock()
+		d, ok := sv.blobs[key]
+		sv.mu.RUnlock()
+		if ok {
+			return sv, d
+		}
+	}
+	return nil, nil
 }
 
 // hdrPool stages the small record headers of vectored WAL appends (chunk
@@ -698,6 +872,15 @@ func (s *Store) walAppendMeta(cg *charge, sv *server, t wal.RecordType, key stri
 // CreateBlob registers a new, empty blob. The descriptor is written to its
 // primary and replicated synchronously.
 func (s *Store) CreateBlob(ctx *storage.Context, key string) error {
+	s.member.RLock()
+	defer s.member.RUnlock()
+	return s.createBlob(ctx, key)
+}
+
+// createBlob is CreateBlob without the member gate, for callers already
+// holding it (RenameBlob): RLock does not nest — a writer queued between
+// two read acquisitions deadlocks both.
+func (s *Store) createBlob(ctx *storage.Context, key string) error {
 	if key == "" || strings.ContainsRune(key, '\x00') {
 		return fmt.Errorf("blob key %q: %w", key, storage.ErrInvalidArg)
 	}
@@ -749,6 +932,8 @@ func (s *Store) replicateDesc(ctx *storage.Context, key string, replicas []int, 
 // deletion records bound for the same server are batched into one WAL
 // append.
 func (s *Store) DeleteBlob(ctx *storage.Context, key string) error {
+	s.member.RLock()
+	defer s.member.RUnlock()
 	primary, d, err := s.primaryDesc(key)
 	if err != nil {
 		return err
@@ -800,6 +985,8 @@ func (s *Store) deleteLocked(ctx *storage.Context, key string, primary *server, 
 
 // BlobSize reports the blob's size from its primary descriptor.
 func (s *Store) BlobSize(ctx *storage.Context, key string) (int64, error) {
+	s.member.RLock()
+	defer s.member.RUnlock()
 	primary, d, err := s.primaryDesc(key)
 	if err != nil {
 		return 0, err

@@ -123,6 +123,18 @@ func runChaosSchedule(t *testing.T, seed uint64) {
 	}
 	flaps := &chaosFlaps{s: s, down: make(map[int]bool)}
 
+	// On every fifth seed a membership actor joins the schedule: node 4 is
+	// drained out of and re-added to the ring WHILE the workers, flaps, and
+	// fault injection run — live elasticity under chaos. The flaps (and the
+	// burst-end crash victim) then stay off node 4 so the drain/join target
+	// itself is up; everything around it may still fail, so migrations hit
+	// down owners and record repair debt that the heal must drain.
+	membership := seed%5 == 0
+	flapRange := nodes
+	if membership {
+		flapRange = nodes - 1
+	}
+
 	for b := 0; b < bursts; b++ {
 		// Transient + slow noise on every op class for the burst's duration.
 		s.cluster.SetFaultInjector(cluster.NewFaultPlan(seed*1000+uint64(b), []cluster.FaultRule{
@@ -141,7 +153,7 @@ func runChaosSchedule(t *testing.T, seed uint64) {
 				wctx := storage.NewContext()
 				for op := 0; op < opsPer; op++ {
 					if wrng.Float64() < 0.15 {
-						flaps.flap(wrng.Intn(nodes), maxDown)
+						flaps.flap(wrng.Intn(flapRange), maxDown)
 					}
 					switch {
 					case wrng.Float64() < 0.55: // write (single- or multi-chunk)
@@ -184,6 +196,24 @@ func runChaosSchedule(t *testing.T, seed uint64) {
 				}
 			}()
 		}
+		if membership {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mctx := storage.NewContext()
+				if s.serving(4) {
+					tracef("membership: removing node 4")
+					if err := s.RemoveServer(mctx, 4); err != nil {
+						t.Errorf("seed %d: remove node 4: %v", seed, err)
+					}
+				} else {
+					tracef("membership: adding node 4")
+					if err := s.AddServer(mctx, 4); err != nil {
+						t.Errorf("seed %d: add node 4: %v", seed, err)
+					}
+				}
+			}()
+		}
 		wg.Wait()
 		s.cluster.SetFaultInjector(nil)
 		if t.Failed() {
@@ -195,7 +225,7 @@ func runChaosSchedule(t *testing.T, seed uint64) {
 		// and recover it against its live peers.
 		flaps.healAll()
 		if rng.Float64() < 0.7 {
-			victim := rng.Intn(nodes)
+			victim := rng.Intn(flapRange)
 			sv := s.servers[victim]
 			if rng.Float64() < 0.5 {
 				lane := rng.Intn(sv.wal.Lanes())
@@ -208,6 +238,15 @@ func runChaosSchedule(t *testing.T, seed uint64) {
 			if err := s.Recover(cluster.NodeID(victim)); err != nil {
 				t.Fatalf("seed %d: recover node %d: %v", seed, victim, err)
 			}
+		}
+	}
+
+	// Re-seat node 4 if the last burst left it drained: the convergence
+	// checks below must cover a cluster that went through a full
+	// remove/add round trip.
+	if membership && !s.serving(4) {
+		if err := s.AddServer(ctx, 4); err != nil {
+			t.Fatalf("seed %d: re-add node 4: %v", seed, err)
 		}
 	}
 

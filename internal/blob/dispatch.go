@@ -129,6 +129,52 @@
 //     (enforced: manual: epoch re-check is a liveness protocol, pinned by
 //     the rebalance/repair chaos tests)
 //
+// # Migration stages
+//
+// Membership changes (rebalance.go) run the reconcile sweep's per-chunk
+// migrateChunk tasks through this pool, one 2PC batch in flight at a time,
+// under four additional rules:
+//
+//   - The descriptor handover sweep is caller-only and runs BEFORE any
+//     chunk batch: it installs the canonical descriptor pointer on gained
+//     owners under that blob's latch (held in read mode, re-resolving under
+//     the latch to exclude a racing DeleteBlob). Chunk-batch tasks
+//     therefore never need — and must never take — a descriptor latch;
+//     like repair tasks they touch only stripe locks, server maps, and WAL
+//     lanes. revalidateBatch, which does read the latch to re-check blob
+//     extents, runs on the batch CALLER after join, never in a task.
+//     (enforced: blobvet/workerlatch — migrateChunk is in the
+//     task-reachable graph, where latch takes are flagged)
+//   - Durable-before-visible, per batch: tasks append buffered copy/delete
+//     records (RecMigrateBatch) and defer every in-memory mutation to the
+//     batch caller, which materializes installs and deletes only AFTER the
+//     commit markers land on all logged participants. Installs are
+//     version-guarded (setChunkIfNewer), mirroring the replay-side guard,
+//     so a concurrent foreground write that outran the copy wins on both
+//     sides of a crash.
+//     (enforced: manual: commit-before-materialize ordering is pinned by
+//     the migration crash sweep's batch-boundary and torn-tail captures)
+//   - Migration appends ride the accounted append path: intents and batch
+//     markers go to the migration lane, buffered chunk records to the
+//     chunk's natural lane, all through walAppendLane so the server-scoped
+//     order keys keep merged replay in true append order.
+//     (enforced: blobvet/walappend — walAppendLane and checkpointLane are
+//     the only direct lane writers)
+//   - Sweep iteration is determinism-critical: the descriptor sweep and the
+//     migration plan sort their key/chunk sets before walking them, so the
+//     record order every log receives — and therefore the roll-forward
+//     replay — is independent of Go map iteration order.
+//     (enforced: blobvet/virtualtime — map-order-dependent effects in the
+//     accounted call graph are flagged)
+//   - The ring mutates only under the exclusive member gate, and every
+//     placement-resolving foreground op holds the gate shared end-to-end
+//     (resolve through last replica ack), so an epoch flip never splits one
+//     op across two placements. The gate is held for the flip instant only
+//     — never across the sweep — so foreground traffic runs throughout.
+//     (enforced: manual: gate coverage is a protocol property, pinned by
+//     the live-traffic migration tests and the chaos battery's membership
+//     actor)
+//
 // The pool is package-global, lazily started, and bounded by GOMAXPROCS
 // (capped at maxDispatchWorkers). Workers never block: a task that fans out
 // further (replica writes) records the sub-fan and returns, and a spawn
@@ -361,6 +407,7 @@ type fanTask struct {
 	sv     *server
 	rec    wal.RecordType
 	key    string
+	desc   *descriptor // taskDescReplicate: the primary's object, to skip pointer-shared stores
 	lane   int  // taskWalFlush: the target log lane of the spec batch
 	meta   bool // taskWalFlush: charge one round trip per record; taskDescReplicate: upsert
 	specs  []wal.AppendVSpec
@@ -449,7 +496,11 @@ func (t *fanTask) run() {
 			t.sv.blobs[t.key] = d
 			ok = true
 		}
-		if ok {
+		// Skip the store when the replica maps the key to the primary's own
+		// descriptor object (pointer-shared by the migration handover): the
+		// caller already set the size under the latch, and two replica
+		// tasks storing the shared field would race.
+		if ok && d != t.desc {
 			d.size = t.size
 		}
 		t.sv.mu.Unlock()
@@ -544,6 +595,7 @@ func (t *fanTask) release() {
 	t.sv = nil
 	t.rec = 0
 	t.key = ""
+	t.desc = nil
 	t.lane = 0
 	t.meta = false
 	t.specs = nil

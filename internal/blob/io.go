@@ -16,6 +16,8 @@ func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) 
 	if off < 0 {
 		return 0, fmt.Errorf("read %q at %d: %w", key, off, storage.ErrInvalidArg)
 	}
+	s.member.RLock()
+	defer s.member.RUnlock()
 	primary, d, err := s.primaryDesc(key)
 	if err != nil {
 		return 0, err
@@ -74,7 +76,11 @@ func (s *Store) ReadBlob(ctx *storage.Context, key string, off int64, p []byte) 
 func (s *Store) readChunk(cg *charge, id chunkID, within int64, dst []byte) error {
 	h := id.ringHash()
 	owners := s.ownersForHash(h)
-	if s.repairPending.Load() != 0 {
+	// A live migration forces the checked path too: a gained owner that has
+	// not yet received its copy holds nothing (or an older version) with no
+	// debt mask naming it, and only the version comparison keeps it from
+	// serving a stale or empty read while placement converges.
+	if s.repairPending.Load() != 0 || s.migrating.Load() != 0 {
 		return s.readChunkChecked(cg, h, id, owners, within, dst)
 	}
 	for _, o := range owners {
@@ -116,6 +122,23 @@ func (s *Store) readReplica(cg *charge, sv *server, h uint64, id chunkID, within
 // highest-versioned live owner not named stale. A replica that missed a
 // write is therefore unreachable until repair clears its debt bit.
 func (s *Store) readChunkChecked(cg *charge, h uint64, id chunkID, owners []int, within int64, dst []byte) error {
+	// While a migration is in flight the candidate set widens from the
+	// current owners to every non-wiped server: the chunk's only fresh copy
+	// (and the debt mask that names its stale peers) may still sit on a
+	// drained node or a stray holder the reconcile sweep has not reached,
+	// while the gained owners hold nothing at all. Restricting the scan to
+	// the post-flip owner set there serves sparse zeros off a live-but-empty
+	// gained owner — a stale read nothing in the owner set can veto.
+	if s.migrating.Load() != 0 {
+		// Fresh slice — the caller's owners may alias the placement cache.
+		all := make([]int, 0, len(s.servers))
+		for i, sv := range s.servers {
+			if !sv.isWiped() {
+				all = append(all, i)
+			}
+		}
+		owners = all
+	}
 	var stale uint64
 	for _, o := range owners {
 		st := s.servers[o].stripe(h)
@@ -134,6 +157,24 @@ func (s *Store) readChunkChecked(cg *charge, h uint64, id chunkID, owners []int,
 		if v := sv.chunkVer(h, id); !found || v > maxVer {
 			maxVer = v
 			found = true
+		}
+	}
+	// A fresh DOWN owner strictly ahead of every fresh live owner means the
+	// reachable copies are missing writes no debt mask accounts for — the
+	// live-but-empty gained owner of an in-flight migration is the canonical
+	// case (its copy is en route, so nothing names it stale). Down servers
+	// keep their memory (the monitor-metadata stand-in, as above), so the
+	// version probe is answerable; the read reports unavailable rather than
+	// serving bytes known to be behind. Wiped servers hold nothing and
+	// cannot veto.
+	for _, o := range owners {
+		sv := s.servers[o]
+		if !sv.isDown() || sv.isWiped() || (o < 64 && stale&(1<<uint(o)) != 0) {
+			continue
+		}
+		if sv.chunkVer(h, id) > maxVer {
+			found = false
+			break
 		}
 	}
 	if found {
@@ -161,6 +202,8 @@ func (s *Store) WriteBlob(ctx *storage.Context, key string, off int64, p []byte)
 	if off < 0 {
 		return 0, fmt.Errorf("write %q at %d: %w", key, off, storage.ErrInvalidArg)
 	}
+	s.member.RLock()
+	defer s.member.RUnlock()
 	primary, d, err := s.primaryDesc(key)
 	if err != nil {
 		return 0, err
@@ -352,7 +395,7 @@ func (s *Store) writeLockedRec(ctx *storage.Context, key string, primary *server
 		s.cluster.MetaOp(ctx.Clock, primary.node, 1)
 		cg := s.directCharge(ctx)
 		s.walAppendMeta(&cg, primary, wal.RecMeta, key, d.size)
-		s.replicateDescSize(ctx, key, d.size)
+		s.replicateDescSize(ctx, key, d, d.size)
 	}
 
 	// Degraded-write epilogue: drain the debt owed to any excluded owner
@@ -382,11 +425,30 @@ func (s *Store) writeLockedRec(ctx *storage.Context, key string, primary *server
 // the blob's descriptor latch, which serializes the chunk's mutation
 // history, so the assignment is deterministic and every replica that
 // applies the write installs the same, strictly increasing version.
+//
+// While a migration is in flight the scan widens to every non-wiped
+// server: the freshest copy may still sit entirely outside the current
+// owner set (a drained node, or a stray the reconcile sweep has not
+// reached). An owner-only scan there would re-issue a low version —
+// colliding with history the strays still hold, defeating writeChunk's
+// behind-owner exclusion (whose pl.ver-1 must be the global maximum),
+// and letting the sweep later overwrite an acknowledged write with the
+// older stray copy it out-versions.
 func (s *Store) nextChunkVer(h uint64, id chunkID, owners []int) uint64 {
 	var max uint64
 	for _, o := range owners {
 		if v := s.servers[o].chunkVer(h, id); v > max {
 			max = v
+		}
+	}
+	if s.migrating.Load() != 0 {
+		for _, sv := range s.servers {
+			if sv.isWiped() {
+				continue
+			}
+			if v := sv.chunkVer(h, id); v > max {
+				max = v
+			}
 		}
 	}
 	return max + 1
@@ -449,6 +511,7 @@ func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte,
 	}
 	var downMask uint64
 	live, promoted := 0, -1
+	migrating := s.migrating.Load() != 0
 	for _, o := range pl.owners {
 		if s.servers[o].isDown() {
 			if o >= 64 {
@@ -461,6 +524,16 @@ func (s *Store) writeChunk(t *fanTask, pl chunkPlace, within int64, data []byte,
 			continue
 		}
 		if o < 64 && stale&(1<<uint(o)) != 0 {
+			downMask |= 1 << uint(o)
+			continue
+		}
+		// During a migration an owner still awaiting its copy (gained, or an
+		// overlap owner behind the freshest version — pl.ver-1 is exactly
+		// that maximum, see nextChunkVer) must not apply a partial write
+		// over a base it never received; it goes into the debt mask like a
+		// down owner and the migration copy plus repair converge it. Fresh
+		// chunks (pl.ver == 1) have no base to miss and are unaffected.
+		if migrating && o < 64 && s.servers[o].chunkVer(pl.h, pl.id) < pl.ver-1 {
 			downMask |= 1 << uint(o)
 			continue
 		}
@@ -661,6 +734,8 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 	if size < 0 {
 		return fmt.Errorf("truncate %q to %d: %w", key, size, storage.ErrInvalidArg)
 	}
+	s.member.RLock()
+	defer s.member.RUnlock()
 	primary, d, err := s.primaryDesc(key)
 	if err != nil {
 		return err
@@ -717,13 +792,17 @@ func (s *Store) TruncateBlob(ctx *storage.Context, key string, size int64) error
 	d.size = size
 	cg := s.directCharge(ctx)
 	s.walAppendMeta(&cg, primary, wal.RecTruncate, key, size)
-	s.replicateDescSize(ctx, key, size)
+	s.replicateDescSize(ctx, key, d, size)
 	return nil
 }
 
 // replicateDescSize pushes the new size to descriptor replicas in parallel.
-// Caller holds the primary descriptor latch.
-func (s *Store) replicateDescSize(ctx *storage.Context, key string, size int64) {
+// Caller holds the primary descriptor latch. d is the primary's descriptor
+// object: after a migration's handover a replica may map the key to that
+// very object (pointer-shared canonical descriptor), and the task must then
+// skip its store — the size is already in place, and two replica tasks
+// writing the shared field would race.
+func (s *Store) replicateDescSize(ctx *storage.Context, key string, d *descriptor, size int64) {
 	owners := s.descOwners(key)
 	fan := s.newFan()
 	for _, o := range owners[1:] {
@@ -732,6 +811,7 @@ func (s *Store) replicateDescSize(ctx *storage.Context, key string, size int64) 
 		t.key = key
 		t.size = size
 		t.rec = wal.RecMeta
+		t.desc = d
 		fan.spawn(t)
 	}
 	fan.join(ctx)

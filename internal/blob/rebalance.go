@@ -3,71 +3,103 @@ package blob
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
-// Membership management: servers can join and leave the store at runtime.
-// The consistent-hash ring keeps movement minimal (only keys whose replica
-// set actually changed migrate), which is the operational argument for
-// hash-placed object stores over directory-partitioned file systems.
-// Membership changes bump the ring epoch, lazily invalidating the
-// placement cache; steady-state lookups resume caching at the new epoch.
+// Membership management: servers can join and leave the store at runtime,
+// under live traffic. The consistent-hash ring keeps movement minimal (only
+// keys whose replica set actually changed migrate), which is the operational
+// argument for hash-placed object stores over directory-partitioned file
+// systems.
+//
+// A membership change is an epoch-versioned, incremental, crash-safe
+// migration (see the "Membership and elasticity semantics" section of the
+// package doc):
+//
+//  1. A durable intent (RecMigrateBegin) is appended to every surviving
+//     server's log BEFORE the ring mutates — the ARIES-style record that
+//     lets Recover roll an interrupted migration forward.
+//  2. The ring mutates under the member gate, so the epoch flip is atomic
+//     with respect to in-flight foreground ops.
+//  3. A reconcile sweep moves chunks in bounded, throttled batches on the
+//     dispatch pool. Each batch is 2PC-logged: prepare markers on the
+//     gained owners, buffered copy/delete records, then commit markers —
+//     replay materializes a batch only at its commit marker, so a crash
+//     leaves it fully applied or fully absent.
+//  4. RecMigrateEnd closes the intent. A crash before the End record
+//     replays an open intent and resumeMigration re-runs the reconcile
+//     sweep, which is idempotent: placement already consistent means an
+//     empty plan.
+//
+// The sweep is formulated as reconciliation against the CURRENT ring (owners
+// missing or behind the freshest surviving copy receive it; holders outside
+// the replica set drop theirs) rather than an old-vs-new ownership diff.
+// That one formulation serves the live sweep, the crash roll-forward (where
+// the pre-crash progress is unknown), and repeated resumption.
 
 // ErrLastServer is returned when removal would empty the store.
 var ErrLastServer = fmt.Errorf("blob: cannot remove the last server: %w", storage.ErrInvalidArg)
 
+// migLane is the log lane carrying migration intents and batch markers.
+// Lane 0 always exists (Config.WALLanes >= 1). Buffered copy/delete records
+// ride the chunk's natural lane instead; the server-scoped order keys keep
+// the merged replay in true append order across lanes.
+const migLane = 0
+
+// migrationTick is the virtual-time quantum the migration throttle sleeps
+// when its token budget is exhausted; each tick refills
+// Config.MigrationRateBytes.
+const migrationTick = time.Millisecond
+
 // AddServer joins a previously unused cluster node to the store and
-// rebalances: every descriptor and chunk whose new replica set includes
-// the node is copied there; replicas dropped from a set are deleted.
+// rebalances incrementally: every descriptor and chunk whose new replica
+// set includes the node is copied there in throttled, crash-safe batches;
+// replicas dropped from a set are deleted. Foreground traffic keeps
+// running throughout — a join is a background reconcile, not a freeze.
 func (s *Store) AddServer(ctx *storage.Context, node cluster.NodeID) error {
 	if int(node) < 0 || int(node) >= len(s.servers) {
 		return fmt.Errorf("blob: no node %d: %w", node, storage.ErrInvalidArg)
 	}
-	members := s.ring.Members()
-	for _, m := range members {
-		if m == int(node) {
-			return fmt.Errorf("blob: node %d already serving: %w", node, storage.ErrExists)
-		}
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	if s.serving(int(node)) {
+		return fmt.Errorf("blob: node %d already serving: %w", node, storage.ErrExists)
 	}
-	before := s.ownershipSnapshot()
-	s.ring.Add(int(node))
-	return s.migrate(ctx, before)
+	return s.runMembershipChange(ctx, migOpAdd, node)
 }
 
-// RemoveServer drains a server: its ring membership is dropped, all data
-// it held primary-or-replica responsibility for is re-replicated onto the
-// surviving owners, and its local state is cleared.
+// RemoveServer drains a server: its ring membership is dropped, all data it
+// held primary-or-replica responsibility for is re-replicated onto the
+// surviving owners in throttled, crash-safe batches, and its local state —
+// memory AND log lanes — is cleared, so a later Recover or rejoin cannot
+// resurrect pre-drain placement.
 func (s *Store) RemoveServer(ctx *storage.Context, node cluster.NodeID) error {
 	if int(node) < 0 || int(node) >= len(s.servers) {
 		return fmt.Errorf("blob: no node %d: %w", node, storage.ErrInvalidArg)
 	}
-	found := false
-	for _, m := range s.ring.Members() {
-		if m == int(node) {
-			found = true
-		}
-	}
-	if !found {
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	if !s.serving(int(node)) {
 		return fmt.Errorf("blob: node %d not serving: %w", node, storage.ErrNotFound)
 	}
 	if s.ring.Size() <= 1 {
 		return ErrLastServer
 	}
-	before := s.ownershipSnapshot()
-	s.ring.Remove(int(node))
-	if err := s.migrate(ctx, before); err != nil {
-		return err
+	return s.runMembershipChange(ctx, migOpRemove, node)
+}
+
+// serving reports whether node is currently in the ring.
+func (s *Store) serving(node int) bool {
+	for _, m := range s.ring.Members() {
+		if m == node {
+			return true
+		}
 	}
-	// Clear the drained server.
-	sv := s.servers[int(node)]
-	sv.mu.Lock()
-	sv.blobs = make(map[string]*descriptor)
-	sv.mu.Unlock()
-	sv.resetChunks()
-	return nil
+	return false
 }
 
 // ServingNodes returns the nodes currently in the ring, ascending.
@@ -80,84 +112,289 @@ func (s *Store) ServingNodes() []cluster.NodeID {
 	return out
 }
 
-// ownership captures, for every descriptor and chunk, who held it before
-// a membership change.
-type ownership struct {
-	descOwners  map[string][]int
-	chunkOwners map[chunkID][]int
-	// sizes snapshot from the primaries, used as the migration source of
-	// truth.
-	descSizes map[string]int64
+// runMembershipChange executes one join or drain end to end. The caller
+// holds migrateMu, so the ring epoch is stable for the sweep's duration.
+func (s *Store) runMembershipChange(ctx *storage.Context, op uint8, node cluster.NodeID) error {
+	s.migSeq++
+	intent := &migrationIntent{seq: s.migSeq, op: op, node: int64(node)}
+	cg := s.directCharge(ctx)
+	// Durable intent before any state changes: a crash at ANY later point
+	// replays an open RecMigrateBegin and rolls the migration forward.
+	s.logIntent(&cg, wal.RecMigrateBegin, intent, -1)
+	s.migIntent.Store(intent)
+	s.migrating.Add(1)
+	defer s.migrating.Add(-1)
+	// The epoch flip: exclusive on the member gate for an instant, so every
+	// foreground op lands entirely on the old owner sets or entirely on the
+	// new — never half and half.
+	s.member.Lock()
+	if op == migOpAdd {
+		s.ring.Add(int(node))
+	} else {
+		s.ring.Remove(int(node))
+	}
+	s.member.Unlock()
+	s.runMigration(ctx, intent)
+	s.finishMigration(ctx, intent)
+	return nil
 }
 
-// ownershipSnapshot records current placements before the ring mutates.
-func (s *Store) ownershipSnapshot() *ownership {
-	o := &ownership{
-		descOwners:  make(map[string][]int),
-		chunkOwners: make(map[chunkID][]int),
-		descSizes:   make(map[string]int64),
+// resumeMigration rolls an interrupted migration forward: Recover calls it
+// once every server has been recovered and an open intent was replayed. If
+// the crash preceded the epoch bump the reconcile sweep finds placement
+// already consistent and the intent is simply closed; the drain of a
+// removed node is likewise skipped when the ring still contains it.
+func (s *Store) resumeMigration(ctx *storage.Context) {
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+	intent := s.migIntent.Load()
+	if intent == nil {
+		return
 	}
-	// Lookups go straight to the ring (ownersUncachedForHash): the epoch
-	// bump that follows this snapshot would discard any entries cached
-	// here before they could ever be served.
+	if intent.seq > s.migSeq {
+		s.migSeq = intent.seq
+	}
+	s.migrating.Add(1)
+	defer s.migrating.Add(-1)
+	s.runMigration(ctx, intent)
+	s.finishMigration(ctx, intent)
+}
+
+// finishMigration drains a removed node, converges repair debt recorded
+// during the sweep, and durably closes the intent.
+func (s *Store) finishMigration(ctx *storage.Context, intent *migrationIntent) {
+	cg := s.directCharge(ctx)
+	skip := -1
+	if intent.op == migOpRemove && !s.serving(int(intent.node)) {
+		skip = int(intent.node)
+		sv := s.servers[skip]
+		sv.mu.Lock()
+		sv.blobs = make(map[string]*descriptor)
+		sv.mu.Unlock()
+		sv.resetChunks()
+		// Reset the drained node's log lanes along with its memory: a
+		// populated log would let a later Recover or rejoin resurrect
+		// pre-drain descriptors and chunks the survivors now own.
+		sv.wal.ResetAll()
+	}
+	// Drain the debt the sweep recorded for targets it could not reach
+	// (crash-wiped gained owners, fault-failed installs). Targets still
+	// unreachable stay in debt here and converge via the repairNode pass
+	// when they come back (Recover / SetDown(false)).
+	s.Repair(ctx)
+	s.logIntent(&cg, wal.RecMigrateEnd, intent, skip)
+	s.migIntent.Store(nil)
+}
+
+// logIntent appends a RecMigrateBegin/RecMigrateEnd record to every
+// surviving server's migration lane (skip excludes a just-drained node
+// whose freshly reset log must not reopen the intent).
+func (s *Store) logIntent(cg *charge, t wal.RecordType, intent *migrationIntent, skip int) {
+	bp := hdrPool.Get().(*[]byte)
+	*bp = appendMigrateIntent((*bp)[:0], intent.seq, intent.op, intent.node)
 	for i, sv := range s.servers {
+		if i == skip || sv.isWiped() {
+			continue
+		}
+		s.walAppendLane(cg, sv, migLane, t, *bp, nil)
+	}
+	hdrPool.Put(bp)
+}
+
+// walAppendMigMark appends a prepare or commit batch marker to sv's
+// migration lane.
+func (s *Store) walAppendMigMark(cg *charge, sv *server, phase uint8, seq, batch uint64) {
+	bp := hdrPool.Get().(*[]byte)
+	*bp = appendMigrateMark((*bp)[:0], phase, seq, batch)
+	s.walAppendLane(cg, sv, migLane, wal.RecMigrateBatch, *bp, nil)
+	hdrPool.Put(bp)
+}
+
+// walAppendMigChunk appends a buffered chunk copy or delete to the chunk's
+// natural lane; the data segment streams through the vectored append
+// exactly like a foreground write.
+func (s *Store) walAppendMigChunk(cg *charge, sv *server, phase uint8, h uint64, id chunkID, ver uint64, data []byte) {
+	bp := hdrPool.Get().(*[]byte)
+	*bp = appendMigrateChunkHeader((*bp)[:0], phase, id, ver)
+	s.walAppendLane(cg, sv, sv.chunkLane(h), wal.RecMigrateBatch, *bp, data)
+	hdrPool.Put(bp)
+}
+
+// runMigration reconciles descriptors, then moves chunks in bounded batches
+// throttled by a virtual-time token bucket: each batch debits its byte
+// footprint, and an exhausted budget sleeps migrationTick quanta (refilling
+// MigrationRateBytes each) before the batch may proceed. One batch is in
+// flight at a time, which bounds in-flight migration bytes on the pool.
+func (s *Store) runMigration(ctx *storage.Context, intent *migrationIntent) {
+	if s.migBatchHook != nil {
+		// The boundary before any batch: intent durable, sweep not started.
+		s.migBatchHook(-1)
+	}
+	cg := s.directCharge(ctx)
+	s.migrateDescriptors(&cg)
+	moves := s.migrationPlan()
+	budget := s.cfg.MigrationRateBytes
+	for batch := 0; len(moves) > 0; batch++ {
+		n, bytes := 0, 0
+		for n < len(moves) && n < s.cfg.MigrationBatchChunks &&
+			(n == 0 || bytes+moves[n].bytes <= s.cfg.MigrationBatchBytes) {
+			bytes += moves[n].bytes
+			n++
+		}
+		for budget < bytes {
+			cg.localCompute(migrationTick)
+			budget += s.cfg.MigrationRateBytes
+		}
+		budget -= bytes
+		s.runBatch(ctx, &cg, intent, uint64(batch), moves[:n])
+		if s.migBatchHook != nil {
+			s.migBatchHook(batch)
+		}
+		moves = moves[n:]
+	}
+}
+
+// migrateDescriptors reconciles descriptor placement against the current
+// ring. Gained owners receive the canonical descriptor OBJECT (pointer
+// shared, not a copy) under its read latch, so every op past and future
+// serializes on one latch per blob across the handover; holders outside the
+// replica set drop their copy only after every owner holds one.
+func (s *Store) migrateDescriptors(cg *charge) {
+	seen := make(map[string]bool)
+	for _, sv := range s.servers {
+		if sv.isWiped() {
+			continue
+		}
 		sv.mu.RLock()
-		for key, d := range sv.blobs {
-			if _, seen := o.descOwners[key]; !seen {
-				o.descOwners[key] = s.ownersUncachedForHash(descRingHash(key))
-			}
-			if owners := o.descOwners[key]; len(owners) > 0 && owners[0] == i {
-				o.descSizes[key] = d.size
-			}
+		for key := range sv.blobs {
+			seen[key] = true
 		}
 		sv.mu.RUnlock()
-		sv.forEachChunk(func(id chunkID, _ []byte, _ uint64) {
-			if _, seen := o.chunkOwners[id]; !seen {
-				o.chunkOwners[id] = s.ownersUncachedForHash(id.ringHash())
-			}
-		})
 	}
-	return o
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		owners := s.descOwners(key)
+		if len(owners) == 0 {
+			continue
+		}
+		_, d := s.canonicalDesc(key, owners)
+		if d == nil {
+			continue
+		}
+		d.latch.RLock()
+		// Re-resolve under the latch: DeleteBlob holds it exclusively for
+		// the whole drop, so a pointer mismatch here means the blob was
+		// deleted (or deleted and recreated, in which case the new copy was
+		// placed natively at the current epoch) between probe and lock.
+		if _, cur := s.canonicalDesc(key, owners); cur != d {
+			d.latch.RUnlock()
+			continue
+		}
+		size := d.size
+		for _, o := range owners {
+			sv := s.servers[o]
+			sv.mu.Lock()
+			_, held := sv.blobs[key]
+			if !held {
+				sv.blobs[key] = d
+			}
+			sv.mu.Unlock()
+			if !held {
+				cg.metaOp(sv.node, 1)
+				// Logged under the read latch: a concurrent writer needs
+				// the latch exclusively to change the size, so the size
+				// recorded here cannot interleave with a newer RecMeta on
+				// this server's lane in the wrong order.
+				s.walAppendMeta(cg, sv, wal.RecCreate, key, size)
+			}
+		}
+		d.latch.RUnlock()
+		for i, sv := range s.servers {
+			if sv.isWiped() || containsNode(owners, i) {
+				continue
+			}
+			sv.mu.Lock()
+			_, held := sv.blobs[key]
+			if held {
+				delete(sv.blobs, key)
+			}
+			sv.mu.Unlock()
+			if held {
+				s.walAppendMeta(cg, sv, wal.RecDelete, key, 0)
+			}
+		}
+	}
 }
 
-// migrate reconciles placements after a ring change: for every descriptor
-// and chunk, copy to gained owners and delete from lost ones. Costs are
-// charged per moved byte (read source disk + wire + destination disk).
-// Chunk moves are scatter-gathered across the worker pool — each chunk is
-// an independent fan task — and both sweeps iterate in sorted order so the
-// folded virtual time is deterministic despite the map-shaped snapshot.
-func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
-	descKeys := make([]string, 0, len(before.descOwners))
-	for key := range before.descOwners {
-		descKeys = append(descKeys, key)
-	}
-	sort.Strings(descKeys)
-	cg := s.directCharge(ctx)
-	for _, key := range descKeys {
-		oldOwners := before.descOwners[key]
-		newOwners := s.descOwners(key)
-		size := before.descSizes[key]
-		for _, gained := range diff(newOwners, oldOwners) {
-			sv := s.servers[gained]
-			sv.mu.Lock()
-			if _, ok := sv.blobs[key]; !ok {
-				sv.blobs[key] = &descriptor{size: size}
-			}
-			sv.mu.Unlock()
-			s.cluster.MetaOp(ctx.Clock, sv.node, 1)
-			s.walAppendMeta(&cg, sv, wal.RecCreate, key, size)
-		}
-		for _, lost := range diff(oldOwners, newOwners) {
-			sv := s.servers[lost]
-			sv.mu.Lock()
-			delete(sv.blobs, key)
-			sv.mu.Unlock()
-			s.walAppendMeta(&cg, sv, wal.RecDelete, key, 0)
+func containsNode(owners []int, node int) bool {
+	for _, o := range owners {
+		if o == node {
+			return true
 		}
 	}
+	return false
+}
 
-	ids := make([]chunkID, 0, len(before.chunkOwners))
-	for id := range before.chunkOwners {
+// migMove is one chunk the reconcile sweep must touch.
+type migMove struct {
+	id    chunkID
+	h     uint64
+	bytes int
+}
+
+// migrationPlan scans every surviving server's chunk table and returns, in
+// sorted order, the chunks whose placement disagrees with the current ring:
+// an owner missing the chunk or holding a version behind the freshest
+// surviving copy, or a holder outside the replica set. The plan carries no
+// placement snapshot — each batch task re-resolves owners and versions at
+// execution time, so the same plan formulation serves fresh migrations and
+// crash roll-forward alike.
+func (s *Store) migrationPlan() []migMove {
+	type chunkInfo struct {
+		holders uint64
+		debt    uint64
+		maxVer  uint64
+		bytes   int
+	}
+	infos := make(map[chunkID]*chunkInfo)
+	for i, sv := range s.servers {
+		if sv.isWiped() {
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		sv.forEachChunk(func(id chunkID, data []byte, ver uint64) {
+			ci := infos[id]
+			if ci == nil {
+				ci = &chunkInfo{}
+				infos[id] = ci
+			}
+			ci.holders |= bit
+			if ver > ci.maxVer {
+				ci.maxVer = ver
+			}
+			if len(data) > ci.bytes {
+				ci.bytes = len(data)
+			}
+		})
+		// Debt records walk separately: a mask may sit on a server that
+		// holds no copy of the chunk at all (the owed-target fallback in
+		// runBatch parks one there), and orphaned masks are themselves a
+		// reason to visit a chunk (see the need check below).
+		sv.forEachDebt(func(id chunkID, mask uint64) {
+			ci := infos[id]
+			if ci == nil {
+				ci = &chunkInfo{}
+				infos[id] = ci
+			}
+			ci.debt |= mask
+		})
+	}
+	ids := make([]chunkID, 0, len(infos))
+	for id := range infos {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool {
@@ -166,110 +403,400 @@ func (s *Store) migrate(ctx *storage.Context, before *ownership) error {
 		}
 		return ids[i].idx < ids[j].idx
 	})
-	fan := s.newFan()
+	var moves []migMove
 	for _, id := range ids {
-		id := id
-		oldOwners := before.chunkOwners[id]
+		ci := infos[id]
+		h := id.ringHash()
+		var ownerBits uint64
+		need := false
+		for _, o := range s.ownersForHash(h) {
+			ownerBits |= 1 << uint(o)
+			if s.servers[o].chunkVer(h, id) < ci.maxVer {
+				need = true
+			}
+		}
+		if ci.holders&^ownerBits != 0 {
+			need = true
+		}
+		// A debt mask naming a peer outside the new owner set is orphaned:
+		// repairChunk services only owner targets, so the bit would count as
+		// outstanding debt forever. Visiting the chunk lets runBatch scrub it.
+		if ci.debt&^ownerBits != 0 {
+			need = true
+		}
+		if need {
+			moves = append(moves, migMove{id: id, h: h, bytes: ci.bytes})
+		}
+	}
+	return moves
+}
+
+// migInstall is one in-memory chunk install deferred until the batch's
+// commit markers are durable.
+type migInstall struct {
+	node int
+	data []byte
+	ver  uint64
+}
+
+// migResult is what one chunk's migration task hands back to the batch
+// caller: the deferred installs and deletes, the repair debt owed by
+// unreachable targets, and the bitmask of servers whose logs buffered a
+// record (the batch's 2PC participants).
+type migResult struct {
+	mv       migMove
+	installs []migInstall
+	deletes  []int
+	owed     uint64
+	logged   uint64
+}
+
+// migTargets returns the owners that need a copy of the chunk: missing it
+// or holding a version behind the freshest surviving copy.
+func (s *Store) migTargets(h uint64, id chunkID) []int {
+	var best uint64
+	for _, sv := range s.servers {
+		if sv.isWiped() {
+			continue
+		}
+		if v := sv.chunkVer(h, id); v > best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	var out []int
+	for _, o := range s.ownersForHash(h) {
+		if s.servers[o].chunkVer(h, id) < best {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// runBatch moves one bounded batch of chunks under the 2PC protocol:
+// prepare markers on the live gained owners, buffered copy/delete records
+// appended by the per-chunk fan tasks, commit markers on every participant,
+// and only then the in-memory materialization — so the durable order is
+// exactly "batch fully applied or fully absent" at any crash point.
+func (s *Store) runBatch(ctx *storage.Context, cg *charge, intent *migrationIntent, batch uint64, moves []migMove) {
+	var prep uint64
+	for _, mv := range moves {
+		for _, o := range s.migTargets(mv.h, mv.id) {
+			// Soft-down targets participate (retained memory + log, like a
+			// foreground write after the partition snapshot); only a
+			// crash-wiped target is out of reach until Recover.
+			if !s.servers[o].isWiped() {
+				prep |= 1 << uint(o)
+			}
+		}
+	}
+	for i, sv := range s.servers {
+		if prep&(1<<uint(i)) != 0 {
+			s.walAppendMigMark(cg, sv, migPhasePrepare, intent.seq, batch)
+		}
+	}
+	results := make([]migResult, len(moves))
+	fan := s.newFan()
+	for i := range moves {
+		i := i
+		mv := moves[i]
 		t := fan.task(taskFunc)
 		t.fn = func(tcg *charge) error {
-			s.migrateChunk(tcg, id, oldOwners)
+			results[i] = s.migrateChunk(tcg, mv)
 			return nil
 		}
 		fan.spawn(t)
 	}
 	fan.join(ctx)
-	return nil
-}
-
-// migrateChunk reconciles one chunk's replica set after a ring change. It
-// runs as a fan task: stripe locks guard the chunk tables, the placement
-// cache and WAL are concurrency-safe, and costs fold at the migrate join.
-// Migration appends ride the vectored WAL path (walAppendChunk): the moved
-// chunk's bytes are copied once into the destination log, not staged.
-func (s *Store) migrateChunk(cg *charge, id chunkID, oldOwners []int) {
-	h := id.ringHash()
-	newOwners := s.ownersForHash(h)
-	gained := diff(newOwners, oldOwners)
-	lost := diff(oldOwners, newOwners)
-	if len(gained) == 0 && len(lost) == 0 {
-		return
+	var parts uint64
+	for i := range results {
+		parts |= results[i].logged
 	}
-	// Outstanding repair debt follows the chunk across the move: union the
-	// masks the old owners hold, then drop bits of nodes that are no longer
-	// owners — a node outside the replica set serves nothing, so nothing is
-	// owed to it anymore.
-	var owed uint64
-	for _, o := range oldOwners {
-		owed |= s.servers[o].debtMask(h, id)
-	}
-	var ownerBits uint64
-	for _, o := range newOwners {
-		if o < 64 {
-			ownerBits |= 1 << uint(o)
+	for i, sv := range s.servers {
+		if parts&(1<<uint(i)) != 0 {
+			s.walAppendMigMark(cg, sv, migPhaseCommit, intent.seq, batch)
 		}
 	}
-	owed &= ownerBits
-	// Source: prefer a fresh old owner (debt bit clear) with the highest
-	// version; fall back to a stale copy only when nothing fresh survives.
-	// The copy is made under the stripe lock so a concurrent writer cannot
-	// tear it.
-	var data []byte
-	var src *server
-	var srcVer uint64
-	srcStale := true
-	for _, o := range oldOwners {
-		sv := s.servers[o]
-		c, ver, ok := sv.copyChunk(h, id)
-		if !ok {
+	// Commit markers are durable; now materialize. Installs are version
+	// guarded: a foreground write that advanced the chunk past the copied
+	// version while the batch was in flight wins, exactly as it does at
+	// replay (recovery.go applies buffered copies under the same guard).
+	for i := range results {
+		r := &results[i]
+		for _, in := range r.installs {
+			s.servers[in.node].setChunkIfNewer(r.mv.h, r.mv.id, append([]byte(nil), in.data...), in.ver)
+		}
+		for _, n := range r.deletes {
+			s.servers[n].deleteChunk(r.mv.h, r.mv.id)
+		}
+		if r.owed != 0 {
+			// Record the debt on every reachable fresh owner, after the
+			// installs above so the debt-on-fresh-holder invariant holds.
+			recorded := false
+			for _, o := range s.ownersForHash(r.mv.h) {
+				sv := s.servers[o]
+				if sv.isDown() || sv.isWiped() || r.owed&(1<<uint(o)) != 0 {
+					continue
+				}
+				if sv.chunkVer(r.mv.h, r.mv.id) == 0 {
+					continue
+				}
+				s.recordDebt(cg, sv, r.mv.h, r.mv.id, r.owed)
+				recorded = true
+			}
+			if !recorded {
+				// Every fresh owner is down or gone from the owner set (the
+				// bytes may survive only on strays or down nodes). The
+				// checked-read path unions debt across CURRENT owners only,
+				// so the record must land on one: park the mask on each
+				// reachable owed target itself. A live-but-empty gained
+				// owner then reads as stale rather than serving sparse
+				// zeros, and repair drains the self-record once a fresh
+				// source rejoins.
+				for _, o := range s.ownersForHash(r.mv.h) {
+					sv := s.servers[o]
+					if r.owed&(1<<uint(o)) == 0 || sv.isDown() || sv.isWiped() {
+						continue
+					}
+					s.recordDebt(cg, sv, r.mv.h, r.mv.id, r.owed)
+				}
+			}
+		}
+		s.scrubDebt(cg, r.mv.h, r.mv.id)
+	}
+	s.revalidateBatch(cg, results)
+}
+
+// scrubDebt drops, on every non-wiped server, the chunk's debt bits naming
+// peers outside the current owner set. A membership change orphans such
+// bits: the named peer's copy is deleted by this same sweep (or was never
+// made), it will never serve the chunk again, and repairChunk services
+// only owner targets — an orphaned bit would otherwise count as
+// outstanding repair debt forever. Claims about current owners are
+// untouched (a concurrent degraded write resolves its owner set after the
+// epoch flip, so every live claim names current owners only). The reduced
+// mask is logged with recordDebt's full-mask overwrite semantics, under
+// the stripe lock, so replay converges to the same bookkeeping.
+func (s *Store) scrubDebt(cg *charge, h uint64, id chunkID) {
+	var ownerBits uint64
+	for _, o := range s.ownersForHash(h) {
+		ownerBits |= 1 << uint(o)
+	}
+	for _, sv := range s.servers {
+		if sv.isWiped() {
 			continue
 		}
-		stale := o < 64 && owed&(1<<uint(o)) != 0
-		if src == nil || (!stale && srcStale) || (stale == srcStale && ver > srcVer) {
-			data, src, srcVer, srcStale = c, sv, ver, stale
+		st := sv.stripe(h)
+		st.mu.Lock()
+		if mask, ok := st.debt[id]; ok && mask&^ownerBits != 0 {
+			mask &= ownerBits
+			sv.setDebtLocked(st, id, mask)
+			s.walAppendChunk(cg, sv, wal.RecRepairNeeded, h, id, 0, mask, nil)
+			tracef("scrubDebt node=%d id=%s/%d mask=%x", sv.node, id.key, id.idx, mask)
 		}
+		st.mu.Unlock()
 	}
-	for _, g := range gained {
-		sv := s.servers[g]
-		if src != nil {
-			cg.diskRead(src.node, len(data))
-			cg.rpc(sv.node, len(data), 64, 0)
-			cg.diskWrite(sv.node, len(data))
+}
+
+// migrateChunk reconciles one chunk's replica set as a fan task. It
+// performs the durable work (buffered copy/delete records, cost charges)
+// and defers the in-memory effects to the batch caller, which applies them
+// only after the commit markers land.
+func (s *Store) migrateChunk(cg *charge, mv migMove) migResult {
+	res := migResult{mv: mv}
+	h, id := mv.h, mv.id
+	owners := s.ownersForHash(h)
+	var ownerBits uint64
+	for _, o := range owners {
+		ownerBits |= 1 << uint(o)
+	}
+	// Survey the surviving holders: debt union and source candidates.
+	type migSrc struct {
+		sv    *server
+		node  int
+		ver   uint64
+		stale bool
+		down  bool
+	}
+	var rawOwed, holderBits uint64
+	var cands []migSrc
+	for i, sv := range s.servers {
+		if sv.isWiped() {
+			continue
 		}
-		// A copy taken from a stale source misses the same writes the
-		// source does; the gained owner inherits the debt.
-		if srcStale && src != nil && g < 64 {
-			owed |= 1 << uint(g)
+		ver := sv.chunkVer(h, id)
+		if ver == 0 {
+			continue
 		}
-		sv.setChunk(h, id, append([]byte(nil), data...), srcVer)
-		s.walAppendChunk(cg, sv, wal.RecWrite, h, id, 0, srcVer, data)
+		holderBits |= 1 << uint(i)
+		rawOwed |= sv.debtMask(h, id)
 	}
-	for _, l := range lost {
-		sv := s.servers[l]
-		sv.deleteChunk(h, id)
-		s.walAppendChunk(cg, sv, wal.RecChunkDelete, h, id, 0, 0, nil)
+	for i, sv := range s.servers {
+		if holderBits&(1<<uint(i)) == 0 {
+			continue
+		}
+		cands = append(cands, migSrc{
+			sv:    sv,
+			node:  i,
+			ver:   sv.chunkVer(h, id),
+			stale: rawOwed&(1<<uint(i)) != 0,
+			down:  sv.isDown(),
+		})
 	}
-	if owed != 0 {
-		for _, o := range newOwners {
-			sv := s.servers[o]
-			if sv.isDown() {
-				continue
+	res.owed = rawOwed & ownerBits
+	// Source order: fresh before stale, live before down, higher version
+	// first — the copy every destination receives is the best survivor.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].stale != cands[j].stale {
+			return !cands[i].stale
+		}
+		if cands[i].down != cands[j].down {
+			return !cands[i].down
+		}
+		if cands[i].ver != cands[j].ver {
+			return cands[i].ver > cands[j].ver
+		}
+		return cands[i].node < cands[j].node
+	})
+	var src *migSrc
+	var data []byte
+	var srcVer uint64
+	for ci := range cands {
+		c := &cands[ci]
+		if err := s.faultCheck(cg, c.sv.node, cluster.FaultDiskRead); err != nil {
+			continue
+		}
+		d, ver, ok := c.sv.copyChunk(h, id)
+		if !ok {
+			continue // raced a concurrent delete
+		}
+		src, data, srcVer = c, d, ver
+		break
+	}
+	if src == nil {
+		// No readable source survives: every behind owner goes into debt
+		// and the stray copies are retained — they are the only bytes left,
+		// and repairDrain converges placement once a source is reachable.
+		for _, o := range owners {
+			if s.servers[o].chunkVer(h, id) == 0 {
+				res.owed |= 1 << uint(o)
 			}
-			s.recordDebt(cg, sv, h, id, owed)
+		}
+		return res
+	}
+	// One source read serves every destination.
+	cg.diskRead(src.sv.node, len(data))
+	for _, o := range owners {
+		sv := s.servers[o]
+		if sv.chunkVer(h, id) >= srcVer {
+			continue
+		}
+		bit := uint64(1) << uint(o)
+		if sv.isWiped() {
+			// A crash-wiped gained owner cannot take the copy — its memory
+			// is gone until Recover rebuilds it from the WAL alone — so the
+			// batch records repair debt and resyncNode converges it after
+			// recovery. A soft-DOWN owner, by contrast, receives the copy
+			// below exactly as it receives a foreground write after the
+			// partition snapshot (retained memory + log keep it consistent):
+			// delivering now is what keeps a drained node from being wiped
+			// at finishMigration while still holding a chunk's only fresh
+			// bytes, with nothing but an undrainable debt mask left behind.
+			res.owed |= bit
+			continue
+		}
+		if err := s.faultCheck(cg, sv.node, cluster.FaultDiskWrite); err != nil {
+			res.owed |= bit
+			continue
+		}
+		cg.rpc(sv.node, len(data), 64, 0)
+		cg.diskWrite(sv.node, len(data))
+		s.walAppendMigChunk(cg, sv, migPhaseChunk, h, id, srcVer, data)
+		res.logged |= bit
+		if src.stale {
+			// A copy from a stale source misses the same writes the source
+			// does; the destination inherits the debt.
+			res.owed |= bit
+		}
+		res.installs = append(res.installs, migInstall{node: o, data: data, ver: srcVer})
+	}
+	// Holders outside the replica set drop their copy (buffered, so the
+	// drop replays atomically with the batch's installs).
+	for i, sv := range s.servers {
+		if holderBits&(1<<uint(i)) == 0 || ownerBits&(1<<uint(i)) != 0 {
+			continue
+		}
+		s.walAppendMigChunk(cg, sv, migPhaseDelete, h, id, 0, nil)
+		res.logged |= 1 << uint(i)
+		res.deletes = append(res.deletes, i)
+	}
+	return res
+}
+
+// revalidateBatch re-checks each installed chunk against its blob's current
+// extent after the batch committed. The copy source may have been a holder
+// that missed a concurrent DeleteBlob or TruncateBlob (those fan out to the
+// owners of record, and a stray holder is no longer one), so an install can
+// resurrect bytes past the blob's end; the fix-ups here are logged plainly
+// (RecChunkDelete / RecChunkTruncate), after the batch, so replay converges
+// to the same state.
+func (s *Store) revalidateBatch(cg *charge, results []migResult) {
+	for i := range results {
+		r := &results[i]
+		if len(r.installs) == 0 {
+			continue
+		}
+		h, id := r.mv.h, r.mv.id
+		_, d, err := s.primaryDesc(id.key)
+		keep := int64(0)
+		if err == nil {
+			d.latch.RLock()
+			size := d.size
+			d.latch.RUnlock()
+			keep = size - id.idx*int64(s.cfg.ChunkSize)
+		}
+		switch {
+		case keep <= 0:
+			// Blob deleted (or truncated away) while the copy was in
+			// flight: drop the installs we made, and only those (the
+			// version guard skips chunks a newer write has since replaced).
+			for _, in := range r.installs {
+				sv := s.servers[in.node]
+				if sv.chunkVer(h, id) != in.ver {
+					continue
+				}
+				sv.deleteChunk(h, id)
+				s.walAppendChunk(cg, sv, wal.RecChunkDelete, h, id, 0, 0, nil)
+			}
+		case keep < int64(s.cfg.ChunkSize):
+			for _, in := range r.installs {
+				if int64(len(in.data)) <= keep {
+					continue
+				}
+				sv := s.servers[in.node]
+				if sv.chunkVer(h, id) != in.ver {
+					continue
+				}
+				sv.trimChunk(h, id, keep)
+				s.walAppendChunk(cg, sv, wal.RecChunkTruncate, h, id, keep, 0, nil)
+			}
 		}
 	}
 }
 
-// diff returns the members of a not present in b.
-func diff(a, b []int) []int {
-	inB := make(map[int]bool, len(b))
-	for _, x := range b {
-		inB[x] = true
+// setChunkIfNewer installs data at ver unless the server already holds the
+// chunk at that version or newer (a concurrent foreground write won the
+// race). Returns whether the install happened.
+func (sv *server) setChunkIfNewer(h uint64, id chunkID, data []byte, ver uint64) bool {
+	st := sv.stripe(h)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ver[id] >= ver {
+		return false
 	}
-	var out []int
-	for _, x := range a {
-		if !inB[x] {
-			out = append(out, x)
-		}
-	}
-	return out
+	st.m[id] = data
+	st.ver[id] = ver
+	return true
 }

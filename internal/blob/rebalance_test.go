@@ -120,6 +120,21 @@ func TestRemoveServerValidation(t *testing.T) {
 	}
 }
 
+// diff returns the elements of a absent from b.
+func diff(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Consistent hashing promise: a join moves only data whose replica set
 // changed — the bulk of placements stay put.
 func TestJoinMovesMinority(t *testing.T) {

@@ -117,6 +117,15 @@ func (s *Store) Recover(node cluster.NodeID) error {
 	vers := make(map[chunkID]uint64)
 	debt := make(map[chunkID]uint64)
 	var pending map[chunkID]prepWrite
+	// Migration replay state: buffered batch records (copies AND deletes)
+	// materialize only at their commit marker, so a batch torn anywhere
+	// before it replays as fully absent; the open intent (a Begin without a
+	// matching End) is published after replay so Recover can roll the
+	// migration forward.
+	var migPend map[chunkID]prepWrite
+	var migDel map[chunkID]bool
+	var openIntent *migrationIntent
+	var maxMigSeq uint64
 	replay := func(fn func(wal.Record) error) error {
 		if s.cfg.SerialRecovery {
 			return sv.wal.RecoverMerged(fn)
@@ -224,12 +233,99 @@ func (s *Store) Recover(node cluster.NodeID) error {
 			return nil
 		case wal.RecCommit:
 			return nil // transaction-level marker; state is in the chunk records
+		case wal.RecMigrateBegin:
+			seq, op, mnode, err := decMigrateIntent(rec.Payload)
+			if err != nil {
+				return err
+			}
+			openIntent = &migrationIntent{seq: seq, op: op, node: mnode}
+			if seq > maxMigSeq {
+				maxMigSeq = seq
+			}
+			migPend, migDel = nil, nil
+			return nil
+		case wal.RecMigrateEnd:
+			seq, _, _, err := decMigrateIntent(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if seq > maxMigSeq {
+				maxMigSeq = seq
+			}
+			if openIntent != nil && openIntent.seq == seq {
+				openIntent = nil
+			}
+			migPend, migDel = nil, nil
+			return nil
+		case wal.RecMigrateBatch:
+			if len(rec.Payload) < 1 {
+				return fmt.Errorf("blob: migrate batch record empty")
+			}
+			switch phase := rec.Payload[0]; phase {
+			case migPhasePrepare:
+				// A fresh batch opens: any residue a torn earlier batch left
+				// buffered is dead (its commit can no longer follow).
+				migPend, migDel = nil, nil
+			case migPhaseChunk:
+				id, _, ver, data, err := decChunkPayload(rec.Payload[1:])
+				if err != nil {
+					return err
+				}
+				if migPend == nil {
+					migPend = make(map[chunkID]prepWrite)
+				}
+				migPend[id] = prepWrite{ver: ver, data: data}
+			case migPhaseDelete:
+				id, _, _, _, err := decChunkPayload(rec.Payload[1:])
+				if err != nil {
+					return err
+				}
+				if migDel == nil {
+					migDel = make(map[chunkID]bool)
+				}
+				migDel[id] = true
+			case migPhaseCommit:
+				// Materialize the batch. Installs replace wholesale — a
+				// migration copy carries the chunk's full bytes, possibly
+				// SHORTER than what an older replayed write grew (the source
+				// may have been trimmed), so the grow-only applyRecovered
+				// merge would keep a stale tail. The version guard mirrors
+				// the live install (setChunkIfNewer): a newer foreground
+				// write logged before the copy wins.
+				for id, pw := range migPend {
+					if pw.ver > vers[id] {
+						chunks[id] = pw.data
+						vers[id] = pw.ver
+					}
+				}
+				for id := range migDel {
+					delete(chunks, id)
+					delete(vers, id)
+					delete(debt, id)
+				}
+				migPend, migDel = nil, nil
+			default:
+				return fmt.Errorf("blob: migrate batch record: unknown phase %d", phase)
+			}
+			return nil
 		default:
 			return fmt.Errorf("blob: recover node %d: unknown record type %v", node, rec.Type)
 		}
 	})
 	if err != nil {
 		return fmt.Errorf("blob: recover node %d: %w", node, err)
+	}
+	// Keep the migration sequence monotonic past everything the log has
+	// seen, and publish a replayed open intent store-wide (monotonically:
+	// several recovering servers may each replay one). Recovery requires
+	// store quiescence, so no live migration races these.
+	if maxMigSeq > s.migSeq {
+		s.migSeq = maxMigSeq
+	}
+	if openIntent != nil {
+		if cur := s.migIntent.Load(); cur == nil || cur.seq < openIntent.seq {
+			s.migIntent.Store(openIntent)
+		}
 	}
 	sv.mu.Lock()
 	sv.blobs = blobs
@@ -279,7 +375,26 @@ func (s *Store) Recover(node cluster.NodeID) error {
 	// sweep may just have recorded debt naming LIVE peers that missed
 	// writes this node's replayed log proves were acknowledged.
 	s.Repair(storage.NewContext())
+	// Roll an interrupted migration forward once the whole store is back:
+	// the reconcile sweep re-runs from the replayed intent (idempotent —
+	// placement already consistent means an empty plan) and the intent is
+	// durably closed. While any server is still wiped, its unreplayed state
+	// must not be reconciled around, so the roll-forward waits for the last
+	// Recover of the crash.
+	if s.migIntent.Load() != nil && !s.anyWiped() {
+		s.resumeMigration(storage.NewContext())
+	}
 	return nil
+}
+
+// anyWiped reports whether any server is crashed-but-not-yet-recovered.
+func (s *Store) anyWiped() bool {
+	for _, sv := range s.servers {
+		if sv.isWiped() {
+			return true
+		}
+	}
+	return false
 }
 
 // ckptLane is one lane's share of a checkpoint snapshot: the descriptor
@@ -290,10 +405,15 @@ type ckptLane struct {
 	metas  []ckptMeta
 	chunks []ckptChunk
 	debts  []ckptDebt
+	// intent, set only on the migration lane, re-logs an open migration
+	// intent: the checkpoint's ResetAll would otherwise drop the
+	// RecMigrateBegin record, and a crash after the checkpoint could no
+	// longer roll the interrupted migration forward.
+	intent *migrationIntent
 }
 
 func (l *ckptLane) empty() bool {
-	return len(l.metas) == 0 && len(l.chunks) == 0 && len(l.debts) == 0
+	return len(l.metas) == 0 && len(l.chunks) == 0 && len(l.debts) == 0 && l.intent == nil
 }
 
 type ckptMeta struct {
@@ -355,6 +475,13 @@ func (sv *server) checkpointPlan() []ckptLane {
 		lane := sv.chunkLane(id.ringHash())
 		plan[lane].debts = append(plan[lane].debts, ckptDebt{id, mask})
 	})
+	// An open migration intent is part of the durable state the snapshot
+	// must carry forward (batch buffers need not be: a checkpoint requires
+	// quiescence, so no batch is torn open at this point — the chunk table
+	// already reflects every committed batch).
+	if intent := sv.migIntent.Load(); intent != nil {
+		plan[migLane].intent = intent
+	}
 	// The stripe walks above run in map order; restore a total order so
 	// the streamed lane records are byte-identical across runs.
 	for i := range plan {
@@ -385,6 +512,12 @@ func (sv *server) checkpointLane(lane int, plan *ckptLane) {
 		if _, _, err := sv.wal.AppendV(lane, t, *bp, data); err != nil {
 			panic(fmt.Sprintf("blob: checkpoint node %d: %v", sv.node, err))
 		}
+	}
+	if plan.intent != nil {
+		// First record of the compacted migration lane, so replay reopens
+		// the intent before anything else.
+		*bp = appendMigrateIntent((*bp)[:0], plan.intent.seq, plan.intent.op, plan.intent.node)
+		appendOne(wal.RecMigrateBegin, nil)
 	}
 	for _, m := range plan.metas {
 		*bp = appendMetaPayload((*bp)[:0], m.key, m.size)

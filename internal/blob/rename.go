@@ -27,6 +27,8 @@ func (s *Store) RenameBlob(ctx *storage.Context, oldKey, newKey string) error {
 	if newKey == "" || strings.ContainsRune(newKey, '\x00') {
 		return fmt.Errorf("blob key %q: %w", newKey, storage.ErrInvalidArg)
 	}
+	s.member.RLock()
+	defer s.member.RUnlock()
 	if oldKey == newKey {
 		_, _, err := s.primaryDesc(oldKey)
 		return err
@@ -40,8 +42,9 @@ func (s *Store) RenameBlob(ctx *storage.Context, oldKey, newKey string) error {
 	}
 	// Register the target first (no latch is needed to create), then latch
 	// both descriptors in key order so a concurrent txn.Commit or reverse
-	// rename cannot deadlock against this one.
-	if err := s.CreateBlob(ctx, newKey); err != nil {
+	// rename cannot deadlock against this one. The ungated createBlob: this
+	// op already holds the member gate, and RLock does not nest.
+	if err := s.createBlob(ctx, newKey); err != nil {
 		return err
 	}
 	newPrimary, newD, err := s.primaryDesc(newKey)
@@ -148,7 +151,7 @@ func (s *Store) RenameBlob(ctx *storage.Context, oldKey, newKey string) error {
 		s.cluster.MetaOp(ctx.Clock, newPrimary.node, 1)
 		mcg := s.directCharge(ctx)
 		s.walAppendMeta(&mcg, newPrimary, wal.RecMeta, newKey, size)
-		s.replicateDescSize(ctx, newKey, size)
+		s.replicateDescSize(ctx, newKey, newD, size)
 	}
 	return s.deleteLocked(ctx, oldKey, oldPrimary, oldD)
 }
@@ -162,7 +165,10 @@ func (s *Store) RenameBlob(ctx *storage.Context, oldKey, newKey string) error {
 func (s *Store) snapshotChunk(cg *charge, id chunkID) ([]byte, bool, error) {
 	h := id.ringHash()
 	owners := s.ownersForHash(h)
-	if s.repairPending.Load() != 0 {
+	// Migration forces the checked path for the same reason it does in
+	// readChunk: a gained owner awaiting its copy must not serve the
+	// snapshot empty or stale.
+	if s.repairPending.Load() != 0 || s.migrating.Load() != 0 {
 		var stale uint64
 		for _, o := range owners {
 			st := s.servers[o].stripe(h)

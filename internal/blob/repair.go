@@ -483,6 +483,17 @@ type blobExtent struct {
 // mid-extend.
 func (s *Store) peerBlobExtent(sv *server, key string) blobExtent {
 	var ext blobExtent
+	// An open migration intent means descriptor placement may be
+	// mid-handover: the current ring's desc owners are polled below, and one
+	// that lacks the blob may simply not have RECEIVED it yet — its
+	// ignorance is not deletion evidence, and dropping on it would destroy
+	// chunks of every blob whose descriptor the interrupted migration had
+	// not reached. Yield no authority; the roll-forward's reconcile sweep
+	// re-establishes descriptor placement and revalidateBatch re-checks
+	// chunk extents against it.
+	if s.migIntent.Load() != nil {
+		return ext
+	}
 	for _, o := range s.descOwners(key) {
 		peer := s.servers[o]
 		if peer == sv || peer.isWiped() {

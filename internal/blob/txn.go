@@ -92,6 +92,11 @@ func (t *Txn) Commit() error {
 	if len(t.writes) == 0 && len(t.reads) == 0 {
 		return nil
 	}
+	// Member gate: placement resolved at latch time must hold until the
+	// commit records land. Writes go through writeLocked (not WriteBlob),
+	// so this is the only gate acquisition on the commit path.
+	t.s.member.RLock()
+	defer t.s.member.RUnlock()
 
 	// Participant set: every blob read or written.
 	keySet := make(map[string]bool, len(t.writes)+len(t.reads))

@@ -19,6 +19,7 @@ var contractSections = []string{
 	"# Concurrency contract",
 	"# Recovery and checkpoint stages",
 	"# Repair and resync stages",
+	"# Migration stages",
 }
 
 var enforcedRe = regexp.MustCompile(`\(enforced: ([^)]+)\)`)

@@ -81,6 +81,27 @@ const (
 	// logged as a mask with the repaired bits dropped (0 deletes the
 	// entry).
 	RecRepairNeeded
+	// RecMigrateBegin is the durable intent record of a membership change:
+	// AddServer/RemoveServer append it to every live server's log BEFORE the
+	// ring mutates, so a crash mid-rebalance recovers with the intent open
+	// and can roll the interrupted migration forward. The payload carries
+	// the migration sequence number, the operation (add/remove), and the
+	// node; replay keeps at most one intent open per server (a later Begin
+	// supersedes an earlier one).
+	RecMigrateBegin
+	// RecMigrateBatch carries one migration batch's 2PC protocol on a
+	// participating server. Its payload starts with a phase byte: a prepare
+	// marker (replay drops any buffered batch state), a chunk-copy record
+	// (replay buffers it, like RecPrepWrite), a chunk-delete record (replay
+	// buffers the drop), or a commit marker (replay materializes every
+	// buffered copy version-guarded and applies every buffered delete). A
+	// crash between prepare and commit therefore leaves the batch fully
+	// absent; a crash after commit leaves it fully applied.
+	RecMigrateBatch
+	// RecMigrateEnd closes the intent opened by RecMigrateBegin with the
+	// same sequence number: the migration completed and recovery has
+	// nothing to roll forward.
+	RecMigrateEnd
 )
 
 // String names the record type.
@@ -110,6 +131,12 @@ func (t RecordType) String() string {
 		return "chunk-commit"
 	case RecRepairNeeded:
 		return "repair-needed"
+	case RecMigrateBegin:
+		return "migrate-begin"
+	case RecMigrateBatch:
+		return "migrate-batch"
+	case RecMigrateEnd:
+		return "migrate-end"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}

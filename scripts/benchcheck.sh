@@ -59,13 +59,23 @@
 # scripts/examples.sh smoke-runs every example program so the documented
 # entry points cannot rot unnoticed.
 #
-# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file] [faults-output-file] [frontends-output-file]
+# The rebalance experiment measures what elasticity costs the foreground —
+# p99 of a mixed read / 2PC-write workload during a live node join and
+# drain vs quiesced — into BENCH_rebalance.json, gated on the
+# during-migration/quiesced virtual p99 ratio (bench.CheckRebalance)
+# before the file is overwritten. Its crash-safety side is covered above:
+# the -race suite includes the migration batch-boundary crash sweeps and
+# the chaos battery's membership actor, and the fuzz loop picks up
+# FuzzRebalanceCrash with the other blob fuzz targets.
+#
+# Usage: scripts/benchcheck.sh [hotpath-output-file] [recovery-output-file] [faults-output-file] [frontends-output-file] [rebalance-output-file]
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_hotpath.json}"
 rout="${2:-BENCH_recovery.json}"
 fout="${3:-BENCH_faults.json}"
 feout="${4:-BENCH_frontends.json}"
+reout="${5:-BENCH_rebalance.json}"
 go run ./cmd/blobvet ./...
 go vet ./...
 go test -race -shuffle=on ./internal/blob/... ./internal/sim/... ./internal/cluster/... ./internal/wal/... ./internal/core/... ./internal/storage/... ./internal/kvstore/... \
@@ -81,3 +91,4 @@ go run ./cmd/benchsuite -exp hotpath -hotpath-out "$out" -hotpath-baseline BENCH
 go run ./cmd/benchsuite -exp recovery -recovery-out "$rout"
 go run ./cmd/benchsuite -exp faults -faults-out "$fout"
 go run ./cmd/benchsuite -exp frontends -frontends-out "$feout"
+go run ./cmd/benchsuite -exp rebalance -rebalance-out "$reout"
